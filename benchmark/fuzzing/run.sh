@@ -1,0 +1,26 @@
+#!/bin/sh
+# Artifact-parity wrapper (paper appendix §E.1): run alive-mutate over
+# every IR file in ./tests, saving all mutants to ./tmp. Drop more .ll
+# files into ./tests and re-run, exactly like the original artifact's
+# run.sh. Flags mirror the appendix (§G.1): change -n 10 to -n X for more
+# mutants, use -t 1 for a time budget, add -passes=instcombine to fuzz a
+# single pass, or remove -save-all to keep only failing cases.
+set -eu
+cd "$(dirname "$0")"
+root=../..
+
+mkdir -p tests tmp
+if [ -z "$(ls tests/*.ll 2>/dev/null)" ]; then
+    echo "run.sh: no tests present; generating a starter corpus"
+    (cd "$root" && go run ./cmd/gen-corpus -n 10 -dir benchmark/fuzzing/tests)
+fi
+
+for f in tests/*.ll; do
+    echo "== $f =="
+    (cd "$root" && go run ./cmd/alive-mutate \
+        -n 10 -seed 1 -passes O2 \
+        -save-all benchmark/fuzzing/tmp \
+        -save-bugs benchmark/fuzzing/tmp \
+        "benchmark/fuzzing/$f")
+done
+echo "mutants written to benchmark/fuzzing/tmp"

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Artifact-parity wrapper (paper appendix §E.2): run the throughput
+# experiment over every IR file in ./tests and write res.txt in the
+# Listing-20 format. COUNT controls mutants per file (the paper used
+# 1000); the default here is scaled down so the experiment completes in
+# minutes rather than hours.
+set -eu
+cd "$(dirname "$0")"
+root=../..
+COUNT="${COUNT:-200}"
+
+mkdir -p tests
+if [ -z "$(ls tests/*.ll 2>/dev/null)" ]; then
+    echo "bench.sh: no tests present; generating a starter corpus"
+    (cd "$root" && go run ./cmd/gen-corpus -n 12 -dir benchmark/throughput/tests)
+fi
+
+(cd "$root" && go run ./cmd/bench-throughput \
+    -count "$COUNT" -seed 1 -passes O2 \
+    -out benchmark/throughput/res.txt \
+    -repo . \
+    benchmark/throughput/tests/*.ll)
+echo "results written to benchmark/throughput/res.txt"

@@ -1,0 +1,77 @@
+// alive-tv is the standalone translation validator, the analog of Alive2's
+// alive-tv tool used by the discrete baseline workflow (paper Fig. 2 /
+// §V-B step 3): it checks that every function in the target file refines
+// the same-named function in the source file.
+//
+// Usage:
+//
+//	alive-tv [-budget N] [-quiet] source.ll target.ll
+//
+// Exit codes: 0 all valid, 1 refinement failure, 2 unsupported input,
+// 3 usage/IO error, 4 solver budget exhausted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ir"
+	"repro/internal/moduleio"
+	"repro/internal/tv"
+)
+
+func main() {
+	budget := flag.Int64("budget", 1000000, "SAT conflict budget per query (0 = unlimited)")
+	quiet := flag.Bool("quiet", false, "suppress per-function output")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: alive-tv source.ll target.ll")
+		os.Exit(3)
+	}
+	load := func(path string) *ir.Module {
+		mod, err := moduleio.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alive-tv:", err)
+			os.Exit(3)
+		}
+		return mod
+	}
+	srcMod := load(flag.Arg(0))
+	tgtMod := load(flag.Arg(1))
+
+	exit := 0
+	bump := func(code int) {
+		if code > exit {
+			exit = code
+		}
+	}
+	opts := tv.Options{ConflictBudget: *budget}
+	for _, fn := range tgtMod.Defs() {
+		src := srcMod.FuncByName(fn.Name)
+		if src == nil || src.IsDecl {
+			continue
+		}
+		r := tv.Verify(srcMod, src, fn, opts)
+		if !*quiet {
+			fmt.Printf("@%s: %s", fn.Name, r.Verdict)
+			if r.Reason != "" {
+				fmt.Printf(" (%s)", r.Reason)
+			}
+			if r.CEX != nil {
+				fmt.Printf("\n  %s", r.CEX)
+			}
+			fmt.Println()
+		}
+		switch r.Verdict {
+		case tv.Invalid:
+			bump(1)
+		case tv.Unsupported:
+			bump(2)
+		case tv.Unknown:
+			bump(4)
+		}
+	}
+	os.Exit(exit)
+}

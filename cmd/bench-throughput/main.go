@@ -1,0 +1,191 @@
+// bench-throughput reproduces the paper's throughput experiment (§V-B):
+// for each input file it performs the same amount of mutation testing
+// twice — once with the integrated alive-mutate loop (everything in one
+// process) and once with the discrete-tool baseline of Fig. 2 (separate
+// mutate/opt/alive-tv executables communicating through files) — with
+// identical PRNG seeds on both sides, and reports per-file and average
+// speedups in the artifact's res.txt format (paper Listing 20).
+//
+// Usage:
+//
+//	bench-throughput [-count 1000] [-seed 1] [-passes O2] \
+//	    [-gen 20] [-out res.txt] [tests/...ll]
+//
+// With -gen N and no input files, N corpus files are synthesized first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/discrete"
+	"repro/internal/parser"
+	"repro/internal/rng"
+)
+
+func main() {
+	count := flag.Int("count", 1000, "mutants per input file (the paper's COUNT)")
+	seed := flag.Uint64("seed", 1, "master PRNG seed (shared by both workflows)")
+	passSpec := flag.String("passes", "O2", "optimization pipeline")
+	gen := flag.Int("gen", 20, "generate this many corpus files when none are given")
+	outPath := flag.String("out", "res.txt", "result file (Listing 20 format)")
+	repoRoot := flag.String("repo", ".", "repository root (for building the discrete tools)")
+	flag.Parse()
+
+	workDir, err := os.MkdirTemp("", "throughput")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+
+	// Gather input files.
+	files := flag.Args()
+	if len(files) == 0 {
+		dir := filepath.Join(workDir, "tests")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		mod := corpus.Generate(*seed, *gen)
+		var decls string
+		for _, f := range mod.Funcs {
+			if f.IsDecl {
+				decls += f.String()
+			}
+		}
+		for i, f := range mod.Defs() {
+			p := filepath.Join(dir, fmt.Sprintf("test%d.ll", i))
+			if err := os.WriteFile(p, []byte(decls+"\n"+f.String()), 0o644); err != nil {
+				fatal(err)
+			}
+			files = append(files, p)
+		}
+	}
+
+	tools, err := discrete.BuildTools(*repoRoot, workDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	type row struct {
+		file       string
+		integrated float64 // seconds
+		discrete   float64
+		perf       float64
+	}
+	var rows []row
+	var notVerified, invalid []string
+
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		mod, err := parser.Parse(string(data))
+		if err != nil {
+			invalid = append(invalid, path)
+			continue
+		}
+
+		// Integrated workflow.
+		fz, err := core.New(mod.Clone(), core.Options{
+			Passes: *passSpec, Seed: *seed, NumMutants: *count,
+		})
+		if err != nil {
+			invalid = append(invalid, path)
+			continue
+		}
+		t0 := time.Now()
+		rep := fz.Run()
+		integrated := time.Since(t0).Seconds()
+
+		// Discrete workflow: same seeds, same count (the Python loop of
+		// §V-B).
+		pipe := &discrete.Pipeline{Tools: tools, Passes: *passSpec, TmpDir: workDir, TVBudget: 30000}
+		master := rng.New(*seed)
+		t0 = time.Now()
+		var disRes discrete.Result
+		for i := 0; i < *count; i++ {
+			s := master.SplitSeed()
+			r, err := pipe.Iteration(path, s)
+			if err != nil {
+				fatal(err)
+			}
+			disRes.Valid += r.Valid
+			disRes.Invalid += r.Invalid
+			disRes.Unsupported += r.Unsupported
+			disRes.Unknown += r.Unknown
+			disRes.Crashes += r.Crashes
+		}
+		dis := time.Since(t0).Seconds()
+
+		if rep.Stats.Invalid > 0 || disRes.Invalid > 0 {
+			notVerified = append(notVerified, filepath.Base(path))
+		}
+		rows = append(rows, row{
+			file: filepath.Base(path), integrated: integrated,
+			discrete: dis, perf: dis / integrated,
+		})
+		fmt.Printf("%s: alive-mutate %.3fs, discrete %.3fs, speedup %.1fx\n",
+			filepath.Base(path), integrated, dis, dis/integrated)
+	}
+
+	// Listing 20 format.
+	var b strings.Builder
+	fmt.Fprintf(&b, "Total: %d\n", len(rows))
+	b.WriteString("Alive-mutate lst:[")
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%v, '%s')", r.integrated, r.file)
+	}
+	b.WriteString("]\n")
+	b.WriteString("Discrete tools lst:[")
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%v, '%s')", r.discrete, r.file)
+	}
+	b.WriteString("]\n")
+	b.WriteString("perf lst:[")
+	sum := 0.0
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%v, '%s')", r.perf, r.file)
+		sum += r.perf
+	}
+	b.WriteString("]\n")
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "Avg perf:%v\n", sum/float64(len(rows)))
+		perfs := make([]float64, len(rows))
+		for i, r := range rows {
+			perfs[i] = r.perf
+		}
+		sort.Float64s(perfs)
+		fmt.Fprintf(&b, "Best perf:%v\nWorst perf:%v\n", perfs[len(perfs)-1], perfs[0])
+	}
+	fmt.Fprintf(&b, "Total not-verified:%d\n", len(notVerified))
+	fmt.Fprintf(&b, "Not-verified files:%v\n", notVerified)
+	fmt.Fprintf(&b, "Total invalid file:%d\n", len(invalid))
+	fmt.Fprintf(&b, "Invalid files:%v\n", invalid)
+
+	if err := os.WriteFile(*outPath, []byte(b.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Print(b.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-throughput:", err)
+	os.Exit(1)
+}

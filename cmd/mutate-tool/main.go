@@ -1,0 +1,48 @@
+// mutate-tool is the standalone single-shot mutator used by the
+// discrete-tool baseline workflow (paper Fig. 2 / §V-B step 1): it reads
+// an IR file, applies the mutation engine once with the given seed, and
+// writes the mutant — paying the parse and print costs the integrated
+// fuzzer avoids.
+//
+// Usage:
+//
+//	mutate-tool -seed N [-o out.ll] [-max-mutations K] input.ll
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/moduleio"
+	"repro/internal/mutate"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 0, "PRNG seed for the mutant")
+	out := flag.String("o", "", "output file (default: stdout)")
+	maxMut := flag.Int("max-mutations", 0, "max mutations per function (0 = default)")
+	emitBC := flag.Bool("emit-bitcode", false, "write the mutant as compact bitcode")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mutate-tool -seed N [-o out.ll] input.ll")
+		os.Exit(2)
+	}
+	mod, err := moduleio.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mutate-tool:", err)
+		os.Exit(1)
+	}
+	mu := mutate.New(mod, mutate.Config{MaxMutationsPerFunction: *maxMut})
+	mutant := mu.Mutate(*seed)
+
+	if *out == "" {
+		fmt.Print(mutant.String())
+		return
+	}
+	if err := moduleio.Save(*out, mutant, *emitBC); err != nil {
+		fmt.Fprintln(os.Stderr, "mutate-tool:", err)
+		os.Exit(1)
+	}
+}

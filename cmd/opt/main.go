@@ -1,0 +1,76 @@
+// opt is the standalone optimizer driver, the analog of LLVM's opt tool
+// used by the discrete baseline workflow (paper Fig. 2 / §V-B step 2).
+//
+// Usage:
+//
+//	opt -passes=O2 [-o out.ll] [-bug N] input.ll
+//
+// Exit codes: 0 success, 1 usage/IO error, 3 optimizer crash (assertion
+// failure analog).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/moduleio"
+	"repro/internal/opt"
+)
+
+func main() {
+	passSpec := flag.String("passes", "O2", "comma-separated pass pipeline (O1, O2, instcombine, ...)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	bugIssue := flag.Int("bug", 0, "enable the seeded defect with this LLVM issue number (campaign experiments)")
+	emitBC := flag.Bool("emit-bitcode", false, "write the result as compact bitcode")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: opt -passes=SPEC [-o out.ll] input.ll")
+		os.Exit(1)
+	}
+	mod, err := moduleio.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opt:", err)
+		os.Exit(1)
+	}
+	passes, err := opt.ByName(*passSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opt:", err)
+		os.Exit(1)
+	}
+	ctx := opt.NewContext(mod)
+	if *bugIssue != 0 {
+		found := false
+		for _, info := range opt.Registry {
+			if info.Issue == *bugIssue {
+				ctx.Bugs.Enable(info.ID)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "opt: unknown seeded bug issue %d\n", *bugIssue)
+			os.Exit(1)
+		}
+	}
+
+	// An optimizer panic is the analog of an LLVM assertion failure; the
+	// distinct exit code lets the discrete pipeline count it as a crash
+	// finding.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "opt: optimizer crash: %v\n", r)
+			os.Exit(3)
+		}
+	}()
+	opt.RunPasses(ctx, passes)
+
+	if *out == "" {
+		fmt.Print(mod.String())
+		return
+	}
+	if err := moduleio.Save(*out, mod, *emitBC); err != nil {
+		fmt.Fprintln(os.Stderr, "opt:", err)
+		os.Exit(1)
+	}
+}

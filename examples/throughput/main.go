@@ -1,0 +1,82 @@
+// throughput is a miniature of the paper's §V-B experiment that runs in a
+// few seconds: it mutation-tests one seed file with (a) the integrated
+// in-process loop and (b) the file-based loop that re-parses and re-prints
+// at every stage boundary, and reports the speedup. (The full experiment,
+// with real separate processes, is cmd/bench-throughput.)
+//
+// Run with:
+//
+//	go run ./examples/throughput
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/discrete"
+	"repro/internal/parser"
+	"repro/internal/rng"
+)
+
+const input = `
+define i32 @clamp(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %n = xor i1 %t2, true
+  %r = select i1 %n, i32 %x, i32 %t1
+  ret i32 %r
+}
+`
+
+const count = 300
+const seed = 99
+
+func main() {
+	mod, err := parser.Parse(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (a) Integrated: mutate, optimize, and verify in memory.
+	fz, err := core.New(mod.Clone(), core.Options{
+		Passes: "O2", Seed: seed, NumMutants: count,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	rep := fz.Run()
+	integrated := time.Since(t0)
+	fmt.Printf("integrated loop:  %d mutants in %v (%d valid checks)\n",
+		rep.Stats.Iterations, integrated.Round(time.Millisecond), rep.Stats.Valid)
+
+	// (b) File-based: identical seeds, but every stage goes through text
+	// files — parse, mutate, print, write, read, parse, optimize, print,
+	// write, read, read, parse, parse, verify.
+	tmp, err := os.MkdirTemp("", "tp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	loop := &discrete.FileLoop{Passes: "O2", TmpDir: tmp}
+	master := rng.New(seed)
+	t0 = time.Now()
+	valid := 0
+	for i := 0; i < count; i++ {
+		r, err := loop.Iteration(input, master.SplitSeed())
+		if err != nil {
+			log.Fatal(err)
+		}
+		valid += r.Valid
+	}
+	fileBased := time.Since(t0)
+	fmt.Printf("file-based loop:  %d mutants in %v (%d valid checks)\n",
+		count, fileBased.Round(time.Millisecond), valid)
+
+	fmt.Printf("\nspeedup from integration: %.1fx (paper reports 12x on average\n", float64(fileBased)/float64(integrated))
+	fmt.Println("against real separate processes; run cmd/bench-throughput for that)")
+}

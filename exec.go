@@ -1,0 +1,12 @@
+// Package repro is the root of the alive-mutate reproduction. The library
+// lives under internal/ (see README.md for the map); this root package
+// holds only the cross-cutting benchmark harness (bench_test.go) that
+// regenerates the paper's tables and figures.
+package repro
+
+import "os/exec"
+
+// runCmd executes a tool for the benchmark harness.
+func runCmd(bin string, args ...string) error {
+	return exec.Command(bin, args...).Run()
+}

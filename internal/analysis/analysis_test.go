@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+const diamond = `define i32 @f(i1 %c, i32 %x) {
+entry:
+  %e0 = add i32 %x, 1
+  br i1 %c, label %a, label %b
+a:
+  %va = add i32 %e0, 2
+  br label %join
+b:
+  %vb = mul i32 %e0, 3
+  br label %join
+join:
+  %r = phi i32 [ %va, %a ], [ %vb, %b ]
+  ret i32 %r
+}`
+
+func blocks(f *ir.Function) map[string]*ir.Block {
+	m := make(map[string]*ir.Block)
+	for _, b := range f.Blocks {
+		m[b.Nm] = b
+	}
+	return m
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f := parser.MustParse(diamond).FuncByName("f")
+	dom := BuildDomTree(f)
+	bs := blocks(f)
+
+	if dom.IDom(bs["entry"]) != nil {
+		t.Error("entry has an idom")
+	}
+	for _, name := range []string{"a", "b", "join"} {
+		if dom.IDom(bs[name]) != bs["entry"] {
+			t.Errorf("idom(%s) = %v, want entry", name, dom.IDom(bs[name]))
+		}
+	}
+	if !dom.Dominates(bs["entry"], bs["join"]) {
+		t.Error("entry must dominate join")
+	}
+	if dom.Dominates(bs["a"], bs["join"]) {
+		t.Error("a must not dominate join")
+	}
+	if !dom.Dominates(bs["a"], bs["a"]) {
+		t.Error("dominance must be reflexive")
+	}
+	if dom.StrictlyDominates(bs["a"], bs["a"]) {
+		t.Error("strict dominance must be irreflexive")
+	}
+}
+
+func TestDomTreeUnreachable(t *testing.T) {
+	f := parser.MustParse(`define void @f() {
+entry:
+  ret void
+dead:
+  ret void
+}`).FuncByName("f")
+	dom := BuildDomTree(f)
+	bs := blocks(f)
+	if dom.Reachable(bs["dead"]) {
+		t.Error("dead block reported reachable")
+	}
+	if dom.Dominates(bs["entry"], bs["dead"]) || dom.Dominates(bs["dead"], bs["entry"]) {
+		t.Error("unreachable blocks participate in dominance")
+	}
+}
+
+func TestDomTreeLoop(t *testing.T) {
+	f := parser.MustParse(`define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %ni, %body ]
+  %c = icmp ult i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %ni = add i32 %i, 1
+  br label %head
+exit:
+  ret i32 %i
+}`).FuncByName("f")
+	dom := BuildDomTree(f)
+	bs := blocks(f)
+	if dom.IDom(bs["head"]) != bs["entry"] ||
+		dom.IDom(bs["body"]) != bs["head"] ||
+		dom.IDom(bs["exit"]) != bs["head"] {
+		t.Error("loop dominator tree wrong")
+	}
+}
+
+func TestShuffleRanges(t *testing.T) {
+	// @test9 shape: the two loads and the call are ordering-relevant, so
+	// only independent pure instructions form ranges.
+	f := parser.MustParse(`define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, 1
+  %b = mul i32 %y, 2
+  %c = xor i32 %x, %y
+  %d = add i32 %a, %b
+  ret i32 %d
+}`).FuncByName("f")
+	ranges := ComputeShuffleRanges(f.Entry())
+	// %a, %b, %c are mutually independent; %d depends on %a → range is
+	// [0,3).
+	if len(ranges) != 1 || ranges[0].Start != 0 || ranges[0].End != 3 {
+		t.Fatalf("ranges = %+v, want one [0,3)", ranges)
+	}
+}
+
+func TestShuffleRangesRespectMemory(t *testing.T) {
+	f := parser.MustParse(`define i32 @f(ptr %p) {
+  %a = load i32, ptr %p
+  %b = load i32, ptr %p
+  %c = add i32 %a, %b
+  ret i32 %c
+}`).FuncByName("f")
+	for _, r := range ComputeShuffleRanges(f.Entry()) {
+		for i := r.Start; i < r.End; i++ {
+			if f.Entry().Instrs[i].Op == ir.OpLoad {
+				t.Fatal("loads must not be shufflable")
+			}
+		}
+	}
+}
+
+func TestConstScan(t *testing.T) {
+	f := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 10
+  %b = mul i32 %a, 20
+  %c = icmp ult i32 %b, 30
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}`).FuncByName("f")
+	sites := ScanConstants(f)
+	if len(sites) != 3 {
+		t.Fatalf("found %d constant sites, want 3", len(sites))
+	}
+}
+
+func TestOverlayDominatingValues(t *testing.T) {
+	mod := parser.MustParse(diamond)
+	f := mod.FuncByName("f")
+	info := Preprocess(f)
+	clone := f.Clone()
+	ov := NewOverlay(info, clone)
+
+	bs := blocks(clone)
+	join := bs["join"]
+	// At the ret (index 1, after the phi), i32 candidates: %x, %e0, %r
+	// (in join), plus nothing from a/b (they don't dominate join).
+	vals := ov.DominatingValues(join, 1, ir.I32)
+	names := map[string]bool{}
+	for _, v := range vals {
+		switch x := v.(type) {
+		case *ir.Param:
+			names[x.Nm] = true
+		case *ir.Instr:
+			names[x.Nm] = true
+		}
+	}
+	for _, want := range []string{"x", "e0", "r"} {
+		if !names[want] {
+			t.Errorf("missing dominating value %%%s (got %v)", want, names)
+		}
+	}
+	for _, bad := range []string{"va", "vb", "c"} {
+		if names[bad] {
+			t.Errorf("non-dominating/wrong-type value %%%s offered", bad)
+		}
+	}
+}
+
+func TestOverlayValueDominatesPoint(t *testing.T) {
+	mod := parser.MustParse(diamond)
+	f := mod.FuncByName("f")
+	info := Preprocess(f)
+	clone := f.Clone()
+	ov := NewOverlay(info, clone)
+	bs := blocks(clone)
+
+	e0 := bs["entry"].Instrs[0]
+	va := bs["a"].Instrs[0]
+
+	if !ov.ValueDominatesPoint(e0, bs["a"], 0) {
+		t.Error("e0 must dominate the top of a")
+	}
+	if ov.ValueDominatesPoint(va, bs["b"], 0) {
+		t.Error("va must not dominate b")
+	}
+	if ov.ValueDominatesPoint(e0, bs["entry"], 0) {
+		t.Error("a definition does not dominate its own position")
+	}
+	if !ov.ValueDominatesPoint(e0, bs["entry"], 1) {
+		t.Error("a definition dominates the point just after it")
+	}
+	// Constants and params dominate everywhere.
+	if !ov.ValueDominatesPoint(clone.Params[0], bs["b"], 0) {
+		t.Error("param must dominate everywhere")
+	}
+}
+
+func TestOverlayCacheInvalidation(t *testing.T) {
+	mod := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  %b = add i32 %x, 2
+  %c = add i32 %a, %b
+  ret i32 %c
+}`)
+	f := mod.FuncByName("f")
+	info := Preprocess(f)
+	clone := f.Clone()
+	ov := NewOverlay(info, clone)
+
+	r1 := ov.ShuffleRanges()
+	if len(r1) != 1 {
+		t.Fatalf("ranges = %v", r1)
+	}
+	c1 := ov.ConstSites()
+	if len(c1) != 2 {
+		t.Fatalf("const sites = %d, want 2", len(c1))
+	}
+
+	// Structural edit: drop %c's dependence so the range grows.
+	clone.Entry().Instrs[2].Args[0] = clone.Params[0]
+	clone.Entry().Instrs[2].Args[1] = ir.NewConst(ir.I32, 9)
+	ov.Invalidate()
+	r2 := ov.ShuffleRanges()
+	if len(r2) != 1 || r2[0].Len() != 3 {
+		t.Fatalf("after invalidation ranges = %+v, want one of length 3", r2)
+	}
+	c2 := ov.ConstSites()
+	if len(c2) != 3 {
+		t.Fatalf("after invalidation const sites = %d, want 3", len(c2))
+	}
+}
+
+func TestOverlayMismatchPanics(t *testing.T) {
+	mod := parser.MustParse(diamond)
+	f := mod.FuncByName("f")
+	info := Preprocess(f)
+	other := parser.MustParse(`define void @g() {
+  ret void
+}`).FuncByName("g")
+	defer func() {
+		if recover() == nil {
+			t.Error("overlay over mismatched block structure must panic")
+		}
+	}()
+	NewOverlay(info, other)
+}

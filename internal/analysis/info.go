@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// ShuffleRange identifies a maximal run of consecutive instructions inside
+// one block that have no mutual dependencies and no ordering-relevant side
+// effects, so any permutation of them preserves SSA validity (paper
+// §IV-D). Indices are [Start, End) positions within Block.Instrs.
+type ShuffleRange struct {
+	Block *ir.Block
+	Start int
+	End   int
+}
+
+// Len returns the number of instructions in the range.
+func (r ShuffleRange) Len() int { return r.End - r.Start }
+
+// ConstSite locates a literal integer constant operand: the instruction
+// and the operand index holding the *ir.Const. Collected during
+// preprocessing so the constant-replacement mutation can pick a target
+// without rescanning (paper §III-A).
+type ConstSite struct {
+	Instr *ir.Instr
+	Arg   int
+}
+
+// FuncInfo bundles the analyses computed once per original function during
+// the fuzzer's preprocessing phase. It is treated as immutable afterwards;
+// mutant-specific state lives in Overlay.
+type FuncInfo struct {
+	F             *ir.Function
+	Dom           *DomTree
+	ShuffleRanges []ShuffleRange
+	ConstSites    []ConstSite
+}
+
+// Preprocess computes the per-function analyses (paper §III-A: "computing
+// its dominance tree and scanning it to build a list of literal constants
+// ... done early to avoid slowing down the main mutation loop").
+func Preprocess(f *ir.Function) *FuncInfo {
+	info := &FuncInfo{F: f, Dom: BuildDomTree(f)}
+	for _, b := range f.Blocks {
+		info.ShuffleRanges = append(info.ShuffleRanges, ComputeShuffleRanges(b)...)
+	}
+	info.ConstSites = ScanConstants(f)
+	return info
+}
+
+// ScanConstants finds every literal integer constant operand in f.
+func ScanConstants(f *ir.Function) []ConstSite {
+	var sites []ConstSite
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		for i, a := range in.Args {
+			if _, ok := a.(*ir.Const); ok {
+				sites = append(sites, ConstSite{Instr: in, Arg: i})
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// hasOrderingSideEffect reports whether an instruction's position relative
+// to other side-effecting instructions matters: memory writes, calls
+// (which may clobber memory), and instructions with immediate UB must not
+// be reordered across each other. Loads may be reordered with other loads
+// but not across stores/calls; to keep ranges simple and obviously sound
+// we treat loads as ordering-relevant too, matching the conservative
+// behaviour the paper describes ("lacks mutual internal dependencies").
+func hasOrderingSideEffect(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore, ir.OpCall, ir.OpAlloca:
+		return true
+	}
+	if in.Op.IsDivRem() {
+		// Division traps on zero divisors; hoisting one above a branch is
+		// impossible within a block, but reordering with a call that might
+		// not return changes observable behaviour. Treat as a fence unless
+		// the divisor is a known nonzero constant.
+		if c, ok := in.Args[1].(*ir.Const); !ok || c.IsZero() {
+			return true
+		}
+	}
+	return false
+}
+
+// ComputeShuffleRanges finds the maximal shufflable ranges in a block.
+// A range extends while each new instruction (a) has no data dependency on
+// any other instruction inside the range and (b) is not ordering-relevant
+// per hasOrderingSideEffect. Terminators and phis never participate.
+func ComputeShuffleRanges(b *ir.Block) []ShuffleRange {
+	var ranges []ShuffleRange
+	n := len(b.Instrs)
+
+	flush := func(start, end int) {
+		if end-start >= 2 {
+			ranges = append(ranges, ShuffleRange{Block: b, Start: start, End: end})
+		}
+	}
+
+	start := 0
+	inRange := make(map[*ir.Instr]bool)
+	reset := func(i int) {
+		start = i
+		inRange = make(map[*ir.Instr]bool)
+	}
+	reset(0)
+
+	for i := 0; i < n; i++ {
+		in := b.Instrs[i]
+		bad := in.Op.IsTerminator() || in.Op == ir.OpPhi || hasOrderingSideEffect(in)
+		if !bad {
+			for _, a := range in.Args {
+				if def, ok := a.(*ir.Instr); ok && inRange[def] {
+					bad = true
+					break
+				}
+			}
+		}
+		if bad {
+			flush(start, i)
+			reset(i + 1)
+			continue
+		}
+		inRange[in] = true
+	}
+	flush(start, n)
+	return ranges
+}
+
+// UseSites returns, for each instruction-produced value in f, the list of
+// (user, operand index) pairs. Used by the bitwidth mutation's use-tree
+// walk (paper §IV-H) and by cleanup passes.
+func UseSites(f *ir.Function) map[ir.Value][]ConstSite {
+	m := make(map[ir.Value][]ConstSite)
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		for i, a := range in.Args {
+			switch a.(type) {
+			case *ir.Instr, *ir.Param:
+				m[a] = append(m[a], ConstSite{Instr: in, Arg: i})
+			}
+		}
+		return true
+	})
+	return m
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Overlay is the two-level data structure from paper §III-B: the first
+// level holds information specific to the current mutant, and the second
+// level is the immutable FuncInfo computed for the original function.
+// Queries consult the mutant-specific level first and fall back to the
+// original. Because none of the mutation operators change the CFG's block
+// structure, the original's block-level dominator tree remains valid for
+// every mutant; only intra-block instruction positions (which the overlay
+// reads directly from the mutant) and derived caches (shuffle ranges,
+// constant sites) can go stale and be recomputed lazily.
+type Overlay struct {
+	Orig   *FuncInfo
+	Mutant *ir.Function
+
+	// blockOf maps each mutant block to its original counterpart (by
+	// position; mutation preserves block count and order).
+	blockOf map[*ir.Block]*ir.Block
+
+	// Mutant-level lazy caches.
+	shuffleRanges []ShuffleRange
+	shuffleValid  bool
+	constSites    []ConstSite
+	constsValid   bool
+}
+
+// NewOverlay pairs a preprocessed original with a freshly cloned mutant.
+// It panics if the block structures do not correspond, since that would
+// silently invalidate every dominance answer.
+func NewOverlay(orig *FuncInfo, mutant *ir.Function) *Overlay {
+	if len(orig.F.Blocks) != len(mutant.Blocks) {
+		panic(fmt.Sprintf("analysis: overlay block count mismatch (%d vs %d)",
+			len(orig.F.Blocks), len(mutant.Blocks)))
+	}
+	o := &Overlay{
+		Orig:    orig,
+		Mutant:  mutant,
+		blockOf: make(map[*ir.Block]*ir.Block, len(mutant.Blocks)),
+	}
+	for i, b := range mutant.Blocks {
+		o.blockOf[b] = orig.F.Blocks[i]
+	}
+	return o
+}
+
+// Invalidate discards the mutant-level caches; call after any structural
+// edit to the mutant.
+func (o *Overlay) Invalidate() {
+	o.shuffleValid = false
+	o.constsValid = false
+}
+
+// BlockDominates reports whether mutant block a dominates mutant block b,
+// answered from the original's dominator tree (level two of the cache).
+func (o *Overlay) BlockDominates(a, b *ir.Block) bool {
+	oa, ok1 := o.blockOf[a]
+	ob, ok2 := o.blockOf[b]
+	if !ok1 || !ok2 {
+		panic("analysis: BlockDominates on foreign block")
+	}
+	return o.Orig.Dom.Dominates(oa, ob)
+}
+
+// Reachable reports whether the mutant block is reachable from entry.
+func (o *Overlay) Reachable(b *ir.Block) bool {
+	ob, ok := o.blockOf[b]
+	if !ok {
+		panic("analysis: Reachable on foreign block")
+	}
+	return o.Orig.Dom.Reachable(ob)
+}
+
+// ValueDominatesPoint reports whether value v is available (dominating) at
+// the program point just before instruction index idx of mutant block b.
+// Constants and parameters are available everywhere; instruction results
+// are available if defined earlier in the same block or in a strictly
+// dominating block.
+func (o *Overlay) ValueDominatesPoint(v ir.Value, b *ir.Block, idx int) bool {
+	def, ok := v.(*ir.Instr)
+	if !ok {
+		return true // Const, Poison, NullPtr, Param
+	}
+	db := def.Parent()
+	if db == nil {
+		return false // detached instruction
+	}
+	if db == b {
+		di := b.IndexOf(def)
+		return di >= 0 && di < idx
+	}
+	oa, ok1 := o.blockOf[db]
+	ob, ok2 := o.blockOf[b]
+	if !ok1 || !ok2 {
+		return false
+	}
+	return o.Orig.Dom.StrictlyDominates(oa, ob)
+}
+
+// DominatingValues enumerates every SSA value with the requested type that
+// dominates the point just before index idx of block b: the function's
+// parameters plus all earlier instruction results. This is the enumeration
+// behind the paper's central primitive, "for a given program point,
+// randomly generate a dominating SSA value with compatible type" (§IV-F).
+func (o *Overlay) DominatingValues(b *ir.Block, idx int, ty ir.Type) []ir.Value {
+	var out []ir.Value
+	for _, p := range o.Mutant.Params {
+		if ir.TypesEqual(p.Ty, ty) {
+			out = append(out, p)
+		}
+	}
+	for _, mb := range o.Mutant.Blocks {
+		if mb == b {
+			limit := idx
+			if limit > len(mb.Instrs) {
+				limit = len(mb.Instrs)
+			}
+			for _, in := range mb.Instrs[:limit] {
+				if !ir.IsVoid(in.Ty) && ir.TypesEqual(in.Ty, ty) {
+					out = append(out, in)
+				}
+			}
+			continue
+		}
+		if o.BlockDominates(mb, b) && mb != b {
+			for _, in := range mb.Instrs {
+				if !ir.IsVoid(in.Ty) && ir.TypesEqual(in.Ty, ty) {
+					out = append(out, in)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ShuffleRanges returns the mutant's shufflable ranges, recomputing them
+// only when a mutation has invalidated the cache. On a fresh mutant the
+// ranges are identical to the preprocessed original's, so the common case
+// (shuffle is the first mutation applied) costs nothing.
+func (o *Overlay) ShuffleRanges() []ShuffleRange {
+	if !o.shuffleValid {
+		o.shuffleRanges = nil
+		for _, b := range o.Mutant.Blocks {
+			o.shuffleRanges = append(o.shuffleRanges, ComputeShuffleRanges(b)...)
+		}
+		o.shuffleValid = true
+	}
+	return o.shuffleRanges
+}
+
+// ConstSites returns the literal-constant operand sites of the mutant,
+// lazily recomputed after invalidation.
+func (o *Overlay) ConstSites() []ConstSite {
+	if !o.constsValid {
+		o.constSites = ScanConstants(o.Mutant)
+		o.constsValid = true
+	}
+	return o.constSites
+}

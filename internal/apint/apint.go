@@ -1,0 +1,303 @@
+// Package apint implements arbitrary-width (1..64 bit) two's-complement
+// integer arithmetic on values stored in uint64 words.
+//
+// The same bit-precise operations are needed in four places — the constant
+// folder, the concrete reference interpreter, the translation validator's
+// counterexample checker, and tests — so they live here once. A value of
+// width w is always stored with bits [w,64) equal to zero ("canonical
+// form"); every operation returns canonical results given canonical inputs.
+package apint
+
+import "math/bits"
+
+// MaxWidth is the largest supported bitwidth.
+const MaxWidth = 64
+
+// Mask returns a mask with the low w bits set. It panics if w is outside
+// [1, 64].
+func Mask(w int) uint64 {
+	if w < 1 || w > MaxWidth {
+		panic("apint: width out of range")
+	}
+	if w == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// Trunc canonicalizes v to width w by clearing bits above w.
+func Trunc(v uint64, w int) uint64 { return v & Mask(w) }
+
+// SignBit reports whether the sign bit of the width-w value v is set.
+func SignBit(v uint64, w int) bool { return v>>(uint(w)-1)&1 == 1 }
+
+// SExt sign-extends a width-from value to width-to canonical form.
+// It panics if to < from.
+func SExt(v uint64, from, to int) uint64 {
+	if to < from {
+		panic("apint: SExt to narrower width")
+	}
+	if SignBit(v, from) {
+		return (v | ^Mask(from)) & Mask(to)
+	}
+	return v
+}
+
+// ZExt zero-extends a width-from value to width-to canonical form. Since
+// canonical values already have high bits clear this is the identity, but
+// it validates widths.
+func ZExt(v uint64, from, to int) uint64 {
+	if to < from {
+		panic("apint: ZExt to narrower width")
+	}
+	return v & Mask(from)
+}
+
+// ToInt64 interprets the width-w canonical value v as a signed integer.
+func ToInt64(v uint64, w int) int64 {
+	return int64(SExt(v, w, 64))
+}
+
+// FromInt64 converts a signed integer to width-w canonical form,
+// truncating as two's complement does.
+func FromInt64(v int64, w int) uint64 { return uint64(v) & Mask(w) }
+
+// Add returns (a + b) mod 2^w.
+func Add(a, b uint64, w int) uint64 { return (a + b) & Mask(w) }
+
+// Sub returns (a - b) mod 2^w.
+func Sub(a, b uint64, w int) uint64 { return (a - b) & Mask(w) }
+
+// Mul returns (a * b) mod 2^w.
+func Mul(a, b uint64, w int) uint64 { return (a * b) & Mask(w) }
+
+// Neg returns -a mod 2^w.
+func Neg(a uint64, w int) uint64 { return (-a) & Mask(w) }
+
+// Not returns ^a at width w.
+func Not(a uint64, w int) uint64 { return (^a) & Mask(w) }
+
+// UDiv returns the unsigned quotient a / b. Division by zero is undefined
+// behaviour at the IR level; callers must check first. UDiv panics on a
+// zero divisor so misuse is loud.
+func UDiv(a, b uint64, w int) uint64 {
+	if b == 0 {
+		panic("apint: UDiv by zero")
+	}
+	return (a / b) & Mask(w)
+}
+
+// URem returns the unsigned remainder a % b, panicking on zero divisor.
+func URem(a, b uint64, w int) uint64 {
+	if b == 0 {
+		panic("apint: URem by zero")
+	}
+	return (a % b) & Mask(w)
+}
+
+// SDiv returns the signed quotient, panicking on zero divisor. The
+// INT_MIN/-1 overflow case wraps (the IR layer is responsible for flagging
+// it as UB before calling).
+func SDiv(a, b uint64, w int) uint64 {
+	sb := ToInt64(b, w)
+	if sb == 0 {
+		panic("apint: SDiv by zero")
+	}
+	sa := ToInt64(a, w)
+	if sa == minSigned(w) && sb == -1 {
+		return a // wraps to itself
+	}
+	return FromInt64(sa/sb, w)
+}
+
+// SRem returns the signed remainder, panicking on zero divisor.
+func SRem(a, b uint64, w int) uint64 {
+	sb := ToInt64(b, w)
+	if sb == 0 {
+		panic("apint: SRem by zero")
+	}
+	sa := ToInt64(a, w)
+	if sa == minSigned(w) && sb == -1 {
+		return 0
+	}
+	return FromInt64(sa%sb, w)
+}
+
+func minSigned(w int) int64 { return -(int64(1) << uint(w-1)) }
+
+// Shl returns a << b at width w. Shift amounts >= w produce poison at the
+// IR level; here the result is simply truncated, callers check the amount.
+func Shl(a, b uint64, w int) uint64 {
+	if b >= uint64(w) {
+		return 0
+	}
+	return (a << b) & Mask(w)
+}
+
+// LShr returns the logical right shift a >> b at width w.
+func LShr(a, b uint64, w int) uint64 {
+	if b >= uint64(w) {
+		return 0
+	}
+	return a >> b
+}
+
+// AShr returns the arithmetic right shift at width w.
+func AShr(a, b uint64, w int) uint64 {
+	if b >= uint64(w) {
+		b = uint64(w) - 1
+	}
+	return SExt(a, w, 64) >> b & Mask(w)
+}
+
+// ULT reports a < b unsigned.
+func ULT(a, b uint64) bool { return a < b }
+
+// SLT reports a < b signed at width w.
+func SLT(a, b uint64, w int) bool { return ToInt64(a, w) < ToInt64(b, w) }
+
+// AddOverflowsUnsigned reports whether a + b overflows width w unsigned.
+func AddOverflowsUnsigned(a, b uint64, w int) bool {
+	return a+b > Mask(w) || (w == 64 && a+b < a)
+}
+
+// AddOverflowsSigned reports whether a + b overflows width w signed.
+func AddOverflowsSigned(a, b uint64, w int) bool {
+	sa, sb := ToInt64(a, w), ToInt64(b, w)
+	s := sa + sb
+	if w < 64 {
+		return s < minSigned(w) || s > -minSigned(w)-1
+	}
+	return (sb > 0 && s < sa) || (sb < 0 && s > sa)
+}
+
+// SubOverflowsUnsigned reports whether a - b wraps below zero.
+func SubOverflowsUnsigned(a, b uint64, _ int) bool { return b > a }
+
+// SubOverflowsSigned reports whether a - b overflows width w signed.
+func SubOverflowsSigned(a, b uint64, w int) bool {
+	sa, sb := ToInt64(a, w), ToInt64(b, w)
+	s := sa - sb
+	if w < 64 {
+		return s < minSigned(w) || s > -minSigned(w)-1
+	}
+	return (sb < 0 && s < sa) || (sb > 0 && s > sa)
+}
+
+// MulOverflowsUnsigned reports whether a * b overflows width w unsigned.
+func MulOverflowsUnsigned(a, b uint64, w int) bool {
+	hi, lo := bits.Mul64(a, b)
+	if hi != 0 {
+		return true
+	}
+	return lo > Mask(w)
+}
+
+// MulOverflowsSigned reports whether a * b overflows width w signed.
+func MulOverflowsSigned(a, b uint64, w int) bool {
+	sa, sb := ToInt64(a, w), ToInt64(b, w)
+	if sa == 0 || sb == 0 {
+		return false
+	}
+	s := sa * sb
+	if sa != 0 && s/sa != sb {
+		return true
+	}
+	if w < 64 {
+		return s < minSigned(w) || s > -minSigned(w)-1
+	}
+	return false
+}
+
+// ShlOverflowsUnsigned reports whether shifting left loses set bits
+// (i.e. the nuw condition fails).
+func ShlOverflowsUnsigned(a, b uint64, w int) bool {
+	if b >= uint64(w) {
+		return true
+	}
+	return LShr(Shl(a, b, w), b, w) != a
+}
+
+// ShlOverflowsSigned reports whether shl violates nsw: the result, shifted
+// back arithmetically, must reproduce the input.
+func ShlOverflowsSigned(a, b uint64, w int) bool {
+	if b >= uint64(w) {
+		return true
+	}
+	return AShr(Shl(a, b, w), b, w) != a
+}
+
+// Abs returns |a| at width w (INT_MIN maps to itself, as llvm.abs with
+// int_min_poison=false does).
+func Abs(a uint64, w int) uint64 {
+	if SignBit(a, w) {
+		return Neg(a, w)
+	}
+	return a
+}
+
+// SMax returns the signed maximum of a and b at width w.
+func SMax(a, b uint64, w int) uint64 {
+	if SLT(a, b, w) {
+		return b
+	}
+	return a
+}
+
+// SMin returns the signed minimum of a and b at width w.
+func SMin(a, b uint64, w int) uint64 {
+	if SLT(a, b, w) {
+		return a
+	}
+	return b
+}
+
+// UMax returns the unsigned maximum of a and b.
+func UMax(a, b uint64) uint64 {
+	if a < b {
+		return b
+	}
+	return a
+}
+
+// UMin returns the unsigned minimum of a and b.
+func UMin(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Bswap byte-swaps a width-w value; w must be a multiple of 8.
+func Bswap(a uint64, w int) uint64 {
+	if w%8 != 0 {
+		panic("apint: Bswap width not a multiple of 8")
+	}
+	return bits.ReverseBytes64(a) >> uint(64-w)
+}
+
+// Ctpop returns the population count of the width-w value.
+func Ctpop(a uint64, w int) uint64 { return uint64(bits.OnesCount64(a & Mask(w))) }
+
+// Ctlz returns the count of leading zeros within width w.
+func Ctlz(a uint64, w int) uint64 {
+	if a == 0 {
+		return uint64(w)
+	}
+	return uint64(bits.LeadingZeros64(a)) - uint64(64-w)
+}
+
+// Cttz returns the count of trailing zeros within width w.
+func Cttz(a uint64, w int) uint64 {
+	if a == 0 {
+		return uint64(w)
+	}
+	n := uint64(bits.TrailingZeros64(a))
+	if n > uint64(w) {
+		n = uint64(w)
+	}
+	return n
+}
+
+// IsPowerOfTwo reports whether v is a (nonzero) power of two.
+func IsPowerOfTwo(v uint64) bool { return v != 0 && v&(v-1) == 0 }

@@ -1,0 +1,165 @@
+package apint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMaskBounds(t *testing.T) {
+	if Mask(1) != 1 || Mask(8) != 0xff || Mask(64) != ^uint64(0) {
+		t.Fatal("mask values wrong")
+	}
+	for _, bad := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) must panic", bad)
+				}
+			}()
+			Mask(bad)
+		}()
+	}
+}
+
+// TestAgainstNativeInt8 cross-checks every operation at width 8 against
+// Go's native int8/uint8 arithmetic, exhaustively on a sample grid.
+func TestAgainstNativeInt8(t *testing.T) {
+	vals := []uint64{0, 1, 2, 7, 127, 128, 129, 200, 254, 255}
+	for _, a := range vals {
+		for _, b := range vals {
+			sa, sb := int8(a), int8(b)
+			if got, want := Add(a, b, 8), uint64(uint8(a+b)); got != want {
+				t.Fatalf("Add(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got, want := Sub(a, b, 8), uint64(uint8(a-b)); got != want {
+				t.Fatalf("Sub(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got, want := Mul(a, b, 8), uint64(uint8(a*b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got, want := SLT(a, b, 8), sa < sb; got != want {
+				t.Fatalf("SLT(%d,%d) = %v, want %v", a, b, got, want)
+			}
+			if b != 0 {
+				if got, want := UDiv(a, b, 8), uint64(uint8(a)/uint8(b)); got != want {
+					t.Fatalf("UDiv(%d,%d) = %d, want %d", a, b, got, want)
+				}
+				if !(sa == -128 && sb == -1) {
+					if got, want := SDiv(a, b, 8), uint64(uint8(sa/sb)); got != want {
+						t.Fatalf("SDiv(%d,%d) = %d, want %d", a, b, got, want)
+					}
+					if got, want := SRem(a, b, 8), uint64(uint8(sa%sb)); got != want {
+						t.Fatalf("SRem(%d,%d) = %d, want %d", a, b, got, want)
+					}
+				}
+			}
+			if got, want := SMax(a, b, 8), uint64(uint8(max8(sa, sb))); got != want {
+				t.Fatalf("SMax(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func max8(a, b int8) int8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSDivINTMINWraps(t *testing.T) {
+	// SDiv(INT_MIN, -1) wraps to INT_MIN (callers flag UB before this).
+	if got := SDiv(0x80, 0xff, 8); got != 0x80 {
+		t.Fatalf("SDiv(INT_MIN,-1) = %#x, want 0x80", got)
+	}
+	if got := SRem(0x80, 0xff, 8); got != 0 {
+		t.Fatalf("SRem(INT_MIN,-1) = %d, want 0", got)
+	}
+}
+
+// TestOverflowPredicates checks the nuw/nsw detectors against widened
+// arithmetic, property-style.
+func TestOverflowPredicates(t *testing.T) {
+	r := rng.New(5)
+	for _, w := range []int{1, 4, 8, 16, 32} {
+		for i := 0; i < 2000; i++ {
+			a := r.Uint64() & Mask(w)
+			b := r.Uint64() & Mask(w)
+			wideAdd := ZExt(a, w, 64) + ZExt(b, w, 64)
+			if got, want := AddOverflowsUnsigned(a, b, w), wideAdd > Mask(w); got != want {
+				t.Fatalf("w=%d AddOverflowsUnsigned(%d,%d)=%v want %v", w, a, b, got, want)
+			}
+			sa, sb := ToInt64(a, w), ToInt64(b, w)
+			sSum := sa + sb
+			wantS := sSum < -(int64(1)<<uint(w-1)) || sSum > int64(Mask(w)>>1)
+			if got := AddOverflowsSigned(a, b, w); got != wantS {
+				t.Fatalf("w=%d AddOverflowsSigned(%d,%d)=%v want %v", w, sa, sb, got, wantS)
+			}
+			sDiff := sa - sb
+			wantS = sDiff < -(int64(1)<<uint(w-1)) || sDiff > int64(Mask(w)>>1)
+			if got := SubOverflowsSigned(a, b, w); got != wantS {
+				t.Fatalf("w=%d SubOverflowsSigned(%d,%d)=%v want %v", w, sa, sb, got, wantS)
+			}
+			if w <= 32 {
+				wideMul := ZExt(a, w, 64) * ZExt(b, w, 64)
+				if got, want := MulOverflowsUnsigned(a, b, w), wideMul > Mask(w); got != want {
+					t.Fatalf("w=%d MulOverflowsUnsigned(%d,%d)=%v want %v", w, a, b, got, want)
+				}
+				sProd := sa * sb
+				wantS = sProd < -(int64(1)<<uint(w-1)) || sProd > int64(Mask(w)>>1)
+				if got := MulOverflowsSigned(a, b, w); got != wantS {
+					t.Fatalf("w=%d MulOverflowsSigned(%d,%d)=%v want %v", w, sa, sb, got, wantS)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	// AShr keeps the sign; out-of-range amounts saturate.
+	if got := AShr(0x80, 3, 8); got != 0xf0 {
+		t.Fatalf("AShr(0x80,3) = %#x, want 0xf0", got)
+	}
+	if got := AShr(0x80, 200, 8); got != 0xff {
+		t.Fatalf("AShr(0x80,200) = %#x, want 0xff", got)
+	}
+	if got := Shl(0xff, 200, 8); got != 0 {
+		t.Fatalf("Shl out of range = %#x, want 0", got)
+	}
+	if got := LShr(0x80, 7, 8); got != 1 {
+		t.Fatalf("LShr(0x80,7) = %d, want 1", got)
+	}
+}
+
+func TestBswapCtpop(t *testing.T) {
+	if got := Bswap(0x1234, 16); got != 0x3412 {
+		t.Fatalf("Bswap16(0x1234) = %#x", got)
+	}
+	if got := Bswap(0xdeadbeef, 32); got != 0xefbeadde {
+		t.Fatalf("Bswap32 = %#x", got)
+	}
+	if got := Ctpop(0xff, 8); got != 8 {
+		t.Fatalf("Ctpop(0xff) = %d", got)
+	}
+	if got := Ctlz(1, 8); got != 7 {
+		t.Fatalf("Ctlz(1) = %d, want 7", got)
+	}
+	if got := Cttz(0x80, 8); got != 7 {
+		t.Fatalf("Cttz(0x80) = %d, want 7", got)
+	}
+	if got, got2 := Ctlz(0, 8), Cttz(0, 8); got != 8 || got2 != 8 {
+		t.Fatalf("count of zero = %d/%d, want 8/8", got, got2)
+	}
+}
+
+func TestSExtZExtRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v8 := Trunc(v, 8)
+		return Trunc(SExt(v8, 8, 32), 8) == v8 && Trunc(ZExt(v8, 8, 32), 8) == v8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package bitcode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/mutate"
+	"repro/internal/parser"
+)
+
+func TestRoundTripTextCorpus(t *testing.T) {
+	srcs := []string{
+		`declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q, align 4
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`,
+		`define i32 @cfg(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %p = add nuw nsw i32 %x, 1
+  br label %join
+b:
+  %q = lshr exact i32 %x, 2
+  br label %join
+join:
+  %r = phi i32 [ %p, %a ], [ %q, %b ]
+  %m = call i32 @llvm.smax.i32(i32 %r, i32 poison)
+  %s = alloca i16, align 2
+  store i16 7, ptr %s
+  %v = load i16, ptr %s
+  %z = zext i16 %v to i32
+  %g = getelementptr i8, ptr %s, i64 1
+  %cmp = icmp eq ptr %g, null
+  %sel = select i1 %cmp, i32 %m, i32 %z
+  ret i32 %sel
+}`,
+		`define void @attrs(ptr nocapture nonnull dereferenceable(8) %p, i32 noundef %x) nofree willreturn nounwind {
+  store i32 %x, ptr %p, align 4
+  ret void
+}`,
+	}
+	for i, src := range srcs {
+		m, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		data := Encode(m)
+		if !IsBitcode(data) {
+			t.Fatalf("case %d: encoded data lacks magic", i)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got, want := back.String(), m.String(); got != want {
+			t.Fatalf("case %d: round trip mismatch\n--- in ---\n%s\n--- out ---\n%s", i, want, got)
+		}
+	}
+}
+
+// TestRoundTripGeneratedAndMutated: property test over the generator and
+// the mutation engine (which exercises fresh params, random instructions,
+// every operator).
+func TestRoundTripGeneratedAndMutated(t *testing.T) {
+	check := func(seed uint64) bool {
+		m := corpus.Generate(seed, 3)
+		mu := mutate.New(m, mutate.Config{MaxMutationsPerFunction: 3})
+		mutant := mu.Mutate(seed * 31)
+		for _, mod := range []interface{ String() string }{m, mutant} {
+			_ = mod
+		}
+		d1 := Encode(m)
+		b1, err := Decode(d1)
+		if err != nil || b1.String() != m.String() {
+			t.Logf("seed %d: original round trip failed: %v", seed, err)
+			return false
+		}
+		d2 := Encode(mutant)
+		b2, err := Decode(d2)
+		if err != nil || b2.String() != mutant.String() {
+			t.Logf("seed %d: mutant round trip failed: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	m := corpus.Generate(5, 10)
+	text := len(m.String())
+	bin := len(Encode(m))
+	t.Logf("text %d bytes, bitcode %d bytes (%.1fx)", text, bin, float64(text)/float64(bin))
+	if bin >= text {
+		t.Errorf("bitcode (%d) not smaller than text (%d)", bin, text)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not bitcode")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncations of a valid stream must error, not panic.
+	m := corpus.Generate(1, 2)
+	data := Encode(m)
+	for cut := len(Magic); cut < len(data); cut += 7 {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Bit flips must never panic (errors are fine; some flips may decode).
+	for i := len(Magic); i < len(data); i += 3 {
+		corrupt := append([]byte(nil), data...)
+		corrupt[i] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("flip at %d panicked: %v", i, r)
+				}
+			}()
+			_, _ = Decode(corrupt)
+		}()
+	}
+}

@@ -1,0 +1,354 @@
+// Package core is alive-mutate's integrated fuzzing engine: the
+// mutate→optimize→verify loop of paper Fig. 3, running mutation, the
+// optimizer, and translation validation inside one process so the loop
+// pays none of the parse/print/fork overheads of the discrete-tool
+// workflow in Fig. 2.
+//
+// The loop (paper §III):
+//
+//  1. Parsing & preprocessing: every function the validator cannot encode,
+//     and every function whose UN-mutated form already fails validation,
+//     is dropped (§III-A). Analyses (dominators, shuffle ranges, constant
+//     sites) are computed once.
+//  2. Mutation: a fresh seed is drawn and logged, and a mutant module is
+//     created (§III-B, §III-E).
+//  3. Optimization: the configured pass pipeline runs; Go panics stand in
+//     for LLVM assertion failures and are recorded as crash findings
+//     (§III-C).
+//  4. Refinement check: each optimized function is validated against its
+//     mutated original; counterexamples are cross-checked on the concrete
+//     interpreter before being reported (§III-D).
+//  5. Loop until the mutant budget or the time budget is exhausted
+//     (§III-E).
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mutate"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/tv"
+)
+
+// FindingKind classifies a discovered bug, mirroring the paper's two
+// Table I categories.
+type FindingKind int
+
+// Finding kinds.
+const (
+	// Miscompilation: Alive2-style refinement failure.
+	Miscompilation FindingKind = iota
+	// Crash: abnormal optimizer termination (assertion/panic).
+	Crash
+)
+
+func (k FindingKind) String() string {
+	if k == Crash {
+		return "crash"
+	}
+	return "miscompilation"
+}
+
+// Finding is one discovered bug.
+type Finding struct {
+	Kind     FindingKind
+	Seed     uint64 // PRNG seed that regenerates the mutant (§III-E)
+	Iter     int    // iteration number (0 = unmutated input)
+	Func     string // function exhibiting the failure
+	CEX      string // counterexample, for miscompilations
+	PanicMsg string // panic payload, for crashes
+	// MutantText and OptimizedText are the .ll forms, captured only when
+	// Options.SaveFindings is set (the fast path skips printing, which is
+	// the point of the whole design).
+	MutantText    string
+	OptimizedText string
+	// CrossChecked reports that the counterexample was confirmed by
+	// concrete re-execution of source and target.
+	CrossChecked bool
+}
+
+// Stats aggregates loop behaviour.
+type Stats struct {
+	Iterations  int
+	Checked     int // function-level refinement checks
+	Valid       int
+	Invalid     int
+	Unsupported int
+	Unknown     int
+	Crashes     int
+	Dropped     []string // functions removed during preprocessing
+	Elapsed     time.Duration
+}
+
+// Options configures a fuzzing run.
+type Options struct {
+	// Passes is the optimization pipeline specification (§III-C), e.g.
+	// "O2" or "instcombine,dce". Empty means "O2".
+	Passes string
+	// Bugs selects seeded defects (nil = correct compiler).
+	Bugs *opt.BugSet
+	// Seed is the master PRNG seed; each mutant's own seed is split from
+	// it and logged in findings.
+	Seed uint64
+	// NumMutants bounds iterations (0 = unbounded; use TimeLimit).
+	NumMutants int
+	// TimeLimit bounds wall-clock time (0 = unbounded; use NumMutants).
+	TimeLimit time.Duration
+	// StopAtFirstFinding ends the run at the first bug (campaign mode).
+	StopAtFirstFinding bool
+	// SaveFindings captures mutant/optimized .ll text in findings.
+	SaveFindings bool
+	// Mutations configures the mutation engine.
+	Mutations mutate.Config
+	// TV configures the refinement checker. A zero ConflictBudget gets a
+	// sensible default so one hard mutant cannot stall the campaign.
+	TV tv.Options
+	// VerifyMutants runs the IR verifier on every mutant (the §II validity
+	// claim); enabled in tests, off in throughput runs.
+	VerifyMutants bool
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// Report is the result of a fuzzing run.
+type Report struct {
+	Findings []Finding
+	Stats    Stats
+}
+
+// Fuzzer is a prepared fuzzing session over one module.
+type Fuzzer struct {
+	opts    Options
+	orig    *ir.Module
+	mutator *mutate.Mutator
+	passes  []opt.Pass
+	dropped []string
+}
+
+// New prepares a fuzzing session: resolves the pipeline, drops functions
+// the validator cannot handle or that fail validation un-mutated, and
+// preprocesses the survivors for mutation.
+func New(mod *ir.Module, opts Options) (*Fuzzer, error) {
+	if opts.Passes == "" {
+		opts.Passes = "O2"
+	}
+	if opts.TV.ConflictBudget == 0 {
+		opts.TV.ConflictBudget = 30000
+	}
+	passes, err := opt.ByName(opts.Passes)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fuzzer{opts: opts, passes: passes}
+	f.orig = preprocess(mod, passes, opts, &f.dropped)
+	if len(f.orig.Defs()) == 0 {
+		return nil, fmt.Errorf("core: no verifiable functions left after preprocessing (dropped %d)", len(f.dropped))
+	}
+	f.mutator = mutate.New(f.orig, opts.Mutations)
+	return f, nil
+}
+
+// Dropped returns the names of functions removed during preprocessing.
+func (f *Fuzzer) Dropped() []string { return f.dropped }
+
+// preprocess implements §III-A: keep only functions the validator can
+// encode AND whose un-mutated optimization validates. The correct
+// (bug-free) optimizer is used for this gate so that seeded defects remain
+// discoverable through mutation.
+func preprocess(mod *ir.Module, passes []opt.Pass, opts Options, dropped *[]string) *ir.Module {
+	clean := ir.NewModule()
+	for _, fn := range mod.Funcs {
+		if fn.IsDecl {
+			clean.Add(fn.Clone())
+			continue
+		}
+	}
+	for _, fn := range mod.Defs() {
+		// Optimize a copy with the *correct* compiler and validate.
+		trial := mod.Clone()
+		ctx := opt.NewContext(trial)
+		ok := func() (ok bool) {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			for _, p := range passes {
+				p.Run(ctx, trial.FuncByName(fn.Name))
+			}
+			return true
+		}()
+		if !ok {
+			*dropped = append(*dropped, fn.Name)
+			continue
+		}
+		r := tv.Verify(mod, fn, trial.FuncByName(fn.Name), opts.TV)
+		if r.Verdict == tv.Unsupported || r.Verdict == tv.Invalid {
+			*dropped = append(*dropped, fn.Name)
+			continue
+		}
+		clean.Add(fn.Clone())
+	}
+	return clean
+}
+
+// Run executes the fuzzing loop.
+func (f *Fuzzer) Run() *Report {
+	start := time.Now()
+	rep := &Report{}
+	rep.Stats.Dropped = f.dropped
+	master := rng.New(f.opts.Seed)
+
+	for iter := 1; ; iter++ {
+		if f.opts.NumMutants > 0 && iter > f.opts.NumMutants {
+			break
+		}
+		if f.opts.TimeLimit > 0 && time.Since(start) >= f.opts.TimeLimit {
+			break
+		}
+		seed := master.SplitSeed()
+		stop := f.iteration(rep, iter, seed)
+		rep.Stats.Iterations = iter
+		if stop && f.opts.StopAtFirstFinding {
+			break
+		}
+	}
+	rep.Stats.Elapsed = time.Since(start)
+	return rep
+}
+
+// iteration performs one mutate→optimize→verify cycle; reports whether a
+// finding was recorded.
+func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
+	mutant := f.mutator.Mutate(seed)
+	if f.opts.VerifyMutants {
+		if err := mutant.Verify(); err != nil {
+			// A mutation-engine defect, not a compiler bug: surface hard.
+			panic(fmt.Sprintf("core: invalid mutant from seed %#x: %v", seed, err))
+		}
+	}
+
+	// Optimize a deep copy, capturing optimizer crashes.
+	optimized := mutant.Clone()
+	ctx := opt.NewContext(optimized)
+	if f.opts.Bugs != nil {
+		ctx.Bugs = f.opts.Bugs
+	}
+	var crashMsg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				crashMsg = fmt.Sprint(r)
+			}
+		}()
+		opt.RunPasses(ctx, f.passes)
+	}()
+	if crashMsg != "" {
+		rep.Stats.Crashes++
+		fd := Finding{
+			Kind: Crash, Seed: seed, Iter: iter, PanicMsg: crashMsg,
+		}
+		if f.opts.SaveFindings {
+			fd.MutantText = mutant.String()
+		}
+		rep.Findings = append(rep.Findings, fd)
+		f.logf("iter %d seed %#x: CRASH: %s", iter, seed, crashMsg)
+		return true
+	}
+
+	found := false
+	for _, fn := range optimized.Defs() {
+		src := mutant.FuncByName(fn.Name)
+		if src == nil {
+			continue
+		}
+		rep.Stats.Checked++
+		// Fast path: when the pipeline left the function textually
+		// unchanged, refinement holds trivially — no solver query needed.
+		// A large share of mutants are not touched by the optimizer, so
+		// this materially raises fuzzing throughput.
+		if fn.String() == src.String() {
+			rep.Stats.Valid++
+			continue
+		}
+		r := tv.Verify(mutant, src, fn, f.opts.TV)
+		switch r.Verdict {
+		case tv.Valid:
+			rep.Stats.Valid++
+		case tv.Unsupported:
+			rep.Stats.Unsupported++
+		case tv.Unknown:
+			rep.Stats.Unknown++
+		case tv.Invalid:
+			rep.Stats.Invalid++
+			fd := Finding{
+				Kind: Miscompilation, Seed: seed, Iter: iter, Func: fn.Name,
+			}
+			if r.CEX != nil {
+				fd.CEX = r.CEX.String()
+				fd.CrossChecked = crossCheck(mutant, optimized, src, fn, r.CEX)
+			}
+			if f.opts.SaveFindings {
+				fd.MutantText = mutant.String()
+				fd.OptimizedText = optimized.String()
+			}
+			rep.Findings = append(rep.Findings, fd)
+			f.logf("iter %d seed %#x: MISCOMPILE @%s (%s)", iter, seed, fn.Name, fd.CEX)
+			found = true
+		}
+	}
+	return found
+}
+
+// crossCheck re-executes source and target on the counterexample with the
+// concrete interpreter (same oracle both sides) and confirms they behave
+// differently — the paper's workflow of re-running a failure before
+// reporting it.
+func crossCheck(srcMod, tgtMod *ir.Module, src, tgt *ir.Function, cex *tv.Counterexample) bool {
+	args := make([]interp.Value, len(src.Params))
+	for i, p := range src.Params {
+		args[i] = interp.Value{
+			Bits:   cex.Inputs[p.Nm],
+			Poison: cex.Poison[p.Nm],
+		}
+	}
+	oracle := &interp.HashOracle{Seed: 0xa11ce}
+	si := &interp.Interp{Mod: srcMod, Oracle: oracle}
+	ti := &interp.Interp{Mod: tgtMod, Oracle: oracle}
+	sr, errS := si.Run(src, args)
+	tr, errT := ti.Run(tgt, args)
+	if errS != nil || errT != nil {
+		return false // interpreter couldn't model the environment; fine
+	}
+	if sr.UB {
+		return false // src UB on this input: model relied on memory/calls
+	}
+	if tr.UB {
+		return true // target UB where source defined: confirmed
+	}
+	if sr.HasRet && tr.HasRet {
+		if sr.Ret.Poison {
+			return false // poison return permits anything; not confirmable concretely
+		}
+		return tr.Ret.Poison || tr.Ret.Bits != sr.Ret.Bits
+	}
+	return false
+}
+
+func (f *Fuzzer) logf(format string, args ...any) {
+	if f.opts.Log != nil {
+		fmt.Fprintf(f.opts.Log, format+"\n", args...)
+	}
+}
+
+// Replay regenerates the exact mutant for a logged seed — the §III-E
+// repeatability workflow ("re-run with the same seed but with file-saving
+// turned on").
+func (f *Fuzzer) Replay(seed uint64) *ir.Module {
+	return f.mutator.Mutate(seed)
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/opt"
+	"repro/internal/parser"
+)
+
+// TestTimeBudget: the -t mode stops near the deadline rather than at a
+// mutant count (paper §III-E: "until a predetermined amount of time has
+// elapsed").
+func TestTimeBudget(t *testing.T) {
+	mod := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  ret i32 %a
+}`)
+	fz, err := New(mod, Options{Passes: "O1", Seed: 1, TimeLimit: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep := fz.Run()
+	elapsed := time.Since(start)
+	if rep.Stats.Iterations == 0 {
+		t.Fatal("no iterations within the time budget")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("run overshot its 150ms budget by far: %v", elapsed)
+	}
+}
+
+// TestLogOutput: the progress log receives finding lines.
+func TestLogOutput(t *testing.T) {
+	mod := parser.MustParse(`define i8 @t(i8 %x, i8 %y) {
+  %r = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)
+  ret i8 %r
+}`)
+	var buf bytes.Buffer
+	bugs := (&opt.BugSet{}).Enable(opt.Bug58109UsubSat)
+	fz, err := New(mod, Options{
+		Passes: "promote", Bugs: bugs, Seed: 3, NumMutants: 50,
+		StopAtFirstFinding: true, Log: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fz.Run()
+	if len(rep.Findings) == 0 {
+		t.Fatal("seeded usub.sat bug not hit")
+	}
+	if !strings.Contains(buf.String(), "MISCOMPILE") {
+		t.Errorf("log missing finding line: %q", buf.String())
+	}
+}
+
+// TestFindingSeedsAreDistinctAndReplayable across a multi-finding run.
+func TestFindingSeedsAreDistinctAndReplayable(t *testing.T) {
+	mod := parser.MustParse(`define i8 @t(i8 %x, i8 %y) {
+  %r = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)
+  ret i8 %r
+}`)
+	bugs := (&opt.BugSet{}).Enable(opt.Bug58109UsubSat)
+	fz, err := New(mod, Options{
+		Passes: "promote", Bugs: bugs, Seed: 3, NumMutants: 10,
+		SaveFindings: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fz.Run()
+	if len(rep.Findings) < 2 {
+		t.Skipf("only %d findings; need 2+ for this check", len(rep.Findings))
+	}
+	seen := map[uint64]bool{}
+	for _, fd := range rep.Findings {
+		if seen[fd.Seed] {
+			t.Errorf("duplicate finding seed %#x", fd.Seed)
+		}
+		seen[fd.Seed] = true
+		if fz.Replay(fd.Seed).String() != fd.MutantText {
+			t.Errorf("seed %#x does not replay to the recorded mutant", fd.Seed)
+		}
+	}
+}

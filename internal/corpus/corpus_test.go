@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func TestGeneratedModulesAreValid(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		m := Generate(seed, 8)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, m.String())
+		}
+		// Round-trip through the printer/parser.
+		if _, err := parser.Parse(m.String()); err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, m.String())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, 10).String()
+	b := Generate(7, 10).String()
+	if a != b {
+		t.Fatal("corpus generation is not deterministic")
+	}
+	if Generate(8, 10).String() == a {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+// TestGeneratedFunctionsSurvivePreprocessing checks the design goal that
+// seed tests are verification-clean: the fuzzer's preprocessing stage
+// (optimize with the correct compiler + validate) keeps the large
+// majority.
+func TestGeneratedFunctionsSurvivePreprocessing(t *testing.T) {
+	total, kept := 0, 0
+	for seed := uint64(0); seed < 8; seed++ {
+		m := Generate(seed, 6)
+		total += len(m.Defs())
+		fz, err := core.New(m, core.Options{Passes: "O2"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		kept += len(m.Defs()) - len(fz.Dropped())
+	}
+	if kept*10 < total*8 { // at least 80%
+		t.Errorf("only %d/%d generated functions survive preprocessing", kept, total)
+	}
+}
+
+func TestFunctionsAreSmall(t *testing.T) {
+	// The throughput experiment samples files under 2 KB (paper §V-B);
+	// generated functions must stay in that regime.
+	m := Generate(3, 20)
+	for _, f := range m.Defs() {
+		if n := len(f.String()); n > 2048 {
+			t.Errorf("@%s is %d bytes, want < 2048", f.Name, n)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/tv"
+)
+
+// TestSelfRefinement: every generated function refines itself — the basic
+// soundness smoke test of the whole verification stack (any false
+// positive here would poison every fuzzing verdict).
+func TestSelfRefinement(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		m := Generate(seed, 6)
+		for _, f := range m.Defs() {
+			r := tv.Verify(m, f, f, tv.Options{ConflictBudget: 100000})
+			switch r.Verdict {
+			case tv.Valid, tv.Unsupported, tv.Unknown:
+			default:
+				t.Errorf("seed %d @%s: self-refinement %v (%s) cex=%v\n%s",
+					seed, f.Name, r.Verdict, r.Reason, r.CEX, f.String())
+			}
+		}
+	}
+	// The targeted regression suite too.
+	for _, tt := range TargetedTests() {
+		m := mustParse(t, tt.Text)
+		for _, f := range m.Defs() {
+			r := tv.Verify(m, f, f, tv.Options{ConflictBudget: 100000})
+			if r.Verdict == tv.Invalid {
+				t.Errorf("%s @%s: self-refinement invalid: %v", tt.Name, f.Name, r.CEX)
+			}
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

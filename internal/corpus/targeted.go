@@ -1,0 +1,348 @@
+package corpus
+
+// This file is the stand-in for the *regression-test* portion of LLVM's
+// unit-test suite: tests written by humans that exercise a specific
+// optimization pattern. The paper's premise (§I) is that such tests come
+// close to a bug's trigger but "miss the mark somehow"; alive-mutate
+// explores their neighbourhood. Each entry below is a plausible
+// hand-written test that is one or two mutations away from one of the
+// seeded defects in internal/opt — including verbatim paper material
+// (Listing 1 for the clamp bug; the pr4917 shape whose bitwidth mutation
+// produced Listing 17; the zext/lshr shape of Listing 18).
+
+// NamedTest is one seed test with the issue numbers it sits near.
+type NamedTest struct {
+	Name   string
+	Text   string
+	Issues []int // seeded bugs this test's neighbourhood can trigger
+}
+
+// TargetedTests returns the regression-test suite.
+func TargetedTests() []NamedTest {
+	return []NamedTest{
+		{
+			// Paper Listing 1 — near the clamp canonicalization bug: the
+			// lower bound is -16 (not ≤0-with-direct-ult form) and the
+			// range test goes through an add.
+			Name:   "clamp_regression",
+			Issues: []int{53252},
+			Text: `define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}`,
+		},
+		{
+			// Near 50693: opposite shifts with *different* amounts; one
+			// constant mutation away from the unsound ashr fold.
+			Name:   "shift_pair_regression",
+			Issues: []int{50693, 56968, 56981},
+			Text: `define i32 @shl_ashr(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = ashr i32 %a, 16
+  ret i32 %b
+}`,
+		},
+		{
+			// All-constant shifts near the width boundary: near 56981 (the
+			// constant folder's too-strong assertion fires when a mutated
+			// amount equals the width exactly).
+			Name:   "const_shift",
+			Issues: []int{56981},
+			Text: `define i8 @cshift(i8 %x) {
+  %a = lshr i8 -64, 7
+  %b = or i8 %a, %x
+  ret i8 %b
+}`,
+		},
+		{
+			// Near 53218 (GVN flag merge) and 58423 (stale CSE reuse):
+			// value-numbering over flagged twins.
+			Name:   "gvn_flags_regression",
+			Issues: []int{53218},
+			Text: `define i8 @cse_flags(i8 %x, i8 %y, i1 %c) {
+entry:
+  %a = add nsw i8 %x, %y
+  br i1 %c, label %l, label %r
+l:
+  %b = add nsw i8 %x, %y
+  ret i8 %b
+r:
+  %d = mul i8 %x, 7
+  ret i8 %d
+}`,
+		},
+		{
+			// Duplicate expressions in sibling blocks: the classic GVN
+			// regression shape. Near 58423 (the CSE cache hands back a
+			// leader that does not dominate).
+			Name:   "gvn_siblings",
+			Issues: []int{58423},
+			Text: `define i8 @siblings(i1 %c, i8 %x, i8 %y) {
+entry:
+  br i1 %c, label %l, label %r
+l:
+  %a = add i8 %x, %y
+  ret i8 %a
+r:
+  %b = add i8 %x, %y
+  ret i8 %b
+}`,
+		},
+		{
+			// Near 55284: or+and masks that are disjoint; a constant
+			// mutation overlaps them.
+			Name:   "or_and_masks",
+			Issues: []int{55284},
+			Text: `define i32 @masks(i32 %x) {
+  %a = or i32 %x, 240
+  %b = and i32 %a, 15
+  ret i32 %b
+}`,
+		},
+		{
+			// Near 55287: the udiv/mul/sub remainder idiom (a sdiv one op
+			// mutation away, and the recompose target itself).
+			Name:   "rem_recompose",
+			Issues: []int{55287},
+			Text: `define i32 @rem(i32 %x, i32 %y) {
+  %d = udiv i32 %x, %y
+  %m = mul i32 %d, %y
+  %r = sub i32 %x, %m
+  ret i32 %r
+}`,
+		},
+		{
+			// Near 55201: a masked rotate whose masks are redundant (the
+			// valid case); constant mutations make them load-bearing.
+			Name:   "rotate_masked",
+			Issues: []int{55201},
+			Text: `define i32 @rot(i32 %x) {
+  %m1 = and i32 %x, 255
+  %m2 = and i32 %x, -256
+  %a = shl i32 %m1, 24
+  %b = lshr i32 %m2, 8
+  %c = or i32 %a, %b
+  ret i32 %c
+}`,
+		},
+		{
+			// Near 55484: the i16 bswap idiom — a bitwidth mutation
+			// re-creates it at i32 where matching it is wrong.
+			Name:   "bswap16",
+			Issues: []int{55484},
+			Text: `define i16 @bswap16(i16 %x) {
+  %a = shl i16 %x, 8
+  %b = lshr i16 %x, 8
+  %c = or i16 %a, %b
+  ret i16 %c
+}`,
+		},
+		{
+			// The i32 "low halfword" shape that 55484 wrongly matches.
+			Name:   "bswap_low_word",
+			Issues: []int{55484},
+			Text: `define i32 @halfswap(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = lshr i32 %x, 8
+  %c = or i32 %a, %b
+  ret i32 %c
+}`,
+		},
+		{
+			// Near 55833: bitfield extract whose mask is genuinely needed;
+			// a constant mutation moves it into the off-by-one region.
+			Name:   "bitfield_extract",
+			Issues: []int{55833, 55129},
+			Text: `define i32 @bf(i32 %x) {
+  %a = lshr i32 %x, 8
+  %b = and i32 %a, 255
+  ret i32 %b
+}`,
+		},
+		{
+			// Paper Listing 18's seed: lshr of a zext'd i1.
+			Name:   "zext_bool_shift",
+			Issues: []int{55129, 58431},
+			Text: `define i64 @lsr_zext(i1 %b) {
+  %1 = zext i1 %b to i64
+  %2 = lshr i64 %1, 1
+  ret i64 %2
+}`,
+		},
+		{
+			// The pr4917 overflow-check idiom — the test whose *bitwidth
+			// mutation* produced the paper's Listing 17 (i34 multiply).
+			Name:   "pr4917_overflow_check",
+			Issues: []int{59836},
+			Text: `define i1 @pr4917(i32 %x) {
+  %r = zext i32 %x to i64
+  %m = mul i64 %r, %r
+  %res = icmp ule i64 %m, 4294967295
+  ret i1 %res
+}`,
+		},
+		{
+			// Paper Listing 15's seed: smax of an add with one wrap flag;
+			// the crash needs both flags (a flag mutation away).
+			Name:   "smax_offset",
+			Issues: []int{52884, 56463},
+			Text: `define i8 @smax_offset(i8 %x) {
+  %1 = add nsw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}`,
+		},
+		{
+			// Near 51618: diamond phi — a use mutation can make an
+			// incoming value poison.
+			Name:   "phi_diamond",
+			Issues: []int{51618, 72034},
+			Text: `define i32 @phid(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %va = add i32 %x, 1
+  br label %join
+b:
+  %vb = add i32 %x, 2
+  br label %join
+join:
+  %r = phi i32 [ %va, %a ], [ %vb, %b ]
+  ret i32 %r
+}`,
+		},
+		{
+			// Near 56945/64661: constant arithmetic and stores; a use
+			// mutation introduces a literal poison operand.
+			Name:   "const_fold_store",
+			Issues: []int{56945, 64661},
+			Text: `define void @cf(ptr %p) {
+  %a = add i8 3, 4
+  store i8 %a, ptr %p
+  ret void
+}`,
+		},
+		{
+			// Narrow division: near 55296 (urem promotion), 58425 (odd
+			// width legalization via bitwidth mutation) and 58321/55271.
+			Name:   "narrow_div",
+			Issues: []int{55296, 55342, 55490},
+			Text: `define i8 @ndiv(i8 %x, i8 %y) {
+  %r = urem i8 %x, %y
+  %c = icmp ugt i8 -31, %r
+  %s = select i1 %c, i8 %r, i8 %x
+  ret i8 %s
+}`,
+		},
+		{
+			// A select feeding a signed comparison: near 55627 (select
+			// arms widened with mismatched extensions during promotion).
+			Name:   "select_cmp",
+			Issues: []int{55627},
+			Text: `define i8 @selcmp(i1 %c, i8 %x, i8 %y) {
+  %s = select i1 %c, i8 %x, i8 -10
+  %t = icmp slt i8 %s, %y
+  %r = select i1 %t, i8 %x, i8 %y
+  ret i8 %r
+}`,
+		},
+		{
+			// A wide unsigned division: near 58425 (a bitwidth mutation to
+			// an odd width above 32 slips past the legalizer's width
+			// table).
+			Name:   "wide_div",
+			Issues: []int{58425},
+			Text: `define i64 @wdiv(i64 %x, i64 %y) {
+  %d = udiv i64 %x, %y
+  ret i64 %d
+}`,
+		},
+		{
+			// Saturating arithmetic + abs: near 58109 and 55271.
+			Name:   "sat_abs",
+			Issues: []int{58109, 55271},
+			Text: `define i8 @sat(i8 %x, i8 %y) {
+  %u = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)
+  %a = call i8 @llvm.abs.i8(i8 %u, i1 false)
+  ret i8 %a
+}`,
+		},
+		{
+			// Freeze of a flagged add: near 58321 (freeze dropped) and
+			// 55003 (shift-to-poison), via flag/constant mutations.
+			Name:   "freeze_flags",
+			Issues: []int{58321, 55003},
+			Text: `define i8 @fr(i8 %x) {
+  %a = add nsw i8 %x, 100
+  %f = freeze i8 %a
+  %s = shl i8 %f, 3
+  ret i8 %s
+}`,
+		},
+		{
+			// printf-style varargs-ish call: near 59757 (signature table).
+			Name:   "printf_call",
+			Issues: []int{59757},
+			Text: `declare i64 @printf(i64)
+
+define void @logv(i64 %x) {
+  %r = call i64 @printf(i64 %x)
+  ret void
+}`,
+		},
+		{
+			// Aligned accesses: near 64687 (non-power-of-two alignment via
+			// the alignment mutation).
+			Name:   "aligned_access",
+			Issues: []int{64687},
+			Text: `define i32 @ld(ptr %p) {
+  %v = load i32, ptr %p, align 8
+  store i32 %v, ptr %p, align 8
+  ret i32 %v
+}`,
+		},
+		{
+			// Mixed-width alloca access — the classic SROA slice shape
+			// (store a word, reload its low byte). Near 72035.
+			Name:   "alloca_slices",
+			Issues: []int{72035},
+			Text: `define i8 @slices(i32 %x) {
+  %s = alloca i32
+  store i32 %x, ptr %s
+  %v = load i8, ptr %s
+  ret i8 %v
+}`,
+		},
+		{
+			// Cast chain: near 56377 (trunc-of-trunc via bitwidth
+			// mutation).
+			Name:   "cast_chain",
+			Issues: []int{56377},
+			Text: `define i8 @casts(i64 %x) {
+  %a = trunc i64 %x to i16
+  %m = mul i16 %a, 257
+  %b = trunc i16 %m to i8
+  ret i8 %b
+}`,
+		},
+		{
+			// i1 logic feeding branches: near 72034 (scalarize on i1
+			// arithmetic condition).
+			Name:   "bool_logic_branch",
+			Issues: []int{72034},
+			Text: `define i32 @blb(i1 %a, i1 %b) {
+entry:
+  %c = and i1 %a, %b
+  br i1 %c, label %t, label %f
+t:
+  ret i32 1
+f:
+  ret i32 2
+}`,
+		},
+	}
+}

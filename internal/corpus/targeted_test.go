@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/parser"
+)
+
+func TestTargetedTestsAreValid(t *testing.T) {
+	for _, tt := range TargetedTests() {
+		t.Run(tt.Name, func(t *testing.T) {
+			m, err := parser.Parse(tt.Text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if len(tt.Issues) == 0 {
+				t.Error("targeted test without issue tags")
+			}
+		})
+	}
+}
+
+// TestTargetedTestsSurviveCorrectCompiler: the regression suite must be
+// verification-clean with no seeded bugs enabled (otherwise preprocessing
+// drops it and the campaign never mutates it).
+func TestTargetedTestsSurviveCorrectCompiler(t *testing.T) {
+	for _, tt := range TargetedTests() {
+		t.Run(tt.Name, func(t *testing.T) {
+			m := parser.MustParse(tt.Text)
+			fz, err := core.New(m, core.Options{Passes: "O2", NumMutants: 1})
+			if err != nil {
+				t.Fatalf("fuzzer rejects seed: %v", err)
+			}
+			if n := len(fz.Dropped()); n > 0 {
+				t.Errorf("preprocessing dropped %d function(s): %v", n, fz.Dropped())
+			}
+		})
+	}
+}
+
+// TestEveryRegistryBugHasNearbySeed: each seeded defect has at least one
+// targeted test tagged with its issue number.
+func TestEveryRegistryBugHasNearbySeed(t *testing.T) {
+	tagged := map[int]bool{}
+	for _, tt := range TargetedTests() {
+		for _, is := range tt.Issues {
+			tagged[is] = true
+		}
+	}
+	for _, info := range opt.Registry {
+		if !tagged[info.Issue] {
+			t.Errorf("no targeted seed test near issue %d (%s)", info.Issue, info.Desc)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package discrete implements the baseline fuzzing workflow of paper
+// Fig. 2: mutation, optimization, and translation validation performed by
+// three separate executables communicating through files — paying, on
+// every iteration, all the overheads the integrated loop amortizes away:
+// process creation and destruction, context switches, file I/O, parsing,
+// and printing.
+//
+// The throughput experiment (§V-B) runs this pipeline and internal/core's
+// integrated loop over the same inputs and seeds and compares wall-clock
+// time. A second, in-process variant (FileLoop) performs the same
+// serialization work without the fork/exec, isolating the process-spawn
+// share of the overhead for the ablation benchmarks.
+package discrete
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/tv"
+)
+
+// Tools locates the standalone executables.
+type Tools struct {
+	MutateBin string // cmd/mutate-tool
+	OptBin    string // cmd/opt
+	TVBin     string // cmd/alive-tv
+}
+
+// BuildTools compiles the three standalone tools into dir and returns
+// their paths. Requires the Go toolchain (present wherever the benchmarks
+// run).
+func BuildTools(repoRoot, dir string) (Tools, error) {
+	t := Tools{
+		MutateBin: filepath.Join(dir, "mutate-tool"),
+		OptBin:    filepath.Join(dir, "opt"),
+		TVBin:     filepath.Join(dir, "alive-tv"),
+	}
+	for bin, pkg := range map[string]string{
+		t.MutateBin: "./cmd/mutate-tool",
+		t.OptBin:    "./cmd/opt",
+		t.TVBin:     "./cmd/alive-tv",
+	} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = repoRoot
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return Tools{}, fmt.Errorf("discrete: building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return t, nil
+}
+
+// Result counts the verdicts of one run.
+type Result struct {
+	Valid, Invalid, Unsupported, Unknown, Crashes int
+}
+
+// Pipeline is the exec-based Fig. 2 workflow.
+type Pipeline struct {
+	Tools  Tools
+	Passes string
+	TmpDir string
+	// TVBudget is the SAT conflict budget handed to alive-tv. It must
+	// match the integrated loop's budget so both workflows do identical
+	// verification work (the §V-B fairness requirement).
+	TVBudget int64
+}
+
+// Iteration performs one mutate→optimize→verify cycle for the input file
+// using separate processes, with the given mutant seed. It mirrors the
+// Python loop described in §V-B:
+//
+//  1. mutate the file using a standalone mutator,
+//  2. optimize the file using the standalone opt tool,
+//  3. perform translation validation using the standalone alive-tv tool.
+func (p *Pipeline) Iteration(inputFile string, seed uint64) (Result, error) {
+	var res Result
+	mutFile := filepath.Join(p.TmpDir, "mutant.ll")
+	optFile := filepath.Join(p.TmpDir, "optimized.ll")
+
+	// (1) standalone mutation: read, mutate, print, write.
+	cmd := exec.Command(p.Tools.MutateBin,
+		"-seed", strconv.FormatUint(seed, 10),
+		"-o", mutFile, inputFile)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return res, fmt.Errorf("discrete: mutate-tool: %v\n%s", err, out)
+	}
+
+	// (2) standalone optimization.
+	cmd = exec.Command(p.Tools.OptBin, "-passes", p.Passes, "-o", optFile, mutFile)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		if cmd.ProcessState != nil && cmd.ProcessState.ExitCode() == 3 {
+			res.Crashes++ // optimizer assertion failure
+			return res, nil
+		}
+		return res, fmt.Errorf("discrete: opt: %v\n%s", err, out)
+	}
+
+	// (3) standalone translation validation.
+	budget := p.TVBudget
+	if budget == 0 {
+		budget = 30000 // the integrated loop's default
+	}
+	cmd = exec.Command(p.Tools.TVBin,
+		"-budget", strconv.FormatInt(budget, 10), "-quiet", mutFile, optFile)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if cmd.ProcessState != nil {
+		code = cmd.ProcessState.ExitCode()
+	}
+	switch code {
+	case 0:
+		res.Valid++
+	case 1:
+		res.Invalid++
+	case 2:
+		res.Unsupported++
+	case 4:
+		res.Unknown++
+	default:
+		if err != nil {
+			return res, fmt.Errorf("discrete: alive-tv: %v\n%s", err, out)
+		}
+	}
+	return res, nil
+}
+
+// FileLoop performs the same steps in-process but still through files and
+// text: parse input, mutate, print to disk, re-read, re-parse, optimize,
+// print, re-read, re-parse both, verify. It isolates the
+// serialization/I/O overhead from the fork/exec overhead for the
+// decomposition ablation (Fig. 2's individual bold boxes).
+type FileLoop struct {
+	Passes string
+	TmpDir string
+	TV     tv.Options
+}
+
+// Iteration runs one cycle for the given input text and seed.
+func (l *FileLoop) Iteration(inputText string, seed uint64) (Result, error) {
+	var res Result
+
+	// Stage 1: parse, mutate, print, write.
+	mod, err := parser.Parse(inputText)
+	if err != nil {
+		return res, err
+	}
+	mutantText, err := mutateToText(mod, seed)
+	if err != nil {
+		return res, err
+	}
+	mutFile := filepath.Join(l.TmpDir, "mutant.ll")
+	if err := os.WriteFile(mutFile, []byte(mutantText), 0o644); err != nil {
+		return res, err
+	}
+
+	// Stage 2: read, parse, optimize, print, write.
+	data, err := os.ReadFile(mutFile)
+	if err != nil {
+		return res, err
+	}
+	m2, err := parser.Parse(string(data))
+	if err != nil {
+		return res, err
+	}
+	crashed := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				crashed = true
+			}
+		}()
+		passes, perr := opt.ByName(l.Passes)
+		if perr != nil {
+			err = perr
+			return
+		}
+		opt.RunPasses(opt.NewContext(m2), passes)
+	}()
+	if err != nil {
+		return res, err
+	}
+	if crashed {
+		res.Crashes++
+		return res, nil
+	}
+	optFile := filepath.Join(l.TmpDir, "optimized.ll")
+	if err := os.WriteFile(optFile, []byte(m2.String()), 0o644); err != nil {
+		return res, err
+	}
+
+	// Stage 3: read and parse both, verify.
+	srcData, err := os.ReadFile(mutFile)
+	if err != nil {
+		return res, err
+	}
+	tgtData, err := os.ReadFile(optFile)
+	if err != nil {
+		return res, err
+	}
+	srcMod, err := parser.Parse(string(srcData))
+	if err != nil {
+		return res, err
+	}
+	tgtMod, err := parser.Parse(string(tgtData))
+	if err != nil {
+		return res, err
+	}
+	for _, fn := range tgtMod.Defs() {
+		src := srcMod.FuncByName(fn.Name)
+		if src == nil || src.IsDecl {
+			continue
+		}
+		switch tv.Verify(srcMod, src, fn, l.TV).Verdict {
+		case tv.Valid:
+			res.Valid++
+		case tv.Invalid:
+			res.Invalid++
+		case tv.Unsupported:
+			res.Unsupported++
+		default:
+			res.Unknown++
+		}
+	}
+	return res, nil
+}
+
+// mutateToText produces the mutant text for a parsed module and seed using
+// the same engine the integrated loop uses, so both workflows perform
+// identical mutation work for identical seeds (the experiment's
+// "exactly the same work" requirement, §V-B).
+func mutateToText(mod *ir.Module, seed uint64) (string, error) {
+	mu := newSharedMutator(mod)
+	return mu.Mutate(seed).String(), nil
+}

@@ -1,0 +1,96 @@
+package discrete
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/rng"
+)
+
+const testInput = `define i32 @clamp(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %n = xor i1 %t2, true
+  %r = select i1 %n, i32 %x, i32 %t1
+  ret i32 %r
+}
+`
+
+func TestFileLoopMatchesIntegrated(t *testing.T) {
+	// The same seeds must yield the same verdict counts in both
+	// workflows — the §V-B "exactly the same work" requirement.
+	const n = 25
+	const seed = 42
+
+	mod := parser.MustParse(testInput)
+	fz, err := core.New(mod, core.Options{Passes: "O2", Seed: seed, NumMutants: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fz.Run()
+
+	loop := &FileLoop{Passes: "O2", TmpDir: t.TempDir()}
+	master := rng.New(seed)
+	var total Result
+	for i := 0; i < n; i++ {
+		r, err := loop.Iteration(testInput, master.SplitSeed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Valid += r.Valid
+		total.Invalid += r.Invalid
+		total.Unsupported += r.Unsupported
+		total.Unknown += r.Unknown
+		total.Crashes += r.Crashes
+	}
+
+	if got, want := total.Valid, rep.Stats.Valid; got != want {
+		t.Errorf("valid: file loop %d, integrated %d", got, want)
+	}
+	if got, want := total.Invalid, rep.Stats.Invalid; got != want {
+		t.Errorf("invalid: file loop %d, integrated %d", got, want)
+	}
+	if total.Invalid != 0 {
+		t.Errorf("clean compiler must not miscompile; got %d invalid", total.Invalid)
+	}
+}
+
+func TestProcessPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds three binaries")
+	}
+	wd, _ := os.Getwd()
+	root := filepath.Join(wd, "..", "..")
+	tools, err := BuildTools(root, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	input := filepath.Join(tmp, "input.ll")
+	if err := os.WriteFile(input, []byte(testInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pipe := &Pipeline{Tools: tools, Passes: "O2", TmpDir: tmp}
+	var total Result
+	master := rng.New(42)
+	for i := 0; i < 5; i++ {
+		r, err := pipe.Iteration(input, master.SplitSeed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Valid += r.Valid
+		total.Invalid += r.Invalid
+		total.Unsupported += r.Unsupported
+		total.Unknown += r.Unknown
+	}
+	if total.Invalid != 0 || total.Crashes != 0 {
+		t.Errorf("clean pipeline found problems: %+v", total)
+	}
+	if total.Valid == 0 {
+		t.Error("no valid verdicts recorded")
+	}
+}

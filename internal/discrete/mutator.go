@@ -1,0 +1,14 @@
+package discrete
+
+import (
+	"repro/internal/ir"
+	"repro/internal/mutate"
+)
+
+// newSharedMutator builds the mutation engine with the default
+// configuration shared by the integrated loop and the standalone
+// mutate-tool, so seed-for-seed the two workflows generate identical
+// mutants.
+func newSharedMutator(mod *ir.Module) *mutate.Mutator {
+	return mutate.New(mod, mutate.Config{})
+}

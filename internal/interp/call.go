@@ -1,0 +1,146 @@
+package interp
+
+import (
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// stepCall executes intrinsics precisely and models unknown calls through
+// the oracle (matching internal/semantics: pointer-argument escape, memory
+// havoc for may-write callees, oracle-chosen results).
+func (in *Interp) stepCall(st *execState, instr *ir.Instr) error {
+	args := make([]Value, len(instr.Args))
+	for i, a := range instr.Args {
+		args[i] = in.operand(st, a)
+	}
+
+	if kind, ok := instr.IsIntrinsicCall(); ok {
+		return in.stepIntrinsic(st, instr, kind, args)
+	}
+
+	var attrs ir.FuncAttrs
+	var declParams []*ir.Param
+	if in.Mod != nil {
+		if decl := in.Mod.FuncByName(instr.Callee); decl != nil {
+			attrs = decl.Attrs
+			declParams = decl.Params
+		}
+	}
+	for i, a := range args {
+		if i < len(declParams) && declParams[i].Attrs.Noundef && a.Poison {
+			return ubError{"poison passed to noundef parameter"}
+		}
+	}
+	for i := range args {
+		if pv, ok := in.ptrOf(st, instr.Args[i]); ok && pv.prov > 0 {
+			st.escaped[pv.prov] = true
+		}
+	}
+	if !(attrs.Readnone || attrs.Readonly) {
+		provs := map[int]bool{0: true}
+		for p := range st.escaped {
+			provs[p] = true
+		}
+		st.mem.havoc(provs)
+	}
+	idx := st.calls
+	st.calls++
+	if !ir.IsVoid(instr.Ty) {
+		w := widthOf(instr.Ty)
+		bits := in.Oracle.CallResult(idx, instr.Callee, w, args)
+		st.env[instr] = Value{Bits: bits}
+		if ir.IsPtr(instr.Ty) {
+			st.ptrs[instr] = ptrVal{prov: 0, addr: bits}
+		}
+	}
+	return nil
+}
+
+func (in *Interp) stepIntrinsic(st *execState, instr *ir.Instr, kind ir.IntrinsicKind, args []Value) error {
+	if kind == ir.IntrinsicAssume {
+		c := args[0]
+		if c.Poison || c.Bits == 0 {
+			return ubError{"assume violated"}
+		}
+		return nil
+	}
+
+	w := widthOf(instr.Ty)
+	x := args[0]
+	poison := x.Poison
+	var bits uint64
+
+	switch kind {
+	case ir.IntrinsicSMax:
+		poison = poison || args[1].Poison
+		bits = apint.SMax(x.Bits, args[1].Bits, w)
+	case ir.IntrinsicSMin:
+		poison = poison || args[1].Poison
+		bits = apint.SMin(x.Bits, args[1].Bits, w)
+	case ir.IntrinsicUMax:
+		poison = poison || args[1].Poison
+		bits = apint.UMax(x.Bits, args[1].Bits)
+	case ir.IntrinsicUMin:
+		poison = poison || args[1].Poison
+		bits = apint.UMin(x.Bits, args[1].Bits)
+	case ir.IntrinsicUAddSat:
+		poison = poison || args[1].Poison
+		if apint.AddOverflowsUnsigned(x.Bits, args[1].Bits, w) {
+			bits = apint.Mask(w)
+		} else {
+			bits = apint.Add(x.Bits, args[1].Bits, w)
+		}
+	case ir.IntrinsicUSubSat:
+		poison = poison || args[1].Poison
+		if args[1].Bits > x.Bits {
+			bits = 0
+		} else {
+			bits = apint.Sub(x.Bits, args[1].Bits, w)
+		}
+	case ir.IntrinsicSAddSat:
+		poison = poison || args[1].Poison
+		if apint.AddOverflowsSigned(x.Bits, args[1].Bits, w) {
+			if apint.SignBit(x.Bits, w) {
+				bits = 1 << uint(w-1) // INT_MIN
+			} else {
+				bits = apint.Mask(w) >> 1 // INT_MAX
+			}
+		} else {
+			bits = apint.Add(x.Bits, args[1].Bits, w)
+		}
+	case ir.IntrinsicSSubSat:
+		poison = poison || args[1].Poison
+		if apint.SubOverflowsSigned(x.Bits, args[1].Bits, w) {
+			if apint.SignBit(x.Bits, w) {
+				bits = 1 << uint(w-1)
+			} else {
+				bits = apint.Mask(w) >> 1
+			}
+		} else {
+			bits = apint.Sub(x.Bits, args[1].Bits, w)
+		}
+	case ir.IntrinsicAbs:
+		flag := args[1]
+		poison = poison || flag.Poison
+		if flag.Bits == 1 && x.Bits == 1<<uint(w-1) {
+			poison = true
+		}
+		bits = apint.Abs(x.Bits, w)
+	case ir.IntrinsicBswap:
+		bits = apint.Bswap(x.Bits, w)
+	case ir.IntrinsicCtpop:
+		bits = apint.Ctpop(x.Bits, w)
+	case ir.IntrinsicCtlz:
+		flag := args[1]
+		poison = poison || flag.Poison || (flag.Bits == 1 && x.Bits == 0)
+		bits = apint.Ctlz(x.Bits, w)
+	case ir.IntrinsicCttz:
+		flag := args[1]
+		poison = poison || flag.Poison || (flag.Bits == 1 && x.Bits == 0)
+		bits = apint.Cttz(x.Bits, w)
+	default:
+		return unsupportedError{"intrinsic " + instr.Callee}
+	}
+	st.env[instr] = Value{Bits: bits, Poison: poison}
+	return nil
+}

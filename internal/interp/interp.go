@@ -1,0 +1,310 @@
+// Package interp is a concrete reference interpreter for the IR. The
+// fuzzing loop uses it to re-execute translation-validation
+// counterexamples and confirm that the source and target really compute
+// different results on the reported input — the same sanity layer the
+// paper's workflow gets from manually re-running Alive2's counterexamples.
+// It is also the oracle for differential tests of the optimizer.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// Value is a concrete value: bits plus a poison flag (undef approximated
+// as poison, as everywhere in this repository).
+type Value struct {
+	Bits   uint64
+	Poison bool
+}
+
+// Result is the outcome of executing a function.
+type Result struct {
+	// UB is set when execution hit undefined behaviour; the other fields
+	// are then meaningless.
+	UB bool
+	// UBReason describes the UB for diagnostics.
+	UBReason string
+	// Ret is the returned value (for non-void functions).
+	Ret Value
+	// HasRet distinguishes void returns.
+	HasRet bool
+}
+
+// Oracle supplies the environment's nondeterministic choices: results of
+// unknown calls, initial memory content, and freeze values. Deterministic
+// implementations make differential runs reproducible; the same oracle
+// must be passed when executing a source and target pair.
+type Oracle interface {
+	// CallResult returns the result bits of the idx'th dynamic call to
+	// callee (for non-void callees) at the given width.
+	CallResult(idx int, callee string, width int, args []Value) uint64
+	// MemByte returns the initial byte at (prov, epoch, addr).
+	MemByte(prov, epoch int, addr uint64) byte
+	// FreezeValue returns the substituted bits for a poison operand of a
+	// freeze instruction with the given SSA name.
+	FreezeValue(name string, width int) uint64
+}
+
+// HashOracle is a deterministic Oracle derived from a seed. Identical
+// seeds yield identical environment behaviour.
+type HashOracle struct {
+	Seed uint64
+}
+
+func (o *HashOracle) mix(vals ...uint64) uint64 {
+	h := o.Seed ^ 0x9e3779b97f4a7c15
+	for _, v := range vals {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
+
+// CallResult implements Oracle.
+func (o *HashOracle) CallResult(idx int, callee string, width int, args []Value) uint64 {
+	h := o.mix(uint64(idx), uint64(len(callee)))
+	for _, c := range []byte(callee) {
+		h = o.mix(h, uint64(c))
+	}
+	return h & apint.Mask(width)
+}
+
+// MemByte implements Oracle.
+func (o *HashOracle) MemByte(prov, epoch int, addr uint64) byte {
+	return byte(o.mix(uint64(prov), uint64(epoch), addr))
+}
+
+// FreezeValue implements Oracle.
+func (o *HashOracle) FreezeValue(name string, width int) uint64 {
+	h := o.Seed
+	for _, c := range []byte(name) {
+		h = o.mix(h, uint64(c))
+	}
+	return h & apint.Mask(width)
+}
+
+// memory is the concrete memory: per-provenance byte maps with havoc
+// epochs backed by the oracle.
+type memory struct {
+	oracle Oracle
+	bytes  map[int]map[uint64]byte
+	poison map[int]map[uint64]bool
+	epochs map[int]int
+	uninit map[int]bool
+}
+
+func newMemory(o Oracle) *memory {
+	return &memory{
+		oracle: o,
+		bytes:  make(map[int]map[uint64]byte),
+		poison: make(map[int]map[uint64]bool),
+		epochs: make(map[int]int),
+		uninit: make(map[int]bool),
+	}
+}
+
+func (m *memory) read(prov int, addr uint64) (byte, bool) {
+	if pm, ok := m.bytes[prov]; ok {
+		if v, ok := pm[addr]; ok {
+			return v, m.poison[prov][addr]
+		}
+	}
+	if m.uninit[prov] && m.epochs[prov] == 0 {
+		return 0, true // uninitialized alloca byte is poison
+	}
+	return m.oracle.MemByte(prov, m.epochs[prov], addr), false
+}
+
+func (m *memory) write(prov int, addr uint64, v byte, poison bool) {
+	if m.bytes[prov] == nil {
+		m.bytes[prov] = make(map[uint64]byte)
+		m.poison[prov] = make(map[uint64]bool)
+	}
+	m.bytes[prov][addr] = v
+	m.poison[prov][addr] = poison
+}
+
+func (m *memory) havoc(provs map[int]bool) {
+	for p := range provs {
+		delete(m.bytes, p)
+		delete(m.poison, p)
+		m.epochs[p]++
+	}
+}
+
+// Interp executes functions concretely.
+type Interp struct {
+	Mod    *ir.Module
+	Oracle Oracle
+	// MaxSteps caps executed instructions (loops are legal here); 0 means
+	// a generous default.
+	MaxSteps int
+}
+
+// ptrVal tracks pointer provenance alongside bits.
+type ptrVal struct {
+	prov int
+	addr uint64
+}
+
+type execState struct {
+	env      map[ir.Value]Value
+	ptrs     map[ir.Value]ptrVal
+	mem      *memory
+	escaped  map[int]bool
+	calls    int
+	allocaID int
+}
+
+type ubError struct{ reason string }
+
+func (e ubError) Error() string { return "ub: " + e.reason }
+
+type unsupportedError struct{ reason string }
+
+func (e unsupportedError) Error() string { return "unsupported: " + e.reason }
+
+// Run executes f on the given arguments. Pointer arguments are addressed
+// into the external provenance using their Bits as addresses.
+func (in *Interp) Run(f *ir.Function, args []Value) (Result, error) {
+	if f.IsDecl {
+		return Result{}, fmt.Errorf("interp: cannot run declaration @%s", f.Name)
+	}
+	if len(args) != len(f.Params) {
+		return Result{}, fmt.Errorf("interp: @%s wants %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	maxSteps := in.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 100000
+	}
+
+	st := &execState{
+		env:     make(map[ir.Value]Value),
+		ptrs:    make(map[ir.Value]ptrVal),
+		mem:     newMemory(in.Oracle),
+		escaped: make(map[int]bool),
+	}
+	for i, p := range f.Params {
+		st.env[p] = args[i]
+		if ir.IsPtr(p.Ty) {
+			st.ptrs[p] = ptrVal{prov: 0, addr: args[i].Bits}
+		}
+	}
+
+	res := Result{}
+	err := func() error {
+		blk := f.Entry()
+		var pred *ir.Block
+		steps := 0
+		for {
+			// Parallel phi resolution.
+			phis := blk.Phis()
+			vals := make([]Value, len(phis))
+			pvs := make([]ptrVal, len(phis))
+			for pi, phi := range phis {
+				found := false
+				for ai, pb := range phi.Preds {
+					if pb == pred {
+						vals[pi] = in.operand(st, phi.Args[ai])
+						if pv, ok := in.ptrOf(st, phi.Args[ai]); ok {
+							pvs[pi] = pv
+						}
+						found = true
+					}
+				}
+				if !found {
+					return unsupportedError{"phi with missing incoming edge"}
+				}
+			}
+			for pi, phi := range phis {
+				st.env[phi] = vals[pi]
+				if ir.IsPtr(phi.Ty) {
+					st.ptrs[phi] = pvs[pi]
+				}
+			}
+
+			for _, instr := range blk.Instrs[len(phis):] {
+				steps++
+				if steps > maxSteps {
+					return unsupportedError{"step budget exhausted"}
+				}
+				switch instr.Op {
+				case ir.OpRet:
+					if len(instr.Args) == 1 {
+						res.Ret = in.operand(st, instr.Args[0])
+						res.HasRet = true
+					}
+					return nil
+				case ir.OpUnreachable:
+					return ubError{"reached unreachable"}
+				case ir.OpBr:
+					pred, blk = blk, instr.Targets[0]
+				case ir.OpCondBr:
+					c := in.operand(st, instr.Args[0])
+					if c.Poison {
+						return ubError{"branch on poison"}
+					}
+					pred = blk
+					if c.Bits == 1 {
+						blk = instr.Targets[0]
+					} else {
+						blk = instr.Targets[1]
+					}
+				default:
+					if err := in.step(st, instr); err != nil {
+						return err
+					}
+					continue
+				}
+				break // took a terminator; restart block loop
+			}
+		}
+	}()
+
+	switch e := err.(type) {
+	case nil:
+		return res, nil
+	case ubError:
+		return Result{UB: true, UBReason: e.reason}, nil
+	default:
+		return Result{}, err
+	}
+}
+
+func (in *Interp) operand(st *execState, v ir.Value) Value {
+	switch x := v.(type) {
+	case *ir.Const:
+		return Value{Bits: x.Val}
+	case *ir.Poison:
+		return Value{Poison: true}
+	case *ir.NullPtr:
+		return Value{Bits: 0}
+	default:
+		return st.env[v]
+	}
+}
+
+// ptrOf returns the provenance-tracked pointer for v when it is a pointer.
+func (in *Interp) ptrOf(st *execState, v ir.Value) (ptrVal, bool) {
+	switch v.(type) {
+	case *ir.NullPtr:
+		return ptrVal{prov: 0, addr: 0}, true
+	default:
+		pv, ok := st.ptrs[v]
+		return pv, ok
+	}
+}
+
+func widthOf(t ir.Type) int {
+	if w, ok := ir.IsInt(t); ok {
+		return w
+	}
+	if ir.IsPtr(t) {
+		return 64
+	}
+	return 0
+}

@@ -1,0 +1,291 @@
+package interp
+
+import (
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// step executes one non-control-flow instruction.
+func (in *Interp) step(st *execState, instr *ir.Instr) error {
+	switch {
+	case instr.Op.IsBinary():
+		return in.stepBinary(st, instr)
+	case instr.Op == ir.OpICmp:
+		return in.stepICmp(st, instr)
+	case instr.Op == ir.OpSelect:
+		c := in.operand(st, instr.Args[0])
+		x := in.operand(st, instr.Args[1])
+		y := in.operand(st, instr.Args[2])
+		var r Value
+		var rp ptrVal
+		pick := instr.Args[2]
+		if c.Bits == 1 {
+			pick = instr.Args[1]
+		}
+		if c.Bits == 1 {
+			r = x
+		} else {
+			r = y
+		}
+		if c.Poison {
+			r.Poison = true
+		}
+		st.env[instr] = r
+		if ir.IsPtr(instr.Ty) {
+			if pv, ok := in.ptrOf(st, pick); ok {
+				rp = pv
+			}
+			st.ptrs[instr] = rp
+		}
+		return nil
+	case instr.Op == ir.OpZExt:
+		x := in.operand(st, instr.Args[0])
+		from := widthOf(instr.Args[0].Type())
+		to := widthOf(instr.Ty)
+		st.env[instr] = Value{Bits: apint.ZExt(x.Bits, from, to), Poison: x.Poison}
+		return nil
+	case instr.Op == ir.OpSExt:
+		x := in.operand(st, instr.Args[0])
+		from := widthOf(instr.Args[0].Type())
+		to := widthOf(instr.Ty)
+		st.env[instr] = Value{Bits: apint.SExt(x.Bits, from, to), Poison: x.Poison}
+		return nil
+	case instr.Op == ir.OpTrunc:
+		x := in.operand(st, instr.Args[0])
+		to := widthOf(instr.Ty)
+		st.env[instr] = Value{Bits: apint.Trunc(x.Bits, to), Poison: x.Poison}
+		return nil
+	case instr.Op == ir.OpFreeze:
+		x := in.operand(st, instr.Args[0])
+		if x.Poison {
+			w := widthOf(instr.Ty)
+			st.env[instr] = Value{Bits: in.Oracle.FreezeValue(instr.Nm, w)}
+		} else {
+			st.env[instr] = x
+		}
+		if pv, ok := in.ptrOf(st, instr.Args[0]); ok {
+			st.ptrs[instr] = pv
+		}
+		return nil
+	case instr.Op == ir.OpAlloca:
+		st.allocaID++
+		st.env[instr] = Value{Bits: 0}
+		st.ptrs[instr] = ptrVal{prov: st.allocaID, addr: 0}
+		st.mem.uninit[st.allocaID] = true
+		return nil
+	case instr.Op == ir.OpGEP:
+		p := in.operand(st, instr.Args[0])
+		off := in.operand(st, instr.Args[1])
+		pv, ok := in.ptrOf(st, instr.Args[0])
+		if !ok {
+			return unsupportedError{"gep base has no provenance"}
+		}
+		offW := widthOf(instr.Args[1].Type())
+		delta := apint.SExt(off.Bits, offW, 64)
+		st.env[instr] = Value{Bits: p.Bits + delta, Poison: p.Poison || off.Poison}
+		st.ptrs[instr] = ptrVal{prov: pv.prov, addr: pv.addr + delta}
+		return nil
+	case instr.Op == ir.OpLoad:
+		p := in.operand(st, instr.Args[0])
+		pv, ok := in.ptrOf(st, instr.Args[0])
+		if !ok {
+			return unsupportedError{"load address has no provenance"}
+		}
+		if p.Poison {
+			return ubError{"load from poison address"}
+		}
+		if pv.prov == 0 && pv.addr == 0 {
+			return ubError{"load from null"}
+		}
+		w := widthOf(instr.Ty)
+		n := (w + 7) / 8
+		var bits uint64
+		poison := false
+		for k := 0; k < n; k++ {
+			b, bp := st.mem.read(pv.prov, pv.addr+uint64(k))
+			bits |= uint64(b) << uint(8*k)
+			poison = poison || bp
+		}
+		st.env[instr] = Value{Bits: apint.Trunc(bits, w), Poison: poison}
+		return nil
+	case instr.Op == ir.OpStore:
+		v := in.operand(st, instr.Args[0])
+		p := in.operand(st, instr.Args[1])
+		pv, ok := in.ptrOf(st, instr.Args[1])
+		if !ok {
+			return unsupportedError{"store address has no provenance"}
+		}
+		if p.Poison {
+			return ubError{"store to poison address"}
+		}
+		if pv.prov == 0 && pv.addr == 0 {
+			return ubError{"store to null"}
+		}
+		w := widthOf(instr.Args[0].Type())
+		n := (w + 7) / 8
+		for k := 0; k < n; k++ {
+			st.mem.write(pv.prov, pv.addr+uint64(k), byte(v.Bits>>uint(8*k)), v.Poison)
+		}
+		return nil
+	case instr.Op == ir.OpCall:
+		return in.stepCall(st, instr)
+	}
+	return unsupportedError{"opcode " + instr.Op.String()}
+}
+
+func (in *Interp) stepBinary(st *execState, instr *ir.Instr) error {
+	x := in.operand(st, instr.Args[0])
+	y := in.operand(st, instr.Args[1])
+	w := widthOf(instr.Ty)
+	poison := x.Poison || y.Poison
+	var bits uint64
+
+	switch instr.Op {
+	case ir.OpAdd:
+		bits = apint.Add(x.Bits, y.Bits, w)
+		if instr.Nuw && apint.AddOverflowsUnsigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+		if instr.Nsw && apint.AddOverflowsSigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+	case ir.OpSub:
+		bits = apint.Sub(x.Bits, y.Bits, w)
+		if instr.Nuw && apint.SubOverflowsUnsigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+		if instr.Nsw && apint.SubOverflowsSigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+	case ir.OpMul:
+		bits = apint.Mul(x.Bits, y.Bits, w)
+		if instr.Nuw && apint.MulOverflowsUnsigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+		if instr.Nsw && apint.MulOverflowsSigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		if y.Poison {
+			return ubError{"division by poison"}
+		}
+		if y.Bits == 0 {
+			return ubError{"division by zero"}
+		}
+		if (instr.Op == ir.OpSDiv || instr.Op == ir.OpSRem) &&
+			apint.ToInt64(x.Bits, w) == -(int64(1)<<uint(w-1)) && apint.ToInt64(y.Bits, w) == -1 {
+			return ubError{"signed division overflow"}
+		}
+		poison = x.Poison
+		switch instr.Op {
+		case ir.OpUDiv:
+			bits = apint.UDiv(x.Bits, y.Bits, w)
+			if instr.Exact && apint.URem(x.Bits, y.Bits, w) != 0 {
+				poison = true
+			}
+		case ir.OpSDiv:
+			bits = apint.SDiv(x.Bits, y.Bits, w)
+			if instr.Exact && apint.SRem(x.Bits, y.Bits, w) != 0 {
+				poison = true
+			}
+		case ir.OpURem:
+			bits = apint.URem(x.Bits, y.Bits, w)
+		default:
+			bits = apint.SRem(x.Bits, y.Bits, w)
+		}
+	case ir.OpShl:
+		bits = apint.Shl(x.Bits, y.Bits, w)
+		if y.Bits >= uint64(w) {
+			poison = true
+		}
+		if instr.Nuw && apint.ShlOverflowsUnsigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+		if instr.Nsw && apint.ShlOverflowsSigned(x.Bits, y.Bits, w) {
+			poison = true
+		}
+	case ir.OpLShr:
+		bits = apint.LShr(x.Bits, y.Bits, w)
+		if y.Bits >= uint64(w) {
+			poison = true
+		}
+		if instr.Exact && y.Bits < uint64(w) && apint.Shl(apint.LShr(x.Bits, y.Bits, w), y.Bits, w) != x.Bits {
+			poison = true
+		}
+	case ir.OpAShr:
+		bits = apint.AShr(x.Bits, y.Bits, w)
+		if y.Bits >= uint64(w) {
+			poison = true
+		}
+		if instr.Exact && y.Bits < uint64(w) && apint.Shl(apint.AShr(x.Bits, y.Bits, w), y.Bits, w) != x.Bits {
+			poison = true
+		}
+	case ir.OpAnd:
+		bits = x.Bits & y.Bits
+	case ir.OpOr:
+		bits = x.Bits | y.Bits
+	case ir.OpXor:
+		bits = x.Bits ^ y.Bits
+	}
+	st.env[instr] = Value{Bits: bits, Poison: poison}
+	return nil
+}
+
+func (in *Interp) stepICmp(st *execState, instr *ir.Instr) error {
+	x := in.operand(st, instr.Args[0])
+	y := in.operand(st, instr.Args[1])
+	poison := x.Poison || y.Poison
+
+	// Pointer comparisons use provenance when available.
+	if ir.IsPtr(instr.Args[0].Type()) {
+		pvx, okx := in.ptrOf(st, instr.Args[0])
+		pvy, oky := in.ptrOf(st, instr.Args[1])
+		if okx && oky && pvx.prov != pvy.prov {
+			var r bool
+			switch instr.Pred {
+			case ir.EQ:
+				r = false
+			case ir.NE:
+				r = true
+			default:
+				return unsupportedError{"ordered icmp across provenances"}
+			}
+			st.env[instr] = Value{Bits: boolBit(r), Poison: poison}
+			return nil
+		}
+	}
+
+	w := widthOf(instr.Args[0].Type())
+	var r bool
+	switch instr.Pred {
+	case ir.EQ:
+		r = x.Bits == y.Bits
+	case ir.NE:
+		r = x.Bits != y.Bits
+	case ir.ULT:
+		r = x.Bits < y.Bits
+	case ir.ULE:
+		r = x.Bits <= y.Bits
+	case ir.UGT:
+		r = x.Bits > y.Bits
+	case ir.UGE:
+		r = x.Bits >= y.Bits
+	case ir.SLT:
+		r = apint.SLT(x.Bits, y.Bits, w)
+	case ir.SLE:
+		r = !apint.SLT(y.Bits, x.Bits, w)
+	case ir.SGT:
+		r = apint.SLT(y.Bits, x.Bits, w)
+	case ir.SGE:
+		r = !apint.SLT(x.Bits, y.Bits, w)
+	}
+	st.env[instr] = Value{Bits: boolBit(r), Poison: poison}
+	return nil
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,96 @@
+package ir
+
+// Clone returns a deep copy of the module. The fuzzing loop clones the
+// preprocessed module once per mutant (paper §III-B) so mutations never
+// damage the original.
+func (m *Module) Clone() *Module {
+	out := NewModule()
+	for _, f := range m.Funcs {
+		out.Add(f.Clone())
+	}
+	return out
+}
+
+// Clone returns a deep copy of the function. Instruction and block
+// identities are fresh; constants are shared (they are immutable).
+func (f *Function) Clone() *Function {
+	nf := &Function{
+		Name:   f.Name,
+		RetTy:  f.RetTy,
+		Attrs:  f.Attrs,
+		IsDecl: f.IsDecl,
+	}
+	valMap := make(map[Value]Value)
+	for _, p := range f.Params {
+		np := &Param{Nm: p.Nm, Ty: p.Ty, Attrs: p.Attrs}
+		nf.Params = append(nf.Params, np)
+		valMap[p] = np
+	}
+	if f.IsDecl {
+		return nf
+	}
+
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := nf.NewBlock(b.Nm)
+		blockMap[b] = nb
+	}
+
+	// First pass: create instruction shells so forward references (phis)
+	// can be resolved in the second pass.
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:      in.Op,
+				Nm:      in.Nm,
+				Ty:      in.Ty,
+				Nuw:     in.Nuw,
+				Nsw:     in.Nsw,
+				Exact:   in.Exact,
+				Pred:    in.Pred,
+				Callee:  in.Callee,
+				Sig:     in.Sig,
+				AllocTy: in.AllocTy,
+				Align:   in.Align,
+			}
+			nb.Append(ni)
+			if !IsVoid(in.Ty) {
+				valMap[in] = ni
+			}
+		}
+	}
+
+	remap := func(v Value) Value {
+		if nv, ok := valMap[v]; ok {
+			return nv
+		}
+		return v // constants, poison, null
+	}
+
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for i, in := range b.Instrs {
+			ni := nb.Instrs[i]
+			if len(in.Args) > 0 {
+				ni.Args = make([]Value, len(in.Args))
+				for j, a := range in.Args {
+					ni.Args[j] = remap(a)
+				}
+			}
+			if len(in.Targets) > 0 {
+				ni.Targets = make([]*Block, len(in.Targets))
+				for j, t := range in.Targets {
+					ni.Targets[j] = blockMap[t]
+				}
+			}
+			if len(in.Preds) > 0 {
+				ni.Preds = make([]*Block, len(in.Preds))
+				for j, p := range in.Preds {
+					ni.Preds[j] = blockMap[p]
+				}
+			}
+		}
+	}
+	return nf
+}

@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IntrinsicKind identifies a recognized llvm.* intrinsic. Only intrinsics
+// with precise models in the translation validator are listed; any other
+// llvm.*-named callee is treated as an unknown external call.
+type IntrinsicKind int
+
+const (
+	IntrinsicInvalid IntrinsicKind = iota
+	IntrinsicSMax
+	IntrinsicSMin
+	IntrinsicUMax
+	IntrinsicUMin
+	IntrinsicAbs   // llvm.abs.iN(x, i1 int_min_is_poison)
+	IntrinsicBswap // widths that are multiples of 16 only
+	IntrinsicCtpop
+	IntrinsicCtlz // llvm.ctlz.iN(x, i1 zero_is_poison)
+	IntrinsicCttz
+	IntrinsicAssume // llvm.assume(i1)
+	IntrinsicUAddSat
+	IntrinsicSAddSat
+	IntrinsicUSubSat
+	IntrinsicSSubSat
+)
+
+var intrinsicBases = map[string]IntrinsicKind{
+	"llvm.smax":     IntrinsicSMax,
+	"llvm.smin":     IntrinsicSMin,
+	"llvm.umax":     IntrinsicUMax,
+	"llvm.umin":     IntrinsicUMin,
+	"llvm.abs":      IntrinsicAbs,
+	"llvm.bswap":    IntrinsicBswap,
+	"llvm.ctpop":    IntrinsicCtpop,
+	"llvm.ctlz":     IntrinsicCtlz,
+	"llvm.cttz":     IntrinsicCttz,
+	"llvm.assume":   IntrinsicAssume,
+	"llvm.uadd.sat": IntrinsicUAddSat,
+	"llvm.sadd.sat": IntrinsicSAddSat,
+	"llvm.usub.sat": IntrinsicUSubSat,
+	"llvm.ssub.sat": IntrinsicSSubSat,
+}
+
+var intrinsicNames = func() map[IntrinsicKind]string {
+	m := make(map[IntrinsicKind]string, len(intrinsicBases))
+	for name, kind := range intrinsicBases {
+		m[kind] = name
+	}
+	return m
+}()
+
+// ParseIntrinsicName recognizes names of the form "llvm.<base>" or
+// "llvm.<base>.iN".
+func ParseIntrinsicName(name string) (IntrinsicKind, bool) {
+	if !strings.HasPrefix(name, "llvm.") {
+		return IntrinsicInvalid, false
+	}
+	base := name
+	if i := strings.LastIndex(name, ".i"); i > 0 {
+		if _, err := strconv.Atoi(name[i+2:]); err == nil {
+			base = name[:i]
+		}
+	}
+	k, ok := intrinsicBases[base]
+	return k, ok
+}
+
+// IntrinsicName builds the suffixed intrinsic name for an integer width,
+// e.g. IntrinsicName(IntrinsicSMax, 32) == "llvm.smax.i32".
+func IntrinsicName(k IntrinsicKind, bits int) string {
+	base, ok := intrinsicNames[k]
+	if !ok {
+		panic("ir: unknown intrinsic kind")
+	}
+	if k == IntrinsicAssume {
+		return base
+	}
+	return fmt.Sprintf("%s.i%d", base, bits)
+}
+
+// IntrinsicSig returns the signature of the intrinsic at the given integer
+// width.
+func IntrinsicSig(k IntrinsicKind, bits int) FuncType {
+	t := Int(bits)
+	switch k {
+	case IntrinsicSMax, IntrinsicSMin, IntrinsicUMax, IntrinsicUMin,
+		IntrinsicUAddSat, IntrinsicSAddSat, IntrinsicUSubSat, IntrinsicSSubSat:
+		return FuncType{Ret: t, Params: []Type{t, t}}
+	case IntrinsicAbs, IntrinsicCtlz, IntrinsicCttz:
+		return FuncType{Ret: t, Params: []Type{t, I1}}
+	case IntrinsicBswap, IntrinsicCtpop:
+		return FuncType{Ret: t, Params: []Type{t}}
+	case IntrinsicAssume:
+		return FuncType{Ret: Void, Params: []Type{I1}}
+	default:
+		panic("ir: unknown intrinsic kind")
+	}
+}
+
+// BswapSupports reports whether llvm.bswap exists at the given width
+// (multiples of 16, per the LLVM LangRef — the constraint that motivates
+// the bitwidth-mutation eligibility rule in paper §IV-H).
+func BswapSupports(bits int) bool { return bits%16 == 0 && bits >= 16 }
+
+// BinaryMathIntrinsics lists the two-integer-operand intrinsics the
+// mutation engine may synthesize when generating random values (§IV-F).
+var BinaryMathIntrinsics = []IntrinsicKind{
+	IntrinsicSMax, IntrinsicSMin, IntrinsicUMax, IntrinsicUMin,
+	IntrinsicUAddSat, IntrinsicSAddSat, IntrinsicUSubSat, IntrinsicSSubSat,
+}

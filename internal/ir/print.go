@@ -1,0 +1,215 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the textual printer. The output follows LLVM's .ll
+// assembly conventions for the supported subset, so files round-trip
+// through internal/parser and remain readable next to real LLVM tests.
+
+// String renders the module in .ll form.
+func (m *Module) String() string {
+	var b strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		writeFunc(&b, f)
+	}
+	return b.String()
+}
+
+// String renders a single function in .ll form.
+func (f *Function) String() string {
+	var b strings.Builder
+	writeFunc(&b, f)
+	return b.String()
+}
+
+func writeFunc(b *strings.Builder, f *Function) {
+	if f.IsDecl {
+		fmt.Fprintf(b, "declare %s @%s(", f.RetTy, f.Name)
+		for i, p := range f.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.Ty.String())
+			writeParamAttrs(b, p.Attrs)
+		}
+		b.WriteString(")")
+		writeFuncAttrs(b, f.Attrs)
+		b.WriteByte('\n')
+		return
+	}
+	fmt.Fprintf(b, "define %s @%s(", f.RetTy, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Ty.String())
+		writeParamAttrs(b, p.Attrs)
+		fmt.Fprintf(b, " %%%s", p.Nm)
+	}
+	b.WriteString(")")
+	writeFuncAttrs(b, f.Attrs)
+	b.WriteString(" {\n")
+	for bi, blk := range f.Blocks {
+		if bi > 0 {
+			fmt.Fprintf(b, "%s:\n", blk.Nm)
+		} else if blk.Nm != "" && blk.Nm != "entry" {
+			// Print non-default entry labels too, for fidelity.
+			fmt.Fprintf(b, "%s:\n", blk.Nm)
+		}
+		for _, in := range blk.Instrs {
+			b.WriteString("  ")
+			writeInstr(b, in)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("}\n")
+}
+
+func writeParamAttrs(b *strings.Builder, a ParamAttrs) {
+	if a.Nocapture {
+		b.WriteString(" nocapture")
+	}
+	if a.Nonnull {
+		b.WriteString(" nonnull")
+	}
+	if a.Noundef {
+		b.WriteString(" noundef")
+	}
+	if a.Readonly {
+		b.WriteString(" readonly")
+	}
+	if a.Writeonly {
+		b.WriteString(" writeonly")
+	}
+	if a.Dereferenceable != 0 {
+		fmt.Fprintf(b, " dereferenceable(%d)", a.Dereferenceable)
+	}
+	if a.Align != 0 {
+		fmt.Fprintf(b, " align %d", a.Align)
+	}
+}
+
+func writeFuncAttrs(b *strings.Builder, a FuncAttrs) {
+	if a.Nofree {
+		b.WriteString(" nofree")
+	}
+	if a.Willreturn {
+		b.WriteString(" willreturn")
+	}
+	if a.Norecurse {
+		b.WriteString(" norecurse")
+	}
+	if a.Nounwind {
+		b.WriteString(" nounwind")
+	}
+	if a.Nosync {
+		b.WriteString(" nosync")
+	}
+	if a.Readnone {
+		b.WriteString(" readnone")
+	}
+	if a.Readonly {
+		b.WriteString(" readonly")
+	}
+}
+
+// typedOperand renders "T %v" / "T 42" for operand lists.
+func typedOperand(v Value) string {
+	return v.Type().String() + " " + v.operandString()
+}
+
+// OperandString renders just the value as it appears in operand position.
+// Exported for diagnostics and counterexample printing.
+func OperandString(v Value) string { return v.operandString() }
+
+// String renders the instruction as a full .ll line (without indentation).
+func (i *Instr) String() string {
+	var b strings.Builder
+	writeInstr(&b, i)
+	return b.String()
+}
+
+func writeInstr(b *strings.Builder, in *Instr) {
+	if in.Nm != "" && !IsVoid(in.Ty) {
+		fmt.Fprintf(b, "%%%s = ", in.Nm)
+	}
+	switch {
+	case in.Op.IsBinary():
+		b.WriteString(in.Op.String())
+		if in.Nuw {
+			b.WriteString(" nuw")
+		}
+		if in.Nsw {
+			b.WriteString(" nsw")
+		}
+		if in.Exact {
+			b.WriteString(" exact")
+		}
+		fmt.Fprintf(b, " %s %s, %s", in.Ty, in.Args[0].operandString(), in.Args[1].operandString())
+	case in.Op == OpICmp:
+		fmt.Fprintf(b, "icmp %s %s %s, %s", in.Pred, in.Args[0].Type(),
+			in.Args[0].operandString(), in.Args[1].operandString())
+	case in.Op == OpSelect:
+		fmt.Fprintf(b, "select %s, %s, %s", typedOperand(in.Args[0]),
+			typedOperand(in.Args[1]), typedOperand(in.Args[2]))
+	case in.Op.IsCast():
+		fmt.Fprintf(b, "%s %s to %s", in.Op, typedOperand(in.Args[0]), in.Ty)
+	case in.Op == OpFreeze:
+		fmt.Fprintf(b, "freeze %s", typedOperand(in.Args[0]))
+	case in.Op == OpAlloca:
+		fmt.Fprintf(b, "alloca %s", in.AllocTy)
+		if in.Align != 0 {
+			fmt.Fprintf(b, ", align %d", in.Align)
+		}
+	case in.Op == OpLoad:
+		fmt.Fprintf(b, "load %s, %s", in.Ty, typedOperand(in.Args[0]))
+		if in.Align != 0 {
+			fmt.Fprintf(b, ", align %d", in.Align)
+		}
+	case in.Op == OpStore:
+		fmt.Fprintf(b, "store %s, %s", typedOperand(in.Args[0]), typedOperand(in.Args[1]))
+		if in.Align != 0 {
+			fmt.Fprintf(b, ", align %d", in.Align)
+		}
+	case in.Op == OpGEP:
+		fmt.Fprintf(b, "getelementptr i8, %s, %s", typedOperand(in.Args[0]), typedOperand(in.Args[1]))
+	case in.Op == OpCall:
+		fmt.Fprintf(b, "call %s @%s(", in.Sig.Ret, in.Callee)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(typedOperand(a))
+		}
+		b.WriteString(")")
+	case in.Op == OpRet:
+		if len(in.Args) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(b, "ret %s", typedOperand(in.Args[0]))
+		}
+	case in.Op == OpBr:
+		fmt.Fprintf(b, "br label %%%s", in.Targets[0].Nm)
+	case in.Op == OpCondBr:
+		fmt.Fprintf(b, "br %s, label %%%s, label %%%s", typedOperand(in.Args[0]),
+			in.Targets[0].Nm, in.Targets[1].Nm)
+	case in.Op == OpUnreachable:
+		b.WriteString("unreachable")
+	case in.Op == OpPhi:
+		fmt.Fprintf(b, "phi %s ", in.Ty)
+		for i := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "[ %s, %%%s ]", in.Args[i].operandString(), in.Preds[i].Nm)
+		}
+	default:
+		fmt.Fprintf(b, "<invalid op %d>", int(in.Op))
+	}
+}

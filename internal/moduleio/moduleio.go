@@ -1,0 +1,48 @@
+// Package moduleio loads and saves IR modules in either of the two
+// on-disk formats the tools accept — textual .ll or compact binary
+// bitcode — dispatching on content, exactly as the paper's tool does
+// (§III-A).
+package moduleio
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bitcode"
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+// Load reads a module from path, auto-detecting the format.
+func Load(path string) (*ir.Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bitcode.IsBitcode(data) {
+		m, err := bitcode.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	}
+	m, err := parser.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Save writes a module to path; binary selects bitcode, and paths ending
+// in .bc default to bitcode when binary is false but the extension says
+// otherwise.
+func Save(path string, m *ir.Module, binary bool) error {
+	if strings.HasSuffix(path, ".bc") {
+		binary = true
+	}
+	if binary {
+		return os.WriteFile(path, bitcode.Encode(m), 0o644)
+	}
+	return os.WriteFile(path, []byte(m.String()), 0o644)
+}

@@ -1,0 +1,58 @@
+package moduleio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+const src = `define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  ret i32 %a
+}
+`
+
+func TestLoadSaveBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	m := parser.MustParse(src)
+
+	llPath := filepath.Join(dir, "a.ll")
+	if err := Save(llPath, m, false); err != nil {
+		t.Fatal(err)
+	}
+	bcPath := filepath.Join(dir, "a.bc")
+	if err := Save(bcPath, m, false); err != nil { // .bc forces binary
+		t.Fatal(err)
+	}
+
+	fromLL, err := Load(llPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBC, err := Load(bcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromLL.String() != m.String() || fromBC.String() != m.String() {
+		t.Fatal("round trip mismatch")
+	}
+
+	// The binary file must actually be binary (not text).
+	data, _ := os.ReadFile(bcPath)
+	if len(data) == 0 || data[0] == 'd' {
+		t.Fatal(".bc file looks like text")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.ll")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ll")
+	os.WriteFile(bad, []byte("define nonsense"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed file accepted")
+	}
+}

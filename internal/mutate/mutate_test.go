@@ -1,0 +1,300 @@
+package mutate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/rng"
+)
+
+// corpus of mutation targets shaped like the paper's examples.
+var corpus = []string{
+	// Listing 4 (@test9).
+	`declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`,
+	// Listing 1 (clamp pattern).
+	`define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}`,
+	// Control flow + phi + intrinsics + casts.
+	`define i16 @cfg(i1 %c, i16 %x, i16 %y) {
+entry:
+  %m = call i16 @llvm.smax.i16(i16 %x, i16 %y)
+  br i1 %c, label %a, label %b
+a:
+  %p = add nsw i16 %m, 1
+  br label %join
+b:
+  %q = shl i16 %m, 2
+  br label %join
+join:
+  %r = phi i16 [ %p, %a ], [ %q, %b ]
+  %w = zext i16 %r to i32
+  %t = trunc i32 %w to i8
+  %z = sext i8 %t to i16
+  ret i16 %z
+}`,
+	// Memory + helper function for the inline mutation.
+	`define void @helper(ptr %ptr) {
+  store i32 42, ptr %ptr
+  ret void
+}
+
+declare void @clobber(ptr)
+
+define i32 @memfn(ptr %p, ptr %q) {
+  %a = load i32, ptr %q, align 4
+  call void @clobber(ptr %p)
+  %s = alloca i32
+  store i32 %a, ptr %s
+  %b = load i32, ptr %s
+  %c = udiv i32 %b, 3
+  ret i32 %c
+}`,
+}
+
+// TestMutantsAlwaysValid is the paper's §II headline property: unlike
+// structure-blind mutation, alive-mutate produces valid IR 100% of the
+// time. Checked across all corpus entries and operators with quick-style
+// random seeds.
+func TestMutantsAlwaysValid(t *testing.T) {
+	for ci, src := range corpus {
+		mod := parser.MustParse(src)
+		if err := mod.Verify(); err != nil {
+			t.Fatalf("corpus %d invalid: %v", ci, err)
+		}
+		mu := New(mod, Config{MaxMutationsPerFunction: 4})
+		check := func(seed uint64) bool {
+			m := mu.Mutate(seed)
+			if err := m.Verify(); err != nil {
+				t.Logf("corpus %d seed %#x: %v\n%s", ci, seed, err, m.String())
+				return false
+			}
+			// Mutants must also round-trip through the printer/parser.
+			if _, err := parser.Parse(m.String()); err != nil {
+				t.Logf("corpus %d seed %#x: unparsable mutant: %v\n%s", ci, seed, err, m.String())
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("corpus %d: %v", ci, err)
+		}
+	}
+}
+
+// TestSingleOperatorsValid exercises each operator in isolation so a
+// regression is attributed to the right operator.
+func TestSingleOperatorsValid(t *testing.T) {
+	for _, op := range AllOps {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			for ci, src := range corpus {
+				mod := parser.MustParse(src)
+				mu := New(mod, Config{Ops: []Op{op}, MaxMutationsPerFunction: 2})
+				for seed := uint64(0); seed < 200; seed++ {
+					m := mu.Mutate(seed)
+					if err := m.Verify(); err != nil {
+						t.Fatalf("corpus %d op %s seed %d: %v\n%s", ci, op, seed, err, m.String())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepeatability: equal seeds produce byte-identical mutants; different
+// seeds (usually) differ — §III-E.
+func TestRepeatability(t *testing.T) {
+	mod := parser.MustParse(corpus[1])
+	mu := New(mod, Config{})
+	a := mu.Mutate(12345).String()
+	b := mu.Mutate(12345).String()
+	if a != b {
+		t.Fatalf("same seed produced different mutants:\n%s\n---\n%s", a, b)
+	}
+	diff := 0
+	for s := uint64(0); s < 20; s++ {
+		if mu.Mutate(s).String() != a {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("20 different seeds all produced the same mutant")
+	}
+}
+
+// TestOriginalUntouched: mutation must never modify the preprocessed
+// original (the clone-per-mutant discipline of §III-B).
+func TestOriginalUntouched(t *testing.T) {
+	mod := parser.MustParse(corpus[0])
+	before := mod.String()
+	mu := New(mod, Config{MaxMutationsPerFunction: 4})
+	for s := uint64(0); s < 100; s++ {
+		mu.Mutate(s)
+	}
+	if got := mod.String(); got != before {
+		t.Fatalf("original module mutated:\n--- before ---\n%s--- after ---\n%s", before, got)
+	}
+}
+
+// TestMutantsDiffer: mutation actually changes the module most of the
+// time (not a no-op engine).
+func TestMutantsDiffer(t *testing.T) {
+	mod := parser.MustParse(corpus[1])
+	orig := mod.String()
+	mu := New(mod, Config{MaxMutationsPerFunction: 3})
+	changed := 0
+	const n = 100
+	for s := uint64(0); s < n; s++ {
+		if mu.Mutate(s).String() != orig {
+			changed++
+		}
+	}
+	if changed < n*3/4 {
+		t.Errorf("only %d/%d mutants differ from the original", changed, n)
+	}
+}
+
+// TestShuffleOnlyReordersRanges: the shuffle operator must keep the
+// instruction multiset unchanged.
+func TestShuffleOnlyReordersRanges(t *testing.T) {
+	mod := parser.MustParse(corpus[0])
+	mu := New(mod, Config{Ops: []Op{OpShuffle}, MaxMutationsPerFunction: 1})
+	origCount := mod.FuncByName("test9").NumInstrs()
+	for s := uint64(0); s < 50; s++ {
+		m := mu.Mutate(s)
+		if got := m.FuncByName("test9").NumInstrs(); got != origCount {
+			t.Fatalf("seed %d: shuffle changed instruction count %d -> %d", s, origCount, got)
+		}
+	}
+}
+
+// TestRemoveCallDeletesVoidCalls checks §IV-C's observable effect.
+func TestRemoveCallDeletesVoidCalls(t *testing.T) {
+	mod := parser.MustParse(corpus[0])
+	mu := New(mod, Config{Ops: []Op{OpRemoveCall}, MaxMutationsPerFunction: 1})
+	removed := 0
+	for s := uint64(0); s < 20; s++ {
+		m := mu.Mutate(s)
+		calls := 0
+		m.FuncByName("test9").ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if in.Op == ir.OpCall {
+				calls++
+			}
+			return true
+		})
+		if calls == 0 {
+			removed++
+		}
+	}
+	if removed != 20 {
+		t.Errorf("remove-call removed the only void call in %d/20 mutants", removed)
+	}
+}
+
+// TestInlineSplicesBody: with a compatible single-block helper available,
+// the inline mutation splices its body (Listing 6).
+func TestInlineSplicesBody(t *testing.T) {
+	mod := parser.MustParse(corpus[3])
+	mu := New(mod, Config{Ops: []Op{OpInline}, MaxMutationsPerFunction: 1})
+	spliced := 0
+	for s := uint64(0); s < 40; s++ {
+		m := mu.Mutate(s)
+		f := m.FuncByName("memfn")
+		hasClobberCall := false
+		storesConst42 := false
+		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if in.Op == ir.OpCall && in.Callee == "clobber" {
+				hasClobberCall = true
+			}
+			if in.Op == ir.OpStore {
+				if c, ok := in.Args[0].(*ir.Const); ok && c.Val == 42 {
+					storesConst42 = true
+				}
+			}
+			return true
+		})
+		if !hasClobberCall && storesConst42 {
+			spliced++
+		}
+	}
+	if spliced == 0 {
+		t.Error("inline mutation never replaced @clobber with @helper's body")
+	}
+}
+
+// TestBitwidthMutationShape: the bitwidth operator must leave the original
+// definition in place and route the last path node's users through a cast
+// (Listing 13).
+func TestBitwidthMutationShape(t *testing.T) {
+	mod := parser.MustParse(`define i32 @f(i32 %a, i32 %b) {
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`)
+	mu := New(mod, Config{Ops: []Op{OpBitwidth}, MaxMutationsPerFunction: 1})
+	sawNewWidth := false
+	for s := uint64(0); s < 30; s++ {
+		m := mu.Mutate(s)
+		f := m.FuncByName("f")
+		if err := f.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if in.Op == ir.OpSub && !ir.TypesEqual(in.Ty, ir.I32) {
+				sawNewWidth = true
+			}
+			return true
+		})
+	}
+	if !sawNewWidth {
+		t.Error("bitwidth mutation never created the new-width operation")
+	}
+}
+
+// TestArithConstantReplacement: constants recorded in the preprocessing
+// scan get replaced (§IV-E, last bullet).
+func TestArithConstantReplacement(t *testing.T) {
+	mod := parser.MustParse(corpus[1]) // has constants -16, 16, 144
+	mu := New(mod, Config{Ops: []Op{OpArith}, MaxMutationsPerFunction: 3})
+	replaced := 0
+	for s := uint64(0); s < 60; s++ {
+		m := mu.Mutate(s)
+		text := m.String()
+		if text != mod.String() {
+			replaced++
+		}
+	}
+	if replaced < 30 {
+		t.Errorf("arith mutation was a no-op in %d/60 mutants", 60-replaced)
+	}
+}
+
+// TestRandomValuePrimitiveDominance: fuzz the §IV-F primitive directly and
+// verify after each injection.
+func TestRandomValuePrimitiveDominance(t *testing.T) {
+	src := corpus[2]
+	r := rng.New(777)
+	for trial := 0; trial < 300; trial++ {
+		mod := parser.MustParse(src)
+		mu := New(mod, Config{Ops: []Op{OpUses}, MaxMutationsPerFunction: 4})
+		m := mu.Mutate(r.Uint64())
+		if err := m.Verify(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, m.String())
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package mutate
+
+import (
+	"repro/internal/rng"
+)
+
+// ByteMutator is a structure-blind mutation engine in the style of
+// Radamsa/AFL: it edits the textual .ll form without understanding it.
+// The paper's §II preliminary study found that such mutation of LLVM IR is
+// "almost a complete waste of CPU time" — the vast majority of mutants do
+// not parse, and the ones that do are trivial. This implementation exists
+// to reproduce that comparison (see TestStructureBlindValidity and
+// BenchmarkStructureBlind).
+type ByteMutator struct {
+	R *rng.Rand
+}
+
+// interesting bytes that generic fuzzers splice in.
+var fuzzBytes = []byte{0x00, 0xff, 0x7f, 0x80, '0', '9', '%', '@', ',', '(', ')', ' ', '\n', 'i', '-'}
+
+// Mutate applies 1..4 random byte-level edits (flip, overwrite, insert,
+// delete, duplicate-chunk) to the input text.
+func (m *ByteMutator) Mutate(text string) string {
+	data := []byte(text)
+	edits := 1 + m.R.Intn(4)
+	for e := 0; e < edits && len(data) > 0; e++ {
+		switch m.R.Intn(5) {
+		case 0: // bit flip
+			i := m.R.Intn(len(data))
+			data[i] ^= 1 << uint(m.R.Intn(8))
+		case 1: // overwrite with an "interesting" byte
+			i := m.R.Intn(len(data))
+			data[i] = fuzzBytes[m.R.Intn(len(fuzzBytes))]
+		case 2: // insert
+			i := m.R.Intn(len(data) + 1)
+			b := fuzzBytes[m.R.Intn(len(fuzzBytes))]
+			data = append(data[:i], append([]byte{b}, data[i:]...)...)
+		case 3: // delete
+			i := m.R.Intn(len(data))
+			data = append(data[:i], data[i+1:]...)
+		default: // duplicate a chunk
+			if len(data) < 4 {
+				continue
+			}
+			start := m.R.Intn(len(data) - 2)
+			end := start + 1 + m.R.Intn(min(16, len(data)-start-1))
+			chunk := append([]byte(nil), data[start:end]...)
+			at := m.R.Intn(len(data) + 1)
+			data = append(data[:at], append(chunk, data[at:]...)...)
+		}
+	}
+	return string(data)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package mutate
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/rng"
+)
+
+// point is a program point: just before the anchor instruction. Anchoring
+// on the instruction (not an index) keeps the point stable while recursive
+// generation inserts new instructions in front of it.
+type point struct {
+	b      *ir.Block
+	anchor *ir.Instr
+}
+
+func (p point) index() int { return p.b.IndexOf(p.anchor) }
+
+// insertBefore places in at the point and returns it.
+func (p point) insertBefore(in *ir.Instr) *ir.Instr {
+	p.b.InsertAt(p.index(), in)
+	return in
+}
+
+// randomValueAt is the engine's central primitive (paper §IV-F): produce a
+// type-compatible SSA value available at the given program point. The
+// value is, with decreasing probability:
+//
+//   - an existing dominating value (parameter or earlier instruction),
+//   - a fresh literal constant,
+//   - a freshly generated instruction whose operands are chosen by
+//     recursive invocation of this same primitive (Listing 10), or
+//   - a fresh function parameter (the paper's Listing 11).
+//
+// The returned value is safe to use at the point without breaking SSA
+// invariants.
+func randomValueAt(r *rng.Rand, f *ir.Function, ov *analysis.Overlay,
+	at point, ty ir.Type, depth int) ir.Value {
+
+	it, isInt := ty.(ir.IntType)
+
+	// Existing dominating value, when one exists (50%).
+	if r.Chance(1, 2) {
+		if cands := ov.DominatingValues(at.b, at.index(), ty); len(cands) > 0 {
+			return cands[r.Intn(len(cands))]
+		}
+	}
+
+	// Fresh literal constant (integers only).
+	if isInt && r.Chance(1, 2) {
+		return randomConst(r, it)
+	}
+
+	// Fresh instruction, recursion budget permitting.
+	if isInt && depth > 0 && r.Chance(1, 2) {
+		return randomInstrAt(r, f, ov, at, it, depth)
+	}
+
+	// Fresh function parameter (works for any type, including pointers).
+	p := &ir.Param{Nm: f.FreshName("fp"), Ty: ty}
+	f.Params = append(f.Params, p)
+	return p
+}
+
+// randomConst picks constants with a bias toward boundary values, the way
+// seasoned fuzzers weight their dictionaries.
+func randomConst(r *rng.Rand, ty ir.IntType) *ir.Const {
+	w := ty.Bits
+	switch r.Intn(8) {
+	case 0:
+		return ir.NewConst(ty, 0)
+	case 1:
+		return ir.NewConst(ty, 1)
+	case 2:
+		return ir.NewSigned(ty, -1)
+	case 3:
+		return ir.NewConst(ty, 1<<uint(w-1)) // INT_MIN
+	case 4:
+		if w > 1 {
+			return ir.NewConst(ty, 1<<uint(w-1)-1) // INT_MAX
+		}
+		return ir.NewConst(ty, 1)
+	case 5:
+		return ir.NewConst(ty, uint64(r.Intn(w+1))) // shift-amount range
+	default:
+		return ir.NewConst(ty, r.Uint64())
+	}
+}
+
+// randomInstrAt inserts a freshly generated instruction before the point
+// and returns it. Operands come from recursive randomValueAt calls; each
+// recursive insertion lands before the anchor too, and since operands are
+// generated before their consumer is inserted, definitions precede uses.
+func randomInstrAt(r *rng.Rand, f *ir.Function, ov *analysis.Overlay,
+	at point, ty ir.IntType, depth int) ir.Value {
+
+	// Generated shapes: a binary op, an icmp (for i1 results), a select,
+	// or a min/max-style intrinsic call — the shapes the paper's examples
+	// show (ashr in Listing 10, smin in Listing 14). The fresh name is
+	// drawn only at insertion time: recursive operand generation inserts
+	// (and names) its own instructions first.
+	switch {
+	case ty.Bits == 1 && r.Chance(1, 2):
+		opTy := ir.Int([]int{8, 16, 32, 64}[r.Intn(4)])
+		x := randomValueAt(r, f, ov, at, opTy, depth-1)
+		y := randomValueAt(r, f, ov, at, opTy, depth-1)
+		return at.insertBefore(ir.NewICmp(ir.Preds[r.Intn(len(ir.Preds))], f.FreshName("rv"), x, y))
+	case r.Chance(1, 4):
+		kind := ir.BinaryMathIntrinsics[r.Intn(len(ir.BinaryMathIntrinsics))]
+		x := randomValueAt(r, f, ov, at, ty, depth-1)
+		y := randomValueAt(r, f, ov, at, ty, depth-1)
+		return at.insertBefore(ir.NewCall(f.FreshName("rv"), ir.IntrinsicName(kind, ty.Bits),
+			ir.IntrinsicSig(kind, ty.Bits), x, y))
+	case r.Chance(1, 4):
+		c := randomValueAt(r, f, ov, at, ir.I1, depth-1)
+		x := randomValueAt(r, f, ov, at, ty, depth-1)
+		y := randomValueAt(r, f, ov, at, ty, depth-1)
+		return at.insertBefore(ir.NewSelect(f.FreshName("rv"), c, x, y))
+	default:
+		op := ir.BinaryOps[r.Intn(len(ir.BinaryOps))]
+		x := randomValueAt(r, f, ov, at, ty, depth-1)
+		y := randomValueAt(r, f, ov, at, ty, depth-1)
+		in := ir.NewBinary(op, f.FreshName("rv"), x, y)
+		randomFlags(r, in)
+		return at.insertBefore(in)
+	}
+}
+
+// randomFlags toggles poison-generating flags valid for the op.
+func randomFlags(r *rng.Rand, in *ir.Instr) {
+	if in.Op.HasWrapFlags() {
+		in.Nuw = r.Chance(1, 4)
+		in.Nsw = r.Chance(1, 4)
+	}
+	if in.Op.HasExactFlag() {
+		in.Exact = r.Chance(1, 4)
+	}
+}

@@ -1,0 +1,73 @@
+package opt
+
+import (
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// AlignAssumePass propagates alignment facts between memory operations on
+// the same pointer: when two accesses go through the same SSA pointer, the
+// larger known alignment can be attached to both (a miniature
+// AlignmentFromAssumptions).
+type AlignAssumePass struct{}
+
+// Name implements Pass.
+func (*AlignAssumePass) Name() string { return "alignassume" }
+
+// Run implements Pass.
+func (p *AlignAssumePass) Run(ctx *Context, f *ir.Function) bool {
+	best := make(map[ir.Value]uint64)
+	record := func(ptr ir.Value, align uint64) {
+		if align == 0 {
+			return
+		}
+		// Seeded crash 64687 (the paper's Listing 16): "an optimization
+		// pass incorrectly assumed that all alignments are powers of two,
+		// leading to a crash" — non-power-of-two alignments are legal in
+		// some positions.
+		if ctx.Bugs.On(Bug64687AlignNonPow2) && !apint.IsPowerOfTwo(align) {
+			crash(Bug64687AlignNonPow2, "Log2(alignment): %d is not a power of two", align)
+		}
+		if !apint.IsPowerOfTwo(align) {
+			return // ignore exotic alignments (the correct behaviour)
+		}
+		if align > best[ptr] {
+			best[ptr] = align
+		}
+	}
+
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpLoad:
+			record(in.Args[0], in.Align)
+		case ir.OpStore:
+			record(in.Args[1], in.Align)
+		case ir.OpAlloca:
+			record(in, in.Align)
+		}
+		return true
+	})
+	for _, prm := range f.Params {
+		record(prm, prm.Attrs.Align)
+	}
+
+	changed := false
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		var ptr ir.Value
+		switch in.Op {
+		case ir.OpLoad:
+			ptr = in.Args[0]
+		case ir.OpStore:
+			ptr = in.Args[1]
+		default:
+			return true
+		}
+		if a := best[ptr]; a > in.Align {
+			in.Align = a
+			ctx.stat("alignassume")
+			changed = true
+		}
+		return true
+	})
+	return changed
+}

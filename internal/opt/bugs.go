@@ -1,0 +1,156 @@
+package opt
+
+import "fmt"
+
+// BugID identifies one seeded defect. Each entry mirrors a row of the
+// paper's Table I: same component class (with middle-end hosts standing in
+// for the AArch64 backend, as DESIGN.md §1 documents), same failure type
+// (miscompilation vs crash), and a trigger pattern shaped like the
+// original report.
+type BugID int
+
+// The seeded bugs. Names follow the paper's issue numbers.
+const (
+	bugInvalid BugID = iota
+
+	// --- miscompilations (Table I lists 19) ---
+	Bug53252ClampPredicate   // InstCombine: clamp canonicalization keeps the wrong predicate
+	Bug50693OppositeShifts   // InstCombine: (x shl C) ashr C folded to x without the sign-extend guard
+	Bug53218GVNFlagMerge     // GVN: keeps poison flags when merging into the leader
+	Bug55003UndefShift       // Promote: shl/ashr chain of poison folded to a concrete value
+	Bug55201RotateMask       // InstCombine: disguised rotate matched without LHS/RHS masks
+	Bug55129ZeroWidthExtract // Promote: zero-width bitfield extract should produce 0
+	Bug55271MissingFreeze    // Promote: abs expansion duplicates a maybe-poison value without freeze
+	Bug55284OrAndMiscompile  // InstCombine: or+and mask combine drops a term
+	Bug55287UremUdiv         // InstCombine: udiv+urem pair recombined with the wrong signedness
+	Bug55296PromotedUrem     // Promote: promoted bits not cleared before urem on a shift amount
+	Bug55342SextZextPromote  // Promote: sign/zero-extension choice wrong for negative constants
+	Bug55484BSwapMatch       // InstCombine: MatchBSwapHWordLow matches a non-bswap pattern
+	Bug55490SextZextPromote2 // Promote: second sext/zext selection defect (icmp operands)
+	Bug55627SextZextRefine   // Promote: third sext/zext defect (select arms)
+	Bug55833BitfieldExtract  // Promote: bitfield extract vs isDef32 conflict analog
+	Bug58109UsubSat          // Promote: usub.sat expansion inverts the saturation test
+	Bug58321FrozenPoison     // Promote: freeze of poison forwarded as if transparent
+	Bug58431ZextSelection    // Promote: zext selected where the value needs sext
+	Bug59836ZextMulOverflow  // InstCombine: (zext a)*(zext b) assumed never to overflow
+
+	// --- crashes (Table I lists 14) ---
+	Bug52884NuwNswSmax        // InstCombine: smax pattern with both nuw and nsw panics
+	Bug51618PhiUndefGVN       // GVN: phi with poison input dereferences a nil leader
+	Bug56377ExtractExtract    // Promote: extract-extract pattern on an unsupported width panics
+	Bug56463BadSignature      // InstCombine: rebuilds a call with the wrong signature
+	Bug56945ConstFoldPoison   // ConstantFold: dyn_cast-style assertion on poison operand
+	Bug56968PoisonShiftDetect // InstSimplify: uncovered case detecting a poison shift
+	Bug56981AssertTooStrong   // ConstantFold: assertion too strong on a legal corner input
+	Bug58423CSEReuseRemoved   // GVN: reuses an instruction that was just removed
+	Bug58425UdivLegalizer     // Promote: udiv at an odd width never reaches the legalizer
+	Bug59757PrintfSignature   // DCE: wrong built-in signature for @printf
+	Bug64687AlignNonPow2      // AlignAssume: assumes all alignments are powers of two
+	Bug64661MoveAutoInit      // DCE: assertion too strong when moving a poison store
+	Bug72035SROARewriter      // Mem2Reg: wrong slice rewriting for mixed-width accesses
+	Bug72034ScalarizeVP       // SimplifyCFG: scalarization helper panics on i1 arithmetic
+
+	numBugs
+)
+
+// Kind classifies a seeded defect like Table I's "Type" column.
+type Kind int
+
+// Bug kinds.
+const (
+	Miscompilation Kind = iota
+	Crash
+)
+
+func (k Kind) String() string {
+	if k == Crash {
+		return "crash"
+	}
+	return "miscompilation"
+}
+
+// Info describes one registry entry.
+type Info struct {
+	ID        BugID
+	Issue     int    // the paper's LLVM issue number
+	Component string // hosting pass in this reproduction
+	PaperComp string // component named in the paper's Table I
+	Kind      Kind
+	Desc      string
+}
+
+// Registry lists every seeded bug in Table I order.
+var Registry = []Info{
+	{Bug53252ClampPredicate, 53252, "InstCombine", "InstCombine", Miscompilation, "didn't update predicate in canonicalizeClampLike"},
+	{Bug50693OppositeShifts, 50693, "InstCombine", "InstCombine", Miscompilation, "missing a simplification of the opposite shifts of -1"},
+	{Bug53218GVNFlagMerge, 53218, "GVN", "NewGVN", Miscompilation, "need to merge IR flags of the removed instruction into the leader"},
+	{Bug55003UndefShift, 55003, "Promote", "AArch64 backend", Miscompilation, "need to combine shift chains of undef to undef"},
+	{Bug55201RotateMask, 55201, "InstCombine", "AArch64 backend", Miscompilation, "disguised rotate by constant should apply LHSMask/RHSMask"},
+	{Bug55129ZeroWidthExtract, 55129, "Promote", "AArch64 backend", Miscompilation, "zero-width bitfield extracts should emit 0"},
+	{Bug55271MissingFreeze, 55271, "Promote", "multiple backends", Miscompilation, "missing a freeze in ISD::ABS expansion"},
+	{Bug55284OrAndMiscompile, 55284, "InstCombine", "AArch64 backend", Miscompilation, "an or+and miscompile within GlobalISel"},
+	{Bug55287UremUdiv, 55287, "InstCombine", "AArch64 backend", Miscompilation, "a urem+udiv miscompilation within GlobalISel"},
+	{Bug55296PromotedUrem, 55296, "Promote", "multiple backends", Miscompilation, "didn't clear promoted bits before urem on shift amount"},
+	{Bug55342SextZextPromote, 55342, "Promote", "AArch64 backend", Miscompilation, "sext and zext selection in promoted constant"},
+	{Bug55484BSwapMatch, 55484, "InstCombine", "multiple backends", Miscompilation, "wrong match in MatchBSwapHWordLow"},
+	{Bug55490SextZextPromote2, 55490, "Promote", "AArch64 backend", Miscompilation, "another sext and zext selection in promoted constant"},
+	{Bug55627SextZextRefine, 55627, "Promote", "AArch64 backend", Miscompilation, "refine sext and zext selection"},
+	{Bug55833BitfieldExtract, 55833, "Promote", "AArch64 backend", Miscompilation, "conflict between tryBitfieldExtractOp and isDef32"},
+	{Bug58109UsubSat, 58109, "Promote", "AArch64 backend", Miscompilation, "wrong code generation in usub.sat"},
+	{Bug58321FrozenPoison, 58321, "Promote", "AArch64 backend", Miscompilation, "miscompilation of a frozen poison"},
+	{Bug58431ZextSelection, 58431, "Promote", "AArch64 backend", Miscompilation, "wrong GZEXT selection in GISel"},
+	{Bug59836ZextMulOverflow, 59836, "InstCombine", "InstCombine", Miscompilation, "precondition of a peephole optimization is too weak"},
+
+	{Bug52884NuwNswSmax, 52884, "InstCombine", "InstCombine", Crash, "analysis thwarted by having both nuw and nsw on the add"},
+	{Bug51618PhiUndefGVN, 51618, "GVN", "newGVN", Crash, "PHI nodes with undef input"},
+	{Bug56377ExtractExtract, 56377, "Promote", "VectorCombine", Crash, "created shuffle for extract-extract pattern on scalable vector"},
+	{Bug56463BadSignature, 56463, "InstCombine", "InstCombine", Crash, "calling a function with a bad signature"},
+	{Bug56945ConstFoldPoison, 56945, "ConstantFold", "ConstantFolding", Crash, "the dyn_cast to a ConstantInt would fail with a poison input"},
+	{Bug56968PoisonShiftDetect, 56968, "InstSimplify", "InstSimplify", Crash, "uncovered condition in detecting a poison shift"},
+	{Bug56981AssertTooStrong, 56981, "ConstantFold", "ConstantFolding", Crash, "assertion is too strong"},
+	{Bug58423CSEReuseRemoved, 58423, "GVN", "AArch64 backend", Crash, "CSEMIIRBuilder reuses removed instructions"},
+	{Bug58425UdivLegalizer, 58425, "Promote", "AArch64 backend", Crash, "udiv did not reach the legalizer"},
+	{Bug59757PrintfSignature, 59757, "DCE", "TargetLibraryInfo", Crash, "signature for printf is wrong"},
+	{Bug64687AlignNonPow2, 64687, "AlignAssume", "AlignmentFromAssumptions", Crash, "missing a corner case"},
+	{Bug64661MoveAutoInit, 64661, "DCE", "MoveAutoInit", Crash, "the assertion is too strong"},
+	{Bug72035SROARewriter, 72035, "Mem2Reg", "SROA", Crash, "wrong code in AllocaSliceRewriter"},
+	{Bug72034ScalarizeVP, 72034, "SimplifyCFG", "VectorCombine", Crash, "wrong code in scalarizeVPIntrinsic"},
+}
+
+// InfoFor returns the registry entry for a bug ID.
+func InfoFor(id BugID) Info {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	panic(fmt.Sprintf("opt: unknown bug id %d", id))
+}
+
+// BugSet is the set of enabled seeded defects. The zero value (all off)
+// gives the correct compiler.
+type BugSet struct {
+	enabled [numBugs]bool
+}
+
+// Enable switches a seeded defect on.
+func (s *BugSet) Enable(id BugID) *BugSet {
+	s.enabled[id] = true
+	return s
+}
+
+// On reports whether a defect is enabled. A nil set means all off.
+func (s *BugSet) On(id BugID) bool {
+	if s == nil {
+		return false
+	}
+	return s.enabled[id]
+}
+
+// crash simulates an LLVM assertion failure: the fuzzing loop recovers the
+// panic and records a crash bug, matching the paper's second bug category.
+func crash(id BugID, format string, args ...any) {
+	info := InfoFor(id)
+	panic(fmt.Sprintf("seeded-assert[%d %s]: %s", info.Issue, info.Component,
+		fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,133 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestSimplifyCFGRemovesUnreachable(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+entry:
+  ret i32 %x
+dead:
+  %y = add i32 %x, 1
+  ret i32 %y
+}`
+	orig, out := optimize(t, src, "simplifycfg", nil)
+	if got := len(out.FuncByName("f").Blocks); got != 1 {
+		t.Fatalf("blocks = %d, want 1", got)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestSimplifyCFGMergeChain(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  br label %mid
+mid:
+  %b = mul i32 %a, 2
+  br label %last
+last:
+  ret i32 %b
+}`
+	orig, out := optimize(t, src, "simplifycfg", nil)
+	if got := len(out.FuncByName("f").Blocks); got != 1 {
+		t.Fatalf("chain not merged: %d blocks\n%s", got, out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestSimplifyCFGConstBranchWithPhi(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+entry:
+  br i1 false, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %r
+}`
+	orig, out := optimize(t, src, "simplifycfg,constfold,instsimplify,dce", nil)
+	f := out.FuncByName("f")
+	ret := f.Blocks[len(f.Blocks)-1].Instrs[len(f.Blocks[len(f.Blocks)-1].Instrs)-1]
+	if c, ok := ret.Args[0].(*ir.Const); !ok || c.Val != 2 {
+		t.Fatalf("false branch should leave 2, got %s\n%s", ir.OperandString(ret.Args[0]), f)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestGVNAcrossDominanceOnly(t *testing.T) {
+	// %dup in a sibling block must NOT be replaced by %a (no dominance);
+	// %dup2 in a dominated block must be.
+	src := `define i32 @f(i1 %c, i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  br i1 %c, label %l, label %r
+l:
+  %dup2 = add i32 %x, %y
+  ret i32 %dup2
+r:
+  %other = mul i32 %x, %y
+  ret i32 %other
+}`
+	orig, out := optimize(t, src, "gvn", nil)
+	f := out.FuncByName("f")
+	addCount := 0
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpAdd {
+			addCount++
+		}
+	}
+	if addCount != 1 {
+		t.Fatalf("adds = %d, want 1 (dominated dup removed)\n%s", addCount, f)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestMem2RegLoadBeforeStoreIsPoison(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  %s = alloca i32
+  %v = load i32, ptr %s
+  store i32 %x, ptr %s
+  %w = load i32, ptr %s
+  %r = add i32 %v, %w
+  ret i32 %r
+}`
+	orig, out := optimize(t, src, "mem2reg,dce", nil)
+	// %v becomes poison (uninitialized); still a valid refinement.
+	checkRefines(t, orig, out)
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpAlloca {
+			t.Fatal("alloca should be promoted")
+		}
+	}
+}
+
+func TestPipelineOnTest9DoesNotForwardAcrossClobber(t *testing.T) {
+	// The full O2 on the paper's running example must keep both loads.
+	src := `declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`
+	orig, out := optimize(t, src, "o2", nil)
+	loads := 0
+	for _, in := range out.FuncByName("test9").Instrs() {
+		if in.Op == ir.OpLoad {
+			loads++
+		}
+	}
+	if loads != 2 {
+		t.Fatalf("loads = %d, want 2 (no forwarding across @clobber)\n%s",
+			loads, out.FuncByName("test9"))
+	}
+	checkRefines(t, orig, out)
+}

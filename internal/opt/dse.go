@@ -1,0 +1,74 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// DSEPass performs block-local dead store elimination: a store is dead
+// when a later store in the same block writes the same width through the
+// same SSA pointer with no intervening read, call, or other potentially
+// aliasing write. Modelled on (the easy core of) LLVM's DeadStoreElimination.
+type DSEPass struct{}
+
+// Name implements Pass.
+func (*DSEPass) Name() string { return "dse" }
+
+// Run implements Pass.
+func (p *DSEPass) Run(ctx *Context, f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		// Walk forward; for each store remember it as pending-dead until
+		// something observes memory.
+		type pending struct {
+			idx int
+			in  *ir.Instr
+		}
+		var dead []int
+		var open []pending
+		kill := func() { open = open[:0] }
+		for i, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStore:
+				ptr := in.Args[1]
+				width := in.Args[0].Type()
+				// A store to the same pointer and width supersedes any
+				// open store to that pointer; stores to other pointers may
+				// alias and count as observation barriers only for reads —
+				// overwriting is what kills, so same-pointer only.
+				for oi := 0; oi < len(open); oi++ {
+					o := open[oi]
+					if o.in.Args[1] == ptr && ir.TypesEqual(o.in.Args[0].Type(), width) {
+						dead = append(dead, o.idx)
+						open = append(open[:oi], open[oi+1:]...)
+						oi--
+					}
+				}
+				open = append(open, pending{i, in})
+			case ir.OpLoad:
+				// Any load may observe any open store (conservative: no
+				// alias analysis beyond SSA-pointer identity).
+				kill()
+			case ir.OpCall:
+				if kind, isIntr := in.IsIntrinsicCall(); isIntr && kind != ir.IntrinsicAssume {
+					continue // pure math intrinsics don't observe memory
+				}
+				kill()
+			case ir.OpRet, ir.OpBr, ir.OpCondBr:
+				// Memory is caller-visible at function exit, and other
+				// blocks may read: open stores survive.
+				kill()
+			}
+		}
+		// Delete dead stores in descending index order so earlier indices
+		// stay valid.
+		sort.Sort(sort.Reverse(sort.IntSlice(dead)))
+		for _, idx := range dead {
+			b.Remove(idx)
+			ctx.stat("dse")
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,110 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func countStores(f *ir.Function) int {
+	n := 0
+	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+		if in.Op == ir.OpStore {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func TestDSERemovesOverwrittenStore(t *testing.T) {
+	src := `define void @f(ptr %p) {
+  store i32 1, ptr %p
+  store i32 2, ptr %p
+  ret void
+}`
+	orig, out := optimize(t, src, "dse", nil)
+	if got := countStores(out.FuncByName("f")); got != 1 {
+		t.Fatalf("stores = %d, want 1:\n%s", got, out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestDSEKeepsObservedStore(t *testing.T) {
+	cases := []string{
+		// Intervening load.
+		`define i32 @f(ptr %p) {
+  store i32 1, ptr %p
+  %v = load i32, ptr %p
+  store i32 2, ptr %p
+  ret i32 %v
+}`,
+		// Intervening call.
+		`declare void @obs(ptr)
+define void @f(ptr %p) {
+  store i32 1, ptr %p
+  call void @obs(ptr %p)
+  store i32 2, ptr %p
+  ret void
+}`,
+		// Different pointers: may or may not alias; both must stay.
+		`define void @f(ptr %p, ptr %q) {
+  store i32 1, ptr %p
+  store i32 2, ptr %q
+  ret void
+}`,
+		// Different widths through the same pointer.
+		`define void @f(ptr %p) {
+  store i32 1, ptr %p
+  store i8 2, ptr %p
+  ret void
+}`,
+		// Store live across a branch.
+		`define void @f(ptr %p, i1 %c) {
+entry:
+  store i32 1, ptr %p
+  br i1 %c, label %a, label %b
+a:
+  store i32 2, ptr %p
+  ret void
+b:
+  ret void
+}`,
+	}
+	for i, src := range cases {
+		orig, out := optimize(t, src, "dse", nil)
+		if got, want := countStores(out.FuncByName("f")), countStores(orig.FuncByName("f")); got != want {
+			t.Errorf("case %d: stores = %d, want %d:\n%s", i, got, want, out.FuncByName("f"))
+		}
+		checkRefines(t, orig, out)
+	}
+}
+
+func TestDSEChain(t *testing.T) {
+	src := `define void @f(ptr %p) {
+  store i32 1, ptr %p
+  store i32 2, ptr %p
+  store i32 3, ptr %p
+  store i32 4, ptr %p
+  ret void
+}`
+	orig, out := optimize(t, src, "dse", nil)
+	if got := countStores(out.FuncByName("f")); got != 1 {
+		t.Fatalf("stores = %d, want 1", got)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestDSEIgnoresMathIntrinsics(t *testing.T) {
+	src := `define i8 @f(ptr %p, i8 %x, i8 %y) {
+  store i8 1, ptr %p
+  %m = call i8 @llvm.smax.i8(i8 %x, i8 %y)
+  store i8 %m, ptr %p
+  ret i8 %m
+}`
+	orig, out := optimize(t, src, "dse", nil)
+	if got := countStores(out.FuncByName("f")); got != 1 {
+		t.Fatalf("smax must not block DSE; stores = %d", got)
+	}
+	checkRefines(t, orig, out)
+}

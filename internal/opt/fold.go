@@ -1,0 +1,231 @@
+package opt
+
+import (
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// ConstantFoldPass evaluates instructions whose operands are all literal
+// constants, replacing them with their results (or with poison when the
+// operation's flags make the constant result poison). Mirrors LLVM's
+// ConstantFolding.
+type ConstantFoldPass struct{}
+
+// Name implements Pass.
+func (*ConstantFoldPass) Name() string { return "constfold" }
+
+// Run implements Pass.
+func (p *ConstantFoldPass) Run(ctx *Context, f *ir.Function) bool {
+	changed := false
+	for {
+		again := false
+		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if v, ok := foldInstr(ctx, in); ok {
+				replaceAllUses(f, in, v)
+				eraseDeadInstr(f, in)
+				ctx.stat("constfold")
+				again, changed = true, true
+				return false // restart: iteration invalidated
+			}
+			return true
+		})
+		if !again {
+			return changed
+		}
+	}
+}
+
+// foldInstr folds one instruction if all relevant operands are constants.
+func foldInstr(ctx *Context, in *ir.Instr) (ir.Value, bool) {
+	// Seeded crash 56945: "the dyn_cast to a ConstantInt would fail with a
+	// poison input" — the folder assumes any foldable operand is a
+	// ConstantInt and trips on poison.
+	if ctx.Bugs.On(Bug56945ConstFoldPoison) && in.Op.IsBinary() {
+		if isPoisonVal(in.Args[0]) || isPoisonVal(in.Args[1]) {
+			crash(Bug56945ConstFoldPoison, "dyn_cast<ConstantInt> on poison operand in %s", in.String())
+		}
+	}
+
+	switch {
+	case in.Op.IsBinary():
+		x, okx := constOf(in.Args[0])
+		y, oky := constOf(in.Args[1])
+		if !okx || !oky {
+			return nil, false
+		}
+		return foldBinary(ctx, in, x, y)
+
+	case in.Op == ir.OpICmp:
+		x, okx := constOf(in.Args[0])
+		y, oky := constOf(in.Args[1])
+		if !okx || !oky {
+			return nil, false
+		}
+		return ir.NewBool(evalPred(in.Pred, x.Val, y.Val, x.Ty.Bits)), true
+
+	case in.Op == ir.OpSelect:
+		c, ok := constOf(in.Args[0])
+		if !ok {
+			return nil, false
+		}
+		if c.IsOne() {
+			return in.Args[1], true
+		}
+		return in.Args[2], true
+
+	case in.Op.IsCast():
+		x, ok := constOf(in.Args[0])
+		if !ok {
+			if isPoisonVal(in.Args[0]) {
+				return &ir.Poison{Ty: in.Ty}, true
+			}
+			return nil, false
+		}
+		to := in.Ty.(ir.IntType)
+		switch in.Op {
+		case ir.OpZExt:
+			return ir.NewConst(to, apint.ZExt(x.Val, x.Ty.Bits, to.Bits)), true
+		case ir.OpSExt:
+			return ir.NewConst(to, apint.SExt(x.Val, x.Ty.Bits, to.Bits)), true
+		default:
+			return ir.NewConst(to, apint.Trunc(x.Val, to.Bits)), true
+		}
+
+	case in.Op == ir.OpFreeze:
+		// freeze of a constant is that constant; freeze of poison is an
+		// arbitrary value — pick 0 (a legal refinement).
+		if x, ok := constOf(in.Args[0]); ok {
+			return x, true
+		}
+		if isPoisonVal(in.Args[0]) {
+			if it, ok := in.Ty.(ir.IntType); ok {
+				return ir.NewConst(it, 0), true
+			}
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+func foldBinary(ctx *Context, in *ir.Instr, x, y *ir.Const) (ir.Value, bool) {
+	w := x.Ty.Bits
+	poison := func() (ir.Value, bool) { return &ir.Poison{Ty: in.Ty}, true }
+	c := func(v uint64) (ir.Value, bool) { return ir.NewConst(x.Ty, v), true }
+
+	switch in.Op {
+	case ir.OpAdd:
+		if in.Nuw && apint.AddOverflowsUnsigned(x.Val, y.Val, w) {
+			return poison()
+		}
+		if in.Nsw && apint.AddOverflowsSigned(x.Val, y.Val, w) {
+			return poison()
+		}
+		return c(apint.Add(x.Val, y.Val, w))
+	case ir.OpSub:
+		if in.Nuw && apint.SubOverflowsUnsigned(x.Val, y.Val, w) {
+			return poison()
+		}
+		if in.Nsw && apint.SubOverflowsSigned(x.Val, y.Val, w) {
+			return poison()
+		}
+		return c(apint.Sub(x.Val, y.Val, w))
+	case ir.OpMul:
+		if in.Nuw && apint.MulOverflowsUnsigned(x.Val, y.Val, w) {
+			return poison()
+		}
+		if in.Nsw && apint.MulOverflowsSigned(x.Val, y.Val, w) {
+			return poison()
+		}
+		return c(apint.Mul(x.Val, y.Val, w))
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		// Division by constant zero is immediate UB; leave the instruction
+		// in place rather than folding (LLVM leaves a trap-producing op).
+		if y.IsZero() {
+			return nil, false
+		}
+		if (in.Op == ir.OpSDiv || in.Op == ir.OpSRem) &&
+			x.Val == 1<<uint(w-1) && y.IsAllOnes() {
+			return nil, false // signed overflow trap; leave in place
+		}
+		switch in.Op {
+		case ir.OpUDiv:
+			if in.Exact && apint.URem(x.Val, y.Val, w) != 0 {
+				return poison()
+			}
+			return c(apint.UDiv(x.Val, y.Val, w))
+		case ir.OpSDiv:
+			if in.Exact && apint.SRem(x.Val, y.Val, w) != 0 {
+				return poison()
+			}
+			return c(apint.SDiv(x.Val, y.Val, w))
+		case ir.OpURem:
+			return c(apint.URem(x.Val, y.Val, w))
+		default:
+			return c(apint.SRem(x.Val, y.Val, w))
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		// Seeded crash 56981: "assertion is too strong" — the folder
+		// asserts shift amounts are strictly less than the width, but an
+		// amount equal to the width is legal IR (the result is poison).
+		if ctx.Bugs.On(Bug56981AssertTooStrong) && y.Val == uint64(w) {
+			crash(Bug56981AssertTooStrong, "shift amount %d == width %d in %s", y.Val, w, in.String())
+		}
+		if y.Val >= uint64(w) {
+			return poison()
+		}
+		switch in.Op {
+		case ir.OpShl:
+			if in.Nuw && apint.ShlOverflowsUnsigned(x.Val, y.Val, w) {
+				return poison()
+			}
+			if in.Nsw && apint.ShlOverflowsSigned(x.Val, y.Val, w) {
+				return poison()
+			}
+			return c(apint.Shl(x.Val, y.Val, w))
+		case ir.OpLShr:
+			if in.Exact && apint.Shl(apint.LShr(x.Val, y.Val, w), y.Val, w) != x.Val {
+				return poison()
+			}
+			return c(apint.LShr(x.Val, y.Val, w))
+		default:
+			if in.Exact && apint.Shl(apint.AShr(x.Val, y.Val, w), y.Val, w) != x.Val {
+				return poison()
+			}
+			return c(apint.AShr(x.Val, y.Val, w))
+		}
+	case ir.OpAnd:
+		return c(x.Val & y.Val)
+	case ir.OpOr:
+		return c(x.Val | y.Val)
+	case ir.OpXor:
+		return c(x.Val ^ y.Val)
+	}
+	return nil, false
+}
+
+// evalPred evaluates an icmp predicate on canonical constants.
+func evalPred(pred ir.Pred, a, b uint64, w int) bool {
+	switch pred {
+	case ir.EQ:
+		return a == b
+	case ir.NE:
+		return a != b
+	case ir.ULT:
+		return a < b
+	case ir.ULE:
+		return a <= b
+	case ir.UGT:
+		return a > b
+	case ir.UGE:
+		return a >= b
+	case ir.SLT:
+		return apint.SLT(a, b, w)
+	case ir.SLE:
+		return !apint.SLT(b, a, w)
+	case ir.SGT:
+		return apint.SLT(b, a, w)
+	case ir.SGE:
+		return !apint.SLT(a, b, w)
+	}
+	return false
+}

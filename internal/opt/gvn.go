@@ -1,0 +1,167 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// GVNPass performs dominance-based global value numbering over pure
+// instructions plus block-local store-to-load forwarding, modelled on
+// LLVM's GVN/NewGVN.
+type GVNPass struct{}
+
+// Name implements Pass.
+func (*GVNPass) Name() string { return "gvn" }
+
+// Run implements Pass.
+func (p *GVNPass) Run(ctx *Context, f *ir.Function) bool {
+	changed := false
+	dom := analysis.BuildDomTree(f)
+
+	// valueKey gives structurally-equal pure instructions equal keys.
+	// Operands are identified by pointer (SSA values are unique).
+	keyOf := func(in *ir.Instr, withFlags bool) (string, bool) {
+		switch {
+		case in.Op.IsBinary(), in.Op == ir.OpICmp, in.Op == ir.OpSelect,
+			in.Op.IsCast(), in.Op == ir.OpGEP:
+		default:
+			return "", false
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d/%v", in.Op, in.Ty)
+		if in.Op == ir.OpICmp {
+			fmt.Fprintf(&sb, "/p%d", in.Pred)
+		}
+		if withFlags {
+			fmt.Fprintf(&sb, "/f%v%v%v", in.Nuw, in.Nsw, in.Exact)
+		}
+		// Constants are numbered by value (distinct *Const objects with
+		// equal bits are the same value); everything else by identity.
+		operandKey := func(a ir.Value) string {
+			switch v := a.(type) {
+			case *ir.Const:
+				return fmt.Sprintf("c%d:%d", v.Ty.Bits, v.Val)
+			case *ir.Poison:
+				return "poison:" + v.Ty.String()
+			case *ir.NullPtr:
+				return "null"
+			default:
+				return fmt.Sprintf("%p", a)
+			}
+		}
+		args := []string{operandKey(in.Args[0])}
+		for _, a := range in.Args[1:] {
+			args = append(args, operandKey(a))
+		}
+		if (in.Op.IsCommutative() || (in.Op == ir.OpICmp && (in.Pred == ir.EQ || in.Pred == ir.NE))) &&
+			len(args) == 2 && args[0] > args[1] {
+			args[0], args[1] = args[1], args[0]
+		}
+		for _, a := range args {
+			sb.WriteString("/")
+			sb.WriteString(a)
+		}
+		return sb.String(), true
+	}
+
+	// Seeded flag-merge defect 53218: value numbering ignores poison flags
+	// and replaces a flagless instruction with a flagged leader, importing
+	// poison the original did not have.
+	withFlags := !ctx.Bugs.On(Bug53218GVNFlagMerge)
+
+	leaders := make(map[string]*ir.Instr)
+
+	// Visit blocks in a dominator-tree preorder so leaders dominate their
+	// duplicates.
+	var order []*ir.Block
+	var visit func(b *ir.Block)
+	children := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		if id := dom.IDom(b); id != nil {
+			children[id] = append(children[id], b)
+		}
+	}
+	visit = func(b *ir.Block) {
+		order = append(order, b)
+		for _, c := range children[b] {
+			visit(c)
+		}
+	}
+	visit(f.Entry())
+
+	for _, b := range order {
+		// Block-local store-to-load forwarding state.
+		var lastStoreVal ir.Value
+		var lastStorePtr ir.Value
+
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+
+			// Seeded crash 51618: "PHI nodes with undef input".
+			if ctx.Bugs.On(Bug51618PhiUndefGVN) && in.Op == ir.OpPhi {
+				for _, a := range in.Args {
+					if isPoisonVal(a) {
+						crash(Bug51618PhiUndefGVN, "leader lookup on phi with undef input: %s", in.String())
+					}
+				}
+			}
+
+			switch in.Op {
+			case ir.OpStore:
+				lastStoreVal, lastStorePtr = in.Args[0], in.Args[1]
+				continue
+			case ir.OpCall:
+				if kind, isIntr := in.IsIntrinsicCall(); !isIntr || kind == ir.IntrinsicAssume {
+					// Unknown calls clobber; assumes are sequence points
+					// we choose not to forward across.
+					lastStoreVal, lastStorePtr = nil, nil
+				}
+				continue
+			case ir.OpLoad:
+				// Forward only from an immediately-preceding store to the
+				// *same* SSA pointer with no intervening clobber; width
+				// must match.
+				if lastStorePtr != nil && in.Args[0] == lastStorePtr &&
+					ir.TypesEqual(in.Ty, lastStoreVal.Type()) {
+					replaceAllUses(f, in, lastStoreVal)
+					b.Remove(i)
+					i--
+					ctx.stat("gvn.load-forward")
+					changed = true
+				}
+				continue
+			}
+
+			if hasSideEffects(ctx.Mod, in) || ir.IsVoid(in.Ty) {
+				continue
+			}
+			key, ok := keyOf(in, withFlags)
+			if !ok {
+				continue
+			}
+			if leader, dup := leaders[key]; dup {
+				// The leader must dominate this use site to be reused.
+				lb := leader.Parent()
+				if lb != nil && (lb == b || dom.StrictlyDominates(lb, b)) {
+					replaceAllUses(f, in, leader)
+					b.Remove(i)
+					i--
+					ctx.stat("gvn.cse")
+					changed = true
+					continue
+				}
+				// Seeded crash 58423: the CSE builder's cache outlives the
+				// leader's validity — reusing an entry whose instruction
+				// does not dominate (or was removed) trips an assertion.
+				if ctx.Bugs.On(Bug58423CSEReuseRemoved) {
+					crash(Bug58423CSEReuseRemoved, "CSE builder reused stale leader %%%s", leader.Nm)
+				}
+			}
+			leaders[key] = in
+		}
+	}
+	return changed
+}

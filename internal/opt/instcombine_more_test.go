@@ -1,0 +1,149 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestInstCombineDoubling(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  %a = add nsw i32 %x, %x
+  ret i32 %a
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	hasShl := false
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpShl {
+			hasShl = true
+			if !in.Nsw {
+				t.Error("nsw flag lost in doubling canonicalization")
+			}
+		}
+	}
+	if !hasShl {
+		t.Fatalf("x+x should become shl:\n%s", out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineAbsorption(t *testing.T) {
+	src := `define i32 @f(i32 %x, i32 %y) {
+  %a = and i32 %x, %y
+  %o = or i32 %x, %a
+  %b = or i32 %x, %y
+  %n = and i32 %b, %x
+  %r = xor i32 %o, %n
+  ret i32 %r
+}`
+	orig, out := optimize(t, src, "instcombine,instsimplify,dce", nil)
+	// or(x, and(x,y)) = x; and(or(x,y), x) = x; x^x = 0.
+	f := out.FuncByName("f")
+	if got := f.NumInstrs(); got != 1 {
+		t.Fatalf("absorption should collapse everything, got %d:\n%s", got, f)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineRangeFold(t *testing.T) {
+	// zext i8 into i32 is < 256, so `ult 1000` is always true.
+	src := `define i1 @f(i8 %x) {
+  %w = zext i8 %x to i32
+  %c = icmp ult i32 %w, 1000
+  ret i1 %c
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	f := out.FuncByName("f")
+	ret := f.Entry().Instrs[len(f.Entry().Instrs)-1]
+	if c, ok := ret.Args[0].(*ir.Const); !ok || !c.IsOne() {
+		t.Fatalf("range fold missed:\n%s", f)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineRangeFoldNegative(t *testing.T) {
+	// The fold must NOT fire when the range does not decide the compare.
+	src := `define i1 @f(i8 %x) {
+  %w = zext i8 %x to i32
+  %c = icmp ult i32 %w, 100
+  ret i1 %c
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	if !strings.Contains(out.FuncByName("f").String(), "icmp") {
+		t.Fatalf("range fold fired unsoundly:\n%s", out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineNotOfCompare(t *testing.T) {
+	src := `define i1 @f(i32 %x, i32 %y) {
+  %c = icmp ult i32 %x, %y
+  %n = xor i1 %c, true
+  ret i1 %n
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	f := out.FuncByName("f")
+	found := false
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpICmp && in.Pred == ir.UGE {
+			found = true
+		}
+		if in.Op == ir.OpXor {
+			t.Error("xor-of-compare not folded")
+		}
+	}
+	if !found {
+		t.Fatalf("expected inverse predicate:\n%s", f)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestMaxBitsUsed(t *testing.T) {
+	// Build: trunc i64->i20 (zext i8 x to i64) — 8 significant bits.
+	f := ir.NewFunction("f", ir.Int(20), &ir.Param{Nm: "x", Ty: ir.I8})
+	b := f.NewBlock("entry")
+	z := b.Append(ir.NewCast(ir.OpZExt, "z", f.Params[0], ir.I64))
+	tr := b.Append(ir.NewCast(ir.OpTrunc, "t", z, ir.Int(20)))
+	and := b.Append(ir.NewBinary(ir.OpAnd, "a", tr, ir.NewConst(ir.Int(20), 0x3f)))
+	sh := b.Append(ir.NewBinary(ir.OpLShr, "s", and, ir.NewConst(ir.Int(20), 2)))
+	b.Append(ir.NewRet(sh))
+
+	cases := []struct {
+		v    ir.Value
+		want int
+	}{
+		{z, 8},
+		{tr, 8},
+		{and, 6},
+		{sh, 4},
+		{f.Params[0], 8},
+		{ir.NewConst(ir.I32, 255), 8},
+		{ir.NewConst(ir.I32, 256), 9},
+	}
+	for i, c := range cases {
+		if got := maxBitsUsed(c.v, 4); got != c.want {
+			t.Errorf("case %d: maxBitsUsed = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// TestInstCombineDoublingAtI1 is the regression test for a miscompilation
+// that this repository's own fuzzing loop discovered in this repository's
+// own InstCombine (see EXPERIMENTS.md): folding add i1 %x, %x to
+// shl i1 %x, 1 replaces a value that is well-defined 0 for %x == 0 with an
+// unconditionally poison shift (amount == width).
+func TestInstCombineDoublingAtI1(t *testing.T) {
+	src := `define i32 @f(i1 %c, i32 %a, i32 %b) {
+  %d = add nsw i1 %c, %c
+  %r = select i1 %d, i32 %a, i32 %b
+  ret i32 %r
+}`
+	orig, out := optimize(t, src, "instcombine", nil)
+	checkRefines(t, orig, out)
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpShl && ir.IsBool(in.Ty) {
+			t.Fatal("doubling fold fired at i1 again")
+		}
+	}
+}

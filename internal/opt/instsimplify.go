@@ -1,0 +1,229 @@
+package opt
+
+import (
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// InstSimplifyPass performs folds that never create new instructions:
+// algebraic identities, trivially-known comparisons, and select/phi
+// degenerations — the same division of labour as LLVM's InstSimplify.
+type InstSimplifyPass struct{}
+
+// Name implements Pass.
+func (*InstSimplifyPass) Name() string { return "instsimplify" }
+
+// Run implements Pass.
+func (p *InstSimplifyPass) Run(ctx *Context, f *ir.Function) bool {
+	changed := false
+	for {
+		again := false
+		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
+			if v := simplifyInstr(ctx, in); v != nil {
+				replaceAllUses(f, in, v)
+				eraseDeadInstr(f, in)
+				ctx.stat("instsimplify")
+				again, changed = true, true
+				return false
+			}
+			return true
+		})
+		if !again {
+			return changed
+		}
+	}
+}
+
+// simplifyInstr returns an existing value equivalent to in, or nil.
+func simplifyInstr(ctx *Context, in *ir.Instr) ir.Value {
+	switch {
+	case in.Op.IsBinary():
+		return simplifyBinary(ctx, in)
+	case in.Op == ir.OpICmp:
+		return simplifyICmp(in)
+	case in.Op == ir.OpSelect:
+		// select c, x, x -> x
+		if in.Args[1] == in.Args[2] {
+			return in.Args[1]
+		}
+		return nil
+	case in.Op == ir.OpPhi:
+		// phi with all-identical incoming values collapses.
+		if len(in.Args) == 0 {
+			return nil
+		}
+		first := in.Args[0]
+		for _, a := range in.Args[1:] {
+			if a != first {
+				return nil
+			}
+		}
+		// The value must dominate the phi's block; conservatively only
+		// collapse non-instruction values (params/constants always do).
+		if _, isInstr := first.(*ir.Instr); isInstr {
+			return nil
+		}
+		return first
+	}
+	return nil
+}
+
+func simplifyBinary(ctx *Context, in *ir.Instr) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	xc, xIsC := constOf(x)
+	yc, yIsC := constOf(y)
+	w, _ := ir.IsInt(in.Ty)
+	zero := func() ir.Value { return ir.NewConst(ir.Int(w), 0) }
+
+	// Seeded crash 56968: "uncovered condition in detecting a poison
+	// shift" — the simplifier's poison-shift detector indexes a table by
+	// shift amount and misses the amount == width case.
+	if ctx.Bugs.On(Bug56968PoisonShiftDetect) && in.Op.IsShift() {
+		if yIsC && yc.Val == uint64(w) {
+			crash(Bug56968PoisonShiftDetect, "poison-shift table overrun: amount %d width %d", yc.Val, w)
+		}
+	}
+
+	switch in.Op {
+	case ir.OpAdd:
+		if yIsC && yc.IsZero() {
+			return x
+		}
+		if xIsC && xc.IsZero() {
+			return y
+		}
+	case ir.OpSub:
+		if yIsC && yc.IsZero() {
+			return x
+		}
+		if x == y && !in.Nuw && !in.Nsw {
+			return zero()
+		}
+	case ir.OpMul:
+		if yIsC && yc.IsOne() {
+			return x
+		}
+		if xIsC && xc.IsOne() {
+			return y
+		}
+		if (yIsC && yc.IsZero()) || (xIsC && xc.IsZero()) {
+			return zero()
+		}
+	case ir.OpAnd:
+		if x == y {
+			return x
+		}
+		if yIsC && yc.IsAllOnes() {
+			return x
+		}
+		if xIsC && xc.IsAllOnes() {
+			return y
+		}
+		if (yIsC && yc.IsZero()) || (xIsC && xc.IsZero()) {
+			return zero()
+		}
+	case ir.OpOr:
+		if x == y {
+			return x
+		}
+		if yIsC && yc.IsZero() {
+			return x
+		}
+		if xIsC && xc.IsZero() {
+			return y
+		}
+		if yIsC && yc.IsAllOnes() {
+			return ir.NewConst(ir.Int(w), apint.Mask(w))
+		}
+		if xIsC && xc.IsAllOnes() {
+			return ir.NewConst(ir.Int(w), apint.Mask(w))
+		}
+	case ir.OpXor:
+		if x == y {
+			return zero()
+		}
+		if yIsC && yc.IsZero() {
+			return x
+		}
+		if xIsC && xc.IsZero() {
+			return y
+		}
+	case ir.OpUDiv, ir.OpSDiv:
+		if yIsC && yc.IsOne() {
+			return x
+		}
+	case ir.OpURem:
+		if yIsC && yc.IsOne() {
+			return zero()
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if yIsC && yc.IsZero() {
+			return x
+		}
+		if xIsC && xc.IsZero() && !(yIsC && yc.Val >= uint64(w)) {
+			// 0 shifted by an in-range amount is 0; for non-constant
+			// amounts this would hide the out-of-range poison, so only
+			// fold when the amount is a known in-range constant.
+			if yIsC {
+				return zero()
+			}
+		}
+	}
+	return nil
+}
+
+// simplifyICmp handles comparisons decidable without context.
+func simplifyICmp(in *ir.Instr) ir.Value {
+	x, y := in.Args[0], in.Args[1]
+	w, isInt := ir.IsInt(x.Type())
+	if x == y {
+		switch in.Pred {
+		case ir.EQ, ir.ULE, ir.UGE, ir.SLE, ir.SGE:
+			return ir.NewBool(true)
+		case ir.NE, ir.ULT, ir.UGT, ir.SLT, ir.SGT:
+			return ir.NewBool(false)
+		}
+	}
+	if !isInt {
+		return nil
+	}
+	yc, yIsC := constOf(y)
+	if !yIsC {
+		return nil
+	}
+	switch in.Pred {
+	case ir.ULT:
+		if yc.IsZero() {
+			return ir.NewBool(false)
+		}
+	case ir.UGE:
+		if yc.IsZero() {
+			return ir.NewBool(true)
+		}
+	case ir.UGT:
+		if yc.IsAllOnes() {
+			return ir.NewBool(false)
+		}
+	case ir.ULE:
+		if yc.IsAllOnes() {
+			return ir.NewBool(true)
+		}
+	case ir.SLT:
+		if yc.Val == 1<<uint(w-1) { // INT_MIN
+			return ir.NewBool(false)
+		}
+	case ir.SGE:
+		if yc.Val == 1<<uint(w-1) {
+			return ir.NewBool(true)
+		}
+	case ir.SGT:
+		if yc.Val == apint.Mask(w)>>1 { // INT_MAX
+			return ir.NewBool(false)
+		}
+	case ir.SLE:
+		if yc.Val == apint.Mask(w)>>1 {
+			return ir.NewBool(true)
+		}
+	}
+	return nil
+}

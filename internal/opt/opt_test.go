@@ -1,0 +1,739 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/tv"
+)
+
+// optimize parses a module, runs the given passes, and returns the module
+// plus its pre-optimization clone.
+func optimize(t *testing.T, src string, spec string, bugs *BugSet) (orig, out *ir.Module) {
+	t.Helper()
+	m, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	orig = m.Clone()
+	passes, err := ByName(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(m)
+	if bugs != nil {
+		ctx.Bugs = bugs
+	}
+	RunPasses(ctx, passes)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("optimizer output fails IR verification:\n%s\n%v", m.String(), err)
+	}
+	return orig, m
+}
+
+// checkRefines requires every optimized function to refine its original.
+// Queries that exhaust the solver budget are skipped, as the fuzzing loop
+// does (the Alive2 timeout analog).
+func checkRefines(t *testing.T, orig, out *ir.Module) {
+	t.Helper()
+	for _, f := range out.Defs() {
+		src := orig.FuncByName(f.Name)
+		r := tv.Verify(orig, src, f, tv.Options{ConflictBudget: 500000})
+		switch r.Verdict {
+		case tv.Valid, tv.Unsupported:
+		case tv.Unknown:
+			t.Logf("@%s: solver budget exhausted; skipping", f.Name)
+		default:
+			t.Errorf("@%s: optimization not a refinement (%s): %v\n--- source ---\n%s--- target ---\n%s",
+				f.Name, r.Reason, r.CEX, src.String(), f.String())
+		}
+	}
+}
+
+func TestConstantFold(t *testing.T) {
+	_, out := optimize(t, `define i32 @f() {
+  %a = add i32 2, 3
+  %b = mul i32 %a, 4
+  %c = shl i32 %b, 1
+  ret i32 %c
+}`, "constfold,dce", nil)
+	f := out.FuncByName("f")
+	if got := f.NumInstrs(); got != 1 {
+		t.Fatalf("expected full fold to `ret i32 40`, got %d instrs:\n%s", got, f.String())
+	}
+	ret := f.Entry().Instrs[0]
+	c, ok := ret.Args[0].(*ir.Const)
+	if !ok || c.Val != 40 {
+		t.Fatalf("folded to %v, want 40", ret.Args[0])
+	}
+}
+
+func TestConstantFoldPoisonFlags(t *testing.T) {
+	// 127 + 1 with nsw at i8 overflows signed: must fold to poison.
+	_, out := optimize(t, `define i8 @f() {
+  %a = add nsw i8 127, 1
+  ret i8 %a
+}`, "constfold", nil)
+	ret := out.FuncByName("f").Entry().Instrs[len(out.FuncByName("f").Entry().Instrs)-1]
+	if _, ok := ret.Args[0].(*ir.Poison); !ok {
+		t.Fatalf("nsw overflow should fold to poison, got %s", ir.OperandString(ret.Args[0]))
+	}
+}
+
+func TestInstSimplifyIdentities(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  %a = add i32 %x, 0
+  %b = mul i32 %a, 1
+  %c = or i32 %b, 0
+  %d = and i32 %c, -1
+  %e = xor i32 %d, 0
+  ret i32 %e
+}`
+	orig, out := optimize(t, src, "instsimplify,dce", nil)
+	if got := out.FuncByName("f").NumInstrs(); got != 1 {
+		t.Fatalf("identities should collapse to ret, got %d instrs:\n%s", got, out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestDCERemovableCall(t *testing.T) {
+	src := `declare i32 @pure(i32) readnone willreturn nounwind
+declare void @effect(i32)
+
+define i32 @f(i32 %x) {
+  %dead = call i32 @pure(i32 %x)
+  call void @effect(i32 %x)
+  ret i32 %x
+}`
+	orig, out := optimize(t, src, "dce", nil)
+	f := out.FuncByName("f")
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpCall && in.Callee == "pure" {
+			t.Error("removable dead call not eliminated")
+		}
+	}
+	found := false
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpCall && in.Callee == "effect" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("side-effecting call wrongly eliminated")
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestGVNCommonSubexpression(t *testing.T) {
+	src := `define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  %b = add i32 %x, %y
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`
+	orig, out := optimize(t, src, "gvn,instsimplify,dce", nil)
+	if got := out.FuncByName("f").NumInstrs(); got != 1 {
+		t.Fatalf("CSE + x-x should collapse, got %d instrs:\n%s", got, out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestGVNRespectsFlagsByDefault(t *testing.T) {
+	src := `define i8 @f(i8 %x, i8 %y) {
+  %a = add nsw i8 %x, %y
+  %b = add i8 %x, %y
+  %c = xor i8 %a, %b
+  ret i8 %c
+}`
+	orig, out := optimize(t, src, "gvn", nil)
+	checkRefines(t, orig, out)
+}
+
+func TestGVNLoadForwarding(t *testing.T) {
+	src := `define i32 @f(ptr %p) {
+  store i32 41, ptr %p
+  %v = load i32, ptr %p
+  %w = add i32 %v, 1
+  ret i32 %w
+}`
+	orig, out := optimize(t, src, "gvn,constfold,dce", nil)
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpLoad {
+			t.Error("store-to-load forwarding missed")
+		}
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestGVNNoForwardAcrossClobber(t *testing.T) {
+	src := `declare void @clobber(ptr)
+
+define i32 @f(ptr %p) {
+  store i32 41, ptr %p
+  call void @clobber(ptr %p)
+  %v = load i32, ptr %p
+  ret i32 %v
+}`
+	orig, out := optimize(t, src, "gvn,dce", nil)
+	hasLoad := false
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpLoad {
+			hasLoad = true
+		}
+	}
+	if !hasLoad {
+		t.Fatal("forwarded a load across a clobbering call")
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestSimplifyCFGConstantBranch(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+entry:
+  br i1 true, label %a, label %b
+a:
+  ret i32 %x
+b:
+  %y = mul i32 %x, 3
+  ret i32 %y
+}`
+	orig, out := optimize(t, src, "simplifycfg", nil)
+	f := out.FuncByName("f")
+	if len(f.Blocks) != 1 {
+		t.Fatalf("expected single block after folding, got %d:\n%s", len(f.Blocks), f)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestSimplifyCFGDiamond(t *testing.T) {
+	src := `define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %p = add i32 %x, 1
+  br label %join
+b:
+  %q = add i32 %x, 2
+  br label %join
+join:
+  %r = phi i32 [ %p, %a ], [ %q, %b ]
+  ret i32 %r
+}`
+	orig, out := optimize(t, src, "simplifycfg,dce", nil)
+	checkRefines(t, orig, out)
+}
+
+func TestMem2Reg(t *testing.T) {
+	src := `define i32 @f(i1 %c, i32 %x) {
+entry:
+  %s = alloca i32
+  store i32 %x, ptr %s
+  br i1 %c, label %then, label %join
+then:
+  %y = add i32 %x, 5
+  store i32 %y, ptr %s
+  br label %join
+join:
+  %v = load i32, ptr %s
+  ret i32 %v
+}`
+	orig, out := optimize(t, src, "mem2reg,dce", nil)
+	f := out.FuncByName("f")
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpAlloca || in.Op == ir.OpLoad || in.Op == ir.OpStore {
+			t.Fatalf("alloca not fully promoted:\n%s", f)
+		}
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestMem2RegSkipsEscaping(t *testing.T) {
+	src := `declare void @sink(ptr)
+
+define i32 @f(i32 %x) {
+  %s = alloca i32
+  store i32 %x, ptr %s
+  call void @sink(ptr %s)
+  %v = load i32, ptr %s
+  ret i32 %v
+}`
+	orig, out := optimize(t, src, "mem2reg", nil)
+	hasAlloca := false
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpAlloca {
+			hasAlloca = true
+		}
+	}
+	if !hasAlloca {
+		t.Fatal("escaping alloca must not be promoted")
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineShiftPair(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = lshr i32 %a, 8
+  ret i32 %b
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	hasAnd := false
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpAnd {
+			hasAnd = true
+		}
+	}
+	if !hasAnd {
+		t.Fatalf("(x<<8)>>8 should become and:\n%s", out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineAshrShlNeedsNsw(t *testing.T) {
+	// Without nsw the fold must NOT happen.
+	src := `define i32 @f(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = ashr i32 %a, 8
+  ret i32 %b
+}`
+	orig, out := optimize(t, src, "instcombine", nil)
+	checkRefines(t, orig, out)
+
+	// With nsw it folds to %x.
+	src2 := strings.Replace(src, "shl i32", "shl nsw i32", 1)
+	orig2, out2 := optimize(t, src2, "instcombine,dce", nil)
+	if got := out2.FuncByName("f").NumInstrs(); got != 1 {
+		t.Fatalf("shl nsw + ashr should fold away, got %d instrs", got)
+	}
+	checkRefines(t, orig2, out2)
+}
+
+func TestInstCombineReassociate(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  %a = add i32 %x, 10
+  %b = add i32 %a, 20
+  ret i32 %b
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	f := out.FuncByName("f")
+	if got := f.NumInstrs(); got != 2 {
+		t.Fatalf("adds should reassociate to one, got %d:\n%s", got, f)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineUremRecompose(t *testing.T) {
+	src := `define i32 @f(i32 %x, i32 %y) {
+  %d = udiv i32 %x, %y
+  %m = mul i32 %d, %y
+  %r = sub i32 %x, %m
+  ret i32 %r
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	hasURem := false
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpURem {
+			hasURem = true
+		}
+	}
+	if !hasURem {
+		t.Fatalf("udiv/mul/sub should recompose to urem:\n%s", out.FuncByName("f"))
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineClampCorrect(t *testing.T) {
+	// The Listing-2 pattern with the CORRECT canonicalization must verify.
+	src := `define i32 @t1(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %n = xor i1 %t2, true
+  %r = select i1 %n, i32 %x, i32 %t1
+  ret i32 %r
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	// The rewrite should have fired (fewer instructions) and be valid.
+	if got, was := out.FuncByName("t1").NumInstrs(), orig.FuncByName("t1").NumInstrs(); got >= was {
+		t.Fatalf("clamp canonicalization did not fire (%d -> %d)", was, got)
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestInstCombineZextMulCorrect(t *testing.T) {
+	// Widening is legal here: 8-bit operands multiplied at i32 cannot
+	// wrap i32... they are zext'd from i8 into i32: 16 bits needed, w=32.
+	src := `define i64 @f(i8 %a, i8 %b) {
+  %wa = zext i8 %a to i32
+  %wb = zext i8 %b to i32
+  %m = mul i32 %wa, %wb
+  %r = zext i32 %m to i64
+  ret i64 %r
+}`
+	orig, out := optimize(t, src, "instcombine,dce", nil)
+	checkRefines(t, orig, out)
+}
+
+func TestPromotePass(t *testing.T) {
+	src := `define i8 @f(i8 %x, i8 %y) {
+  %a = udiv i8 %x, %y
+  %b = ashr i8 %x, 2
+  %c = icmp ugt i8 -31, %a
+  %d = select i1 %c, i8 %a, i8 %b
+  ret i8 %d
+}`
+	orig, out := optimize(t, src, "promote,dce", nil)
+	checkRefines(t, orig, out)
+}
+
+func TestPromoteUsubSatExpansion(t *testing.T) {
+	src := `define i8 @f(i8 %x, i8 %y) {
+  %r = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)
+  ret i8 %r
+}`
+	orig, out := optimize(t, src, "promote,dce", nil)
+	for _, in := range out.FuncByName("f").Instrs() {
+		if in.Op == ir.OpCall {
+			t.Fatal("usub.sat should have been expanded")
+		}
+	}
+	checkRefines(t, orig, out)
+}
+
+func TestPromoteAbsExpansion(t *testing.T) {
+	for _, flag := range []string{"true", "false"} {
+		src := `define i8 @f(i8 %x) {
+  %r = call i8 @llvm.abs.i8(i8 %x, i1 ` + flag + `)
+  ret i8 %r
+}`
+		orig, out := optimize(t, src, "promote,dce", nil)
+		checkRefines(t, orig, out)
+	}
+}
+
+// TestO2PipelineRefines runs the full pipeline over a battery of
+// functions and validates every result — the strongest correctness gate
+// for the default (bug-free) optimizer.
+func TestO2PipelineRefines(t *testing.T) {
+	corpus := []string{
+		`define i32 @straightline(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  %b = add i32 %x, %y
+  %c = mul i32 %a, 3
+  %d = sub i32 %c, %b
+  %e = xor i32 %d, -1
+  %f1 = and i32 %e, 255
+  ret i32 %f1
+}`,
+		`define i8 @narrow(i8 %x, i8 %y) {
+  %a = udiv i8 %x, 3
+  %b = srem i8 %y, 5
+  %c = add i8 %a, %b
+  %d = icmp slt i8 %c, -10
+  %e = select i1 %d, i8 %a, i8 %b
+  ret i8 %e
+}`,
+		`define i32 @clamp(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %n = xor i1 %t2, true
+  %r = select i1 %n, i32 %x, i32 %t1
+  ret i32 %r
+}`,
+		`define i32 @memops(i1 %c, i32 %x) {
+entry:
+  %s = alloca i32
+  store i32 %x, ptr %s
+  br i1 %c, label %then, label %join
+then:
+  %y = shl i32 %x, 2
+  store i32 %y, ptr %s
+  br label %join
+join:
+  %v = load i32, ptr %s
+  %w = add i32 %v, 1
+  ret i32 %w
+}`,
+		`declare void @clobber(ptr)
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`,
+		`define i16 @intrinsics(i16 %x, i16 %y) {
+  %m = call i16 @llvm.smax.i16(i16 %x, i16 %y)
+  %n = call i16 @llvm.umin.i16(i16 %m, i16 100)
+  %s = call i16 @llvm.usub.sat.i16(i16 %n, i16 %y)
+  ret i16 %s
+}`,
+		`define i32 @consts() {
+entry:
+  %a = add i32 21, 21
+  %b = icmp eq i32 %a, 42
+  br i1 %b, label %yes, label %no
+yes:
+  ret i32 1
+no:
+  ret i32 0
+}`,
+	}
+	for i, src := range corpus {
+		orig, out := optimize(t, src, "o2", nil)
+		checkRefines(t, orig, out)
+		_ = i
+	}
+}
+
+// --- seeded bug activation tests: each defect must manifest on its
+// trigger (miscompilations fail TV; crashes panic) and stay silent
+// without the flag. ---
+
+func runWithBug(t *testing.T, src, spec string, bug BugID) (orig, out *ir.Module, panicked string) {
+	t.Helper()
+	m := parser.MustParse(src)
+	orig = m.Clone()
+	passes, err := ByName(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(m)
+	ctx.Bugs.Enable(bug)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r.(string)
+			}
+		}()
+		RunPasses(ctx, passes)
+	}()
+	return orig, m, panicked
+}
+
+func TestSeededMiscompilations(t *testing.T) {
+	cases := []struct {
+		bug  BugID
+		spec string
+		src  string
+	}{
+		{Bug53252ClampPredicate, "instcombine", `define i32 @t(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %n = xor i1 %t2, true
+  %r = select i1 %n, i32 %x, i32 %t1
+  ret i32 %r
+}`},
+		{Bug50693OppositeShifts, "instcombine", `define i32 @t(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = ashr i32 %a, 8
+  ret i32 %b
+}`},
+		{Bug55284OrAndMiscompile, "instcombine", `define i32 @t(i32 %x) {
+  %a = or i32 %x, 12
+  %b = and i32 %a, 10
+  ret i32 %b
+}`},
+		{Bug55287UremUdiv, "instcombine", `define i32 @t(i32 %x, i32 %y) {
+  %d = udiv i32 %x, %y
+  %m = mul i32 %d, %y
+  %r = sub i32 %x, %m
+  ret i32 %r
+}`},
+		{Bug55129ZeroWidthExtract, "instcombine", `define i64 @t(i1 %b) {
+  %1 = zext i1 %b to i64
+  %2 = lshr i64 %1, 1
+  ret i64 %2
+}`},
+		{Bug55342SextZextPromote, "promote", `define i1 @t(i8 %x) {
+  %1 = sub i8 -66, 0
+  %2 = icmp ugt i8 -31, %x
+  ret i1 %2
+}`},
+		{Bug55296PromotedUrem, "promote", `define i8 @t(i8 %x, i8 %y) {
+  %r = urem i8 %x, %y
+  ret i8 %r
+}`},
+		{Bug58109UsubSat, "promote", `define i8 @t(i8 %x, i8 %y) {
+  %r = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)
+  ret i8 %r
+}`},
+		{Bug55271MissingFreeze, "promote", `define i8 @t(i8 %x) {
+  %r = call i8 @llvm.abs.i8(i8 %x, i1 false)
+  ret i8 %r
+}`},
+		{Bug58321FrozenPoison, "promote", `define i8 @t(i8 %x) {
+  %a = add nsw i8 %x, 100
+  %f = freeze i8 %a
+  ret i8 %f
+}`},
+		{Bug58431ZextSelection, "promote", `define i8 @t(i1 %b) {
+  %z = zext i1 %b to i8
+  ret i8 %z
+}`},
+		{Bug55003UndefShift, "promote", `define i8 @t(i8 %x) {
+  %a = shl i8 %x, 7
+  ret i8 %a
+}`},
+		{Bug53218GVNFlagMerge, "gvn", `define i8 @t(i8 %x, i8 %y) {
+  %a = add nsw i8 %x, %y
+  %b = add i8 %x, %y
+  ret i8 %b
+}`},
+		{Bug55484BSwapMatch, "instcombine", `define i32 @t(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = lshr i32 %x, 8
+  %c = or i32 %a, %b
+  ret i32 %c
+}`},
+		{Bug55833BitfieldExtract, "instcombine", `define i32 @t(i32 %x) {
+  %a = lshr i32 %x, 16
+  %b = and i32 %a, 32767
+  ret i32 %b
+}`},
+		{Bug55201RotateMask, "instcombine", `define i32 @t(i32 %x) {
+  %m1 = and i32 %x, 65535
+  %m2 = and i32 %x, -65536
+  %a = shl i32 %m1, 24
+  %b = lshr i32 %m2, 8
+  %c = or i32 %a, %b
+  ret i32 %c
+}`},
+		{Bug59836ZextMulOverflow, "instcombine", `define i1 @t(i32 %x) {
+  %r = zext i32 %x to i64
+  %t = trunc i64 %r to i34
+  %new0 = mul i34 %t, %t
+  %last = zext i34 %new0 to i64
+  %res = icmp ule i64 %last, 4294967295
+  ret i1 %res
+}`},
+	}
+	for _, c := range cases {
+		info := InfoFor(c.bug)
+		t.Run(info.Component+"-"+info.Desc, func(t *testing.T) {
+			// Without the bug: must refine (or not fire).
+			orig, out := optimize(t, c.src, c.spec, nil)
+			checkRefines(t, orig, out)
+
+			// With the bug: the transform must produce a TV failure.
+			orig, out, panicked := runWithBug(t, c.src, c.spec, c.bug)
+			if panicked != "" {
+				t.Fatalf("miscompilation bug %d crashed instead: %s", info.Issue, panicked)
+			}
+			f := out.Defs()[0]
+			r := tv.Verify(orig, orig.FuncByName(f.Name), f, tv.Options{ConflictBudget: 500000})
+			if r.Verdict != tv.Invalid {
+				t.Fatalf("seeded bug %d not caught by TV (verdict %v)\n--- src ---\n%s--- tgt ---\n%s",
+					info.Issue, r.Verdict, orig.FuncByName(f.Name), f)
+			}
+		})
+	}
+}
+
+func TestSeededCrashes(t *testing.T) {
+	cases := []struct {
+		bug  BugID
+		spec string
+		src  string
+	}{
+		{Bug52884NuwNswSmax, "instcombine", `define i8 @t(i8 %x) {
+  %1 = add nuw nsw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %1, i8 -124)
+  ret i8 %m
+}`},
+		{Bug51618PhiUndefGVN, "gvn", `define i32 @t(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %b
+b:
+  %p = phi i32 [ poison, %a ], [ 1, %entry ]
+  ret i32 %p
+}`},
+		{Bug56463BadSignature, "instcombine", `define i8 @t(i8 %x) {
+  %m = call i8 @llvm.smax.i8(i8 5, i8 %x)
+  ret i8 %m
+}`},
+		{Bug56945ConstFoldPoison, "constfold", `define i8 @t() {
+  %a = add i8 poison, 1
+  ret i8 %a
+}`},
+		{Bug56968PoisonShiftDetect, "instsimplify", `define i8 @t(i8 %x) {
+  %a = shl i8 %x, 8
+  ret i8 %a
+}`},
+		{Bug56981AssertTooStrong, "constfold", `define i8 @t() {
+  %a = lshr i8 3, 8
+  ret i8 %a
+}`},
+		{Bug58425UdivLegalizer, "promote", `define i33 @t(i33 %x, i33 %y) {
+  %a = udiv i33 %x, %y
+  ret i33 %a
+}`},
+		{Bug59757PrintfSignature, "dce", `declare i64 @printf(i64)
+
+define void @t(i64 %x) {
+  %r = call i64 @printf(i64 %x)
+  ret void
+}`},
+		{Bug64687AlignNonPow2, "alignassume", `define i8 @t(ptr %p) {
+  %v = load i8, ptr %p, align 123
+  ret i8 %v
+}`},
+		{Bug64661MoveAutoInit, "dce", `define void @t(ptr %p) {
+  store i32 poison, ptr %p
+  ret void
+}`},
+		{Bug72035SROARewriter, "mem2reg", `define i8 @t(i32 %x) {
+  %s = alloca i32
+  store i32 %x, ptr %s
+  %v = load i8, ptr %s
+  ret i8 %v
+}`},
+		{Bug72034ScalarizeVP, "simplifycfg", `define i32 @t(i1 %a, i1 %b) {
+entry:
+  %c = xor i1 %a, %b
+  br i1 %c, label %x, label %y
+x:
+  ret i32 1
+y:
+  ret i32 2
+}`},
+		{Bug56377ExtractExtract, "promote", `define i8 @t(i64 %x) {
+  %a = trunc i64 %x to i32
+  %b = trunc i32 %a to i8
+  ret i8 %b
+}`},
+		{Bug58423CSEReuseRemoved, "gvn", `define i32 @t(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %p = mul i32 %x, 7
+  ret i32 %p
+b:
+  %q = mul i32 %x, 7
+  ret i32 %q
+}`},
+	}
+	for _, c := range cases {
+		info := InfoFor(c.bug)
+		t.Run(info.Component+"-"+info.Desc, func(t *testing.T) {
+			// Without the bug: no panic, output refines.
+			orig, out := optimize(t, c.src, c.spec, nil)
+			checkRefines(t, orig, out)
+
+			// With the bug: must panic with the seeded-assert marker.
+			_, _, panicked := runWithBug(t, c.src, c.spec, c.bug)
+			if panicked == "" {
+				t.Fatalf("seeded crash %d did not fire", info.Issue)
+			}
+			if !strings.Contains(panicked, "seeded-assert") {
+				t.Fatalf("unexpected panic payload: %s", panicked)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package opt
+
+import (
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// PromotePass widens narrow integer operations (1 < width < 32) to i32 and
+// expands saturating/abs intrinsics into plain IR — the middle-end analog
+// of a backend's type-legalization and instruction-selection layer. The
+// paper found most of its miscompilations in exactly this layer of LLVM's
+// AArch64 backend (sext/zext selection for promoted constants, usub.sat
+// expansion, bitfield extracts); this pass hosts the seeded equivalents.
+type PromotePass struct{}
+
+// Name implements Pass.
+func (*PromotePass) Name() string { return "promote" }
+
+const promoteWidth = 32
+
+// Run implements Pass.
+func (p *PromotePass) Run(ctx *Context, f *ir.Function) bool {
+	changed := false
+	// A replaced instruction may legitimately survive erasure (a division
+	// that could trap has "side effects" even when unused); track handled
+	// instructions so the pass never re-fires on a leftover.
+	done := make(map[*ir.Instr]bool)
+	for _, b := range f.Blocks {
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			if done[in] {
+				continue
+			}
+			c := &combiner{ctx: ctx, f: f, b: b, idx: i}
+			v := promoteInstr(c, in)
+			if v != nil {
+				done[in] = true
+				replaceAllUses(f, in, v)
+				eraseDeadInstr(f, in)
+				changed = true
+				i = -1 // restart block after structural edits
+			}
+		}
+	}
+	return changed
+}
+
+// extend builds the widening of v appropriate for unsigned (zext) or
+// signed (sext) consumption.
+func (c *combiner) extend(v ir.Value, signed bool, to int) ir.Value {
+	w, _ := ir.IsInt(v.Type())
+	if w == to {
+		return v
+	}
+	if cv, ok := constOf(v); ok {
+		if signed {
+			return ir.NewConst(ir.Int(to), apint.SExt(cv.Val, w, to))
+		}
+		return ir.NewConst(ir.Int(to), apint.ZExt(cv.Val, w, to))
+	}
+	op := ir.OpZExt
+	if signed {
+		op = ir.OpSExt
+	}
+	return c.insert(ir.NewCast(op, "", v, ir.Int(to)))
+}
+
+// promoteInstr returns the replacement for in, or nil.
+func promoteInstr(c *combiner, in *ir.Instr) ir.Value {
+	ctx := c.ctx
+
+	// Crash 56377: nested narrowing casts trip the extract-extract
+	// shuffle helper.
+	if ctx.Bugs.On(Bug56377ExtractExtract) && in.Op == ir.OpTrunc {
+		if inner, ok := in.Args[0].(*ir.Instr); ok && inner.Op == ir.OpTrunc {
+			crash(Bug56377ExtractExtract, "extract of extract: %s", in.String())
+		}
+	}
+
+	// Bug 58321: freeze treated as transparent, losing its
+	// poison-stopping effect.
+	if ctx.Bugs.On(Bug58321FrozenPoison) && in.Op == ir.OpFreeze {
+		if _, isInstr := in.Args[0].(*ir.Instr); isInstr {
+			return in.Args[0]
+		}
+	}
+
+	// Bug 58431: zext of i1 selected as sext.
+	if ctx.Bugs.On(Bug58431ZextSelection) && in.Op == ir.OpZExt && ir.IsBool(in.Args[0].Type()) {
+		return c.insert(ir.NewCast(ir.OpSExt, "", in.Args[0], in.Ty.(ir.IntType)))
+	}
+
+	// Intrinsic expansions.
+	if in.Op == ir.OpCall {
+		if v := expandIntrinsic(c, in); v != nil {
+			ctx.stat("promote.expand")
+			return v
+		}
+		return nil
+	}
+
+	switch {
+	case in.Op.IsBinary():
+		return promoteBinary(c, in)
+	case in.Op == ir.OpICmp:
+		return promoteICmp(c, in)
+	}
+	return nil
+}
+
+func promoteBinary(c *combiner, in *ir.Instr) ir.Value {
+	ctx := c.ctx
+	w, ok := ir.IsInt(in.Ty)
+	if !ok || w <= 1 || w >= promoteWidth {
+		// Crash 58425: an unusual division width slips past the
+		// legalizer's width table (widths above the promote limit that
+		// are not a power of two).
+		if ctx.Bugs.On(Bug58425UdivLegalizer) && in.Op == ir.OpUDiv && ok &&
+			w > promoteWidth && !apint.IsPowerOfTwo(uint64(w)) {
+			crash(Bug58425UdivLegalizer, "udiv at width i%d did not reach the legalizer", w)
+		}
+		return nil
+	}
+
+	// Bug 55003: a shift by width-1 "simplified" to poison, destroying a
+	// well-defined value.
+	if ctx.Bugs.On(Bug55003UndefShift) && in.Op == ir.OpShl {
+		if amt, isC := constOf(in.Args[1]); isC && amt.Val == uint64(w-1) {
+			return &ir.Poison{Ty: in.Ty}
+		}
+	}
+
+	// Only operations whose narrow result depends on operand high bits
+	// need care; everything else promotes with either extension. Division
+	// and right-shift families are the interesting ones.
+	var signed bool
+	switch in.Op {
+	case ir.OpUDiv, ir.OpURem, ir.OpLShr:
+		signed = false
+	case ir.OpSDiv, ir.OpSRem, ir.OpAShr:
+		signed = true
+	default:
+		// add/sub/mul/and/or/xor/shl: low bits independent of extension;
+		// promoting buys nothing, so leave them narrow.
+		return nil
+	}
+
+	// Bug 55296: the promoted dividend of an unsigned remainder keeps its
+	// (sign-extended) high bits.
+	dividendSigned := signed
+	if ctx.Bugs.On(Bug55296PromotedUrem) && in.Op == ir.OpURem {
+		dividendSigned = true
+	}
+
+	lhs := c.extend(in.Args[0], dividendSigned, promoteWidth)
+	rhs := c.extend(in.Args[1], signed, promoteWidth)
+	wide := c.insert(ir.NewBinary(in.Op, "", lhs, rhs))
+	c.ctx.stat("promote." + in.Op.String())
+	return c.insert(ir.NewCast(ir.OpTrunc, "", wide, ir.Int(w)))
+}
+
+func promoteICmp(c *combiner, in *ir.Instr) ir.Value {
+	ctx := c.ctx
+	w, ok := ir.IsInt(in.Args[0].Type())
+	if !ok || w <= 1 || w >= promoteWidth {
+		return nil
+	}
+	signed := in.Pred.IsSigned()
+
+	ext := func(v ir.Value) ir.Value {
+		// Bug 55342 (the paper's Listing 19): promoted CONSTANTS of an
+		// unsigned comparison are sign-extended.
+		if cv, isC := constOf(v); isC {
+			s := signed
+			if ctx.Bugs.On(Bug55342SextZextPromote) && !signed {
+				s = true
+			}
+			_ = cv
+			return c.extend(v, s, promoteWidth)
+		}
+		// Bug 55490: a sub feeding an unsigned comparison is promoted
+		// with sext.
+		if ctx.Bugs.On(Bug55490SextZextPromote2) && !signed {
+			if def, isInstr := v.(*ir.Instr); isInstr && def.Op == ir.OpSub {
+				return c.extend(v, true, promoteWidth)
+			}
+		}
+		// Bug 55627: select arms widened with mismatched extensions.
+		if ctx.Bugs.On(Bug55627SextZextRefine) {
+			if sel, isSel := instOf(v, ir.OpSelect); isSel {
+				t := c.extend(sel.Args[1], false, promoteWidth)
+				f := c.extend(sel.Args[2], true, promoteWidth)
+				return c.insert(ir.NewSelect("", sel.Args[0], t, f))
+			}
+		}
+		return c.extend(v, signed, promoteWidth)
+	}
+
+	lhs := ext(in.Args[0])
+	rhs := ext(in.Args[1])
+	c.ctx.stat("promote.icmp")
+	return c.insert(ir.NewICmp(in.Pred, "", lhs, rhs))
+}
+
+// expandIntrinsic lowers usub.sat and abs to plain IR (a backend would do
+// this during legalization).
+func expandIntrinsic(c *combiner, in *ir.Instr) ir.Value {
+	kind, ok := in.IsIntrinsicCall()
+	if !ok {
+		return nil
+	}
+	w, isInt := ir.IsInt(in.Ty)
+	if !isInt {
+		return nil
+	}
+	switch kind {
+	case ir.IntrinsicUSubSat:
+		x, y := in.Args[0], in.Args[1]
+		cmp := c.insert(ir.NewICmp(ir.ULT, "", x, y))
+		sub := c.insert(ir.NewBinary(ir.OpSub, "", x, y))
+		zero := ir.NewConst(ir.Int(w), 0)
+		// Bug 58109: the saturation select is inverted.
+		if c.ctx.Bugs.On(Bug58109UsubSat) {
+			return c.insert(ir.NewSelect("", cmp, sub, zero))
+		}
+		return c.insert(ir.NewSelect("", cmp, zero, sub))
+
+	case ir.IntrinsicAbs:
+		x := in.Args[0]
+		flag, flagIsC := constOf(in.Args[1])
+		if !flagIsC {
+			return nil
+		}
+		zero := ir.NewConst(ir.Int(w), 0)
+		neg := ir.NewBinary(ir.OpSub, "", zero, x)
+		// The nsw flag (making -INT_MIN poison) is only allowed when the
+		// intrinsic's int_min_is_poison flag permits it.
+		//
+		// Bug 55271: the expansion always claims nsw ("missing a freeze
+		// in the ABS expansion" — the poison-safety step is skipped).
+		if flag.IsOne() || c.ctx.Bugs.On(Bug55271MissingFreeze) {
+			neg.Nsw = true
+		}
+		c.insert(neg)
+		isNeg := c.insert(ir.NewICmp(ir.SLT, "", x, zero))
+		return c.insert(ir.NewSelect("", isNeg, neg, x))
+	}
+	return nil
+}

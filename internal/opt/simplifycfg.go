@@ -1,0 +1,183 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// SimplifyCFGPass folds constant branches, deletes unreachable blocks, and
+// merges straight-line block chains, like LLVM's SimplifyCFG.
+type SimplifyCFGPass struct{}
+
+// Name implements Pass.
+func (*SimplifyCFGPass) Name() string { return "simplifycfg" }
+
+// Run implements Pass.
+func (p *SimplifyCFGPass) Run(ctx *Context, f *ir.Function) bool {
+	changed := false
+	for {
+		again := false
+		if p.foldConstantBranches(ctx, f) {
+			again, changed = true, true
+		}
+		if p.removeUnreachable(ctx, f) {
+			again, changed = true, true
+		}
+		if p.mergeChains(ctx, f) {
+			again, changed = true, true
+		}
+		if !again {
+			return changed
+		}
+	}
+}
+
+// foldConstantBranches rewrites condbr on a constant into br.
+func (p *SimplifyCFGPass) foldConstantBranches(ctx *Context, f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		c, ok := constOf(t.Args[0])
+		if !ok {
+			continue
+		}
+
+		keep := t.Targets[1]
+		dead := t.Targets[0]
+		if c.IsOne() {
+			keep, dead = dead, keep
+		}
+		if dead != keep {
+			removePhiEdge(dead, b)
+		}
+		b.Remove(len(b.Instrs) - 1)
+		b.Append(ir.NewBr(keep))
+		ctx.stat("simplifycfg.constbr")
+		changed = true
+	}
+
+	// Crash trigger for 72034 lives outside the constant case: i1
+	// arithmetic feeding any conditional branch.
+	if ctx.Bugs.On(Bug72034ScalarizeVP) {
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpCondBr {
+				continue
+			}
+			if def, ok := t.Args[0].(*ir.Instr); ok && def.Op.IsBinary() && ir.IsBool(def.Ty) {
+				crash(Bug72034ScalarizeVP, "scalarize helper on i1 arithmetic condition: %s", def.String())
+			}
+		}
+	}
+	return changed
+}
+
+// removePhiEdge deletes pred's incoming entries from every phi in b.
+func removePhiEdge(b *ir.Block, pred *ir.Block) {
+	for _, phi := range b.Phis() {
+		for i := 0; i < len(phi.Preds); i++ {
+			if phi.Preds[i] == pred {
+				phi.Args = append(phi.Args[:i], phi.Args[i+1:]...)
+				phi.Preds = append(phi.Preds[:i], phi.Preds[i+1:]...)
+				i--
+			}
+		}
+	}
+}
+
+// removeUnreachable deletes blocks not reachable from the entry.
+func (p *SimplifyCFGPass) removeUnreachable(ctx *Context, f *ir.Function) bool {
+	reach := make(map[*ir.Block]bool)
+	var dfs func(*ir.Block)
+	dfs = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+	}
+	dfs(f.Entry())
+	changed := false
+	for i := 0; i < len(f.Blocks); i++ {
+		b := f.Blocks[i]
+		if reach[b] {
+			continue
+		}
+		for _, s := range b.Succs() {
+			if reach[s] {
+				removePhiEdge(s, b)
+			}
+		}
+		f.RemoveBlock(b)
+		i--
+		ctx.stat("simplifycfg.unreachable")
+		changed = true
+	}
+	return changed
+}
+
+// mergeChains merges a block into its unique predecessor when that
+// predecessor branches unconditionally to it.
+func (p *SimplifyCFGPass) mergeChains(ctx *Context, f *ir.Function) bool {
+	changed := false
+	for {
+		merged := false
+		preds := make(map[*ir.Block][]*ir.Block)
+		for _, b := range f.Blocks {
+			for _, s := range b.Succs() {
+				preds[s] = append(preds[s], b)
+			}
+		}
+		for _, b := range f.Blocks {
+			if b == f.Entry() {
+				continue
+			}
+			ps := preds[b]
+			if len(ps) != 1 {
+				continue
+			}
+			pred := ps[0]
+			if pred == b {
+				continue
+			}
+			t := pred.Term()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			// Collapse b's phis (single predecessor) to their values.
+			for _, phi := range b.Phis() {
+				replaceAllUses(f, phi, phi.Args[0])
+			}
+			for len(b.Phis()) > 0 {
+				b.Remove(0)
+			}
+			// Splice b's instructions after removing pred's terminator.
+			pred.Remove(len(pred.Instrs) - 1)
+			for len(b.Instrs) > 0 {
+				in := b.Remove(0)
+				pred.Append(in)
+			}
+			// Successor phis that referenced b now come from pred.
+			for _, s := range pred.Succs() {
+				for _, phi := range s.Phis() {
+					for i, pb := range phi.Preds {
+						if pb == b {
+							phi.Preds[i] = pred
+						}
+					}
+				}
+			}
+			f.RemoveBlock(b)
+			ctx.stat("simplifycfg.merge")
+			merged, changed = true, true
+			break
+		}
+		if !merged {
+			return changed
+		}
+	}
+}

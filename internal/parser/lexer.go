@@ -1,0 +1,240 @@
+// Package parser reads the textual .ll form of the IR subset defined in
+// internal/ir. It exists both for loading seed test files and because the
+// discrete-tool baseline of the throughput experiment (paper Fig. 2)
+// deliberately pays parse/print costs on every iteration.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF      tokenKind = iota
+	tokWord               // keywords, type names, attribute names: define, i32, nuw...
+	tokLocal              // %name
+	tokGlobal             // @name
+	tokInt                // integer literal (possibly negative)
+	tokLParen             // (
+	tokRParen             // )
+	tokLBrace             // {
+	tokRBrace             // }
+	tokLBracket           // [
+	tokRBracket           // ]
+	tokComma              // ,
+	tokEquals             // =
+	tokColon              // :
+	tokStar               // *
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokWord:
+		return "word"
+	case tokLocal:
+		return "local name"
+	case tokGlobal:
+		return "global name"
+	case tokInt:
+		return "integer"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	case tokColon:
+		return "':'"
+	case tokStar:
+		return "'*'"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string // without sigils for local/global
+	line int
+}
+
+// lexer produces the token stream. The .ll lexical grammar is simple
+// enough that a hand-rolled scanner is clearer than a generated one.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-' || r == '$'
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == ';': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	mk := func(k tokenKind, text string) (token, error) {
+		return token{kind: k, text: text, line: l.line}, nil
+	}
+	switch c {
+	case '(':
+		l.pos++
+		return mk(tokLParen, "(")
+	case ')':
+		l.pos++
+		return mk(tokRParen, ")")
+	case '{':
+		l.pos++
+		return mk(tokLBrace, "{")
+	case '}':
+		l.pos++
+		return mk(tokRBrace, "}")
+	case '[':
+		l.pos++
+		return mk(tokLBracket, "[")
+	case ']':
+		l.pos++
+		return mk(tokRBracket, "]")
+	case ',':
+		l.pos++
+		return mk(tokComma, ",")
+	case '=':
+		l.pos++
+		return mk(tokEquals, "=")
+	case ':':
+		l.pos++
+		return mk(tokColon, ":")
+	case '*':
+		l.pos++
+		return mk(tokStar, "*")
+	case '%', '@':
+		l.pos++
+		ns := l.pos
+		// Quoted names: %"name with spaces" (rare; supported for fidelity).
+		if l.pos < len(l.src) && l.src[l.pos] == '"' {
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated quoted name")
+			}
+			name := l.src[ns+1 : l.pos]
+			l.pos++
+			if c == '%' {
+				return mk(tokLocal, name)
+			}
+			return mk(tokGlobal, name)
+		}
+		for l.pos < len(l.src) && isNameRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		if l.pos == ns {
+			return token{}, l.errorf("empty name after %q", string(c))
+		}
+		name := l.src[ns:l.pos]
+		if c == '%' {
+			return mk(tokLocal, name)
+		}
+		return mk(tokGlobal, name)
+	}
+	if c == '-' || (c >= '0' && c <= '9') {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if text == "-" {
+			return token{}, l.errorf("stray '-'")
+		}
+		return mk(tokInt, text)
+	}
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		for l.pos < len(l.src) && isNameRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return mk(tokWord, l.src[start:l.pos])
+	}
+	// Skip LLVM attribute-group references (#0) and metadata (!foo) with a
+	// clear error rather than silently misparsing.
+	if c == '#' || c == '!' {
+		return token{}, l.errorf("unsupported construct starting with %q (attribute groups and metadata are not part of the IR subset)", string(c))
+	}
+	return token{}, l.errorf("unexpected character %q", string(c))
+}
+
+// tokenize scans the whole input.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// isTypeWord reports whether a word token begins a type.
+func isTypeWord(s string) bool {
+	if s == "ptr" || s == "void" {
+		return true
+	}
+	if len(s) >= 2 && s[0] == 'i' {
+		for _, r := range s[1:] {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+var _ = strings.TrimSpace // keep strings imported if helpers change

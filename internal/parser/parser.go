@@ -1,0 +1,868 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// Parse reads a module from .ll source text.
+func Parse(src string) (*ir.Module, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, fmt.Errorf("parser: %w", err)
+	}
+	p := &parser{toks: toks}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, fmt.Errorf("parser: %w", err)
+	}
+	return m, nil
+}
+
+// MustParse is Parse for known-good source (tests, generated corpora); it
+// panics on error.
+func MustParse(src string) *ir.Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.advance()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, found %s %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectWord(w string) error {
+	t := p.advance()
+	if t.kind != tokWord || t.text != w {
+		return p.errf(t, "expected %q, found %q", w, t.text)
+	}
+	return nil
+}
+
+// acceptWord consumes a specific keyword if present.
+func (p *parser) acceptWord(w string) bool {
+	if p.peek().kind == tokWord && p.peek().text == w {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseModule() (*ir.Module, error) {
+	m := ir.NewModule()
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return m, nil
+		case t.kind == tokWord && t.text == "declare":
+			p.advance()
+			f, err := p.parseFuncHeader(true)
+			if err != nil {
+				return nil, err
+			}
+			f.IsDecl = true
+			m.Add(f)
+		case t.kind == tokWord && t.text == "define":
+			p.advance()
+			f, err := p.parseFuncHeader(false)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.parseFuncBody(f); err != nil {
+				return nil, err
+			}
+			m.Add(f)
+		case t.kind == tokWord && (t.text == "target" || t.text == "source_filename"):
+			// Skip target triple / datalayout / source filename lines:
+			// consume tokens to something that looks like the next
+			// top-level construct. These appear in real LLVM tests.
+			p.advance()
+			for {
+				nt := p.peek()
+				if nt.kind == tokEOF ||
+					(nt.kind == tokWord && (nt.text == "define" || nt.text == "declare" ||
+						nt.text == "target" || nt.text == "source_filename")) {
+					break
+				}
+				p.advance()
+			}
+		default:
+			return nil, p.errf(t, "expected 'define' or 'declare' at top level, found %q", t.text)
+		}
+	}
+}
+
+// parseType parses a first-class type: iN, ptr, void, or the legacy typed
+// pointer form "T*" (which the paper's listings use), which collapses to
+// the opaque pointer type.
+func (p *parser) parseType() (ir.Type, error) {
+	t := p.advance()
+	if t.kind != tokWord || !isTypeWord(t.text) {
+		return nil, p.errf(t, "expected a type, found %q", t.text)
+	}
+	var ty ir.Type
+	switch t.text {
+	case "ptr":
+		ty = ir.Ptr
+	case "void":
+		ty = ir.Void
+	default:
+		bits, err := strconv.Atoi(t.text[1:])
+		if err != nil || bits < 1 || bits > apint.MaxWidth {
+			return nil, p.errf(t, "unsupported integer type %q (widths 1..%d)", t.text, apint.MaxWidth)
+		}
+		ty = ir.Int(bits)
+	}
+	// Legacy typed pointers: any number of trailing '*' yields ptr.
+	for p.peek().kind == tokStar {
+		p.advance()
+		ty = ir.Ptr
+	}
+	return ty, nil
+}
+
+func (p *parser) parseParamAttrs() (ir.ParamAttrs, error) {
+	var a ir.ParamAttrs
+	for {
+		t := p.peek()
+		if t.kind != tokWord {
+			return a, nil
+		}
+		switch t.text {
+		case "nocapture":
+			a.Nocapture = true
+		case "nonnull":
+			a.Nonnull = true
+		case "noundef":
+			a.Noundef = true
+		case "readonly":
+			a.Readonly = true
+		case "writeonly":
+			a.Writeonly = true
+		case "dereferenceable":
+			p.advance()
+			if _, err := p.expect(tokLParen); err != nil {
+				return a, err
+			}
+			nt, err := p.expect(tokInt)
+			if err != nil {
+				return a, err
+			}
+			n, err := strconv.ParseUint(nt.text, 10, 64)
+			if err != nil {
+				return a, p.errf(nt, "bad dereferenceable size %q", nt.text)
+			}
+			a.Dereferenceable = n
+			if _, err := p.expect(tokRParen); err != nil {
+				return a, err
+			}
+			continue
+		case "align":
+			p.advance()
+			nt, err := p.expect(tokInt)
+			if err != nil {
+				return a, err
+			}
+			n, err := strconv.ParseUint(nt.text, 10, 64)
+			if err != nil {
+				return a, p.errf(nt, "bad align %q", nt.text)
+			}
+			a.Align = n
+			continue
+		default:
+			return a, nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseFuncAttrs() ir.FuncAttrs {
+	var a ir.FuncAttrs
+	for {
+		t := p.peek()
+		if t.kind != tokWord {
+			return a
+		}
+		switch t.text {
+		case "nofree":
+			a.Nofree = true
+		case "willreturn":
+			a.Willreturn = true
+		case "norecurse":
+			a.Norecurse = true
+		case "nounwind":
+			a.Nounwind = true
+		case "nosync":
+			a.Nosync = true
+		case "readnone":
+			a.Readnone = true
+		case "readonly":
+			a.Readonly = true
+		default:
+			return a
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseFuncHeader(isDecl bool) (*ir.Function, error) {
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokGlobal)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	f := ir.NewFunction(nameTok.text, ret)
+	if p.peek().kind != tokRParen {
+		for idx := 0; ; idx++ {
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			attrs, err := p.parseParamAttrs()
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("arg%d", idx)
+			if p.peek().kind == tokLocal {
+				name = p.advance().text
+			} else if !isDecl {
+				return nil, p.errf(p.peek(), "definition parameter %d needs a name", idx)
+			}
+			f.Params = append(f.Params, &ir.Param{Nm: name, Ty: ty, Attrs: attrs})
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	f.Attrs = p.parseFuncAttrs()
+	return f, nil
+}
+
+// funcState carries per-function-body parse state: name resolution with
+// deferred (forward) references and on-demand block creation.
+type funcState struct {
+	f       *ir.Function
+	values  map[string]ir.Value
+	blocks  map[string]*ir.Block
+	ordered []*ir.Block // blocks in label-definition order
+	// pending operand resolutions: applied once all defs are known.
+	pending []pendingRef
+}
+
+type pendingRef struct {
+	in   *ir.Instr
+	arg  int
+	name string
+	ty   ir.Type
+	line int
+}
+
+func (fs *funcState) getBlock(name string) *ir.Block {
+	if b, ok := fs.blocks[name]; ok {
+		return b
+	}
+	b := fs.f.NewDetachedBlock(name)
+	fs.blocks[name] = b
+	return b
+}
+
+// defineBlock marks the block with this label as defined here, fixing its
+// position in the function's block order.
+func (fs *funcState) defineBlock(name string) (*ir.Block, error) {
+	b := fs.getBlock(name)
+	for _, ob := range fs.ordered {
+		if ob == b {
+			return nil, fmt.Errorf("duplicate block label %q", name)
+		}
+	}
+	fs.ordered = append(fs.ordered, b)
+	return b, nil
+}
+
+func (p *parser) parseFuncBody(f *ir.Function) error {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	fs := &funcState{
+		f:      f,
+		values: make(map[string]ir.Value),
+		blocks: make(map[string]*ir.Block),
+	}
+	for _, prm := range f.Params {
+		if _, dup := fs.values[prm.Nm]; dup {
+			return fmt.Errorf("duplicate parameter name %%%s", prm.Nm)
+		}
+		fs.values[prm.Nm] = prm
+	}
+
+	// The entry block's label is optional in .ll; synthesize "entry" (or a
+	// unique variant) when the body begins directly with an instruction.
+	var cur *ir.Block
+	ensureBlock := func() *ir.Block {
+		if cur == nil {
+			name := "entry"
+			for _, taken := fs.blocks[name]; taken; _, taken = fs.blocks[name] {
+				name += "."
+			}
+			cur, _ = fs.defineBlock(name)
+		}
+		return cur
+	}
+
+	for {
+		t := p.peek()
+		if t.kind == tokRBrace {
+			p.advance()
+			break
+		}
+		if t.kind == tokEOF {
+			return p.errf(t, "unexpected end of input in function body")
+		}
+		// Block label: WORD ':' — distinguished from an instruction by the
+		// following colon.
+		if t.kind == tokWord && p.toks[p.pos+1].kind == tokColon {
+			p.advance()
+			p.advance()
+			b, err := fs.defineBlock(t.text)
+			if err != nil {
+				return p.errf(t, "%v", err)
+			}
+			cur = b
+			continue
+		}
+		in, err := p.parseInstr(fs)
+		if err != nil {
+			return err
+		}
+		ensureBlock().Append(in)
+		if in.Nm != "" && !ir.IsVoid(in.Ty) {
+			if _, dup := fs.values[in.Nm]; dup {
+				return p.errf(t, "duplicate SSA name %%%s", in.Nm)
+			}
+			fs.values[in.Nm] = in
+		}
+	}
+
+	// Attach blocks in definition order, and fail on labels that were
+	// branched to but never defined.
+	for name, b := range fs.blocks {
+		found := false
+		for _, ob := range fs.ordered {
+			if ob == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("@%s: branch to undefined label %%%s", f.Name, name)
+		}
+	}
+	for _, b := range fs.ordered {
+		f.AdoptBlock(b)
+	}
+
+	// Resolve deferred operand references.
+	for _, pr := range fs.pending {
+		v, ok := fs.values[pr.name]
+		if !ok {
+			return fmt.Errorf("line %d: use of undefined value %%%s", pr.line, pr.name)
+		}
+		if !ir.TypesEqual(v.Type(), pr.ty) {
+			return fmt.Errorf("line %d: %%%s has type %v, used at type %v",
+				pr.line, pr.name, v.Type(), pr.ty)
+		}
+		pr.in.ReplaceOperand(pr.arg, v)
+	}
+	return nil
+}
+
+// parseOperand parses one operand of the given type. Known values and
+// constants are installed immediately; references to names not yet defined
+// are recorded for later resolution (the instruction gets a typed poison
+// placeholder until then, so argument slots always hold a Value).
+func (p *parser) parseOperand(fs *funcState, in *ir.Instr, argIdx int, ty ir.Type) error {
+	t := p.advance()
+	switch t.kind {
+	case tokLocal:
+		if v, ok := fs.values[t.text]; ok {
+			if !ir.TypesEqual(v.Type(), ty) {
+				return p.errf(t, "%%%s has type %v, used at type %v", t.text, v.Type(), ty)
+			}
+			in.Args[argIdx] = v
+			return nil
+		}
+		in.Args[argIdx] = &ir.Poison{Ty: ty}
+		fs.pending = append(fs.pending, pendingRef{in: in, arg: argIdx, name: t.text, ty: ty, line: t.line})
+		return nil
+	case tokInt:
+		it, ok := ty.(ir.IntType)
+		if !ok {
+			return p.errf(t, "integer literal %q used at non-integer type %v", t.text, ty)
+		}
+		v, err := parseIntLit(t.text, it.Bits)
+		if err != nil {
+			return p.errf(t, "%v", err)
+		}
+		in.Args[argIdx] = v
+		return nil
+	case tokWord:
+		switch t.text {
+		case "true", "false":
+			if !ir.IsBool(ty) {
+				return p.errf(t, "boolean literal at type %v", ty)
+			}
+			in.Args[argIdx] = ir.NewBool(t.text == "true")
+			return nil
+		case "poison", "undef": // undef approximated as poison (DESIGN.md §4)
+			in.Args[argIdx] = &ir.Poison{Ty: ty}
+			return nil
+		case "null":
+			if !ir.IsPtr(ty) {
+				return p.errf(t, "null at non-pointer type %v", ty)
+			}
+			in.Args[argIdx] = &ir.NullPtr{}
+			return nil
+		}
+	}
+	return p.errf(t, "expected an operand, found %q", t.text)
+}
+
+// parseIntLit parses a decimal (possibly negative) literal at width bits.
+func parseIntLit(text string, bits int) (*ir.Const, error) {
+	ty := ir.Int(bits)
+	if text != "" && text[0] == '-' {
+		// Accept any literal that fits in 64 bits and truncate, matching
+		// LLVM's tolerance for wide literals in narrow positions (the
+		// paper's Listing 10 contains "10691696680" used at i32).
+		sv, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer literal %q", text)
+		}
+		return ir.NewSigned(ty, sv), nil
+	}
+	uv, err := strconv.ParseUint(text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad integer literal %q", text)
+	}
+	return ir.NewConst(ty, uv), nil
+}
+
+// parseAlign parses an optional trailing ", align N".
+func (p *parser) parseAlign() (uint64, error) {
+	if p.peek().kind == tokComma && p.toks[p.pos+1].kind == tokWord && p.toks[p.pos+1].text == "align" {
+		p.advance()
+		p.advance()
+		nt, err := p.expect(tokInt)
+		if err != nil {
+			return 0, err
+		}
+		n, err := strconv.ParseUint(nt.text, 10, 64)
+		if err != nil {
+			return 0, p.errf(nt, "bad align %q", nt.text)
+		}
+		return n, nil
+	}
+	return 0, nil
+}
+
+var predByName = map[string]ir.Pred{
+	"eq": ir.EQ, "ne": ir.NE,
+	"ugt": ir.UGT, "uge": ir.UGE, "ult": ir.ULT, "ule": ir.ULE,
+	"sgt": ir.SGT, "sge": ir.SGE, "slt": ir.SLT, "sle": ir.SLE,
+}
+
+var opByName = map[string]ir.Op{
+	"add": ir.OpAdd, "sub": ir.OpSub, "mul": ir.OpMul,
+	"udiv": ir.OpUDiv, "sdiv": ir.OpSDiv, "urem": ir.OpURem, "srem": ir.OpSRem,
+	"shl": ir.OpShl, "lshr": ir.OpLShr, "ashr": ir.OpAShr,
+	"and": ir.OpAnd, "or": ir.OpOr, "xor": ir.OpXor,
+}
+
+func (p *parser) parseInstr(fs *funcState) (*ir.Instr, error) {
+	name := ""
+	if p.peek().kind == tokLocal {
+		name = p.advance().text
+		if _, err := p.expect(tokEquals); err != nil {
+			return nil, err
+		}
+	}
+	opTok := p.advance()
+	if opTok.kind != tokWord {
+		return nil, p.errf(opTok, "expected an opcode, found %q", opTok.text)
+	}
+
+	if bop, ok := opByName[opTok.text]; ok {
+		in := &ir.Instr{Op: bop, Nm: name, Args: make([]ir.Value, 2)}
+		for {
+			switch {
+			case p.acceptWord("nuw"):
+				in.Nuw = true
+			case p.acceptWord("nsw"):
+				in.Nsw = true
+			case p.acceptWord("exact"):
+				in.Exact = true
+			default:
+				goto flagsDone
+			}
+		}
+	flagsDone:
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Ty = ty
+		if err := p.parseOperand(fs, in, 0, ty); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		if err := p.parseOperand(fs, in, 1, ty); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+
+	switch opTok.text {
+	case "icmp":
+		pt := p.advance()
+		pred, ok := predByName[pt.text]
+		if pt.kind != tokWord || !ok {
+			return nil, p.errf(pt, "unknown icmp predicate %q", pt.text)
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in := &ir.Instr{Op: ir.OpICmp, Nm: name, Ty: ir.I1, Pred: pred, Args: make([]ir.Value, 2)}
+		if err := p.parseOperand(fs, in, 0, ty); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		if err := p.parseOperand(fs, in, 1, ty); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case "select":
+		in := &ir.Instr{Op: ir.OpSelect, Nm: name, Args: make([]ir.Value, 3)}
+		for i := 0; i < 3; i++ {
+			if i > 0 {
+				if _, err := p.expect(tokComma); err != nil {
+					return nil, err
+				}
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if i == 1 {
+				in.Ty = ty
+			}
+			if err := p.parseOperand(fs, in, i, ty); err != nil {
+				return nil, err
+			}
+		}
+		return in, nil
+
+	case "zext", "sext", "trunc":
+		ops := map[string]ir.Op{"zext": ir.OpZExt, "sext": ir.OpSExt, "trunc": ir.OpTrunc}
+		in := &ir.Instr{Op: ops[opTok.text], Nm: name, Args: make([]ir.Value, 1)}
+		srcTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.parseOperand(fs, in, 0, srcTy); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("to"); err != nil {
+			return nil, err
+		}
+		dstTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Ty = dstTy
+		return in, nil
+
+	case "freeze":
+		in := &ir.Instr{Op: ir.OpFreeze, Nm: name, Args: make([]ir.Value, 1)}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Ty = ty
+		if err := p.parseOperand(fs, in, 0, ty); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case "alloca":
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		align, err := p.parseAlign()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Instr{Op: ir.OpAlloca, Nm: name, Ty: ir.Ptr, AllocTy: elem, Align: align}, nil
+
+	case "load":
+		valTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		ptrTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !ir.IsPtr(ptrTy) {
+			return nil, p.errf(opTok, "load address type must be a pointer")
+		}
+		in := &ir.Instr{Op: ir.OpLoad, Nm: name, Ty: valTy, Args: make([]ir.Value, 1)}
+		if err := p.parseOperand(fs, in, 0, ir.Ptr); err != nil {
+			return nil, err
+		}
+		align, err := p.parseAlign()
+		if err != nil {
+			return nil, err
+		}
+		in.Align = align
+		return in, nil
+
+	case "store":
+		valTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in := &ir.Instr{Op: ir.OpStore, Ty: ir.Void, Args: make([]ir.Value, 2)}
+		if err := p.parseOperand(fs, in, 0, valTy); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		ptrTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !ir.IsPtr(ptrTy) {
+			return nil, p.errf(opTok, "store address type must be a pointer")
+		}
+		if err := p.parseOperand(fs, in, 1, ir.Ptr); err != nil {
+			return nil, err
+		}
+		align, err := p.parseAlign()
+		if err != nil {
+			return nil, err
+		}
+		in.Align = align
+		return in, nil
+
+	case "getelementptr":
+		// Byte-offset form only: getelementptr i8, ptr %p, iN %off
+		elemTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !ir.TypesEqual(elemTy, ir.I8) {
+			return nil, p.errf(opTok, "only byte-offset GEP (element type i8) is supported")
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		ptrTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !ir.IsPtr(ptrTy) {
+			return nil, p.errf(opTok, "gep base must be a pointer")
+		}
+		in := &ir.Instr{Op: ir.OpGEP, Nm: name, Ty: ir.Ptr, Args: make([]ir.Value, 2)}
+		if err := p.parseOperand(fs, in, 0, ir.Ptr); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		offTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := ir.IsInt(offTy); !ok {
+			return nil, p.errf(opTok, "gep offset must be an integer")
+		}
+		if err := p.parseOperand(fs, in, 1, offTy); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case "call":
+		retTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		calleeTok, err := p.expect(tokGlobal)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		in := &ir.Instr{Op: ir.OpCall, Nm: name, Ty: retTy, Callee: calleeTok.text}
+		var paramTys []ir.Type
+		if p.peek().kind != tokRParen {
+			for {
+				aty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				paramTys = append(paramTys, aty)
+				in.Args = append(in.Args, nil)
+				if err := p.parseOperand(fs, in, len(in.Args)-1, aty); err != nil {
+					return nil, err
+				}
+				if p.peek().kind == tokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		in.Sig = ir.FuncType{Ret: retTy, Params: paramTys}
+		return in, nil
+
+	case "ret":
+		if p.acceptWord("void") {
+			return ir.NewRet(nil), nil
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in := &ir.Instr{Op: ir.OpRet, Ty: ir.Void, Args: make([]ir.Value, 1)}
+		if err := p.parseOperand(fs, in, 0, ty); err != nil {
+			return nil, err
+		}
+		return in, nil
+
+	case "br":
+		if p.acceptWord("label") {
+			lt, err := p.expect(tokLocal)
+			if err != nil {
+				return nil, err
+			}
+			return ir.NewBr(fs.getBlock(lt.text)), nil
+		}
+		condTy, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !ir.IsBool(condTy) {
+			return nil, p.errf(opTok, "conditional branch condition must be i1")
+		}
+		in := &ir.Instr{Op: ir.OpCondBr, Ty: ir.Void, Args: make([]ir.Value, 1)}
+		if err := p.parseOperand(fs, in, 0, ir.I1); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			if err := p.expectWord("label"); err != nil {
+				return nil, err
+			}
+			lt, err := p.expect(tokLocal)
+			if err != nil {
+				return nil, err
+			}
+			in.Targets = append(in.Targets, fs.getBlock(lt.text))
+		}
+		return in, nil
+
+	case "unreachable":
+		return ir.NewUnreachable(), nil
+
+	case "phi":
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in := ir.NewPhi(name, ty)
+		for {
+			if _, err := p.expect(tokLBracket); err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, nil)
+			if err := p.parseOperand(fs, in, len(in.Args)-1, ty); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma); err != nil {
+				return nil, err
+			}
+			lt, err := p.expect(tokLocal)
+			if err != nil {
+				return nil, err
+			}
+			in.Preds = append(in.Preds, fs.getBlock(lt.text))
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			return in, nil
+		}
+	}
+
+	return nil, p.errf(opTok, "unknown instruction %q", opTok.text)
+}

@@ -1,0 +1,202 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// test9 is the paper's running example (Listing 4).
+const test9 = `
+declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}
+`
+
+func TestParseTest9(t *testing.T) {
+	m, err := Parse(test9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	f := m.FuncByName("test9")
+	if f == nil {
+		t.Fatal("missing @test9")
+	}
+	if got := f.NumInstrs(); got != 5 {
+		t.Errorf("NumInstrs = %d, want 5", got)
+	}
+	if len(f.Params) != 2 || f.Params[0].Nm != "p" || !ir.IsPtr(f.Params[0].Ty) {
+		t.Errorf("bad params: %+v", f.Params)
+	}
+	decl := m.FuncByName("clobber")
+	if decl == nil || !decl.IsDecl {
+		t.Fatalf("missing declaration of @clobber")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []string{
+		test9,
+		// Listing 1: the LLVM unit test from Fig. 1.
+		`define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}
+`,
+		// Listing 15: smax intrinsic with flags.
+		`define i8 @smax_offset(i8 %x) {
+  %v1 = add nuw nsw i8 50, %x
+  %m = call i8 @llvm.smax.i8(i8 %v1, i8 -124)
+  ret i8 %m
+}
+`,
+		// Attributes (Listing 5 shape).
+		`define i32 @attrs(ptr dereferenceable(2) %p, ptr nocapture %q) nofree willreturn {
+  %a = load i32, ptr %q, align 4
+  ret i32 %a
+}
+`,
+		// Control flow with phi, condbr, forward references.
+		`define i32 @cfg(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %then, label %else
+then:
+  %y = add i32 %x, 1
+  br label %join
+else:
+  %z = mul i32 %x, 3
+  br label %join
+join:
+  %r = phi i32 [ %y, %then ], [ %z, %else ]
+  ret i32 %r
+}
+`,
+		// Casts, freeze, poison, gep, store, alloca, unreachable path.
+		`define i64 @misc(i32 %x, ptr %p) {
+  %w = zext i32 %x to i64
+  %s = sext i32 %x to i64
+  %n = trunc i64 %w to i16
+  %f = freeze i16 %n
+  %g = getelementptr i8, ptr %p, i64 %w
+  store i16 %f, ptr %g, align 2
+  %sl = alloca i64, align 8
+  store i64 poison, ptr %sl
+  %l = load i64, ptr %sl, align 8
+  ret i64 %l
+}
+`,
+	}
+	for i, src := range cases {
+		m1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		if err := m1.Verify(); err != nil {
+			t.Fatalf("case %d: verify: %v", i, err)
+		}
+		text1 := m1.String()
+		m2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("case %d: reparse printed form: %v\n%s", i, err, text1)
+		}
+		text2 := m2.String()
+		if text1 != text2 {
+			t.Errorf("case %d: print/parse/print not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s",
+				i, text1, text2)
+		}
+	}
+}
+
+func TestParseLegacyTypedPointers(t *testing.T) {
+	// The paper's listings use pre-opaque-pointer syntax (i32* %q); it
+	// must collapse to the opaque ptr type.
+	src := `define i32 @t(i32* %q) {
+  %a = load i32, i32* %q
+  ret i32 %a
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.FuncByName("t")
+	if !ir.IsPtr(f.Params[0].Ty) {
+		t.Errorf("i32* should parse as ptr, got %v", f.Params[0].Ty)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined value", `define i32 @f() { ret i32 %nope }`, "undefined value"},
+		{"type mismatch", `define i32 @f(i64 %x) { ret i32 %x }`, "used at type"},
+		{"duplicate name", "define i32 @f(i32 %x) {\n %x = add i32 %x, 1\n ret i32 %x\n}", "duplicate SSA name"},
+		{"bad width", `define i128 @f() { ret i128 0 }`, "unsupported integer type"},
+		{"undefined label", `define void @f(i1 %c) { br i1 %c, label %a, label %b
+a:
+  ret void
+}`, "undefined label"},
+		{"unknown instruction", `define void @f() { fhqwhgads }`, "unknown instruction"},
+		{"metadata unsupported", `define void @f() !dbg !4 { ret void }`, "unsupported construct"},
+		{"duplicate label", "define void @f() {\nbb:\n br label %bb2\nbb2:\n ret void\nbb:\n ret void\n}", "duplicate block label"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got success", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseNegativeLiterals(t *testing.T) {
+	m := MustParse(`define i8 @f(i8 %x) {
+  %a = add i8 %x, -124
+  ret i8 %a
+}`)
+	f := m.FuncByName("f")
+	add := f.Entry().Instrs[0]
+	c, ok := add.Args[1].(*ir.Const)
+	if !ok {
+		t.Fatalf("rhs is not a constant: %T", add.Args[1])
+	}
+	if c.Signed() != -124 {
+		t.Errorf("constant = %d, want -124", c.Signed())
+	}
+	if got := ir.OperandString(c); got != "-124" {
+		t.Errorf("prints as %q, want -124", got)
+	}
+}
+
+func TestVerifyCatchesDominanceViolation(t *testing.T) {
+	// Build (by hand) a function where a use precedes its definition.
+	f := ir.NewFunction("bad", ir.I32, &ir.Param{Nm: "x", Ty: ir.I32})
+	b := f.NewBlock("entry")
+	add2 := ir.NewBinary(ir.OpAdd, "b", ir.NewConst(ir.I32, 1), ir.NewConst(ir.I32, 2))
+	use := ir.NewBinary(ir.OpAdd, "a", add2, f.Params[0])
+	b.Append(use)
+	b.Append(add2)
+	b.Append(ir.NewRet(use))
+	if err := f.Verify(); err == nil {
+		t.Fatal("verifier accepted use before def")
+	}
+}

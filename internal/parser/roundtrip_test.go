@@ -1,0 +1,92 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/mutate"
+)
+
+// TestRoundTripEdgeCases covers printer/parser corners not exercised by
+// the main corpus: zero-arg calls, void returns, unreachable-only blocks,
+// non-"entry" first labels, exotic-but-legal widths, and every attribute.
+func TestRoundTripEdgeCases(t *testing.T) {
+	cases := []string{
+		`declare i32 @nullary() readnone willreturn nounwind
+
+define i32 @f() {
+  %a = call i32 @nullary()
+  ret i32 %a
+}
+`,
+		`define void @g() {
+  ret void
+}
+`,
+		`define void @h(i1 %c) {
+start:
+  br i1 %c, label %dead, label %ok
+dead:
+  unreachable
+ok:
+  ret void
+}
+`,
+		`define i37 @odd(i37 %x, i3 %y) {
+  %w = zext i3 %y to i37
+  %a = mul i37 %x, %w
+  ret i37 %a
+}
+`,
+		`declare void @all(ptr nocapture nonnull noundef readonly dereferenceable(16) align 8) nofree willreturn norecurse nounwind nosync readonly
+`,
+		`define i1 @b(i1 %x) {
+  %a = xor i1 %x, true
+  %c = select i1 %a, i1 false, i1 %x
+  ret i1 %c
+}
+`,
+	}
+	for i, src := range cases {
+		m, err := Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("case %d: verify: %v", i, err)
+		}
+		text := m.String()
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("case %d: reparse: %v\n%s", i, err, text)
+		}
+		if m2.String() != text {
+			t.Fatalf("case %d: not a fixpoint:\n%s\nvs\n%s", i, text, m2.String())
+		}
+	}
+}
+
+// TestRoundTripProperty: print∘parse is the identity on everything the
+// corpus generator and mutation engine can produce.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		m := corpus.Generate(seed, 2)
+		mu := mutate.New(m, mutate.Config{MaxMutationsPerFunction: 4})
+		mutant := mu.Mutate(seed ^ 0xabcdef)
+		text := mutant.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, text)
+			return false
+		}
+		if back.String() != text {
+			t.Logf("seed %d: print∘parse not identity", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package rng
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Error("different seeds produced the same first value (suspicious)")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		n := 1 + i%17
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(9)
+	const n, trials = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d has %d hits, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestChance(t *testing.T) {
+	r := New(3)
+	if r.Chance(0, 10) || !r.Chance(10, 10) || !r.Chance(15, 10) {
+		t.Fatal("degenerate Chance cases wrong")
+	}
+	hits := 0
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		if r.Chance(1, 4) {
+			hits++
+		}
+	}
+	if hits < trials/4*8/10 || hits > trials/4*12/10 {
+		t.Errorf("Chance(1,4) hit %d/%d, want ~%d", hits, trials, trials/4)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for n := 0; n < 20; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(5)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split children coincided %d/100 times", same)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(1)
+	if r.Pick(0) != -1 {
+		t.Error("Pick(0) must be -1")
+	}
+	if v := r.Pick(5); v < 0 || v >= 5 {
+		t.Errorf("Pick(5) = %d", v)
+	}
+}

@@ -1,0 +1,704 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the MiniSat tradition: two-watched-literal propagation, 1UIP
+// conflict analysis with clause learning, VSIDS variable activity with a
+// binary heap, phase saving, Luby restarts, and activity-based learnt
+// clause deletion.
+//
+// It is the decision engine underneath internal/smt's bit-blaster, playing
+// the role Z3 plays for Alive2 in the paper's system.
+package sat
+
+// Lit is a literal: variable v (0-based) positively as 2v, negated as
+// 2v+1.
+type Lit int32
+
+// MkLit builds a literal from a variable index and sign (neg=true for the
+// negated literal).
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v) << 1
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// lbool is a three-valued boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// Result is a Solve outcome.
+type Result int
+
+const (
+	// Unknown is returned when the solver hits its conflict budget.
+	Unknown Result = iota
+	// Sat means a satisfying assignment was found (read it with Value).
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learnt clauses
+
+	watches [][]watcher // watches[lit] = clauses watching lit
+
+	assign   []lbool // current assignment per var
+	level    []int32 // decision level per var
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	polarity []bool // saved phases
+
+	claInc float64
+
+	ok bool // false once the formula is trivially unsat
+
+	// Statistics, exported for the throughput ablations.
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+
+	// Budget caps the number of conflicts per Solve call; 0 means no cap.
+	Budget int64
+
+	seen  []bool // scratch for analyze
+	model []lbool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default phase: false (neg)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+func (s *Solver) litValue(l Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() == (a == lFalse) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// AddClause adds a clause; it returns false if the formula became
+// trivially unsatisfiable. Clauses may be added only at decision level 0
+// (i.e., before Solve or between Solve calls).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Sort/dedup; drop clauses with l and ~l or satisfied literals.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assign) {
+			panic("sat: literal for unallocated variable")
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop false literal
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Neg() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *Solver) watchClause(c *clause) {
+	// Watch the negations: when lits[0] becomes false we visit the clause.
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.litValue(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.litValue(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.litValue(first) == lFalse {
+				confl = c
+				// Copy remaining watchers and bail.
+				for wi++; wi < len(ws); wi++ {
+					kept = append(kept, ws[wi])
+				}
+				s.qhead = len(s.trail)
+				break
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs 1UIP conflict analysis, returning the learnt clause
+// (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	curLevel := len(s.trailLim)
+
+	var cleanup []int
+	for {
+		s.bumpClause(confl)
+		for i := 0; i < len(confl.lits); i++ {
+			q := confl.lits[i]
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			cleanup = append(cleanup, v)
+			s.bumpVar(v)
+			if int(s.level[v]) >= curLevel {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to expand from the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Neg()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Compute backtrack level: highest level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, v := range cleanup {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if len(s.trailLim) <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == lFalse
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decide() Lit {
+	for {
+		v, ok := s.order.removeMax()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			s.Decisions++
+			return MkLit(v, s.polarity[v])
+		}
+	}
+}
+
+// luby computes the Luby restart sequence term.
+func luby(y float64, x int) float64 {
+	size, seq := 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x = x % size
+	}
+	p := 1.0
+	for i := 0; i < seq; i++ {
+		p *= y
+	}
+	return p
+}
+
+// reduceDB removes the less active half of the learnt clauses (keeping
+// binary clauses and current reasons).
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	// Partial sort: simple threshold on median activity.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.activity
+	}
+	med := quickMedian(acts)
+	locked := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || locked[c] || c.activity >= med {
+			kept = append(kept, c)
+		} else {
+			s.detachClause(c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detachClause(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	// Median-of-medians is overkill; a copy+nth_element via simple
+	// quickselect keeps reduceDB O(n).
+	n := len(xs)
+	k := n / 2
+	lo, hi := 0, n-1
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// It returns Unknown only if the conflict Budget is exhausted.
+func (s *Solver) Solve(assumptions ...Lit) Result {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+
+	maxLearnts := float64(len(s.clauses))/3 + 1000
+	restartBase := 100
+	curRestart := 0
+	conflictsAtStart := s.Conflicts
+
+	for {
+		budgetC := int64(restartBase) * int64(luby(2, curRestart))
+		res := s.search(budgetC, assumptions, &maxLearnts)
+		if res != Unknown {
+			if res == Sat {
+				s.model = append(s.model[:0], s.assign...)
+			}
+			s.cancelUntil(0)
+			return res
+		}
+		curRestart++
+		if s.Budget > 0 && s.Conflicts-conflictsAtStart > s.Budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+	}
+}
+
+// search runs CDCL until a result, a restart (conflict budget for this
+// round exhausted → Unknown), or an assumption conflict (→ Unsat).
+func (s *Solver) search(nConflicts int64, assumptions []Lit, maxLearnts *float64) Result {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflicts++
+			if len(s.trailLim) == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Never backtrack past the assumptions.
+			if btLevel < len(assumptions) {
+				// Check whether the conflict is at/below assumption levels;
+				// if the asserting literal contradicts an assumption the
+				// instance is unsat under assumptions. We conservatively
+				// backtrack to the assumption boundary and re-propagate.
+				if btLevel < 0 {
+					btLevel = 0
+				}
+			}
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					s.ok = false
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.watchClause(c)
+				s.bumpClause(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95 // VSIDS decay
+			s.claInc /= 0.999
+			continue
+		}
+
+		if conflicts >= nConflicts {
+			s.cancelUntil(0) // restart
+			return Unknown
+		}
+		if float64(len(s.learnts)) > *maxLearnts {
+			s.reduceDB()
+			*maxLearnts *= 1.1
+		}
+
+		// Apply assumptions as pseudo-decisions first.
+		if len(s.trailLim) < len(assumptions) {
+			a := assumptions[len(s.trailLim)]
+			switch s.litValue(a) {
+			case lTrue:
+				// Already satisfied: open an empty decision level so the
+				// bookkeeping (one level per assumption) stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			continue
+		}
+
+		l := s.decide()
+		if l == -1 {
+			return Sat // all variables assigned
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// Value returns the assignment of variable v in the most recent Sat model.
+func (s *Solver) Value(v int) bool {
+	if v >= len(s.model) {
+		return false
+	}
+	return s.model[v] == lTrue
+}
+
+// varHeap is a max-heap over variable activity (MiniSat's order heap).
+type varHeap struct {
+	act     *[]float64
+	heap    []int
+	indices []int // position in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) insert(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.indices[v])
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.indices) && h.indices[v] >= 0 {
+		h.up(h.indices[v])
+		h.down(h.indices[v])
+	}
+}
+
+func (h *varHeap) removeMax() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.down(0)
+	}
+	return top, true
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[p]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.heap) {
+			break
+		}
+		if c+1 < len(h.heap) && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[c]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = i
+}

@@ -1,0 +1,278 @@
+package sat
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func lit(v int) Lit  { return MkLit(v, false) }
+func nlit(v int) Lit { return MkLit(v, true) }
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(lit(a)) {
+		t.Fatal("unit clause made formula unsat")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	if !s.Value(a) {
+		t.Error("a should be true")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	s.AddClause(nlit(a))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.NewVar()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+}
+
+// TestPigeonhole checks unsatisfiability of PHP(n+1, n) — a classic
+// resolution-hard family that exercises conflict analysis and learning.
+func TestPigeonhole(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := New()
+		// vars[p][h]: pigeon p in hole h
+		vars := make([][]int, n+1)
+		for p := range vars {
+			vars[p] = make([]int, n)
+			for h := range vars[p] {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p <= n; p++ {
+			cl := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				cl[h] = lit(vars[p][h])
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(nlit(vars[p1][h]), nlit(vars[p2][h]))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d) = %v, want unsat", n+1, n, got)
+		}
+	}
+}
+
+// TestGraphColoring solves a satisfiable structured instance and checks
+// the model actually satisfies every clause.
+func TestGraphColoring(t *testing.T) {
+	// 3-color a cycle of length 8 (even cycles are 2-colorable, so sat).
+	const n, k = 8, 3
+	s := New()
+	v := make([][]int, n)
+	var all [][]Lit
+	addClause := func(ls ...Lit) {
+		cp := append([]Lit(nil), ls...)
+		all = append(all, cp)
+		s.AddClause(ls...)
+	}
+	for i := range v {
+		v[i] = make([]int, k)
+		for c := range v[i] {
+			v[i][c] = s.NewVar()
+		}
+		cl := make([]Lit, k)
+		for c := 0; c < k; c++ {
+			cl[c] = lit(v[i][c])
+		}
+		addClause(cl...)
+		for c1 := 0; c1 < k; c1++ {
+			for c2 := c1 + 1; c2 < k; c2++ {
+				addClause(nlit(v[i][c1]), nlit(v[i][c2]))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for c := 0; c < k; c++ {
+			addClause(nlit(v[i][c]), nlit(v[j][c]))
+		}
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("coloring = %v, want sat", got)
+	}
+	for ci, cl := range all {
+		ok := false
+		for _, l := range cl {
+			if s.Value(l.Var()) != l.Sign() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("model violates clause %d", ci)
+		}
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the CDCL solver against
+// exhaustive enumeration on random small instances.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		nVars := 4 + r.Intn(8) // 4..11
+		nClauses := 5 + r.Intn(40)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(nVars), r.Bool())
+			}
+			clauses[i] = cl
+		}
+
+		// Brute force.
+		bruteSat := false
+		for m := 0; m < 1<<uint(nVars); m++ {
+			ok := true
+			for _, cl := range clauses {
+				cOK := false
+				for _, l := range cl {
+					val := m>>uint(l.Var())&1 == 1
+					if val != l.Sign() {
+						cOK = true
+						break
+					}
+				}
+				if !cOK {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bruteSat = true
+				break
+			}
+		}
+
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range clauses {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := Unsat
+		if bruteSat {
+			want = Sat
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v (%d vars, %d clauses)",
+				trial, got, want, nVars, nClauses)
+		}
+		if got == Sat {
+			for ci, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.Sign() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model violates clause %d", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), lit(b)) // a ∨ b
+	if got := s.Solve(nlit(a), nlit(b)); got != Unsat {
+		t.Fatalf("under ¬a,¬b: %v, want unsat", got)
+	}
+	if got := s.Solve(nlit(a)); got != Sat {
+		t.Fatalf("under ¬a: %v, want sat", got)
+	}
+	if !s.Value(b) {
+		t.Error("b must be true under assumption ¬a")
+	}
+	// Solver must remain reusable after assumption-unsat.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("unassumed re-solve: %v, want sat", got)
+	}
+}
+
+func TestXorChainUnsat(t *testing.T) {
+	// x1 ⊕ x2 ⊕ ... ⊕ xn = 1 together with all xi = 0 is unsat; encode the
+	// xor chain with Tseitin-style clauses to stress propagation.
+	const n = 12
+	s := New()
+	x := make([]int, n)
+	for i := range x {
+		x[i] = s.NewVar()
+	}
+	acc := x[0]
+	for i := 1; i < n; i++ {
+		nv := s.NewVar() // nv = acc ⊕ x[i]
+		s.AddClause(nlit(nv), lit(acc), lit(x[i]))
+		s.AddClause(nlit(nv), nlit(acc), nlit(x[i]))
+		s.AddClause(lit(nv), nlit(acc), lit(x[i]))
+		s.AddClause(lit(nv), lit(acc), nlit(x[i]))
+		acc = nv
+	}
+	s.AddClause(lit(acc)) // chain = 1
+	for i := range x {
+		s.AddClause(nlit(x[i])) // all inputs 0 → chain = 0
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("xor chain: %v, want unsat", got)
+	}
+}
+
+func BenchmarkPigeonhole6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 6
+		s := New()
+		vars := make([][]int, n+1)
+		for p := range vars {
+			vars[p] = make([]int, n)
+			for h := range vars[p] {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p <= n; p++ {
+			cl := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				cl[h] = lit(vars[p][h])
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(nlit(vars[p1][h]), nlit(vars[p2][h]))
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			b.Fatal("PHP should be unsat")
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package semantics
+
+import (
+	"repro/internal/apint"
+	"repro/internal/ir"
+	"repro/internal/smt"
+)
+
+// call encodes a call instruction: intrinsics get precise semantics;
+// unknown callees become sequence-matched external calls with
+// nondeterministic results and memory havoc.
+func (e *Encoder) call(st *state, in *ir.Instr, args []Value) error {
+	b := e.Ctx.B
+
+	if kind, ok := in.IsIntrinsicCall(); ok {
+		return e.intrinsic(st, in, kind, args)
+	}
+
+	// External call: find the declaration for attribute information.
+	var attrs ir.FuncAttrs
+	var declParams []*ir.Param
+	if e.Mod != nil {
+		if decl := e.Mod.FuncByName(in.Callee); decl != nil {
+			attrs = decl.Attrs
+			declParams = decl.Params
+		}
+	}
+
+	// Passing poison to a noundef parameter is UB.
+	for i, a := range args {
+		if i < len(declParams) && declParams[i].Attrs.Noundef {
+			st.ub = b.Or(st.ub, a.Poison)
+		}
+	}
+
+	// Pointer arguments escape their provenance: the callee may retain and
+	// later write through them.
+	for _, a := range args {
+		if a.Prov > ProvExternal {
+			st.escaped[a.Prov] = true
+		}
+	}
+
+	mayWrite := !(attrs.Readnone || attrs.Readonly)
+	rec := CallRecord{
+		Callee:    in.Callee,
+		Args:      args,
+		MayWrite:  mayWrite,
+		Droppable: !mayWrite && attrs.Willreturn && attrs.Nounwind,
+		Index:     len(st.calls),
+	}
+	if !attrs.Readnone {
+		rec.MemAtCall = st.mem.Clone()
+	}
+
+	if mayWrite {
+		provs := map[int]bool{ProvExternal: true}
+		for p := range st.escaped {
+			provs[p] = true
+		}
+		st.mem.Havoc(provs)
+	}
+
+	if !ir.IsVoid(in.Ty) {
+		var w int
+		prov := ProvNone
+		if ir.IsPtr(in.Ty) {
+			w = PtrBits
+			prov = ProvExternal
+		} else {
+			w, _ = ir.IsInt(in.Ty)
+		}
+		ret := Value{
+			Bits:   e.Ctx.CallRet(rec.Index, in.Callee, w),
+			Poison: e.Ctx.CallRet(rec.Index, in.Callee+"!poison", 1),
+			Prov:   prov,
+		}
+		rec.Ret, rec.HasRet = ret, true
+		st.env[in] = ret
+	}
+	st.calls = append(st.calls, rec)
+	return nil
+}
+
+// intrinsic encodes the intrinsics with precise models.
+func (e *Encoder) intrinsic(st *state, in *ir.Instr, kind ir.IntrinsicKind, args []Value) error {
+	b := e.Ctx.B
+
+	switch kind {
+	case ir.IntrinsicAssume:
+		// assume(false) and assume(poison) are immediate UB; otherwise the
+		// condition becomes a path fact.
+		c := args[0]
+		st.ub = b.Or(st.ub, b.Or(c.Poison, b.Not(c.Bits)))
+		return nil
+	}
+
+	w := args[0].Bits.W
+	x := args[0]
+	var bits *smt.Term
+	poison := x.Poison
+
+	twoOp := func(f func(a, c *smt.Term) *smt.Term) {
+		y := args[1]
+		poison = b.Or(poison, y.Poison)
+		bits = f(x.Bits, y.Bits)
+	}
+
+	switch kind {
+	case ir.IntrinsicSMax:
+		twoOp(func(a, c *smt.Term) *smt.Term { return b.Ite(b.Slt(a, c), c, a) })
+	case ir.IntrinsicSMin:
+		twoOp(func(a, c *smt.Term) *smt.Term { return b.Ite(b.Slt(a, c), a, c) })
+	case ir.IntrinsicUMax:
+		twoOp(func(a, c *smt.Term) *smt.Term { return b.Ite(b.Ult(a, c), c, a) })
+	case ir.IntrinsicUMin:
+		twoOp(func(a, c *smt.Term) *smt.Term { return b.Ite(b.Ult(a, c), a, c) })
+	case ir.IntrinsicUAddSat:
+		twoOp(func(a, c *smt.Term) *smt.Term {
+			s := b.Add(a, c)
+			return b.Ite(b.Ult(s, a), b.Const(w, apint.Mask(w)), s)
+		})
+	case ir.IntrinsicUSubSat:
+		twoOp(func(a, c *smt.Term) *smt.Term {
+			return b.Ite(b.Ult(a, c), b.Const(w, 0), b.Sub(a, c))
+		})
+	case ir.IntrinsicSAddSat:
+		twoOp(func(a, c *smt.Term) *smt.Term {
+			s := b.Add(a, c)
+			over := signedAddOverflow(b, a, c, s)
+			neg := b.Extract(a, w-1, w-1)
+			sat := b.Ite(b.Eq(neg, b.Const(1, 1)),
+				b.Const(w, minSignedBits(w)),
+				b.Const(w, apint.Mask(w)>>1))
+			return b.Ite(over, sat, s)
+		})
+	case ir.IntrinsicSSubSat:
+		twoOp(func(a, c *smt.Term) *smt.Term {
+			s := b.Sub(a, c)
+			over := signedSubOverflow(b, a, c, s)
+			neg := b.Extract(a, w-1, w-1)
+			sat := b.Ite(b.Eq(neg, b.Const(1, 1)),
+				b.Const(w, minSignedBits(w)),
+				b.Const(w, apint.Mask(w)>>1))
+			return b.Ite(over, sat, s)
+		})
+	case ir.IntrinsicAbs:
+		// args[1] is the i1 int_min_is_poison flag.
+		flag := args[1]
+		poison = b.Or(poison, flag.Poison)
+		isMin := b.Eq(x.Bits, b.Const(w, minSignedBits(w)))
+		poison = b.Or(poison, b.And(flag.Bits, isMin))
+		neg := b.Extract(x.Bits, w-1, w-1)
+		bits = b.Ite(b.Eq(neg, b.Const(1, 1)), b.Neg(x.Bits), x.Bits)
+	case ir.IntrinsicBswap:
+		if w%16 != 0 {
+			return &UnsupportedError{e.fnName(in), "bswap at width not a multiple of 16"}
+		}
+		n := w / 8
+		var acc *smt.Term
+		for i := 0; i < n; i++ {
+			byteI := b.Extract(x.Bits, 8*i+7, 8*i)
+			ext := b.ZExt(byteI, w)
+			sh := uint64(8 * (n - 1 - i))
+			if sh > 0 {
+				ext = b.Shl(ext, b.Const(w, sh))
+			}
+			if acc == nil {
+				acc = ext
+			} else {
+				acc = b.Or(acc, ext)
+			}
+		}
+		bits = acc
+	case ir.IntrinsicCtpop:
+		acc := b.Const(w, 0)
+		for i := 0; i < w; i++ {
+			acc = b.Add(acc, b.ZExt(b.Extract(x.Bits, i, i), w))
+		}
+		bits = acc
+	case ir.IntrinsicCtlz, ir.IntrinsicCttz:
+		flag := args[1]
+		poison = b.Or(poison, flag.Poison)
+		isZero := b.Eq(x.Bits, b.Const(w, 0))
+		poison = b.Or(poison, b.And(flag.Bits, isZero))
+		// Fold over bits from the counted end: count = first set bit index.
+		acc := b.Const(w, uint64(w)) // value when x == 0
+		if kind == ir.IntrinsicCtlz {
+			for i := 0; i < w; i++ {
+				// scan from LSB upward so the MSB check ends up outermost
+				bit := b.Extract(x.Bits, i, i)
+				acc = b.Ite(b.Eq(bit, b.Const(1, 1)), b.Const(w, uint64(w-1-i)), acc)
+			}
+		} else {
+			for i := w - 1; i >= 0; i-- {
+				bit := b.Extract(x.Bits, i, i)
+				acc = b.Ite(b.Eq(bit, b.Const(1, 1)), b.Const(w, uint64(i)), acc)
+			}
+		}
+		bits = acc
+	default:
+		return &UnsupportedError{e.fnName(in), "intrinsic " + in.Callee + " not modelled"}
+	}
+
+	st.env[in] = Value{Bits: bits, Poison: poison, Prov: ProvNone}
+	return nil
+}

@@ -1,0 +1,146 @@
+package semantics
+
+import (
+	"repro/internal/smt"
+)
+
+// memWrite is a single symbolic byte write.
+type memWrite struct {
+	prov int
+	addr *smt.Term // bv64
+	b    Byte
+}
+
+// Memory is the symbolic memory state along one path: a newest-last list
+// of byte writes over per-provenance epochs of initial content. Different
+// provenances never alias; addresses within a provenance alias freely.
+type Memory struct {
+	ctx    *Context
+	writes []memWrite
+	// epochs tracks the havoc generation per provenance. Missing entries
+	// mean epoch 0.
+	epochs map[int]int
+	// uninit marks provenances whose initial content is poison (fresh
+	// allocas at epoch 0).
+	uninit map[int]bool
+}
+
+// NewMemory creates the entry-state memory.
+func NewMemory(ctx *Context) *Memory {
+	return &Memory{
+		ctx:    ctx,
+		epochs: make(map[int]int),
+		uninit: make(map[int]bool),
+	}
+}
+
+// Clone returns an independent copy (used when execution forks at a
+// conditional branch).
+func (m *Memory) Clone() *Memory {
+	n := &Memory{
+		ctx:    m.ctx,
+		writes: append([]memWrite(nil), m.writes...),
+		epochs: make(map[int]int, len(m.epochs)),
+		uninit: make(map[int]bool, len(m.uninit)),
+	}
+	for k, v := range m.epochs {
+		n.epochs[k] = v
+	}
+	for k, v := range m.uninit {
+		n.uninit[k] = v
+	}
+	return n
+}
+
+// AddAlloca registers a fresh alloca provenance with poison (uninitialized)
+// content.
+func (m *Memory) AddAlloca(prov int) {
+	m.uninit[prov] = true
+}
+
+// PutByte appends a byte write.
+func (m *Memory) PutByte(prov int, addr *smt.Term, b Byte) {
+	m.writes = append(m.writes, memWrite{prov: prov, addr: addr, b: b})
+}
+
+// GetByte reads the byte at (prov, addr): the newest matching write wins,
+// falling back to the provenance's current-epoch initial content.
+func (m *Memory) GetByte(prov int, addr *smt.Term) Byte {
+	bld := m.ctx.B
+	var base Byte
+	if m.uninit[prov] && m.epochs[prov] == 0 {
+		// Uninitialized alloca: content is poison.
+		m.ctx.nextAux++
+		base = Byte{Bits: bld.Const(8, 0), Poison: bld.Bool(true)}
+	} else {
+		base = m.ctx.InitByte(prov, m.epochs[prov], addr)
+	}
+	result := base
+	for _, w := range m.writes {
+		if w.prov != prov {
+			continue
+		}
+		hit := bld.Eq(addr, w.addr)
+		result = Byte{
+			Bits:   bld.Ite(hit, w.b.Bits, result.Bits),
+			Poison: bld.Ite(hit, w.b.Poison, result.Poison),
+		}
+	}
+	return result
+}
+
+// Havoc invalidates the content of the given provenances (a call that may
+// write memory ran): their pending writes are discarded and their epoch is
+// advanced, so subsequent reads see fresh shared initial content.
+func (m *Memory) Havoc(provs map[int]bool) {
+	kept := m.writes[:0:0]
+	for _, w := range m.writes {
+		if !provs[w.prov] {
+			kept = append(kept, w)
+		}
+	}
+	m.writes = kept
+	for p := range provs {
+		m.epochs[p]++
+	}
+}
+
+// Epoch returns the provenance's havoc generation.
+func (m *Memory) Epoch(prov int) int { return m.epochs[prov] }
+
+// storeValue writes an integer value of width w (bits) little-endian as
+// ceil(w/8) bytes at addr within prov.
+func (m *Memory) storeValue(prov int, addr *smt.Term, v Value, w int) {
+	bld := m.ctx.B
+	nBytes := (w + 7) / 8
+	full := bld.ZExt(v.Bits, nBytes*8)
+	for k := 0; k < nBytes; k++ {
+		byteTerm := bld.Extract(full, 8*k+7, 8*k)
+		a := bld.Add(addr, bld.Const(PtrBits, uint64(k)))
+		m.PutByte(prov, a, Byte{Bits: byteTerm, Poison: v.Poison})
+	}
+}
+
+// loadValue reads an integer value of width w at addr within prov; the
+// result is poison if any constituent byte is poison.
+func (m *Memory) loadValue(prov int, addr *smt.Term, w int) Value {
+	bld := m.ctx.B
+	nBytes := (w + 7) / 8
+	var bits *smt.Term
+	poison := bld.Bool(false)
+	for k := 0; k < nBytes; k++ {
+		a := bld.Add(addr, bld.Const(PtrBits, uint64(k)))
+		bt := m.GetByte(prov, a)
+		poison = bld.Or(poison, bt.Poison)
+		ext := bld.ZExt(bt.Bits, nBytes*8)
+		if k > 0 {
+			ext = bld.Shl(ext, bld.Const(nBytes*8, uint64(8*k)))
+		}
+		if bits == nil {
+			bits = ext
+		} else {
+			bits = bld.Or(bits, ext)
+		}
+	}
+	return Value{Bits: bld.Trunc(bits, w), Poison: poison, Prov: ProvNone}
+}

@@ -1,0 +1,304 @@
+package semantics
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apint"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/rng"
+	"repro/internal/smt"
+)
+
+// encode parses a single-function module and returns its summary and the
+// context.
+func encode(t *testing.T, src string) (*Summary, *Context) {
+	t.Helper()
+	mod, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := smt.NewBuilder()
+	ctx := NewContext(b)
+	enc := &Encoder{Ctx: ctx, Mod: mod}
+	sum, err := enc.Encode(mod.Defs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum, ctx
+}
+
+func TestStraightLinePathCount(t *testing.T) {
+	sum, _ := encode(t, `define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  ret i32 %a
+}`)
+	if len(sum.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(sum.Paths))
+	}
+	if !sum.Paths[0].HasRet {
+		t.Fatal("missing return value")
+	}
+}
+
+func TestDiamondPathCount(t *testing.T) {
+	sum, _ := encode(t, `define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %r = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %r
+}`)
+	if len(sum.Paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(sum.Paths))
+	}
+}
+
+func TestPathExplosionIsUnsupported(t *testing.T) {
+	// 8 sequential diamonds = 256 paths > the 64-path default.
+	src := `define i32 @f(i32 %x) {
+entry:
+  br label %d0
+`
+	for i := 0; i < 8; i++ {
+		src += dblock(i)
+	}
+	src += `d8:
+  ret i32 %x
+}`
+	mod := parser.MustParse(src)
+	b := smt.NewBuilder()
+	enc := &Encoder{Ctx: NewContext(b), Mod: mod}
+	_, err := enc.Encode(mod.Defs()[0])
+	if err == nil {
+		t.Fatal("expected unsupported for path explosion")
+	}
+	if _, ok := err.(*UnsupportedError); !ok {
+		t.Fatalf("error type %T, want *UnsupportedError", err)
+	}
+}
+
+func dblock(i int) string {
+	return fmt.Sprintf(`d%d:
+  %%c%d = icmp ult i32 %%x, %d
+  br i1 %%c%d, label %%t%d, label %%e%d
+t%d:
+  br label %%d%d
+e%d:
+  br label %%d%d
+`, i, i, 100+i, i, i, i, i, i+1, i, i+1)
+}
+
+// TestEncoderAgainstInterpreter is the key differential test of the
+// symbolic semantics: for random pure functions and random concrete
+// inputs, evaluating the path summaries under the input must reproduce the
+// interpreter's result exactly (value, poison, and UB).
+func TestEncoderAgainstInterpreter(t *testing.T) {
+	srcs := []string{
+		`define i8 @f(i8 %x, i8 %y) {
+  %a = add nsw i8 %x, %y
+  %b = lshr i8 %a, 2
+  %c = xor i8 %b, -1
+  %m = call i8 @llvm.smax.i8(i8 %c, i8 %x)
+  ret i8 %m
+}`,
+		`define i8 @f(i8 %x, i8 %y) {
+  %a = shl nuw i8 %x, 1
+  %s = call i8 @llvm.usub.sat.i8(i8 %a, i8 %y)
+  %t = call i8 @llvm.sadd.sat.i8(i8 %s, i8 %y)
+  ret i8 %t
+}`,
+		`define i8 @f(i8 %x, i8 %y) {
+entry:
+  %c = icmp slt i8 %x, %y
+  br i1 %c, label %a, label %b
+a:
+  %va = sub i8 %y, %x
+  br label %join
+b:
+  %vb = sub i8 %x, %y
+  br label %join
+join:
+  %r = phi i8 [ %va, %a ], [ %vb, %b ]
+  ret i8 %r
+}`,
+		`define i8 @f(i8 %x, i8 %y) {
+  %d = udiv i8 %x, %y
+  %r = urem i8 %x, %y
+  %s = add i8 %d, %r
+  ret i8 %s
+}`,
+		`define i8 @f(i8 %x, i8 %y) {
+  %a = call i8 @llvm.abs.i8(i8 %x, i1 true)
+  %z = call i8 @llvm.ctpop.i8(i8 %a)
+  %c = call i8 @llvm.ctlz.i8(i8 %y, i1 false)
+  %s = add i8 %z, %c
+  ret i8 %s
+}`,
+	}
+	r := rng.New(31337)
+	for si, src := range srcs {
+		mod := parser.MustParse(src)
+		fn := mod.Defs()[0]
+		b := smt.NewBuilder()
+		ctx := NewContext(b)
+		enc := &Encoder{Ctx: ctx, Mod: mod}
+		sum, err := enc.Encode(fn)
+		if err != nil {
+			t.Fatalf("src %d: %v", si, err)
+		}
+
+		in := &interp.Interp{Mod: mod, Oracle: &interp.HashOracle{Seed: 1}}
+		for trial := 0; trial < 200; trial++ {
+			xv := r.Uint64() & apint.Mask(8)
+			yv := r.Uint64() & apint.Mask(8)
+			env := map[string]uint64{
+				"in!0!x": xv, "in!0!x!poison": 0,
+				"in!1!y": yv, "in!1!y!poison": 0,
+			}
+			res, err := in.Run(fn, []interp.Value{{Bits: xv}, {Bits: yv}})
+			if err != nil {
+				t.Fatalf("src %d: interp: %v", si, err)
+			}
+
+			// Find the path whose condition holds under env.
+			taken := -1
+			for pi, p := range sum.Paths {
+				if smt.Eval(p.Cond, env) == 1 {
+					if taken >= 0 {
+						t.Fatalf("src %d: two paths active simultaneously", si)
+					}
+					taken = pi
+				}
+			}
+			if taken < 0 {
+				t.Fatalf("src %d: no active path for input (%d, %d)", si, xv, yv)
+			}
+			p := sum.Paths[taken]
+			ub := smt.Eval(p.UB, env) == 1
+			if ub != res.UB {
+				t.Fatalf("src %d input(%d,%d): encoder UB=%v interp UB=%v", si, xv, yv, ub, res.UB)
+			}
+			if ub {
+				continue
+			}
+			poison := smt.Eval(p.Ret.Poison, env) == 1
+			if poison != res.Ret.Poison {
+				t.Fatalf("src %d input(%d,%d): encoder poison=%v interp poison=%v",
+					si, xv, yv, poison, res.Ret.Poison)
+			}
+			if !poison {
+				val := smt.Eval(p.Ret.Bits, env)
+				if val != res.Ret.Bits {
+					t.Fatalf("src %d input(%d,%d): encoder=%d interp=%d",
+						si, xv, yv, val, res.Ret.Bits)
+				}
+			}
+		}
+	}
+}
+
+func TestInputSharing(t *testing.T) {
+	// Encoding two functions with the same context shares input variables
+	// by position — the foundation of refinement checking.
+	mod := parser.MustParse(`define i8 @f(i8 %x) {
+  ret i8 %x
+}
+
+define i8 @g(i8 %renamed) {
+  ret i8 %renamed
+}`)
+	b := smt.NewBuilder()
+	ctx := NewContext(b)
+	enc := &Encoder{Ctx: ctx, Mod: mod}
+	s1, err := enc.Encode(mod.Defs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := enc.Encode(mod.Defs()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Params[0].Bits != s2.Params[0].Bits {
+		t.Error("parameter variables not shared between encodings")
+	}
+}
+
+func TestCallRecords(t *testing.T) {
+	sum, _ := encode(t, `declare i32 @ext(i32)
+declare void @sink(ptr)
+
+define i32 @f(i32 %x, ptr %p) {
+  %a = call i32 @ext(i32 %x)
+  call void @sink(ptr %p)
+  %b = call i32 @ext(i32 %a)
+  ret i32 %b
+}`)
+	p := sum.Paths[0]
+	if len(p.Calls) != 3 {
+		t.Fatalf("calls = %d, want 3", len(p.Calls))
+	}
+	if p.Calls[0].Callee != "ext" || !p.Calls[0].HasRet || !p.Calls[0].MayWrite {
+		t.Errorf("call 0 misrecorded: %+v", p.Calls[0])
+	}
+	if p.Calls[1].Callee != "sink" || p.Calls[1].HasRet {
+		t.Errorf("call 1 misrecorded: %+v", p.Calls[1])
+	}
+	// Calls to the same callee at different positions get different
+	// result variables.
+	if p.Calls[0].Ret.Bits == p.Calls[2].Ret.Bits {
+		t.Error("distinct calls share a result variable")
+	}
+}
+
+func TestMemoryReadOverWrite(t *testing.T) {
+	sum, ctx := encode(t, `define i8 @f(ptr %p) {
+  store i8 42, ptr %p
+  %v = load i8, ptr %p
+  ret i8 %v
+}`)
+	p := sum.Paths[0]
+	// The loaded value must fold (or at least evaluate) to 42 regardless
+	// of the pointer, when the pointer is valid.
+	env := map[string]uint64{"in!0!p": 0x1000, "in!0!p!poison": 0}
+	for _, v := range smt.Vars(p.Ret.Bits) {
+		if _, ok := env[v.Name]; !ok {
+			env[v.Name] = 7 // arbitrary initial-memory bytes
+		}
+	}
+	if got := smt.Eval(p.Ret.Bits, env); got != 42 {
+		t.Fatalf("load after store = %d, want 42", got)
+	}
+	_ = ctx
+}
+
+func TestUnsupportedConstructs(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"loop", `define void @f() {
+entry:
+  br label %l
+l:
+  br label %l
+}`},
+		{"ordered ptr icmp across provenance", `define i1 @f(ptr %p) {
+  %s = alloca i32
+  %c = icmp ult ptr %s, %p
+  ret i1 %c
+}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mod := parser.MustParse(c.src)
+			b := smt.NewBuilder()
+			enc := &Encoder{Ctx: NewContext(b), Mod: mod}
+			if _, err := enc.Encode(mod.Defs()[0]); err == nil {
+				t.Fatalf("%s should be unsupported", c.name)
+			}
+		})
+	}
+}

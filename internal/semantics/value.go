@@ -1,0 +1,100 @@
+// Package semantics gives the IR a formal meaning as SMT bitvector terms,
+// in the style of Alive2: every SSA value becomes a pair ⟨bits, poison⟩,
+// every execution path carries an undefined-behaviour condition, and memory
+// is a byte-granular store with provenance. The translation validator
+// (internal/tv) builds its refinement queries on top of these summaries.
+//
+// The model (documented in DESIGN.md §4):
+//
+//   - undef is approximated as poison;
+//   - all pointer parameters share one "external" provenance (so they may
+//     alias each other), while each alloca gets a fresh provenance that
+//     aliases nothing — matching LLVM's object model;
+//   - unknown calls are sequence-matched between source and target, havoc
+//     memory (epoch bump) when they may write, and return shared
+//     nondeterministic values;
+//   - functions with loops are not encoded (callers drop them, as the
+//     paper drops Alive2-unsupported functions in §III-A).
+package semantics
+
+import (
+	"repro/internal/smt"
+)
+
+// Provenance identifiers. ProvNone marks non-pointer values; ProvExternal
+// is the shared provenance of caller-visible memory (all pointer
+// parameters and pointers returned by calls); positive values identify
+// allocas.
+const (
+	ProvNone     = -1
+	ProvExternal = 0
+)
+
+// PtrBits is the width of pointer addresses.
+const PtrBits = 64
+
+// Value is the symbolic denotation of an SSA value: its bits, a bv1 poison
+// flag, and (for pointers) a static provenance.
+type Value struct {
+	Bits   *smt.Term // width = type width; pointers use PtrBits
+	Poison *smt.Term // bv1; 1 means the value is poison
+	Prov   int
+}
+
+// Byte is one symbolic memory byte.
+type Byte struct {
+	Bits   *smt.Term // bv8
+	Poison *smt.Term // bv1
+}
+
+// CallRecord captures one call performed along a path, in order. The
+// translation validator matches source and target records positionally.
+type CallRecord struct {
+	Callee   string
+	Args     []Value
+	MayWrite bool // callee not readnone/readonly: memory was havocked
+	// Droppable marks calls whose callee attributes permit deleting the
+	// call outright (readnone/readonly + willreturn + nounwind).
+	Droppable bool
+	// Ret is the symbolic return value (zero Value for void callees). It
+	// is a shared nondeterministic variable keyed by the call's position,
+	// so matched source/target calls observe the same callee behaviour.
+	Ret Value
+	// HasRet distinguishes void calls.
+	HasRet bool
+	// MemAtCall snapshots the memory visible to the callee at the call
+	// site, so the validator can require the target to present refined
+	// memory to the same callee.
+	MemAtCall *Memory
+	// Index is the position of this call on its path (used for shared
+	// return-variable naming).
+	Index int
+}
+
+// Path is the summary of one loop-free execution path.
+type Path struct {
+	// Cond is the bv1 path condition over the shared input variables (and
+	// call-return variables).
+	Cond *smt.Term
+	// UB is the bv1 condition under which this path triggers undefined
+	// behaviour.
+	UB *smt.Term
+	// Ret is the returned value; HasRet is false for void returns and
+	// paths ending in unreachable.
+	Ret    Value
+	HasRet bool
+	// Unreachable marks paths that end in an unreachable terminator
+	// (executing one is UB).
+	Unreachable bool
+	// Calls lists the calls performed, in order.
+	Calls []CallRecord
+	// FinalMem is the memory at the return point.
+	FinalMem *Memory
+}
+
+// Summary is the full symbolic description of a function.
+type Summary struct {
+	Fn     string
+	Paths  []Path
+	Params []Value // shared input values, in parameter order
+}

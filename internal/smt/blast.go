@@ -1,0 +1,472 @@
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/sat"
+)
+
+// Blast lowers bitvector terms onto a SAT solver via Tseitin encoding.
+// Each term is memoized to a little-endian slice of literals (bits[0] is
+// the LSB), so the shared structure of the hash-consed DAG is preserved in
+// the CNF.
+type Blast struct {
+	S    *sat.Solver
+	bits map[*Term][]sat.Lit
+	// divCache shares quotient/remainder circuits between a udiv/urem (or
+	// sdiv/srem) pair over the same operands — they are one long-division
+	// circuit, not two.
+	divCache map[divKey]qrPair
+	// tru is a literal constrained to be true; constants map to tru or
+	// its negation, which lets gate constructors shortcut aggressively.
+	tru sat.Lit
+}
+
+type divKey struct {
+	a, b   *Term
+	signed bool
+}
+
+type qrPair struct {
+	q, r []sat.Lit
+}
+
+// NewBlast creates a blaster over a fresh context in the given solver.
+func NewBlast(s *sat.Solver) *Blast {
+	b := &Blast{S: s, bits: make(map[*Term][]sat.Lit), divCache: make(map[divKey]qrPair)}
+	v := s.NewVar()
+	b.tru = sat.MkLit(v, false)
+	s.AddClause(b.tru)
+	return b
+}
+
+func (b *Blast) fls() sat.Lit { return b.tru.Neg() }
+
+func (b *Blast) isTrue(l sat.Lit) bool  { return l == b.tru }
+func (b *Blast) isFalse(l sat.Lit) bool { return l == b.tru.Neg() }
+
+func (b *Blast) fresh() sat.Lit { return sat.MkLit(b.S.NewVar(), false) }
+
+// mkAnd returns a literal equivalent to x ∧ y.
+func (b *Blast) mkAnd(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x) || b.isFalse(y):
+		return b.fls()
+	case b.isTrue(x):
+		return y
+	case b.isTrue(y):
+		return x
+	case x == y:
+		return x
+	case x == y.Neg():
+		return b.fls()
+	}
+	o := b.fresh()
+	b.S.AddClause(o.Neg(), x)
+	b.S.AddClause(o.Neg(), y)
+	b.S.AddClause(o, x.Neg(), y.Neg())
+	return o
+}
+
+// mkOr returns x ∨ y.
+func (b *Blast) mkOr(x, y sat.Lit) sat.Lit {
+	return b.mkAnd(x.Neg(), y.Neg()).Neg()
+}
+
+// mkXor returns x ⊕ y.
+func (b *Blast) mkXor(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isFalse(x):
+		return y
+	case b.isFalse(y):
+		return x
+	case b.isTrue(x):
+		return y.Neg()
+	case b.isTrue(y):
+		return x.Neg()
+	case x == y:
+		return b.fls()
+	case x == y.Neg():
+		return b.tru
+	}
+	o := b.fresh()
+	b.S.AddClause(o.Neg(), x, y)
+	b.S.AddClause(o.Neg(), x.Neg(), y.Neg())
+	b.S.AddClause(o, x, y.Neg())
+	b.S.AddClause(o, x.Neg(), y)
+	return o
+}
+
+// mkMux returns c ? x : y.
+func (b *Blast) mkMux(c, x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isTrue(c):
+		return x
+	case b.isFalse(c):
+		return y
+	case x == y:
+		return x
+	}
+	o := b.fresh()
+	b.S.AddClause(o.Neg(), c.Neg(), x)
+	b.S.AddClause(o.Neg(), c, y)
+	b.S.AddClause(o, c.Neg(), x.Neg())
+	b.S.AddClause(o, c, y.Neg())
+	return o
+}
+
+// fullAdder returns (sum, carryOut) of x + y + cin.
+func (b *Blast) fullAdder(x, y, cin sat.Lit) (sat.Lit, sat.Lit) {
+	sum := b.mkXor(b.mkXor(x, y), cin)
+	carry := b.mkOr(b.mkAnd(x, y), b.mkAnd(cin, b.mkXor(x, y)))
+	return sum, carry
+}
+
+// addBits returns x + y + cin over equal-width little-endian slices.
+func (b *Blast) addBits(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out
+}
+
+// negBits returns two's-complement negation.
+func (b *Blast) negBits(x []sat.Lit) []sat.Lit {
+	inv := make([]sat.Lit, len(x))
+	for i, l := range x {
+		inv[i] = l.Neg()
+	}
+	zero := make([]sat.Lit, len(x))
+	for i := range zero {
+		zero[i] = b.fls()
+	}
+	return b.addBits(inv, zero, b.tru)
+}
+
+// eqBits returns a literal for bitwise equality.
+func (b *Blast) eqBits(x, y []sat.Lit) sat.Lit {
+	acc := b.tru
+	for i := range x {
+		acc = b.mkAnd(acc, b.mkXor(x[i], y[i]).Neg())
+	}
+	return acc
+}
+
+// ultBits returns x <u y via an LSB-to-MSB ripple comparator.
+func (b *Blast) ultBits(x, y []sat.Lit) sat.Lit {
+	lt := b.fls()
+	for i := range x {
+		bitLT := b.mkAnd(x[i].Neg(), y[i])
+		eq := b.mkXor(x[i], y[i]).Neg()
+		lt = b.mkMux(eq, lt, bitLT)
+	}
+	return lt
+}
+
+// Bits lowers t to literals, memoized.
+func (b *Blast) Bits(t *Term) []sat.Lit {
+	if bs, ok := b.bits[t]; ok {
+		return bs
+	}
+	var out []sat.Lit
+	switch t.Op {
+	case OpConst:
+		out = make([]sat.Lit, t.W)
+		for i := range out {
+			if t.Val>>uint(i)&1 == 1 {
+				out[i] = b.tru
+			} else {
+				out[i] = b.fls()
+			}
+		}
+	case OpVar:
+		out = make([]sat.Lit, t.W)
+		for i := range out {
+			out[i] = b.fresh()
+		}
+	case OpNot:
+		x := b.Bits(t.Args[0])
+		out = make([]sat.Lit, t.W)
+		for i := range out {
+			out[i] = x[i].Neg()
+		}
+	case OpNeg:
+		out = b.negBits(b.Bits(t.Args[0]))
+	case OpAnd, OpOr, OpXor:
+		x, y := b.Bits(t.Args[0]), b.Bits(t.Args[1])
+		out = make([]sat.Lit, t.W)
+		for i := range out {
+			switch t.Op {
+			case OpAnd:
+				out[i] = b.mkAnd(x[i], y[i])
+			case OpOr:
+				out[i] = b.mkOr(x[i], y[i])
+			default:
+				out[i] = b.mkXor(x[i], y[i])
+			}
+		}
+	case OpAdd:
+		out = b.addBits(b.Bits(t.Args[0]), b.Bits(t.Args[1]), b.fls())
+	case OpSub:
+		y := b.Bits(t.Args[1])
+		inv := make([]sat.Lit, len(y))
+		for i, l := range y {
+			inv[i] = l.Neg()
+		}
+		out = b.addBits(b.Bits(t.Args[0]), inv, b.tru)
+	case OpMul:
+		out = b.mulBits(b.Bits(t.Args[0]), b.Bits(t.Args[1]))
+	case OpUDiv, OpURem:
+		pair := b.divPair(divKey{t.Args[0], t.Args[1], false})
+		if t.Op == OpUDiv {
+			out = pair.q
+		} else {
+			out = pair.r
+		}
+	case OpSDiv, OpSRem:
+		pair := b.divPair(divKey{t.Args[0], t.Args[1], true})
+		if t.Op == OpSDiv {
+			out = pair.q
+		} else {
+			out = pair.r
+		}
+	case OpShl, OpLShr, OpAShr:
+		out = b.shift(t.Op, b.Bits(t.Args[0]), b.Bits(t.Args[1]))
+	case OpEq:
+		out = []sat.Lit{b.eqBits(b.Bits(t.Args[0]), b.Bits(t.Args[1]))}
+	case OpUlt:
+		out = []sat.Lit{b.ultBits(b.Bits(t.Args[0]), b.Bits(t.Args[1]))}
+	case OpSlt:
+		x, y := b.Bits(t.Args[0]), b.Bits(t.Args[1])
+		// slt(x,y) = ult(x ⊕ signbit, y ⊕ signbit)
+		fx := append(append([]sat.Lit(nil), x[:len(x)-1]...), x[len(x)-1].Neg())
+		fy := append(append([]sat.Lit(nil), y[:len(y)-1]...), y[len(y)-1].Neg())
+		out = []sat.Lit{b.ultBits(fx, fy)}
+	case OpIte:
+		c := b.Bits(t.Args[0])[0]
+		x, y := b.Bits(t.Args[1]), b.Bits(t.Args[2])
+		out = make([]sat.Lit, t.W)
+		for i := range out {
+			out[i] = b.mkMux(c, x[i], y[i])
+		}
+	case OpZExt:
+		x := b.Bits(t.Args[0])
+		out = make([]sat.Lit, t.W)
+		copy(out, x)
+		for i := len(x); i < t.W; i++ {
+			out[i] = b.fls()
+		}
+	case OpSExt:
+		x := b.Bits(t.Args[0])
+		out = make([]sat.Lit, t.W)
+		copy(out, x)
+		for i := len(x); i < t.W; i++ {
+			out[i] = x[len(x)-1]
+		}
+	case OpExtract:
+		x := b.Bits(t.Args[0])
+		out = append([]sat.Lit(nil), x[t.Aux2:t.Aux+1]...)
+	default:
+		panic(fmt.Sprintf("smt: blast of unknown op %v", t.Op))
+	}
+	if len(out) != t.W {
+		panic(fmt.Sprintf("smt: blast width mismatch for %s: got %d want %d", opNames[t.Op], len(out), t.W))
+	}
+	b.bits[t] = out
+	return out
+}
+
+// mulBits implements shift-and-add multiplication.
+func (b *Blast) mulBits(x, y []sat.Lit) []sat.Lit {
+	w := len(x)
+	acc := make([]sat.Lit, w)
+	for i := range acc {
+		acc[i] = b.fls()
+	}
+	for i := 0; i < w; i++ {
+		// partial = (x << i) & y[i]
+		partial := make([]sat.Lit, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				partial[j] = b.fls()
+			} else {
+				partial[j] = b.mkAnd(x[j-i], y[i])
+			}
+		}
+		acc = b.addBits(acc, partial, b.fls())
+	}
+	return acc
+}
+
+// udivurem implements restoring long division, with the SMT-LIB
+// conventions for a zero divisor (quotient all-ones, remainder = dividend).
+func (b *Blast) udivurem(a, d []sat.Lit) (q, r []sat.Lit) {
+	w := len(a)
+	q = make([]sat.Lit, w)
+	r = make([]sat.Lit, w)
+	for i := range r {
+		r[i] = b.fls()
+	}
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | a[i]
+		nr := make([]sat.Lit, w)
+		nr[0] = a[i]
+		copy(nr[1:], r[:w-1])
+		r = nr
+		ge := b.ultBits(r, d).Neg() // r >= d
+		q[i] = ge
+		// r = ge ? r - d : r
+		inv := make([]sat.Lit, w)
+		for j, l := range d {
+			inv[j] = l.Neg()
+		}
+		sub := b.addBits(r, inv, b.tru)
+		for j := 0; j < w; j++ {
+			r[j] = b.mkMux(ge, sub[j], r[j])
+		}
+	}
+	// Zero divisor fixups.
+	dz := b.eqZero(d)
+	for i := 0; i < w; i++ {
+		q[i] = b.mkMux(dz, b.tru, q[i]) // all-ones
+		r[i] = b.mkMux(dz, a[i], r[i])
+	}
+	return q, r
+}
+
+func (b *Blast) eqZero(x []sat.Lit) sat.Lit {
+	acc := b.tru
+	for _, l := range x {
+		acc = b.mkAnd(acc, l.Neg())
+	}
+	return acc
+}
+
+// divPair returns the memoized quotient/remainder circuit for a divisor
+// pair. Signed division lowers through unsigned division on magnitudes
+// with sign corrections; the SMT-LIB zero-divisor cases fall out of
+// udivurem's conventions (see the derivation in the package tests).
+func (b *Blast) divPair(k divKey) qrPair {
+	if p, ok := b.divCache[k]; ok {
+		return p
+	}
+	x, y := b.Bits(k.a), b.Bits(k.b)
+	var p qrPair
+	if !k.signed {
+		p.q, p.r = b.udivurem(x, y)
+	} else {
+		w := len(x)
+		sx, sy := x[w-1], y[w-1]
+		ux := b.muxBits(sx, b.negBits(x), x)
+		uy := b.muxBits(sy, b.negBits(y), y)
+		q, r := b.udivurem(ux, uy)
+		qneg := b.mkXor(sx, sy)
+		p.q = b.muxBits(qneg, b.negBits(q), q)
+		p.r = b.muxBits(sx, b.negBits(r), r)
+	}
+	b.divCache[k] = p
+	return p
+}
+
+func (b *Blast) muxBits(c sat.Lit, x, y []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i := range out {
+		out[i] = b.mkMux(c, x[i], y[i])
+	}
+	return out
+}
+
+// shift implements the three shifts with a barrel shifter over the low
+// log2(w) amount bits, plus an out-of-range guard comparing the full
+// amount against the width.
+func (b *Blast) shift(op Op, x, amt []sat.Lit) []sat.Lit {
+	w := len(x)
+	stages := 0
+	for 1<<uint(stages) < w {
+		stages++
+	}
+	cur := append([]sat.Lit(nil), x...)
+	for k := 0; k < stages && k < len(amt); k++ {
+		sh := 1 << uint(k)
+		next := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var shifted sat.Lit
+			switch op {
+			case OpShl:
+				if i >= sh {
+					shifted = cur[i-sh]
+				} else {
+					shifted = b.fls()
+				}
+			case OpLShr:
+				if i+sh < w {
+					shifted = cur[i+sh]
+				} else {
+					shifted = b.fls()
+				}
+			default: // AShr
+				if i+sh < w {
+					shifted = cur[i+sh]
+				} else {
+					shifted = cur[w-1]
+				}
+			}
+			next[i] = b.mkMux(amt[k], shifted, cur[i])
+		}
+		cur = next
+	}
+	// Out of range: amount >= w.
+	wConst := make([]sat.Lit, len(amt))
+	for i := range wConst {
+		if uint64(w)>>uint(i)&1 == 1 {
+			wConst[i] = b.tru
+		} else {
+			wConst[i] = b.fls()
+		}
+	}
+	// When the amount width can't even represent w (w == 2^amtbits is
+	// impossible since amt has the same width as x; len(amt) == w and
+	// 2^w > w always), this comparison is still well-defined.
+	inRange := b.ultBits(amt, wConst)
+	var fill sat.Lit
+	if op == OpAShr {
+		fill = x[w-1]
+	} else {
+		fill = b.fls()
+	}
+	out := make([]sat.Lit, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.mkMux(inRange, cur[i], fill)
+	}
+	return out
+}
+
+// AssertTrue constrains a bv1 term to be 1.
+func (b *Blast) AssertTrue(t *Term) {
+	if t.W != 1 {
+		panic("smt: AssertTrue on non-bv1 term")
+	}
+	b.S.AddClause(b.Bits(t)[0])
+}
+
+// ModelValue reads the value of any already-blasted term out of the most
+// recent Sat model.
+func (b *Blast) ModelValue(t *Term) uint64 {
+	bs, ok := b.bits[t]
+	if !ok {
+		panic("smt: ModelValue of unblasted term " + t.String())
+	}
+	var v uint64
+	for i, l := range bs {
+		bit := b.S.Value(l.Var())
+		if l.Sign() {
+			bit = !bit
+		}
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,326 @@
+// Package tv implements Alive2-style translation validation for the IR
+// subset: it checks that an optimized (target) function refines the
+// original (source) function for all possible input values — the oracle at
+// the heart of the alive-mutate fuzzing loop (paper §III-D).
+//
+// Refinement, per DESIGN.md §4: for every input on which the source has no
+// undefined behaviour, the target must have no undefined behaviour, must
+// perform a compatible sequence of external calls, must leave equivalent
+// caller-visible memory, and must return the source's value unless the
+// source returned poison.
+package tv
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/semantics"
+	"repro/internal/smt"
+)
+
+// Verdict classifies a verification outcome.
+type Verdict int
+
+const (
+	// Valid: the target refines the source (UNSAT violation query).
+	Valid Verdict = iota
+	// Invalid: a counterexample input distinguishes target from source.
+	Invalid
+	// Unsupported: the functions fall outside the encodable fragment
+	// (loops, unsupported types, cross-provenance comparisons, ...). Such
+	// functions are dropped from fuzzing, exactly as the paper drops
+	// Alive2-unsupported functions (§III-A).
+	Unsupported
+	// Unknown: the solver exhausted its conflict budget.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	case Unsupported:
+		return "unsupported"
+	default:
+		return "unknown"
+	}
+}
+
+// Counterexample is a concrete input demonstrating a refinement failure.
+type Counterexample struct {
+	// Inputs maps parameter names to concrete values (canonical apint
+	// form); Poison marks inputs the model made poison.
+	Inputs map[string]uint64
+	Poison map[string]bool
+	// Model is the full satisfying assignment, for diagnostics.
+	Model smt.Model
+}
+
+func (c *Counterexample) String() string {
+	s := "counterexample:"
+	for k, v := range c.Inputs {
+		if c.Poison[k] {
+			s += fmt.Sprintf(" %%%s=poison", k)
+		} else {
+			s += fmt.Sprintf(" %%%s=%d", k, v)
+		}
+	}
+	return s
+}
+
+// Result is the outcome of one refinement check.
+type Result struct {
+	Verdict Verdict
+	Reason  string
+	CEX     *Counterexample
+	// Solver effort statistics (for the throughput experiment's
+	// best/worst-case analysis).
+	Conflicts    int64
+	Propagations int64
+	SATVars      int
+}
+
+// Options configures verification.
+type Options struct {
+	// ConflictBudget caps SAT conflicts (0 = unlimited).
+	ConflictBudget int64
+	// MaxPaths bounds per-function path enumeration (0 = default).
+	MaxPaths int
+	// DisableRewrites turns off the SMT builder's algebraic rewriting
+	// (ablation knob).
+	DisableRewrites bool
+}
+
+// Verify checks that tgt refines src. The module provides callee
+// declarations for attribute lookup; src and tgt must have identical
+// signatures.
+func Verify(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
+	if err := checkSignatures(src, tgt); err != nil {
+		return Result{Verdict: Unsupported, Reason: err.Error()}
+	}
+
+	b := smt.NewBuilder()
+	b.Rewrite = !opts.DisableRewrites
+	ctx := semantics.NewContext(b)
+	enc := &semantics.Encoder{Ctx: ctx, Mod: mod, MaxPaths: opts.MaxPaths}
+
+	srcSum, err := enc.Encode(src)
+	if err != nil {
+		return Result{Verdict: Unsupported, Reason: err.Error()}
+	}
+	tgtSum, err := enc.Encode(tgt)
+	if err != nil {
+		return Result{Verdict: Unsupported, Reason: err.Error()}
+	}
+
+	viol, reason, supported := buildViolation(ctx, src, srcSum, tgtSum)
+	if !supported {
+		return Result{Verdict: Unsupported, Reason: reason}
+	}
+
+	query := b.And(ctx.Axioms(), viol)
+	checker := smt.Checker{ConflictBudget: opts.ConflictBudget}
+	res, model := checker.Check(query)
+	out := Result{
+		Conflicts:    checker.LastConflicts,
+		Propagations: checker.LastPropagations,
+		SATVars:      checker.LastVars,
+	}
+	switch res {
+	case smt.Unsat:
+		out.Verdict = Valid
+	case smt.Sat:
+		out.Verdict = Invalid
+		out.Reason = "target does not refine source"
+		out.CEX = extractCEX(src, model)
+	default:
+		out.Verdict = Unknown
+		out.Reason = "solver budget exhausted"
+	}
+	return out
+}
+
+func checkSignatures(src, tgt *ir.Function) error {
+	if !ir.TypesEqual(src.RetTy, tgt.RetTy) {
+		return fmt.Errorf("return types differ (%v vs %v)", src.RetTy, tgt.RetTy)
+	}
+	if len(src.Params) != len(tgt.Params) {
+		return fmt.Errorf("parameter counts differ (%d vs %d)", len(src.Params), len(tgt.Params))
+	}
+	for i := range src.Params {
+		if !ir.TypesEqual(src.Params[i].Ty, tgt.Params[i].Ty) {
+			return fmt.Errorf("parameter %d types differ", i)
+		}
+	}
+	return nil
+}
+
+// buildViolation constructs the bv1 term that is satisfiable exactly when
+// refinement fails, as a disjunction over all (source path, target path)
+// pairs.
+func buildViolation(ctx *semantics.Context, src *ir.Function,
+	srcSum, tgtSum *semantics.Summary) (viol *smt.Term, reason string, supported bool) {
+
+	b := ctx.B
+	viol = b.Bool(false)
+	voidRet := ir.IsVoid(src.RetTy)
+
+	for _, sp := range srcSum.Paths {
+		for _, tp := range tgtSum.Paths {
+			pairCond := b.And(sp.Cond, tp.Cond)
+			if pairCond.IsFalse() {
+				continue
+			}
+			guard := b.And(pairCond, b.Not(sp.UB))
+			if guard.IsFalse() {
+				continue
+			}
+
+			pairViol, pairReason, ok := pairViolation(ctx, voidRet, sp, tp)
+			if !ok {
+				return nil, pairReason, false
+			}
+			viol = b.Or(viol, b.And(guard, pairViol))
+		}
+	}
+	return viol, "", true
+}
+
+// pairViolation builds the violation condition for one path pair.
+func pairViolation(ctx *semantics.Context, voidRet bool,
+	sp, tp semantics.Path) (*smt.Term, string, bool) {
+
+	b := ctx.B
+
+	matches, mismatch := matchCalls(sp.Calls, tp.Calls)
+	if mismatch != "" {
+		// A structurally illegal call-sequence change is itself the
+		// violation: if these paths co-occur on a defined input, the
+		// target performed calls the source did not permit.
+		return b.Bool(true), "", true
+	}
+
+	oblig := b.Bool(true)
+	facts := b.Bool(true)
+	for _, m := range matches {
+		sc, tc := m.src, m.tgt
+		// Arguments: the target must pass the source's argument values
+		// (unless the source argument was poison, which permits anything).
+		for i := range sc.Args {
+			sa, ta := sc.Args[i], tc.Args[i]
+			if sa.Prov != ta.Prov {
+				return nil, "call argument provenance mismatch", false
+			}
+			argOK := b.Or(sa.Poison,
+				b.And(b.Not(ta.Poison), b.Eq(sa.Bits, ta.Bits)))
+			oblig = b.And(oblig, argOK)
+		}
+		// Memory the callee can observe must match (unless the callee
+		// reads nothing). One adversarially-chosen probe address per
+		// matched call checks all of external memory.
+		if sc.MemAtCall != nil && tc.MemAtCall != nil {
+			probe := ctx.ProbeVar(fmt.Sprintf("call%d", sc.Index))
+			oblig = b.And(oblig, byteRefines(b,
+				sc.MemAtCall.GetByte(semantics.ProvExternal, probe),
+				tc.MemAtCall.GetByte(semantics.ProvExternal, probe)))
+		}
+		// Matched calls observe the same callee: equal results. (When the
+		// shared return variables coincide these fold to true.)
+		if sc.HasRet && tc.HasRet {
+			facts = b.And(facts, b.Eq(sc.Ret.Bits, tc.Ret.Bits))
+			facts = b.And(facts, b.Eq(sc.Ret.Poison, tc.Ret.Poison))
+		}
+	}
+
+	core := tp.UB
+	if !voidRet && sp.HasRet && tp.HasRet {
+		sr, tr := sp.Ret, tp.Ret
+		if sr.Prov > semantics.ProvExternal || tr.Prov > semantics.ProvExternal {
+			return nil, "returning a stack-local pointer", false
+		}
+		retViol := b.And(b.Not(sr.Poison),
+			b.Or(tr.Poison, b.Ne(sr.Bits, tr.Bits)))
+		core = b.Or(core, retViol)
+	}
+
+	// Final caller-visible memory must refine.
+	probe := ctx.ProbeVar("final")
+	memOK := byteRefines(b,
+		sp.FinalMem.GetByte(semantics.ProvExternal, probe),
+		tp.FinalMem.GetByte(semantics.ProvExternal, probe))
+	core = b.Or(core, b.Not(memOK))
+
+	// Violation: an obligation failed outright, or all held (pinning the
+	// shared call results) and the core refinement still failed.
+	return b.Or(b.Not(oblig), b.And(oblig, b.And(facts, core))), "", true
+}
+
+// byteRefines: target byte refines source byte (source poison allows
+// anything; otherwise the target must be non-poison and bit-equal).
+func byteRefines(b *smt.Builder, sb, tb semantics.Byte) *smt.Term {
+	return b.Or(sb.Poison, b.And(b.Not(tb.Poison), b.Eq(sb.Bits, tb.Bits)))
+}
+
+type callMatch struct {
+	src, tgt semantics.CallRecord
+}
+
+// matchCalls pairs target calls with source calls in order. Source calls
+// may be skipped only if they were legally removable (readnone/readonly,
+// willreturn, nounwind callees — checked by the caller via attributes
+// embedded at encoding time through MayWrite/MemAtCall). Extra target
+// calls are a mismatch.
+func matchCalls(src, tgt []semantics.CallRecord) ([]callMatch, string) {
+	var out []callMatch
+	si := 0
+	for _, tc := range tgt {
+		found := false
+		for si < len(src) {
+			if src[si].Callee == tc.Callee && len(src[si].Args) == len(tc.Args) {
+				out = append(out, callMatch{src[si], tc})
+				si++
+				found = true
+				break
+			}
+			if !droppable(src[si]) {
+				return nil, fmt.Sprintf("target dropped non-removable call to @%s", src[si].Callee)
+			}
+			si++
+		}
+		if !found {
+			return nil, fmt.Sprintf("target added a call to @%s", tc.Callee)
+		}
+	}
+	for ; si < len(src); si++ {
+		if !droppable(src[si]) {
+			return nil, fmt.Sprintf("target dropped non-removable call to @%s", src[si].Callee)
+		}
+	}
+	return out, ""
+}
+
+// droppable: a call the optimizer may delete without trace, as computed by
+// the encoder from callee attributes (readnone/readonly + willreturn +
+// nounwind).
+func droppable(c semantics.CallRecord) bool { return c.Droppable }
+
+// extractCEX pulls the parameter assignment out of a violation model.
+func extractCEX(src *ir.Function, m smt.Model) *Counterexample {
+	cex := &Counterexample{
+		Inputs: make(map[string]uint64),
+		Poison: make(map[string]bool),
+		Model:  m,
+	}
+	for i, p := range src.Params {
+		base := fmt.Sprintf("in!%d!%s", i, p.Nm)
+		if v, ok := m[base]; ok {
+			cex.Inputs[p.Nm] = v
+		}
+		if pv, ok := m[base+"!poison"]; ok && pv == 1 {
+			cex.Poison[p.Nm] = true
+		}
+	}
+	return cex
+}

@@ -1,0 +1,576 @@
+package tv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// verifyPair parses two single-function modules and checks refinement.
+func verifyPair(t *testing.T, srcText, tgtText string) Result {
+	t.Helper()
+	srcMod, err := parser.Parse(srcText)
+	if err != nil {
+		t.Fatalf("parse src: %v", err)
+	}
+	tgtMod, err := parser.Parse(tgtText)
+	if err != nil {
+		t.Fatalf("parse tgt: %v", err)
+	}
+	src := srcMod.Defs()[0]
+	tgt := tgtMod.Defs()[0]
+	return Verify(srcMod, src, tgt, Options{})
+}
+
+func wantVerdict(t *testing.T, r Result, want Verdict) {
+	t.Helper()
+	if r.Verdict != want {
+		t.Fatalf("verdict = %v (%s), want %v; cex=%v", r.Verdict, r.Reason, want, r.CEX)
+	}
+}
+
+func TestIdenticalFunctionsAreValid(t *testing.T) {
+	f := `define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  %b = xor i32 %a, 7
+  ret i32 %b
+}`
+	wantVerdict(t, verifyPair(t, f, f), Valid)
+}
+
+func TestValidPeephole(t *testing.T) {
+	// (x + x) -> (x << 1): correct.
+	src := `define i32 @f(i32 %x) {
+  %a = add i32 %x, %x
+  ret i32 %a
+}`
+	tgt := `define i32 @f(i32 %x) {
+  %a = shl i32 %x, 1
+  ret i32 %a
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestInvalidConstant(t *testing.T) {
+	src := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 2
+  ret i8 %a
+}`
+	r := verifyPair(t, src, tgt)
+	wantVerdict(t, r, Invalid)
+	if r.CEX == nil {
+		t.Fatal("invalid result without counterexample")
+	}
+}
+
+func TestNswCannotBeAdded(t *testing.T) {
+	// Adding nsw is NOT a refinement (creates poison where none existed).
+	src := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 100
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add nsw i8 %x, 100
+  ret i8 %a
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestNswCanBeDropped(t *testing.T) {
+	src := `define i8 @f(i8 %x) {
+  %a = add nsw i8 %x, 100
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 100
+  ret i8 %a
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+// TestListing17Miscompile reproduces the paper's Listing 17: InstCombine
+// assumed (zext a) * (zext b) cannot overflow; at i34 the multiply of two
+// 32-bit-range values CAN exceed 2^34, so folding the comparison to false
+// is wrong. The paper's counterexample is %x = 3363831808.
+func TestListing17Miscompile(t *testing.T) {
+	src := `define i1 @pr4917_4(i32 %x) {
+  %r = zext i32 %x to i64
+  %t = trunc i64 %r to i34
+  %new0 = mul i34 %t, %t
+  %last = zext i34 %new0 to i64
+  %res = icmp ule i64 %last, 4294967295
+  ret i1 %res
+}`
+	// The buggy "optimized" version returns false unconditionally.
+	tgt := `define i1 @pr4917_4(i32 %x) {
+  ret i1 false
+}`
+	r := verifyPair(t, src, tgt)
+	wantVerdict(t, r, Invalid)
+	// x = 0 gives 0*0 = 0 <= u32max → true in src, false in tgt, so any
+	// model must make the source return true.
+	if r.CEX == nil {
+		t.Fatal("expected counterexample")
+	}
+}
+
+func TestSelectFoldValid(t *testing.T) {
+	// select(c, x, x) -> x
+	src := `define i32 @f(i1 %c, i32 %x) {
+  %r = select i1 %c, i32 %x, i32 %x
+  ret i32 %r
+}`
+	tgt := `define i32 @f(i1 %c, i32 %x) {
+  ret i32 %x
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestBranchFoldValid(t *testing.T) {
+	src := `define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %p = add i32 %x, 1
+  br label %join
+b:
+  %q = add i32 1, %x
+  br label %join
+join:
+  %r = phi i32 [ %p, %a ], [ %q, %b ]
+  ret i32 %r
+}`
+	tgt := `define i32 @f(i1 %c, i32 %x) {
+  %r = add i32 %x, 1
+  ret i32 %r
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestBranchSwapInvalid(t *testing.T) {
+	src := `define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}`
+	tgt := `define i32 @f(i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  ret i32 2
+b:
+  ret i32 1
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestUdivByZeroUBAllowsAnything(t *testing.T) {
+	// Source divides by y; when y == 0 the source is UB, so a target
+	// returning anything for y == 0 still refines... but the target must
+	// match for y != 0. Replacing the division with a constant is invalid.
+	src := `define i32 @f(i32 %x) {
+  %r = udiv i32 %x, 2
+  ret i32 %r
+}`
+	tgt := `define i32 @f(i32 %x) {
+  %r = lshr i32 %x, 1
+  ret i32 %r
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestDivisionUBDirection(t *testing.T) {
+	// Target introduces a division the source did not have: for %y == 0
+	// the source is defined but the target is UB → invalid.
+	src := `define i32 @f(i32 %x, i32 %y) {
+  ret i32 %x
+}`
+	tgt := `define i32 @f(i32 %x, i32 %y) {
+  %d = udiv i32 %x, %y
+  %m = mul i32 %d, %y
+  %r = urem i32 %x, %y
+  %s = add i32 %m, %r
+  ret i32 %s
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestFreezeRemovalOnMaybePoisonInvalid(t *testing.T) {
+	// %a may be poison (nsw add can overflow); freeze(%a) -> %a is wrong.
+	src := `define i8 @f(i8 %x) {
+  %a = add nsw i8 %x, 1
+  %fr = freeze i8 %a
+  ret i8 %fr
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add nsw i8 %x, 1
+  ret i8 %a
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestFreezeOfNonPoisonRemovalValid(t *testing.T) {
+	// %x is noundef, and a plain add of non-poison operands is non-poison,
+	// so the freeze is a no-op.
+	src := `define i8 @f(i8 noundef %x) {
+  %a = add i8 %x, 1
+  %fr = freeze i8 %a
+  ret i8 %fr
+}`
+	tgt := `define i8 @f(i8 noundef %x) {
+  %a = add i8 %x, 1
+  ret i8 %a
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	src := `define i32 @f(ptr %p) {
+  store i32 42, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}`
+	tgt := `define i32 @f(ptr %p) {
+  store i32 42, ptr %p
+  ret i32 42
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestStoreCannotBeDropped(t *testing.T) {
+	src := `define void @f(ptr %p) {
+  store i32 42, ptr %p
+  ret void
+}`
+	tgt := `define void @f(ptr %p) {
+  ret void
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestDeadStoreEliminationValid(t *testing.T) {
+	src := `define void @f(ptr %p) {
+  store i32 1, ptr %p
+  store i32 2, ptr %p
+  ret void
+}`
+	tgt := `define void @f(ptr %p) {
+  store i32 2, ptr %p
+  ret void
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+// TestTest9ClobberAliasing is the paper's running example: the two loads
+// of %q straddle a call that may write through %p, and %p may alias %q, so
+// folding %a - %b to 0 is invalid.
+func TestTest9ClobberAliasing(t *testing.T) {
+	src := `declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  call void @clobber(ptr %p)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`
+	tgt := `declare void @clobber(ptr)
+
+define i32 @test9(ptr %p, ptr %q) {
+  call void @clobber(ptr %p)
+  ret i32 0
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestLoadForwardAcrossReadonlyCallValid(t *testing.T) {
+	src := `declare void @observe(ptr) readonly willreturn nounwind
+
+define i32 @f(ptr %q) {
+  %a = load i32, ptr %q
+  call void @observe(ptr %q)
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`
+	tgt := `declare void @observe(ptr) readonly willreturn nounwind
+
+define i32 @f(ptr %q) {
+  %a = load i32, ptr %q
+  call void @observe(ptr %q)
+  ret i32 0
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestCallRemovalRequiresAttributes(t *testing.T) {
+	srcTmpl := `declare void @g(i32)DECLATTRS
+
+define i32 @f(i32 %x) {
+  call void @g(i32 %x)
+  ret i32 %x
+}`
+	tgt := strings.Replace(`declare void @g(i32)DECLATTRS
+
+define i32 @f(i32 %x) {
+  ret i32 %x
+}`, "DECLATTRS", "", 1)
+
+	// Without attributes, dropping the call is a bug.
+	r := verifyPair(t, strings.Replace(srcTmpl, "DECLATTRS", "", 1), tgt)
+	wantVerdict(t, r, Invalid)
+
+	// With readnone willreturn nounwind it is legal.
+	r = verifyPair(t,
+		strings.Replace(srcTmpl, "DECLATTRS", " readnone willreturn nounwind", 1),
+		strings.Replace(tgt, "declare void @g(i32)", "declare void @g(i32) readnone willreturn nounwind", 1))
+	wantVerdict(t, r, Valid)
+}
+
+func TestCallArgumentChangeInvalid(t *testing.T) {
+	src := `declare void @g(i32)
+
+define void @f(i32 %x) {
+  call void @g(i32 %x)
+  ret void
+}`
+	tgt := `declare void @g(i32)
+
+define void @f(i32 %x) {
+  %y = add i32 %x, 1
+  call void @g(i32 %y)
+  ret void
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestCallResultUsable(t *testing.T) {
+	// Doubling via the call result twice vs multiplying by 2: valid since
+	// matched calls return equal values.
+	src := `declare i32 @get()
+
+define i32 @f() {
+  %a = call i32 @get()
+  %b = add i32 %a, %a
+  ret i32 %b
+}`
+	tgt := `declare i32 @get()
+
+define i32 @f() {
+  %a = call i32 @get()
+  %b = mul i32 %a, 2
+  ret i32 %b
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestSmaxIntrinsic(t *testing.T) {
+	src := `define i8 @f(i8 %x, i8 %y) {
+  %m = call i8 @llvm.smax.i8(i8 %x, i8 %y)
+  ret i8 %m
+}`
+	tgt := `define i8 @f(i8 %x, i8 %y) {
+  %c = icmp sgt i8 %x, %y
+  %m = select i1 %c, i8 %x, i8 %y
+  ret i8 %m
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestLoopsAreUnsupported(t *testing.T) {
+	loop := `define i32 @f(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %ni, %head ]
+  %ni = add i32 %i, 1
+  %c = icmp ult i32 %ni, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i32 %ni
+}`
+	r := verifyPair(t, loop, loop)
+	wantVerdict(t, r, Unsupported)
+	if !strings.Contains(r.Reason, "loops") {
+		t.Errorf("reason %q should mention loops", r.Reason)
+	}
+}
+
+func TestUnreachableOnlyWhenSourceUB(t *testing.T) {
+	// Source: UB when %c (assume false). Target may do anything there but
+	// must match when %c is false... here tgt matches src exactly on the
+	// defined side.
+	src := `define i32 @f(i1 %c, i32 %x) {
+entry:
+  br i1 %c, label %bad, label %ok
+bad:
+  unreachable
+ok:
+  ret i32 %x
+}`
+	tgt := `define i32 @f(i1 %c, i32 %x) {
+  ret i32 %x
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestAssumeEnablesFold(t *testing.T) {
+	// With assume(x < 10), x > 20 is provably false.
+	src := `define i1 @f(i32 %x) {
+  %c = icmp ult i32 %x, 10
+  call void @llvm.assume(i1 %c)
+  %r = icmp ugt i32 %x, 20
+  ret i1 %r
+}`
+	tgt := `define i1 @f(i32 %x) {
+  %c = icmp ult i32 %x, 10
+  call void @llvm.assume(i1 %c)
+  ret i1 false
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestAssumeWrongDirection(t *testing.T) {
+	src := `define i1 @f(i32 %x) {
+  %c = icmp ult i32 %x, 10
+  call void @llvm.assume(i1 %c)
+  %r = icmp ugt i32 %x, 5
+  ret i1 %r
+}`
+	tgt := `define i1 @f(i32 %x) {
+  %c = icmp ult i32 %x, 10
+  call void @llvm.assume(i1 %c)
+  ret i1 false
+}`
+	// x in [6,9] gives true in src, false in tgt.
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestListing1ClampPattern(t *testing.T) {
+	// Listing 1 vs a correct InstCombine-style canonicalization of itself
+	// must verify.
+	src := `define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, -16
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = add i32 %x, 16
+  %t3 = icmp ult i32 %t2, 144
+  %r = select i1 %t3, i32 %x, i32 %t1
+  ret i32 %r
+}`
+	wantVerdict(t, verifyPair(t, src, src), Valid)
+}
+
+// TestListing2BugScenario encodes the essence of Fig. 1: the mutated
+// function (Listing 2) vs the miscompiled output (Listing 3). The paper
+// reports inputs x=2, low=1, high=1 distinguish them (mutant returns 1,
+// optimized returns... the clamp is reassociated incorrectly).
+func TestListing2BugScenario(t *testing.T) {
+	mutant := `define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %t0 = icmp slt i32 %x, 0
+  %t1 = select i1 %t0, i32 %low, i32 %high
+  %t2 = icmp ult i32 %x, 65536
+  %n = xor i1 %t2, true
+  %r = select i1 %n, i32 %x, i32 %t1
+  ret i32 %r
+}`
+	optimized := `define i32 @t1_ult_slt_0(i32 %x, i32 %low, i32 %high) {
+  %c1 = icmp slt i32 %x, 0
+  %c2 = icmp sgt i32 %x, 65535
+  %s1 = select i1 %c1, i32 %low, i32 %x
+  %s2 = select i1 %c2, i32 %high, i32 %s1
+  ret i32 %s2
+}`
+	r := verifyPair(t, mutant, optimized)
+	wantVerdict(t, r, Invalid)
+	// Check the specific paper counterexample class: 0 <= x < 65536
+	// non-negative gives src: t0 false→t1=high; t2 true→n false→r=t1=high;
+	// tgt: c1 false→s1=x; c2 false→s2=x. So whenever x != high in range,
+	// they differ. The solver's model must satisfy that shape.
+	if r.CEX == nil {
+		t.Fatal("expected counterexample")
+	}
+}
+
+func TestPointerNullComparison(t *testing.T) {
+	src := `define i1 @f(ptr %p) {
+  %c = icmp eq ptr %p, null
+  ret i1 %c
+}`
+	tgt := `define i1 @f(ptr %p) {
+  ret i1 false
+}`
+	// p may be null → invalid.
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestNonnullAttributeEnablesFold(t *testing.T) {
+	src := `define i1 @f(ptr nonnull %p) {
+  %c = icmp eq ptr %p, null
+  ret i1 %c
+}`
+	tgt := `define i1 @f(ptr nonnull %p) {
+  ret i1 false
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestGepAliasing(t *testing.T) {
+	// Store through p+4 cannot be assumed not to alias q.
+	src := `define i32 @f(ptr %p, ptr %q) {
+  %a = load i32, ptr %q
+  %g = getelementptr i8, ptr %p, i64 4
+  store i32 7, ptr %g
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`
+	tgt := `define i32 @f(ptr %p, ptr %q) {
+  %g = getelementptr i8, ptr %p, i64 4
+  store i32 7, ptr %g
+  ret i32 0
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Invalid)
+}
+
+func TestAllocaDoesNotAliasParams(t *testing.T) {
+	// Store to an alloca cannot clobber %q: forwarding the load is VALID.
+	src := `define i32 @f(ptr %q) {
+  %a = load i32, ptr %q
+  %s = alloca i32
+  store i32 7, ptr %s
+  %b = load i32, ptr %q
+  %c = sub i32 %a, %b
+  ret i32 %c
+}`
+	tgt := `define i32 @f(ptr %q) {
+  %s = alloca i32
+  store i32 7, ptr %s
+  ret i32 0
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+}
+
+func TestNoundefParamAssumption(t *testing.T) {
+	// With noundef, freeze %x -> %x is legal.
+	src := `define i32 @f(i32 noundef %x) {
+  %fr = freeze i32 %x
+  ret i32 %fr
+}`
+	tgt := `define i32 @f(i32 noundef %x) {
+  ret i32 %x
+}`
+	wantVerdict(t, verifyPair(t, src, tgt), Valid)
+
+	// Without noundef it is not.
+	src2 := strings.ReplaceAll(src, " noundef", "")
+	tgt2 := strings.ReplaceAll(tgt, " noundef", "")
+	wantVerdict(t, verifyPair(t, src2, tgt2), Invalid)
+}

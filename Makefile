@@ -1,0 +1,35 @@
+# Make targets mirror the CI pipeline exactly (.github/workflows/ci.yml
+# runs these same targets), so local dev and CI can never drift.
+
+GO ?= go
+
+.PHONY: build test race vet fmt-check campaign-smoke bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# A short-budget end-to-end campaign: exercises the sharded scheduler,
+# the optimizer, and the verifier without a minutes-long run. Any panic
+# or non-zero exit fails the target.
+campaign-smoke:
+	$(GO) run ./cmd/fuzz-campaign -budget 50 -tvbudget 2000 -workers 4
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+ci: build vet fmt-check test race campaign-smoke

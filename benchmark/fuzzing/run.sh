@@ -5,9 +5,45 @@
 # run.sh. Flags mirror the appendix (§G.1): change -n 10 to -n X for more
 # mutants, use -t 1 for a time budget, add -passes=instcombine to fuzz a
 # single pass, or remove -save-all to keep only failing cases.
+#
+# Parallel-scaling mode (EXPERIMENTS.md Experiment 1, "parallel
+# scaling"): `./run.sh sweep [workers...]` runs the Table-I campaign at
+# each worker count (default 1 2 4 8) with a fixed seed, reports
+# wall-clock per run, and verifies every table is byte-identical to the
+# -workers 1 table. Tune with BUDGET/TVBUDGET/SEED env vars.
 set -eu
 cd "$(dirname "$0")"
 root=../..
+
+if [ "${1:-}" = "sweep" ]; then
+    shift
+    workers_list=${*:-"1 2 4 8"}
+    budget=${BUDGET:-600}
+    tvbudget=${TVBUDGET:-4000}
+    seed=${SEED:-7}
+    mkdir -p tmp
+    echo "workers sweep: budget=$budget tvbudget=$tvbudget seed=$seed"
+    (cd "$root" && go build -o benchmark/fuzzing/tmp/fuzz-campaign ./cmd/fuzz-campaign)
+    ref=""
+    for w in $workers_list; do
+        out="tmp/table.w$w.txt"
+        start=$(date +%s)
+        ./tmp/fuzz-campaign -budget "$budget" -tvbudget "$tvbudget" \
+            -seed "$seed" -workers "$w" -out "$out" > /dev/null
+        end=$(date +%s)
+        echo "workers=$w wall=$((end - start))s"
+        if [ -z "$ref" ]; then
+            ref=$out
+        elif cmp -s "$ref" "$out"; then
+            echo "  table identical to workers=1"
+        else
+            echo "  ERROR: table differs from workers=1" >&2
+            diff "$ref" "$out" >&2 || true
+            exit 1
+        fi
+    done
+    exit 0
+fi
 
 mkdir -p tests tmp
 if [ -z "$(ls tests/*.ll 2>/dev/null)" ]; then

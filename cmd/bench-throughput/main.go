@@ -6,23 +6,33 @@
 // identical PRNG seeds on both sides, and reports per-file and average
 // speedups in the artifact's res.txt format (paper Listing 20).
 //
+// The per-file measurements are scheduled through the campaign engine
+// (internal/campaign), one work unit per input file. The default is
+// -workers 1 — timing fairness wants an otherwise idle machine — but CI
+// smoke runs and multi-core sanity checks can shard the files with
+// -workers N; each unit gets a private temp directory so the discrete
+// pipelines never collide.
+//
 // Usage:
 //
 //	bench-throughput [-count 1000] [-seed 1] [-passes O2] \
-//	    [-gen 20] [-out res.txt] [tests/...ll]
+//	    [-gen 20] [-workers 1] [-out res.txt] [tests/...ll]
 //
 // With -gen N and no input files, N corpus files are synthesized first.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/discrete"
@@ -30,11 +40,21 @@ import (
 	"repro/internal/rng"
 )
 
+type row struct {
+	file       string
+	integrated float64 // seconds
+	discrete   float64
+	perf       float64
+	notVerif   bool
+	invalid    bool
+}
+
 func main() {
 	count := flag.Int("count", 1000, "mutants per input file (the paper's COUNT)")
 	seed := flag.Uint64("seed", 1, "master PRNG seed (shared by both workflows)")
 	passSpec := flag.String("passes", "O2", "optimization pipeline")
 	gen := flag.Int("gen", 20, "generate this many corpus files when none are given")
+	workers := flag.Int("workers", 1, "parallel file shards (keep 1 for publishable timings)")
 	outPath := flag.String("out", "res.txt", "result file (Listing 20 format)")
 	repoRoot := flag.String("repo", ".", "repository root (for building the discrete tools)")
 	flag.Parse()
@@ -73,67 +93,62 @@ func main() {
 		fatal(err)
 	}
 
-	type row struct {
-		file       string
-		integrated float64 // seconds
-		discrete   float64
-		perf       float64
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// One unit per file; every unit is its own group, so the engine is
+	// free to shard them across the pool in input order.
+	units := make([]campaign.Unit, len(files))
+	for i, path := range files {
+		i, path := i, path
+		tmp := filepath.Join(workDir, fmt.Sprintf("u%d", i))
+		units[i] = campaign.Unit{
+			Group: filepath.Base(path),
+			Name:  filepath.Base(path),
+			Seed:  *seed,
+			Run: func(ctx context.Context, _ any) (any, bool, error) {
+				if err := os.MkdirAll(tmp, 0o755); err != nil {
+					return row{}, true, err
+				}
+				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count)
+				return r, true, err
+			},
+		}
 	}
+	outcomes := campaign.Run(ctx, units, campaign.Options{
+		Workers: *workers,
+		OnGroupDone: func(group string, outs []campaign.Outcome) {
+			for _, o := range outs {
+				if o.Skipped || o.Err != nil {
+					continue
+				}
+				r := o.Res.(row)
+				if !r.invalid {
+					fmt.Printf("%s: alive-mutate %.3fs, discrete %.3fs, speedup %.1fx\n",
+						r.file, r.integrated, r.discrete, r.perf)
+				}
+			}
+		},
+	})
+
 	var rows []row
 	var notVerified, invalid []string
-
-	for _, path := range files {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
+	for i, o := range outcomes {
+		if o.Err != nil {
+			fatal(o.Err)
 		}
-		mod, err := parser.Parse(string(data))
-		if err != nil {
-			invalid = append(invalid, path)
+		if o.Skipped {
+			continue // interrupted before this file ran
+		}
+		r := o.Res.(row)
+		if r.invalid {
+			invalid = append(invalid, files[i])
 			continue
 		}
-
-		// Integrated workflow.
-		fz, err := core.New(mod.Clone(), core.Options{
-			Passes: *passSpec, Seed: *seed, NumMutants: *count,
-		})
-		if err != nil {
-			invalid = append(invalid, path)
-			continue
+		if r.notVerif {
+			notVerified = append(notVerified, r.file)
 		}
-		t0 := time.Now()
-		rep := fz.Run()
-		integrated := time.Since(t0).Seconds()
-
-		// Discrete workflow: same seeds, same count (the Python loop of
-		// §V-B).
-		pipe := &discrete.Pipeline{Tools: tools, Passes: *passSpec, TmpDir: workDir, TVBudget: 30000}
-		master := rng.New(*seed)
-		t0 = time.Now()
-		var disRes discrete.Result
-		for i := 0; i < *count; i++ {
-			s := master.SplitSeed()
-			r, err := pipe.Iteration(path, s)
-			if err != nil {
-				fatal(err)
-			}
-			disRes.Valid += r.Valid
-			disRes.Invalid += r.Invalid
-			disRes.Unsupported += r.Unsupported
-			disRes.Unknown += r.Unknown
-			disRes.Crashes += r.Crashes
-		}
-		dis := time.Since(t0).Seconds()
-
-		if rep.Stats.Invalid > 0 || disRes.Invalid > 0 {
-			notVerified = append(notVerified, filepath.Base(path))
-		}
-		rows = append(rows, row{
-			file: filepath.Base(path), integrated: integrated,
-			discrete: dis, perf: dis / integrated,
-		})
-		fmt.Printf("%s: alive-mutate %.3fs, discrete %.3fs, speedup %.1fx\n",
-			filepath.Base(path), integrated, dis, dis/integrated)
+		rows = append(rows, r)
 	}
 
 	// Listing 20 format.
@@ -183,6 +198,59 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(b.String())
+}
+
+// measureFile times both workflows over one input file.
+func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
+	passes string, seed uint64, count int) (row, error) {
+	r := row{file: filepath.Base(path)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	mod, err := parser.Parse(string(data))
+	if err != nil {
+		r.invalid = true
+		return r, nil
+	}
+
+	// Integrated workflow.
+	fz, err := core.New(mod.Clone(), core.Options{
+		Passes: passes, Seed: seed, NumMutants: count,
+	})
+	if err != nil {
+		r.invalid = true
+		return r, nil
+	}
+	t0 := time.Now()
+	rep := fz.Run()
+	r.integrated = time.Since(t0).Seconds()
+
+	// Discrete workflow: same seeds, same count (the Python loop of
+	// §V-B).
+	pipe := &discrete.Pipeline{Tools: tools, Passes: passes, TmpDir: tmpDir, TVBudget: 30000}
+	master := rng.New(seed)
+	t0 = time.Now()
+	var disRes discrete.Result
+	for i := 0; i < count; i++ {
+		if ctx.Err() != nil {
+			return r, ctx.Err()
+		}
+		s := master.SplitSeed()
+		ir, err := pipe.Iteration(path, s)
+		if err != nil {
+			return r, err
+		}
+		disRes.Valid += ir.Valid
+		disRes.Invalid += ir.Invalid
+		disRes.Unsupported += ir.Unsupported
+		disRes.Unknown += ir.Unknown
+		disRes.Crashes += ir.Crashes
+	}
+	r.discrete = time.Since(t0).Seconds()
+	r.perf = r.discrete / r.integrated
+	r.notVerif = rep.Stats.Invalid > 0 || disRes.Invalid > 0
+	return r, nil
 }
 
 func fatal(err error) {

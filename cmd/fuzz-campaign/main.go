@@ -7,162 +7,101 @@
 // many mutants, and by which kind of evidence (refinement failure vs
 // crash) — the same census Table I presents for the 33 real LLVM bugs.
 //
+// The campaign is sharded over a worker pool (internal/campaign): one
+// group per bug, one work unit per (bug × seed test), with the per-bug
+// budget threaded through each group's chain. Results are reproducible
+// for any -workers value; -workers 1 reproduces the historical serial
+// driver byte-for-byte. SIGINT (and -deadline expiry) stop the campaign
+// gracefully and still print the partial table.
+//
 // Usage:
 //
-//	fuzz-campaign [-budget 4000] [-seed 7] [-passes O2] [-out table1.txt]
+//	fuzz-campaign [-budget 12000] [-seed 7] [-passes O2] [-workers N]
+//	    [-deadline 10m] [-only 53252,50693] [-stats] [-out table1.txt]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/corpus"
+	"repro/internal/campaign"
 	"repro/internal/opt"
-	"repro/internal/parser"
-	"repro/internal/tv"
 )
 
 func main() {
-	budget := flag.Int("budget", 4000, "max mutants per bug across its seed tests")
-	tvBudget := flag.Int64("tvbudget", 8000, "SAT conflict budget per refinement query")
+	budget := flag.Int("budget", 12000, "max mutants per bug across its seed tests")
+	tvBudget := flag.Int64("tvbudget", 4000, "SAT conflict budget per refinement query")
 	seed := flag.Uint64("seed", 7, "campaign master seed")
 	passSpec := flag.String("passes", "O2", "optimization pipeline")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial-identical)")
+	deadline := flag.Duration("deadline", 0, "overall wall-clock budget (0 = none)")
+	onlySpec := flag.String("only", "", "comma-separated issue numbers to restrict the campaign to")
+	stats := flag.Bool("stats", false, "print the per-bug loop-statistics aggregate")
 	outPath := flag.String("out", "", "also write the table to this file")
 	flag.Parse()
 
-	suite := corpus.TargetedTests()
-
-	type row struct {
-		info  opt.Info
-		found bool
-		iters int
-		kind  string
-		seedT string
-		secs  float64
-	}
-	var rows []row
-	foundCount, miscompiles, crashes := 0, 0, 0
-
-	for _, info := range opt.Registry {
-		// Seed tests near this bug first; the rest of the suite after.
-		var tests []corpus.NamedTest
-		for _, t := range suite {
-			for _, is := range t.Issues {
-				if is == info.Issue {
-					tests = append(tests, t)
-				}
-			}
-		}
-		for _, t := range suite {
-			tagged := false
-			for _, is := range t.Issues {
-				if is == info.Issue {
-					tagged = true
-				}
-			}
-			if !tagged {
-				tests = append(tests, t)
-			}
-		}
-
-		tagged := map[string]bool{}
-		for _, t := range suite {
-			for _, is := range t.Issues {
-				if is == info.Issue {
-					tagged[t.Name] = true
-				}
-			}
-		}
-
-		r := row{info: info}
-		start := time.Now()
-		spent := 0
-		for _, t := range tests {
-			if spent >= *budget {
-				break
-			}
-			// Seeds tagged near the bug get the lion's share of the
-			// budget; untagged suite members mop up what is left.
-			n := *budget / 2
-			if !tagged[t.Name] {
-				n = *budget / 8
-			}
-			if spent+n > *budget {
-				n = *budget - spent
-			}
-			mod, err := parser.Parse(t.Text)
+	var only []int
+	if *onlySpec != "" {
+		for _, f := range strings.Split(*onlySpec, ",") {
+			issue, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "fuzz-campaign: seed %s: %v\n", t.Name, err)
-				continue
+				fmt.Fprintf(os.Stderr, "fuzz-campaign: bad -only entry %q: %v\n", f, err)
+				os.Exit(2)
 			}
-			bugs := (&opt.BugSet{}).Enable(info.ID)
-			fz, err := core.New(mod, core.Options{
-				Passes:             *passSpec,
-				Bugs:               bugs,
-				Seed:               *seed ^ uint64(info.Issue),
-				NumMutants:         n,
-				StopAtFirstFinding: true,
-				TV:                 tv.Options{ConflictBudget: *tvBudget},
-			})
-			if err != nil {
-				continue // whole seed unsupported for this pipeline
-			}
-			rep := fz.Run()
-			spent += rep.Stats.Iterations
-			if len(rep.Findings) > 0 {
-				fd := rep.Findings[0]
-				r.found = true
-				r.iters = spent - rep.Stats.Iterations + fd.Iter
-				r.kind = fd.Kind.String()
-				r.seedT = t.Name
-				foundCount++
-				if fd.Kind == core.Crash {
-					crashes++
-				} else {
-					miscompiles++
-				}
-				break
+			only = append(only, issue)
+		}
+		known := map[int]bool{}
+		for _, info := range opt.Registry {
+			known[info.Issue] = true
+		}
+		for _, issue := range only {
+			if !known[issue] {
+				fmt.Fprintf(os.Stderr, "fuzz-campaign: -only issue %d is not in the seeded-bug registry\n", issue)
+				os.Exit(2)
 			}
 		}
-		r.secs = time.Since(start).Seconds()
-		if !r.found {
-			r.iters = spent
-		}
-		rows = append(rows, r)
-		status := "NOT FOUND"
-		if r.found {
-			status = fmt.Sprintf("found as %s after %d mutants (seed test %s)", r.kind, r.iters, r.seedT)
-		}
-		fmt.Printf("%6d %-26s %-14s %s (%.1fs)\n",
-			info.Issue, info.PaperComp, info.Kind, status, r.secs)
 	}
 
-	var b strings.Builder
-	fmt.Fprintf(&b, "LLVM BUGS FOUND USING ALIVE-MUTATE (reproduction census, cf. paper Table I)\n\n")
-	fmt.Fprintf(&b, "%-8s %-26s %-14s %-10s %-8s %-22s %s\n",
-		"Issue", "Component (paper)", "Type", "Status", "Mutants", "Seed test", "Description")
-	for _, r := range rows {
-		status, iters := "missed", fmt.Sprintf(">%d", r.iters)
-		if r.found {
-			status, iters = "found", fmt.Sprintf("%d", r.iters)
-		}
-		fmt.Fprintf(&b, "%-8d %-26s %-14s %-10s %-8s %-22s %s\n",
-			r.info.Issue, r.info.PaperComp, r.info.Kind, status, iters, r.seedT, r.info.Desc)
-	}
-	fmt.Fprintf(&b, "\nTotals: %d/%d bugs found (%d miscompilations, %d crashes)\n",
-		foundCount, len(rows), miscompiles, crashes)
-	fmt.Fprintf(&b, "Paper reports: 33 bugs (19 miscompilations, 14 crashes)\n")
+	// SIGINT cancels the campaign; the partial table still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
+	start := time.Now()
+	rep := campaign.RunBugs(ctx, campaign.BugConfig{
+		Budget:   *budget,
+		TVBudget: *tvBudget,
+		Seed:     *seed,
+		Passes:   *passSpec,
+		Workers:  *workers,
+		Deadline: *deadline,
+		Only:     only,
+		Progress: func(r campaign.BugRow) { fmt.Println(r.ProgressLine()) },
+	})
+	wall := time.Since(start)
+
+	table := rep.Table()
 	fmt.Println()
-	fmt.Print(b.String())
+	fmt.Print(table)
+	if *stats {
+		total := rep.Agg.Total()
+		fmt.Printf("\nPer-bug loop statistics (workers=%d, wall %.1fs):\n%s", *workers, wall.Seconds(), rep.Agg.String())
+		fmt.Printf("Campaign total: %d mutants, %d refinement checks, %d crashes observed\n",
+			total.Iterations, total.Checked, total.Crashes)
+	}
 	if *outPath != "" {
-		if err := os.WriteFile(*outPath, []byte(b.String()), 0o644); err != nil {
+		if err := os.WriteFile(*outPath, []byte(table), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
 			os.Exit(1)
 		}
+	}
+	if rep.Interrupted {
+		os.Exit(130)
 	}
 }

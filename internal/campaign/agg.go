@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// GroupStats accumulates the fuzzing-loop counters for one campaign
+// group (one bug, one input file, ...).
+type GroupStats struct {
+	Units       int // units that contributed results
+	Iterations  int // mutants tried
+	Checked     int // function-level refinement checks (TV queries incl. fast path)
+	Valid       int
+	Invalid     int // refinement failures (miscompilation evidence)
+	Unsupported int
+	Unknown     int
+	Crashes     int // optimizer panics
+	Findings    int
+}
+
+// Agg is the campaign-wide stats aggregator. Units running on different
+// workers record into it concurrently, so every access is mutex-guarded.
+type Agg struct {
+	mu     sync.Mutex
+	groups map[string]*GroupStats
+}
+
+// NewAgg returns an empty aggregator.
+func NewAgg() *Agg {
+	return &Agg{groups: map[string]*GroupStats{}}
+}
+
+// Record folds one unit's loop stats into its group's accumulator.
+func (a *Agg) Record(group string, s core.Stats, findings int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g, ok := a.groups[group]
+	if !ok {
+		g = &GroupStats{}
+		a.groups[group] = g
+	}
+	g.Units++
+	g.Iterations += s.Iterations
+	g.Checked += s.Checked
+	g.Valid += s.Valid
+	g.Invalid += s.Invalid
+	g.Unsupported += s.Unsupported
+	g.Unknown += s.Unknown
+	g.Crashes += s.Crashes
+	g.Findings += findings
+}
+
+// Group returns a copy of one group's stats (zero value if unknown).
+func (a *Agg) Group(name string) GroupStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if g, ok := a.groups[name]; ok {
+		return *g
+	}
+	return GroupStats{}
+}
+
+// Total sums every group.
+func (a *Agg) Total() GroupStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var t GroupStats
+	for _, g := range a.groups {
+		t.Units += g.Units
+		t.Iterations += g.Iterations
+		t.Checked += g.Checked
+		t.Valid += g.Valid
+		t.Invalid += g.Invalid
+		t.Unsupported += g.Unsupported
+		t.Unknown += g.Unknown
+		t.Crashes += g.Crashes
+		t.Findings += g.Findings
+	}
+	return t
+}
+
+// String renders a one-line-per-group summary (groups sorted by name),
+// for -stats output and debugging. Note that with parallel workers the
+// per-group totals may include work a serial run would have skipped
+// (units already in flight when an earlier shard found the bug); the
+// result *table* is scheduling-independent, these counters are not.
+func (a *Agg) String() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var names []string
+	for name := range a.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		g := a.groups[name]
+		fmt.Fprintf(&b, "%-10s units=%-3d mutants=%-7d checks=%-7d valid=%-7d invalid=%-3d unsupported=%-5d unknown=%-3d crashes=%-3d findings=%d\n",
+			name, g.Units, g.Iterations, g.Checked, g.Valid, g.Invalid, g.Unsupported, g.Unknown, g.Crashes, g.Findings)
+	}
+	return b.String()
+}

@@ -1,0 +1,265 @@
+// The Table-I bug-finding campaign (paper §V-A) on top of the sharded
+// engine: one group per seeded defect, one unit per (bug × seed test),
+// with the per-bug mutant budget threaded through the group chain exactly
+// as the original serial driver spent it. That invariant is what makes
+// `-workers 1` reproduce the serial driver's table byte-for-byte and
+// `-workers N` reproduce the same found/missed census and mutant counts
+// in less wall-clock time.
+
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/tv"
+)
+
+// BugConfig configures a bug-finding campaign over the seeded registry.
+type BugConfig struct {
+	Budget   int    // max mutants per bug across its seed tests
+	TVBudget int64  // SAT conflict budget per refinement query
+	Seed     uint64 // campaign master seed
+	Passes   string // optimization pipeline, e.g. "O2"
+	Workers  int    // worker goroutines; <= 0 means runtime.NumCPU()
+	Deadline time.Duration
+	// Only, when non-empty, restricts the campaign to these issues
+	// (small deterministic campaigns for tests and CI smoke runs).
+	Only []int
+	// Progress, when non-nil, receives each bug's row as its group
+	// completes. Calls are serialized.
+	Progress func(BugRow)
+	// Stderr receives seed-parse warnings (default os.Stderr).
+	Stderr io.Writer
+}
+
+// BugRow is one bug's outcome — a row of table1.txt.
+type BugRow struct {
+	Info  opt.Info
+	Found bool
+	Iters int     // mutants to first finding, or total spent if missed
+	Kind  string  // evidence kind when found
+	SeedT string  // seed test that produced the finding
+	Secs  float64 // summed unit execution time (≈ CPU seconds for the bug)
+}
+
+// BugReport is the campaign result.
+type BugReport struct {
+	Rows        []BugRow
+	Found       int
+	Miscompiles int
+	Crashes     int
+	Interrupted bool // the campaign was cancelled; Rows are partial
+	Agg         *Agg
+}
+
+// bugState is the chained per-group state: the serial driver's `spent`
+// accumulator plus the first finding, threaded unit to unit.
+type bugState struct {
+	spent int
+	row   BugRow
+}
+
+// RunBugs executes the campaign. It always returns a report — on
+// cancellation a partial one, with Interrupted set.
+func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
+	if cfg.Passes == "" {
+		cfg.Passes = "O2"
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+	// Apply the deadline here rather than inside the engine so that
+	// expiry is visible on ctx and reported as Interrupted.
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	only := map[int]bool{}
+	for _, issue := range cfg.Only {
+		only[issue] = true
+	}
+	suite := corpus.TargetedTests()
+	agg := NewAgg()
+
+	var infos []opt.Info
+	var units []Unit
+	for _, info := range opt.Registry {
+		if len(only) > 0 && !only[info.Issue] {
+			continue
+		}
+		infos = append(infos, info)
+		units = append(units, bugUnits(info, suite, cfg, agg)...)
+	}
+
+	rep := &BugReport{Agg: agg}
+	rowDone := map[string]BugRow{}
+	var mu sync.Mutex
+	opts := Options{
+		Workers: cfg.Workers,
+		OnGroupDone: func(group string, outcomes []Outcome) {
+			// The last executed unit's state carries the group's result.
+			st := bugState{}
+			var secs float64
+			for i := range outcomes {
+				o := &outcomes[i]
+				secs += o.Elapsed().Seconds()
+				if !o.Skipped && o.Res != nil {
+					st = o.Res.(bugState)
+				}
+			}
+			st.row.Secs = secs
+			if !st.row.Found {
+				st.row.Iters = st.spent
+			}
+			mu.Lock()
+			rowDone[group] = st.row
+			mu.Unlock()
+			if cfg.Progress != nil {
+				cfg.Progress(st.row)
+			}
+		},
+	}
+	Run(ctx, units, opts)
+	rep.Interrupted = ctx.Err() != nil
+
+	// Assemble rows in registry order regardless of completion order.
+	for _, info := range infos {
+		row := rowDone[groupName(info)]
+		row.Info = info // set even for groups that never ran a unit
+		rep.Rows = append(rep.Rows, row)
+		if row.Found {
+			rep.Found++
+			if row.Kind == core.Crash.String() {
+				rep.Crashes++
+			} else {
+				rep.Miscompiles++
+			}
+		}
+	}
+	return rep
+}
+
+func groupName(info opt.Info) string {
+	return fmt.Sprintf("%d", info.Issue)
+}
+
+// bugUnits decomposes one bug's campaign into its chain of units: seed
+// tests near the bug first, the rest of the suite after (the corpus
+// ordering), each unit spending its share of the budget and handing the
+// accumulator to the next. The budget split — half the budget for each
+// tagged seed, an eighth for each untagged one, clipped to what remains —
+// matches the serial driver exactly.
+func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) []Unit {
+	group := groupName(info)
+	var units []Unit
+	for _, t := range corpus.OrderedFor(suite, info.Issue) {
+		t := t
+		tagged := t.Near(info.Issue)
+		units = append(units, Unit{
+			Group: group,
+			Name:  t.Name,
+			Seed:  cfg.Seed ^ uint64(info.Issue),
+			Run: func(ctx context.Context, prev any) (any, bool, error) {
+				st := bugState{}
+				if prev != nil {
+					st = prev.(bugState)
+				}
+				if st.spent >= cfg.Budget {
+					return st, true, nil
+				}
+				n := cfg.Budget / 2
+				if !tagged {
+					n = cfg.Budget / 8
+				}
+				if st.spent+n > cfg.Budget {
+					n = cfg.Budget - st.spent
+				}
+				mod, err := parser.Parse(t.Text)
+				if err != nil {
+					fmt.Fprintf(cfg.Stderr, "fuzz-campaign: seed %s: %v\n", t.Name, err)
+					return st, false, err
+				}
+				bugs := (&opt.BugSet{}).Enable(info.ID)
+				fz, err := core.New(mod, core.Options{
+					Passes:             cfg.Passes,
+					Bugs:               bugs,
+					Seed:               cfg.Seed ^ uint64(info.Issue),
+					NumMutants:         n,
+					StopAtFirstFinding: true,
+					TV:                 tv.Options{ConflictBudget: cfg.TVBudget},
+					Stop:               func() bool { return ctx.Err() != nil },
+				})
+				if err != nil {
+					return st, false, nil // whole seed unsupported for this pipeline
+				}
+				r := fz.Run()
+				st.spent += r.Stats.Iterations
+				agg.Record(group, r.Stats, len(r.Findings))
+				if len(r.Findings) > 0 {
+					fd := r.Findings[0]
+					st.row = BugRow{
+						Info:  info,
+						Found: true,
+						Iters: st.spent - r.Stats.Iterations + fd.Iter,
+						Kind:  fd.Kind.String(),
+						SeedT: t.Name,
+					}
+					return st, true, nil
+				}
+				if ctx.Err() != nil {
+					return st, true, nil // cancelled mid-unit: partial spend recorded
+				}
+				return st, false, nil
+			},
+		})
+	}
+	return units
+}
+
+// Table renders the report in the table1.txt format. For an
+// uninterrupted `-workers 1` run this is byte-identical to the historical
+// serial driver's output; for any worker count the found/missed census
+// and mutant counts are identical too.
+func (rep *BugReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LLVM BUGS FOUND USING ALIVE-MUTATE (reproduction census, cf. paper Table I)\n\n")
+	fmt.Fprintf(&b, "%-8s %-26s %-14s %-10s %-8s %-22s %s\n",
+		"Issue", "Component (paper)", "Type", "Status", "Mutants", "Seed test", "Description")
+	for _, r := range rep.Rows {
+		status, iters := "missed", fmt.Sprintf(">%d", r.Iters)
+		if r.Found {
+			status, iters = "found", fmt.Sprintf("%d", r.Iters)
+		}
+		fmt.Fprintf(&b, "%-8d %-26s %-14s %-10s %-8s %-22s %s\n",
+			r.Info.Issue, r.Info.PaperComp, r.Info.Kind, status, iters, r.SeedT, r.Info.Desc)
+	}
+	fmt.Fprintf(&b, "\nTotals: %d/%d bugs found (%d miscompilations, %d crashes)\n",
+		rep.Found, len(rep.Rows), rep.Miscompiles, rep.Crashes)
+	fmt.Fprintf(&b, "Paper reports: 33 bugs (19 miscompilations, 14 crashes)\n")
+	if rep.Interrupted {
+		fmt.Fprintf(&b, "NOTE: campaign interrupted; table reflects partial budgets.\n")
+	}
+	return b.String()
+}
+
+// ProgressLine formats the per-bug progress line the campaign driver
+// prints as each group completes.
+func (r BugRow) ProgressLine() string {
+	status := "NOT FOUND"
+	if r.Found {
+		status = fmt.Sprintf("found as %s after %d mutants (seed test %s)", r.Kind, r.Iters, r.SeedT)
+	}
+	return fmt.Sprintf("%6d %-26s %-14s %s (%.1fs)",
+		r.Info.Issue, r.Info.PaperComp, r.Info.Kind, status, r.Secs)
+}

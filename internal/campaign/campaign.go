@@ -1,0 +1,247 @@
+// Package campaign is the parallel, sharded orchestrator for fuzzing
+// campaigns — the scaling layer the paper's throughput thesis calls for:
+// alive-mutate keeps one mutate→optimize→verify loop hot inside a single
+// process (paper Fig. 3), and compiler-fuzzing campaigns are
+// embarrassingly parallel across seed/mutator shards (IRFuzzer makes the
+// same observation), so a campaign over many (bug × seed-test) cells
+// should saturate every core the hardware offers.
+//
+// The engine decomposes a campaign into Units. Units carry a Group name;
+// units that share a group form a *chain*: the engine guarantees they run
+// sequentially in slice order, each receiving its predecessor's result,
+// which is how a per-bug mutant budget is threaded through a bug's seed
+// tests exactly as a serial driver would spend it. Different groups run
+// concurrently over a bounded worker pool. Because every unit derives its
+// randomness from its own Unit.Seed (not from any shared stream), results
+// are reproducible regardless of worker count or scheduling order: the
+// only scheduling-dependent observable is wall-clock time.
+//
+// Cancellation is first-class: the context passed to Run bounds the whole
+// campaign (deadline, SIGINT), is forwarded to every unit, and a
+// cancelled campaign still returns the outcomes of every unit that
+// completed, so a driver can print a partial result table.
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Unit is one schedulable shard of a campaign.
+type Unit struct {
+	// Group names the chain this unit belongs to (e.g. the bug under
+	// test). Units with equal Group run sequentially in slice order;
+	// distinct groups run concurrently.
+	Group string
+	// Name identifies the unit within its group (e.g. the seed test).
+	Name string
+	// Seed is the unit's independent PRNG seed. The engine does not use
+	// it; it is carried here so schedulers, logs, and replay tooling all
+	// read the same value the unit's Run closure consumes.
+	Seed uint64
+	// Run executes the unit. prev is the result of the previous unit in
+	// the same group (nil for the group's first unit); the engine
+	// guarantees same-group units never run concurrently, so Run may read
+	// prev without synchronization. Returning done=true finishes the
+	// group early: later units in the group are skipped (the
+	// first-finding-per-bug exit). A non-nil err is recorded in the
+	// outcome but does not end the group — campaigns tolerate individual
+	// seeds failing to parse or preprocess.
+	Run func(ctx context.Context, prev any) (res any, done bool, err error)
+}
+
+// Outcome is the recorded result of one unit.
+type Outcome struct {
+	Unit    Unit
+	Res     any
+	Err     error
+	Skipped bool // never ran: group finished early or campaign cancelled
+	Start   time.Time
+	End     time.Time
+}
+
+// Elapsed is the unit's execution wall time (zero if skipped).
+func (o *Outcome) Elapsed() time.Duration {
+	if o.Skipped {
+		return 0
+	}
+	return o.End.Sub(o.Start)
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Workers is the number of worker goroutines; <= 0 means
+	// runtime.NumCPU().
+	Workers int
+	// Deadline bounds the whole campaign's wall-clock time (0 = none).
+	// On expiry, running units are asked to stop via their context and
+	// unstarted units are skipped.
+	Deadline time.Duration
+	// OnGroupDone, when non-nil, is called once per group as it finishes
+	// (early exit, queue exhausted, or cancellation), with the group's
+	// outcomes in unit order. Calls are serialized by the engine.
+	OnGroupDone func(group string, outcomes []Outcome)
+}
+
+// groupState is the engine's bookkeeping for one chain.
+type groupState struct {
+	queue   []int // indices into the unit slice, in order
+	next    int   // next queue position to dispatch
+	running bool  // a unit of this group is dispatched or executing
+	done    bool  // early exit or exhaustion; remaining units skip
+	prev    any   // chained result threaded to the next unit
+}
+
+// result is what a worker reports back to the control loop.
+type result struct {
+	idx        int
+	res        any
+	done       bool
+	err        error
+	start, end time.Time
+	canceled   bool // unit never ran because the context was cancelled
+}
+
+// Run executes the units and returns one outcome per unit, in input
+// order. It blocks until every dispatched unit has finished; on context
+// cancellation the remaining units are marked Skipped.
+func Run(ctx context.Context, units []Unit, opts Options) []Outcome {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+
+	outcomes := make([]Outcome, len(units))
+	for i := range outcomes {
+		outcomes[i].Unit = units[i]
+		outcomes[i].Skipped = true // overwritten when the unit runs
+	}
+
+	// Group chains, in first-appearance order.
+	groups := map[string]*groupState{}
+	var order []string
+	for i, u := range units {
+		g, ok := groups[u.Group]
+		if !ok {
+			g = &groupState{}
+			groups[u.Group] = g
+			order = append(order, u.Group)
+		}
+		g.queue = append(g.queue, i)
+	}
+
+	// Bounded fan-out: workers pull unit indices from ready; the control
+	// loop pulls completions from results. The ready buffer is
+	// deliberately small — backpressure, not queue depth, is what keeps
+	// memory flat when a campaign has thousands of shards.
+	ready := make(chan int, workers)
+	results := make(chan result, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range ready {
+				r := result{idx: idx, start: time.Now()}
+				if ctx.Err() != nil {
+					r.canceled = true
+					results <- r
+					continue
+				}
+				u := units[idx]
+				r.res, r.done, r.err = u.Run(ctx, groups[u.Group].prev)
+				r.end = time.Now()
+				results <- r
+			}
+		}()
+	}
+
+	finishGroup := func(name string) {
+		g := groups[name]
+		g.done = true
+		if opts.OnGroupDone == nil {
+			return
+		}
+		var out []Outcome
+		for _, idx := range g.queue {
+			out = append(out, outcomes[idx])
+		}
+		opts.OnGroupDone(name, out)
+	}
+
+	// Control loop: keep every group's head unit in flight. All group
+	// state is touched only here, which is what lets Unit.Run read prev
+	// without locks (the happens-before edge is the ready/results channel
+	// pair).
+	dispatched, completed := 0, 0
+	for {
+		// Collect groups with a dispatchable head.
+		var dispatchable []string
+		if ctx.Err() == nil {
+			for _, name := range order {
+				g := groups[name]
+				if !g.done && !g.running && g.next < len(g.queue) {
+					dispatchable = append(dispatchable, name)
+				}
+			}
+		}
+		if len(dispatchable) == 0 && dispatched == completed {
+			break // nothing running, nothing to start
+		}
+
+		if len(dispatchable) > 0 {
+			g := groups[dispatchable[0]]
+			select {
+			case ready <- g.queue[g.next]:
+				g.running = true
+				g.next++
+				dispatched++
+				continue
+			case r := <-results:
+				completed++
+				finish(r, units, groups, outcomes, finishGroup)
+			}
+		} else {
+			r := <-results
+			completed++
+			finish(r, units, groups, outcomes, finishGroup)
+		}
+	}
+	close(ready)
+	wg.Wait()
+
+	// Groups cut short by cancellation still owe their completion
+	// callback (partial-table printing on SIGINT relies on it).
+	for _, name := range order {
+		if !groups[name].done {
+			finishGroup(name)
+		}
+	}
+	return outcomes
+}
+
+// finish folds one worker report back into the engine state.
+func finish(r result, units []Unit, groups map[string]*groupState,
+	outcomes []Outcome, finishGroup func(string)) {
+	g := groups[units[r.idx].Group]
+	g.running = false
+	if r.canceled {
+		return // stays Skipped; group is torn down by the cancel sweep
+	}
+	outcomes[r.idx] = Outcome{
+		Unit: units[r.idx], Res: r.res, Err: r.err,
+		Start: r.start, End: r.end,
+	}
+	g.prev = r.res
+	if r.done || g.next >= len(g.queue) {
+		finishGroup(units[r.idx].Group)
+	}
+}

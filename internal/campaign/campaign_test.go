@@ -1,0 +1,264 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// TestGroupChainingOrder: units sharing a group must run sequentially in
+// slice order, each receiving its predecessor's result, even when many
+// workers are hungry for them.
+func TestGroupChainingOrder(t *testing.T) {
+	var mu sync.Mutex
+	execOrder := map[string][]int{}
+	var units []Unit
+	for g := 0; g < 3; g++ {
+		group := fmt.Sprintf("g%d", g)
+		for i := 0; i < 4; i++ {
+			i := i
+			units = append(units, Unit{
+				Group: group,
+				Name:  fmt.Sprintf("u%d", i),
+				Run: func(ctx context.Context, prev any) (any, bool, error) {
+					want := i - 1
+					got := -1
+					if prev != nil {
+						got = prev.(int)
+					}
+					if got != want {
+						t.Errorf("group %s unit %d: prev = %d, want %d", group, i, got, want)
+					}
+					mu.Lock()
+					execOrder[group] = append(execOrder[group], i)
+					mu.Unlock()
+					return i, false, nil
+				},
+			})
+		}
+	}
+	outcomes := Run(context.Background(), units, Options{Workers: 8})
+	for g, order := range execOrder {
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("group %s ran out of order: %v", g, order)
+			}
+		}
+	}
+	for _, o := range outcomes {
+		if o.Skipped {
+			t.Errorf("unit %s/%s skipped unexpectedly", o.Unit.Group, o.Unit.Name)
+		}
+	}
+}
+
+// TestEarlyExit: done=true must skip the rest of the group but leave
+// other groups untouched.
+func TestEarlyExit(t *testing.T) {
+	ran := make([]bool, 6)
+	mk := func(idx int, group string, done bool) Unit {
+		return Unit{Group: group, Run: func(ctx context.Context, prev any) (any, bool, error) {
+			ran[idx] = true
+			return idx, done, nil
+		}}
+	}
+	units := []Unit{
+		mk(0, "a", false), mk(1, "a", true), mk(2, "a", false),
+		mk(3, "b", false), mk(4, "b", false), mk(5, "b", false),
+	}
+	outcomes := Run(context.Background(), units, Options{Workers: 4})
+	if !ran[0] || !ran[1] || ran[2] {
+		t.Errorf("group a executed wrong units: ran=%v", ran[:3])
+	}
+	if !ran[3] || !ran[4] || !ran[5] {
+		t.Errorf("group b should run fully: ran=%v", ran[3:])
+	}
+	if !outcomes[2].Skipped {
+		t.Error("unit after early exit not marked skipped")
+	}
+}
+
+// TestUnitErrorContinuesGroup: a failing unit is recorded but does not
+// end its group (campaigns tolerate individual seeds failing to parse).
+func TestUnitErrorContinuesGroup(t *testing.T) {
+	units := []Unit{
+		{Group: "a", Run: func(ctx context.Context, prev any) (any, bool, error) {
+			return nil, false, fmt.Errorf("seed broken")
+		}},
+		{Group: "a", Run: func(ctx context.Context, prev any) (any, bool, error) {
+			return "ok", false, nil
+		}},
+	}
+	outcomes := Run(context.Background(), units, Options{Workers: 2})
+	if outcomes[0].Err == nil {
+		t.Error("error not recorded")
+	}
+	if outcomes[1].Skipped || outcomes[1].Res != "ok" {
+		t.Errorf("second unit should have run: %+v", outcomes[1])
+	}
+}
+
+// TestSeedDerivedDeterminism: unit results that depend only on Unit.Seed
+// are identical for any worker count.
+func TestSeedDerivedDeterminism(t *testing.T) {
+	build := func() []Unit {
+		master := rng.New(99)
+		var units []Unit
+		for i := 0; i < 40; i++ {
+			seed := master.SplitSeed()
+			units = append(units, Unit{
+				Group: fmt.Sprintf("g%d", i%7),
+				Seed:  seed,
+				Run: func(ctx context.Context, prev any) (any, bool, error) {
+					// A toy "fuzzing" computation: a few draws from the
+					// unit's own stream.
+					r := rng.New(seed)
+					sum := uint64(0)
+					for j := 0; j < 100; j++ {
+						sum += r.Uint64n(1000)
+					}
+					return sum, false, nil
+				},
+			})
+		}
+		return units
+	}
+	res1 := Run(context.Background(), build(), Options{Workers: 1})
+	res8 := Run(context.Background(), build(), Options{Workers: 8})
+	for i := range res1 {
+		if res1[i].Res != res8[i].Res {
+			t.Fatalf("unit %d: workers=1 got %v, workers=8 got %v", i, res1[i].Res, res8[i].Res)
+		}
+	}
+}
+
+// TestCancellation: cancelling the context ends the campaign promptly,
+// marks unstarted units skipped, and still returns completed outcomes.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	firstDone := make(chan struct{})
+	var units []Unit
+	units = append(units, Unit{Group: "first", Run: func(ctx context.Context, prev any) (any, bool, error) {
+		close(firstDone)
+		return 1, false, nil
+	}})
+	// A slow unit that honours cancellation.
+	units = append(units, Unit{Group: "slow", Run: func(ctx context.Context, prev any) (any, bool, error) {
+		<-ctx.Done()
+		return "stopped", false, nil
+	}})
+	for i := 0; i < 20; i++ {
+		units = append(units, Unit{Group: "tail", Run: func(ctx context.Context, prev any) (any, bool, error) {
+			time.Sleep(time.Millisecond)
+			return nil, false, nil
+		}})
+	}
+	go func() {
+		<-firstDone
+		cancel()
+	}()
+	done := make(chan []Outcome)
+	go func() { done <- Run(ctx, units, Options{Workers: 2}) }()
+	select {
+	case outcomes := <-done:
+		if outcomes[0].Skipped {
+			t.Error("completed unit reported as skipped")
+		}
+		skipped := 0
+		for _, o := range outcomes {
+			if o.Skipped {
+				skipped++
+			}
+		}
+		if skipped == 0 {
+			t.Error("cancellation skipped nothing")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// TestDeadline: Options.Deadline bounds the campaign wall clock.
+func TestDeadline(t *testing.T) {
+	var units []Unit
+	for i := 0; i < 50; i++ {
+		units = append(units, Unit{Group: fmt.Sprintf("g%d", i), Run: func(ctx context.Context, prev any) (any, bool, error) {
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-ctx.Done():
+			}
+			return nil, false, nil
+		}})
+	}
+	start := time.Now()
+	Run(context.Background(), units, Options{Workers: 2, Deadline: 100 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+}
+
+// TestOnGroupDoneOncePerGroup: every group gets exactly one completion
+// callback, with its outcomes in unit order.
+func TestOnGroupDoneOncePerGroup(t *testing.T) {
+	calls := map[string]int{}
+	var units []Unit
+	for g := 0; g < 5; g++ {
+		group := fmt.Sprintf("g%d", g)
+		for i := 0; i < 3; i++ {
+			units = append(units, Unit{Group: group, Name: fmt.Sprintf("u%d", i),
+				Run: func(ctx context.Context, prev any) (any, bool, error) {
+					return nil, false, nil
+				}})
+		}
+	}
+	Run(context.Background(), units, Options{
+		Workers: 4,
+		OnGroupDone: func(group string, outcomes []Outcome) {
+			calls[group]++ // serialized by the engine: no lock needed
+			if len(outcomes) != 3 {
+				t.Errorf("group %s: %d outcomes, want 3", group, len(outcomes))
+			}
+			for i, o := range outcomes {
+				if want := fmt.Sprintf("u%d", i); o.Unit.Name != want {
+					t.Errorf("group %s outcome %d is %s, want %s", group, i, o.Unit.Name, want)
+				}
+			}
+		},
+	})
+	for g, n := range calls {
+		if n != 1 {
+			t.Errorf("group %s completed %d times", g, n)
+		}
+	}
+	if len(calls) != 5 {
+		t.Errorf("%d groups completed, want 5", len(calls))
+	}
+}
+
+// TestAggConcurrentRecord hammers the aggregator from many goroutines;
+// the race detector job makes this a real test of the locking.
+func TestAggConcurrentRecord(t *testing.T) {
+	agg := NewAgg()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				agg.Record(fmt.Sprintf("g%d", i%5), core.Stats{Iterations: 1}, i%2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := agg.Total().Iterations; got != 8000 {
+		t.Errorf("total iterations = %d, want 8000", got)
+	}
+	if got := agg.Group("g0").Units; got != 8*200 {
+		t.Errorf("g0 units = %d, want 1600", got)
+	}
+}

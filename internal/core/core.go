@@ -101,6 +101,11 @@ type Options struct {
 	TimeLimit time.Duration
 	// StopAtFirstFinding ends the run at the first bug (campaign mode).
 	StopAtFirstFinding bool
+	// Stop, when non-nil, is polled between iterations; returning true
+	// ends the run early with the stats gathered so far. The campaign
+	// scheduler uses it to propagate context cancellation (deadline,
+	// SIGINT) into a running loop without losing the partial report.
+	Stop func() bool
 	// SaveFindings captures mutant/optimized .ll text in findings.
 	SaveFindings bool
 	// Mutations configures the mutation engine.
@@ -209,6 +214,9 @@ func (f *Fuzzer) Run() *Report {
 			break
 		}
 		if f.opts.TimeLimit > 0 && time.Since(start) >= f.opts.TimeLimit {
+			break
+		}
+		if f.opts.Stop != nil && f.opts.Stop() {
 			break
 		}
 		seed := master.SplitSeed()

@@ -17,6 +17,36 @@ type NamedTest struct {
 	Issues []int // seeded bugs this test's neighbourhood can trigger
 }
 
+// Near reports whether the test is tagged as sitting near the issue.
+func (t NamedTest) Near(issue int) bool {
+	for _, is := range t.Issues {
+		if is == issue {
+			return true
+		}
+	}
+	return false
+}
+
+// OrderedFor returns the suite in campaign order for one issue: the
+// tests tagged near the issue first (suite order preserved), then the
+// rest (suite order preserved). This is the seed-test grouping the
+// campaign scheduler shards over — tagged seeds get the lion's share of
+// a bug's mutant budget, untagged suite members mop up what is left.
+func OrderedFor(suite []NamedTest, issue int) []NamedTest {
+	ordered := make([]NamedTest, 0, len(suite))
+	for _, t := range suite {
+		if t.Near(issue) {
+			ordered = append(ordered, t)
+		}
+	}
+	for _, t := range suite {
+		if !t.Near(issue) {
+			ordered = append(ordered, t)
+		}
+	}
+	return ordered
+}
+
 // TargetedTests returns the regression-test suite.
 func TargetedTests() []NamedTest {
 	return []NamedTest{

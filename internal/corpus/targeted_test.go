@@ -58,3 +58,56 @@ func TestEveryRegistryBugHasNearbySeed(t *testing.T) {
 		}
 	}
 }
+
+// TestOrderedFor: the campaign ordering must be a permutation of the
+// suite with every tagged test ahead of every untagged one and suite
+// order preserved within each half — this is what makes the sharded
+// campaign's budget split reproduce the serial driver's.
+func TestOrderedFor(t *testing.T) {
+	suite := TargetedTests()
+	for _, info := range opt.Registry {
+		ordered := OrderedFor(suite, info.Issue)
+		if len(ordered) != len(suite) {
+			t.Fatalf("issue %d: OrderedFor returned %d tests, want %d",
+				info.Issue, len(ordered), len(suite))
+		}
+		seen := map[string]int{}
+		for _, tt := range ordered {
+			seen[tt.Name]++
+		}
+		for _, tt := range suite {
+			if seen[tt.Name] != 1 {
+				t.Fatalf("issue %d: test %s appears %d times", info.Issue, tt.Name, seen[tt.Name])
+			}
+		}
+		// Tagged prefix, untagged suffix; relative suite order preserved.
+		boundary := 0
+		for boundary < len(ordered) && ordered[boundary].Near(info.Issue) {
+			boundary++
+		}
+		for _, tt := range ordered[boundary:] {
+			if tt.Near(info.Issue) {
+				t.Errorf("issue %d: tagged test %s after untagged region", info.Issue, tt.Name)
+			}
+		}
+		prevIdx := -1
+		idx := map[string]int{}
+		for i, tt := range suite {
+			idx[tt.Name] = i
+		}
+		for _, tt := range ordered[:boundary] {
+			if idx[tt.Name] < prevIdx {
+				t.Errorf("issue %d: tagged tests reordered", info.Issue)
+			}
+			prevIdx = idx[tt.Name]
+		}
+	}
+}
+
+// TestNear matches the Issues slice exactly.
+func TestNear(t *testing.T) {
+	tt := NamedTest{Name: "x", Issues: []int{11, 22}}
+	if !tt.Near(11) || !tt.Near(22) || tt.Near(33) {
+		t.Errorf("Near gave wrong answers for %v", tt.Issues)
+	}
+}

@@ -92,6 +92,60 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+// TestPanicContracts pins down the misuse contracts of the bounded
+// draws. Per-worker campaign shards each own a Rand, so a misuse panic
+// surfaces deep inside a worker goroutine's stack — the table below is
+// the documentation of exactly which arguments are caller bugs.
+func TestPanicContracts(t *testing.T) {
+	cases := []struct {
+		name      string
+		call      func(r *Rand)
+		wantPanic bool
+	}{
+		{"Intn zero", func(r *Rand) { r.Intn(0) }, true},
+		{"Intn negative", func(r *Rand) { r.Intn(-5) }, true},
+		{"Intn one", func(r *Rand) { r.Intn(1) }, false},
+		{"Intn large", func(r *Rand) { r.Intn(1 << 30) }, false},
+		{"Uint64n zero", func(r *Rand) { r.Uint64n(0) }, true},
+		{"Uint64n one", func(r *Rand) { r.Uint64n(1) }, false},
+		{"Uint64n max", func(r *Rand) { r.Uint64n(^uint64(0)) }, false},
+		{"Chance zero denominator", func(r *Rand) { r.Chance(1, 0) }, true},
+		{"Chance negative denominator", func(r *Rand) { r.Chance(1, -3) }, true},
+		{"Chance zero numerator", func(r *Rand) { r.Chance(0, 5) }, false},
+		{"Chance negative numerator", func(r *Rand) { r.Chance(-2, 5) }, false},
+		{"Chance numerator at denominator", func(r *Rand) { r.Chance(5, 5) }, false},
+		{"Chance numerator above denominator", func(r *Rand) { r.Chance(9, 5) }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New(1)
+			defer func() {
+				if got := recover() != nil; got != tc.wantPanic {
+					t.Errorf("panicked = %v, want %v", got, tc.wantPanic)
+				}
+			}()
+			tc.call(r)
+		})
+	}
+}
+
+// TestSplitSeedMatchesStream: SplitSeed is the logged-and-replayable
+// form of Split — both must consume exactly one draw from the parent.
+func TestSplitSeedMatchesStream(t *testing.T) {
+	a, b := New(21), New(21)
+	s := a.SplitSeed()
+	child := b.Split()
+	want := New(s)
+	for i := 0; i < 10; i++ {
+		if child.Uint64() != want.Uint64() {
+			t.Fatal("Split and New(SplitSeed()) diverged")
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("SplitSeed and Split consumed different amounts of parent stream")
+	}
+}
+
 func TestPick(t *testing.T) {
 	r := New(1)
 	if r.Pick(0) != -1 {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check campaign-smoke bench ci
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke bench ci
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,16 @@ fmt-check:
 campaign-smoke:
 	$(GO) run ./cmd/fuzz-campaign -budget 50 -tvbudget 2000 -workers 4
 
+# Telemetry end-to-end: a 50-mutant campaign writes a metrics snapshot
+# and an event journal, then the snapshot is validated against the
+# documented schema (docs/OBSERVABILITY.md) with campaign-shaped content
+# required (mutants > 0, core stage timings present).
+telemetry-smoke:
+	$(GO) run ./cmd/fuzz-campaign -budget 50 -tvbudget 2000 -workers 4 \
+		-metrics-out telemetry-smoke.json -journal telemetry-smoke.jsonl -stats
+	$(GO) run ./cmd/telemetry-check -require-campaign telemetry-smoke.json
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-ci: build vet fmt-check test race campaign-smoke
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke

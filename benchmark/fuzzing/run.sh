@@ -9,8 +9,10 @@
 # Parallel-scaling mode (EXPERIMENTS.md Experiment 1, "parallel
 # scaling"): `./run.sh sweep [workers...]` runs the Table-I campaign at
 # each worker count (default 1 2 4 8) with a fixed seed, reports
-# wall-clock per run, and verifies every table is byte-identical to the
-# -workers 1 table. Tune with BUDGET/TVBUDGET/SEED env vars.
+# wall-clock per run, verifies every table is byte-identical to the
+# -workers 1 table, records a telemetry snapshot per sweep point
+# (tmp/metrics.wN.json), and finishes with a per-worker-count stage-time
+# comparison table. Tune with BUDGET/TVBUDGET/SEED env vars.
 set -eu
 cd "$(dirname "$0")"
 root=../..
@@ -23,15 +25,19 @@ if [ "${1:-}" = "sweep" ]; then
     seed=${SEED:-7}
     mkdir -p tmp
     echo "workers sweep: budget=$budget tvbudget=$tvbudget seed=$seed"
-    (cd "$root" && go build -o benchmark/fuzzing/tmp/fuzz-campaign ./cmd/fuzz-campaign)
+    (cd "$root" && go build -o benchmark/fuzzing/tmp/fuzz-campaign ./cmd/fuzz-campaign \
+        && go build -o benchmark/fuzzing/tmp/telemetry-check ./cmd/telemetry-check)
     ref=""
+    snaps=""
     for w in $workers_list; do
         out="tmp/table.w$w.txt"
+        metrics="tmp/metrics.w$w.json"
         start=$(date +%s)
         ./tmp/fuzz-campaign -budget "$budget" -tvbudget "$tvbudget" \
-            -seed "$seed" -workers "$w" -out "$out" > /dev/null
+            -seed "$seed" -workers "$w" -out "$out" -metrics-out "$metrics" > /dev/null
         end=$(date +%s)
         echo "workers=$w wall=$((end - start))s"
+        snaps="$snaps $metrics"
         if [ -z "$ref" ]; then
             ref=$out
         elif cmp -s "$ref" "$out"; then
@@ -42,6 +48,12 @@ if [ "${1:-}" = "sweep" ]; then
             exit 1
         fi
     done
+    # Summed stage time per worker count: the per-shard work is identical
+    # by construction (the tables just proved it), so the columns should
+    # agree up to scheduling noise — divergence here means contention.
+    echo
+    echo "stage-time comparison (summed across shards, per -workers):"
+    ./tmp/telemetry-check -compare $snaps
     exit 0
 fi
 

@@ -15,6 +15,13 @@
 //	-mutations LIST restrict mutation operators (comma-separated names)
 //	-verify-mutants run the IR verifier on every mutant
 //	-quiet          suppress the per-finding log
+//
+// Observability (docs/OBSERVABILITY.md):
+//
+//	-metrics-addr A serve live expvar + pprof on a localhost address
+//	-metrics-out F  write the end-of-run telemetry snapshot (JSON)
+//	-progress D     print live throughput to stderr every D (e.g. 5s)
+//	-stages         print the per-stage time breakdown after each file
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"repro/internal/mutate"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +53,10 @@ func main() {
 	mutations := flag.String("mutations", "", "comma-separated mutation operators (default: all)")
 	verifyMutants := flag.Bool("verify-mutants", false, "run the IR verifier on every mutant")
 	quiet := flag.Bool("quiet", false, "suppress the per-finding log")
+	metricsAddr := flag.String("metrics-addr", "", "serve live expvar + pprof on this localhost address (host:port)")
+	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
+	progress := flag.Duration("progress", 0, "print live throughput to stderr at this interval (0 = off)")
+	stages := flag.Bool("stages", false, "print the per-stage time breakdown after each file")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -65,6 +77,26 @@ func main() {
 		fatal(err)
 	}
 
+	// One sink shared by every input file (the snapshot aggregates the
+	// whole invocation); nil when no telemetry flag asked for it.
+	var sink *telemetry.Sink
+	if *metricsAddr != "" || *metricsOut != "" || *progress > 0 || *stages {
+		sink = &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
+		sink.Metrics.SetLabel("command", "alive-mutate")
+		sink.Metrics.SetLabel("seed", fmt.Sprint(*seed))
+		sink.Metrics.SetLabel("passes", *passSpec)
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(*metricsAddr, sink.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "alive-mutate: metrics at http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		defer srv.Close()
+	}
+	stopProgress := telemetry.StartProgress(os.Stderr, sink.Collector(), *progress)
+	defer stopProgress()
+
 	anyFinding := false
 	for _, path := range flag.Args() {
 		mod, err := moduleio.Load(path)
@@ -76,6 +108,8 @@ func main() {
 		if !*quiet {
 			logw = os.Stdout
 		}
+		// alive-mutate is serial, so files record straight into the shared
+		// collector (live -progress reads it) — no shard merge needed.
 		opts := core.Options{
 			Passes:        *passSpec,
 			Bugs:          bugs,
@@ -86,6 +120,7 @@ func main() {
 			Mutations:     mutCfg,
 			VerifyMutants: *verifyMutants,
 			Log:           logw,
+			Telemetry:     sink,
 		}
 		fz, err := core.New(mod, opts)
 		if err != nil {
@@ -118,6 +153,20 @@ func main() {
 			}
 		}
 		printSummary(path, rep)
+		if *stages {
+			if breakdown := sink.Collector().StageBreakdown(); breakdown != "" {
+				fmt.Printf("stage-time breakdown (cumulative):\n%s", breakdown)
+			}
+		}
+	}
+	if *metricsOut != "" {
+		data, err := sink.Collector().Snapshot().MarshalIndentedJSON()
+		if err == nil {
+			err = os.WriteFile(*metricsOut, data, 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if anyFinding {
 		os.Exit(1)

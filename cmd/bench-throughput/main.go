@@ -16,13 +16,22 @@
 // Usage:
 //
 //	bench-throughput [-count 1000] [-seed 1] [-passes O2] \
-//	    [-gen 20] [-workers 1] [-out res.txt] [tests/...ll]
+//	    [-gen 20] [-workers 1] [-out res.txt] [-json BENCH_throughput.json] \
+//	    [-metrics-addr 127.0.0.1:8787] [-metrics-out metrics.json] [tests/...ll]
 //
 // With -gen N and no input files, N corpus files are synthesized first.
+//
+// Besides the human-readable res.txt, the run emits BENCH_throughput.json
+// — a machine-readable result (schema alive-mutate-bench/v1: workers,
+// mutants per file, per-file wall times, per-stage nanoseconds for the
+// integrated loop) — so successive commits accumulate a perf trajectory
+// that scripts can diff. -metrics-addr/-metrics-out expose the underlying
+// telemetry exactly as in fuzz-campaign (docs/OBSERVABILITY.md).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,16 +47,43 @@ import (
 	"repro/internal/discrete"
 	"repro/internal/parser"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 type row struct {
-	file       string
-	integrated float64 // seconds
-	discrete   float64
-	perf       float64
-	notVerif   bool
-	invalid    bool
+	file         string
+	integrated   float64 // seconds
+	discrete     float64
+	perf         float64
+	notVerif     bool
+	invalid      bool
+	integratedNS int64
+	discreteNS   int64
 }
+
+// benchJSON is the machine-readable result document (-json), the start of
+// the repo's recorded perf trajectory.
+type benchJSON struct {
+	Schema         string           `json:"schema"`
+	Workers        int              `json:"workers"`
+	MutantsPerFile int              `json:"mutants_per_file"`
+	Passes         string           `json:"passes"`
+	Seed           uint64           `json:"seed"`
+	WallNS         int64            `json:"wall_ns"` // whole experiment
+	Files          []benchFile      `json:"files"`
+	AvgSpeedup     float64          `json:"avg_speedup"`
+	StagesNS       map[string]int64 `json:"integrated_stages_ns"`
+}
+
+type benchFile struct {
+	File         string  `json:"file"`
+	IntegratedNS int64   `json:"integrated_ns"`
+	DiscreteNS   int64   `json:"discrete_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// benchSchema identifies the BENCH_throughput.json format.
+const benchSchema = "alive-mutate-bench/v1"
 
 func main() {
 	count := flag.Int("count", 1000, "mutants per input file (the paper's COUNT)")
@@ -56,8 +92,29 @@ func main() {
 	gen := flag.Int("gen", 20, "generate this many corpus files when none are given")
 	workers := flag.Int("workers", 1, "parallel file shards (keep 1 for publishable timings)")
 	outPath := flag.String("out", "res.txt", "result file (Listing 20 format)")
+	jsonPath := flag.String("json", "BENCH_throughput.json", "machine-readable result file (empty = skip)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live expvar + pprof on this localhost address (host:port)")
+	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	repoRoot := flag.String("repo", ".", "repository root (for building the discrete tools)")
 	flag.Parse()
+
+	// The integrated loop always records stage telemetry here: the
+	// per-stage breakdown is part of the benchmark's output. (Overhead is
+	// a few atomic adds per mutant — see EXPERIMENTS.md — and it applies
+	// equally to both sides of the comparison's integrated column across
+	// commits, so the trajectory stays comparable.)
+	sink := &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
+	sink.Metrics.SetLabel("command", "bench-throughput")
+	sink.Metrics.SetLabel("workers", fmt.Sprint(*workers))
+	sink.Metrics.SetLabel("seed", fmt.Sprint(*seed))
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(*metricsAddr, sink.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench-throughput: metrics at http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		defer srv.Close()
+	}
 
 	workDir, err := os.MkdirTemp("", "throughput")
 	if err != nil {
@@ -110,13 +167,17 @@ func main() {
 				if err := os.MkdirAll(tmp, 0o755); err != nil {
 					return row{}, true, err
 				}
-				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count)
+				shard := sink.ShardSink(campaign.WorkerID(ctx))
+				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count, shard)
+				sink.Metrics.Merge(shard.Collector())
 				return r, true, err
 			},
 		}
 	}
+	expStart := time.Now()
 	outcomes := campaign.Run(ctx, units, campaign.Options{
-		Workers: *workers,
+		Workers:   *workers,
+		Telemetry: sink,
 		OnGroupDone: func(group string, outs []campaign.Outcome) {
 			for _, o := range outs {
 				if o.Skipped || o.Err != nil {
@@ -198,17 +259,70 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(b.String())
+
+	if *jsonPath != "" {
+		doc := benchJSON{
+			Schema:         benchSchema,
+			Workers:        *workers,
+			MutantsPerFile: *count,
+			Passes:         *passSpec,
+			Seed:           *seed,
+			WallNS:         int64(time.Since(expStart)),
+			AvgSpeedup:     avgPerf(rows),
+			StagesNS:       sink.Metrics.StageTotals(),
+		}
+		for _, r := range rows {
+			doc.Files = append(doc.Files, benchFile{
+				File: r.file, IntegratedNS: r.integratedNS,
+				DiscreteNS: r.discreteNS, Speedup: r.perf,
+			})
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("machine-readable results written to %s\n", *jsonPath)
+	}
+	if *metricsOut != "" {
+		data, err := sink.Metrics.Snapshot().MarshalIndentedJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-// measureFile times both workflows over one input file.
+// avgPerf is the mean speedup over the measured files.
+func avgPerf(rows []row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.perf
+	}
+	return sum / float64(len(rows))
+}
+
+// measureFile times both workflows over one input file. tel is the
+// shard-local telemetry sink; the integrated loop's stage breakdown
+// records into it, and the discrete loop's wall time lands in
+// stage.discrete for comparison.
 func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
-	passes string, seed uint64, count int) (row, error) {
+	passes string, seed uint64, count int, tel *telemetry.Sink) (row, error) {
 	r := row{file: filepath.Base(path)}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return r, err
 	}
+	parseStop := tel.Collector().StartStage("parse")
 	mod, err := parser.Parse(string(data))
+	parseStop()
 	if err != nil {
 		r.invalid = true
 		return r, nil
@@ -217,6 +331,7 @@ func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
 	// Integrated workflow.
 	fz, err := core.New(mod.Clone(), core.Options{
 		Passes: passes, Seed: seed, NumMutants: count,
+		Telemetry: tel,
 	})
 	if err != nil {
 		r.invalid = true
@@ -224,7 +339,8 @@ func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
 	}
 	t0 := time.Now()
 	rep := fz.Run()
-	r.integrated = time.Since(t0).Seconds()
+	r.integratedNS = int64(time.Since(t0))
+	r.integrated = time.Duration(r.integratedNS).Seconds()
 
 	// Discrete workflow: same seeds, same count (the Python loop of
 	// §V-B).
@@ -247,7 +363,9 @@ func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
 		disRes.Unknown += ir.Unknown
 		disRes.Crashes += ir.Crashes
 	}
-	r.discrete = time.Since(t0).Seconds()
+	r.discreteNS = int64(time.Since(t0))
+	r.discrete = time.Duration(r.discreteNS).Seconds()
+	tel.Collector().ObserveStage("discrete", time.Duration(r.discreteNS))
 	r.perf = r.discrete / r.integrated
 	r.notVerif = rep.Stats.Invalid > 0 || disRes.Invalid > 0
 	return r, nil

@@ -18,6 +18,15 @@
 //
 //	fuzz-campaign [-budget 12000] [-seed 7] [-passes O2] [-workers N]
 //	    [-deadline 10m] [-only 53252,50693] [-stats] [-out table1.txt]
+//	    [-metrics-addr 127.0.0.1:8787] [-metrics-out metrics.json]
+//	    [-journal events.jsonl] [-progress 10s] [-stall-threshold 2m]
+//
+// Observability (docs/OBSERVABILITY.md): -metrics-addr serves live
+// expvar counters and pprof profiles while the campaign runs;
+// -metrics-out writes the end-of-run snapshot; -journal streams
+// structured JSONL events; -progress prints live throughput to stderr.
+// Telemetry is write-only — the result table is byte-identical with it
+// on or off.
 package main
 
 import (
@@ -33,9 +42,16 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	// Deferred cleanup (journal flush, metrics server shutdown) must run
+	// before the process exits, so the exit code is threaded out of run.
+	os.Exit(run())
+}
+
+func run() int {
 	budget := flag.Int("budget", 12000, "max mutants per bug across its seed tests")
 	tvBudget := flag.Int64("tvbudget", 4000, "SAT conflict budget per refinement query")
 	seed := flag.Uint64("seed", 7, "campaign master seed")
@@ -45,6 +61,11 @@ func main() {
 	onlySpec := flag.String("only", "", "comma-separated issue numbers to restrict the campaign to")
 	stats := flag.Bool("stats", false, "print the per-bug loop-statistics aggregate")
 	outPath := flag.String("out", "", "also write the table to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live expvar + pprof on this localhost address (host:port)")
+	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
+	journalPath := flag.String("journal", "", "write the structured JSONL event journal to this file")
+	progress := flag.Duration("progress", 0, "print live throughput to stderr at this interval (0 = off)")
+	stall := flag.Duration("stall-threshold", 0, "journal a worker_stall event for units running longer than this (0 = off)")
 	flag.Parse()
 
 	var only []int
@@ -53,7 +74,7 @@ func main() {
 			issue, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fuzz-campaign: bad -only entry %q: %v\n", f, err)
-				os.Exit(2)
+				return 2
 			}
 			only = append(only, issue)
 		}
@@ -64,10 +85,42 @@ func main() {
 		for _, issue := range only {
 			if !known[issue] {
 				fmt.Fprintf(os.Stderr, "fuzz-campaign: -only issue %d is not in the seeded-bug registry\n", issue)
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
+
+	// Assemble the telemetry sink. A nil sink (no telemetry flags, no
+	// -stats) turns every hook in the pipeline into a pointer test.
+	var sink *telemetry.Sink
+	wantMetrics := *metricsAddr != "" || *metricsOut != "" || *journalPath != "" || *progress > 0 || *stats
+	if wantMetrics {
+		sink = &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
+		sink.Metrics.SetLabel("command", "fuzz-campaign")
+		sink.Metrics.SetLabel("workers", strconv.Itoa(*workers))
+		sink.Metrics.SetLabel("seed", strconv.FormatUint(*seed, 10))
+		sink.Metrics.SetLabel("budget", strconv.Itoa(*budget))
+		sink.Metrics.SetLabel("passes", *passSpec)
+	}
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
+			return 1
+		}
+		sink.Journal = telemetry.NewJournal(jf)
+		defer sink.Journal.Close()
+	}
+	if *metricsAddr != "" {
+		srv, err := telemetry.ServeMetrics(*metricsAddr, sink.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "fuzz-campaign: metrics at http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		defer srv.Close()
+	}
+	stopProgress := telemetry.StartProgress(os.Stderr, sink.Collector(), *progress)
 
 	// SIGINT cancels the campaign; the partial table still prints.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -75,16 +128,19 @@ func main() {
 
 	start := time.Now()
 	rep := campaign.RunBugs(ctx, campaign.BugConfig{
-		Budget:   *budget,
-		TVBudget: *tvBudget,
-		Seed:     *seed,
-		Passes:   *passSpec,
-		Workers:  *workers,
-		Deadline: *deadline,
-		Only:     only,
-		Progress: func(r campaign.BugRow) { fmt.Println(r.ProgressLine()) },
+		Budget:         *budget,
+		TVBudget:       *tvBudget,
+		Seed:           *seed,
+		Passes:         *passSpec,
+		Workers:        *workers,
+		Deadline:       *deadline,
+		Only:           only,
+		Progress:       func(r campaign.BugRow) { fmt.Println(r.ProgressLine()) },
+		Telemetry:      sink,
+		StallThreshold: *stall,
 	})
 	wall := time.Since(start)
+	stopProgress()
 
 	table := rep.Table()
 	fmt.Println()
@@ -94,14 +150,29 @@ func main() {
 		fmt.Printf("\nPer-bug loop statistics (workers=%d, wall %.1fs):\n%s", *workers, wall.Seconds(), rep.Agg.String())
 		fmt.Printf("Campaign total: %d mutants, %d refinement checks, %d crashes observed\n",
 			total.Iterations, total.Checked, total.Crashes)
+		if breakdown := sink.Collector().StageBreakdown(); breakdown != "" {
+			fmt.Printf("\nStage-time breakdown (summed across shards):\n%s", breakdown)
+		}
 	}
 	if *outPath != "" {
 		if err := os.WriteFile(*outPath, []byte(table), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
-			os.Exit(1)
+			return 1
+		}
+	}
+	if *metricsOut != "" {
+		snap := sink.Collector().Snapshot()
+		b, err := snap.MarshalIndentedJSON()
+		if err == nil {
+			err = os.WriteFile(*metricsOut, b, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
+			return 1
 		}
 	}
 	if rep.Interrupted {
-		os.Exit(130)
+		return 130
 	}
+	return 0
 }

@@ -1,0 +1,124 @@
+// telemetry-check validates -metrics-out snapshots against the
+// documented schema (docs/OBSERVABILITY.md) and compares stage-time
+// breakdowns across snapshots. CI runs it over the campaign-smoke
+// artifact; the workers sweep (benchmark/fuzzing/run.sh sweep) uses
+// -compare to print a per-worker-count stage table.
+//
+// Usage:
+//
+//	telemetry-check snapshot.json [more.json ...]
+//	telemetry-check -require-campaign snapshot.json
+//	telemetry-check -compare w1.json w2.json w4.json
+//
+// Without -compare, every file is validated and the process exits
+// non-zero on the first schema violation. -require-campaign additionally
+// asserts the snapshot came from a real campaign run: a positive mutants
+// counter and the three core pipeline stages present.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	compare := flag.Bool("compare", false, "print a stage-time comparison table across the given snapshots")
+	requireCampaign := flag.Bool("require-campaign", false, "additionally require campaign-shaped content (mutants > 0, core stages present)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: telemetry-check [-compare] [-require-campaign] snapshot.json ...")
+		os.Exit(2)
+	}
+
+	var snaps []*telemetry.Snapshot
+	var names []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		snap, err := telemetry.ValidateSnapshot(data)
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		if *requireCampaign {
+			if err := checkCampaignShape(snap); err != nil {
+				fail("%s: %v", path, err)
+			}
+		}
+		snaps = append(snaps, snap)
+		names = append(names, strings.TrimSuffix(filepath.Base(path), ".json"))
+		if !*compare {
+			fmt.Printf("%s: OK (%d counters, %d histograms, %d mutants)\n",
+				path, len(snap.Counters), len(snap.Histograms), snap.Counters["mutants"])
+		}
+	}
+	if *compare {
+		fmt.Print(compareTable(names, snaps))
+	}
+}
+
+// checkCampaignShape asserts the snapshot records an actual campaign.
+func checkCampaignShape(s *telemetry.Snapshot) error {
+	if s.Counters["mutants"] <= 0 {
+		return fmt.Errorf("campaign snapshot has no mutants counter (got %d)", s.Counters["mutants"])
+	}
+	for _, stage := range []string{"stage.mutate", "stage.opt", "stage.tv"} {
+		h, ok := s.Histograms[stage]
+		if !ok || h.Count == 0 {
+			return fmt.Errorf("campaign snapshot is missing %s timings", stage)
+		}
+	}
+	return nil
+}
+
+// compareTable renders per-stage total times side by side, one column per
+// snapshot, plus a mutants/sec summary row — the sweep's comparison view.
+func compareTable(names []string, snaps []*telemetry.Snapshot) string {
+	stageSet := map[string]bool{}
+	for _, s := range snaps {
+		for name, h := range s.Histograms {
+			if strings.HasPrefix(name, "stage.") && h.Count > 0 {
+				stageSet[name] = true
+			}
+		}
+	}
+	stages := make([]string, 0, len(stageSet))
+	for name := range stageSet {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "stage")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %14s", n)
+	}
+	b.WriteString("\n")
+	for _, stage := range stages {
+		fmt.Fprintf(&b, "%-16s", strings.TrimPrefix(stage, "stage."))
+		for _, s := range snaps {
+			h := s.Histograms[stage]
+			fmt.Fprintf(&b, " %14s", time.Duration(h.TotalNS).Round(time.Millisecond))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-16s", "mutants")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, " %14d", s.Counters["mutants"])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "telemetry-check: "+format+"\n", args...)
+	os.Exit(1)
+}

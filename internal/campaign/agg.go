@@ -21,6 +21,22 @@ type GroupStats struct {
 	Unknown     int
 	Crashes     int // optimizer panics
 	Findings    int
+	// WallNS is the summed fuzzing-loop execution time of the group's
+	// units in nanoseconds (≈ CPU time the bug consumed: units of one
+	// group never run concurrently, so their times add without overlap).
+	WallNS int64
+}
+
+// Secs is the group's wall-clock in seconds.
+func (g GroupStats) Secs() float64 { return float64(g.WallNS) / 1e9 }
+
+// MutantsPerSec is the group's validated-mutant throughput — the paper's
+// headline metric, per bug. Zero when no time was recorded.
+func (g GroupStats) MutantsPerSec() float64 {
+	if g.WallNS <= 0 {
+		return 0
+	}
+	return float64(g.Iterations) / g.Secs()
 }
 
 // Agg is the campaign-wide stats aggregator. Units running on different
@@ -35,7 +51,9 @@ func NewAgg() *Agg {
 	return &Agg{groups: map[string]*GroupStats{}}
 }
 
-// Record folds one unit's loop stats into its group's accumulator.
+// Record folds one unit's loop stats into its group's accumulator. The
+// unit's execution time (s.Elapsed) accumulates into the group's
+// wall-clock.
 func (a *Agg) Record(group string, s core.Stats, findings int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -53,6 +71,7 @@ func (a *Agg) Record(group string, s core.Stats, findings int) {
 	g.Unknown += s.Unknown
 	g.Crashes += s.Crashes
 	g.Findings += findings
+	g.WallNS += int64(s.Elapsed)
 }
 
 // Group returns a copy of one group's stats (zero value if unknown).
@@ -80,28 +99,49 @@ func (a *Agg) Total() GroupStats {
 		t.Unknown += g.Unknown
 		t.Crashes += g.Crashes
 		t.Findings += g.Findings
+		t.WallNS += g.WallNS
 	}
 	return t
 }
 
-// String renders a one-line-per-group summary (groups sorted by name),
-// for -stats output and debugging. Note that with parallel workers the
-// per-group totals may include work a serial run would have skipped
-// (units already in flight when an earlier shard found the bug); the
-// result *table* is scheduling-independent, these counters are not.
-func (a *Agg) String() string {
+// Groups returns every (name, stats) pair sorted by group name — the
+// deterministic iteration order every reporter must use. Worker
+// interleaving changes only *when* Record is called, never the sorted
+// order or the per-group sums.
+func (a *Agg) Groups() []struct {
+	Name  string
+	Stats GroupStats
+} {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var names []string
+	names := make([]string, 0, len(a.groups))
 	for name := range a.groups {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	out := make([]struct {
+		Name  string
+		Stats GroupStats
+	}, len(names))
+	for i, name := range names {
+		out[i].Name = name
+		out[i].Stats = *a.groups[name]
+	}
+	return out
+}
+
+// String renders a one-line-per-group summary (groups sorted by name,
+// with per-bug wall-clock and throughput), for -stats output and
+// debugging. Note that with parallel workers the per-group totals may
+// include work a serial run would have skipped (units already in flight
+// when an earlier shard found the bug); the result *table* is
+// scheduling-independent, these counters are not.
+func (a *Agg) String() string {
 	var b strings.Builder
-	for _, name := range names {
-		g := a.groups[name]
-		fmt.Fprintf(&b, "%-10s units=%-3d mutants=%-7d checks=%-7d valid=%-7d invalid=%-3d unsupported=%-5d unknown=%-3d crashes=%-3d findings=%d\n",
-			name, g.Units, g.Iterations, g.Checked, g.Valid, g.Invalid, g.Unsupported, g.Unknown, g.Crashes, g.Findings)
+	for _, g := range a.Groups() {
+		s := g.Stats
+		fmt.Fprintf(&b, "%-10s units=%-3d mutants=%-7d checks=%-7d valid=%-7d invalid=%-3d unsupported=%-5d unknown=%-3d crashes=%-3d findings=%d wall=%.2fs mutants/s=%.0f\n",
+			g.Name, s.Units, s.Iterations, s.Checked, s.Valid, s.Invalid, s.Unsupported, s.Unknown, s.Crashes, s.Findings, s.Secs(), s.MutantsPerSec())
 	}
 	return b.String()
 }

@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// unitRecord is one pre-generated Record call: the same multiset is
+// replayed in different interleavings and the output must not move.
+type unitRecord struct {
+	group    string
+	stats    core.Stats
+	findings int
+}
+
+func makeRecords() []unitRecord {
+	var recs []unitRecord
+	groups := []string{"55201", "53218", "64687", "53252", "59757"}
+	for gi, g := range groups {
+		for u := 0; u < 4; u++ {
+			recs = append(recs, unitRecord{
+				group: g,
+				stats: core.Stats{
+					Iterations: 100*gi + 10*u,
+					Checked:    90*gi + 9*u,
+					Valid:      80*gi + 8*u,
+					Invalid:    gi,
+					Crashes:    u,
+					Elapsed:    time.Duration(gi+1) * 100 * time.Millisecond,
+				},
+				findings: gi % 2,
+			})
+		}
+	}
+	return recs
+}
+
+func aggFrom(recs []unitRecord) *Agg {
+	a := NewAgg()
+	for _, r := range recs {
+		a.Record(r.group, r.stats, r.findings)
+	}
+	return a
+}
+
+// TestAggDeterministicOrder is satellite work for the telemetry PR's
+// reporting fix: the rendered summary — including each bug's wall-clock
+// and mutants/sec — must be identical no matter the order or
+// interleaving in which workers deliver their Record calls.
+func TestAggDeterministicOrder(t *testing.T) {
+	recs := makeRecords()
+	want := aggFrom(recs).String()
+
+	// Sequential, shuffled: order of Record calls must not matter.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]unitRecord(nil), recs...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := aggFrom(shuffled).String(); got != want {
+			t.Fatalf("trial %d: shuffled Record order changed the summary:\n--- want ---\n%s--- got ---\n%s", trial, want, got)
+		}
+	}
+
+	// Concurrent: worker interleaving must not matter either (and -race
+	// gates the locking).
+	for trial := 0; trial < 5; trial++ {
+		a := NewAgg()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(recs); i += 4 {
+					a.Record(recs[i].group, recs[i].stats, recs[i].findings)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := a.String(); got != want {
+			t.Fatalf("trial %d: concurrent Record calls changed the summary:\n--- want ---\n%s--- got ---\n%s", trial, want, got)
+		}
+	}
+}
+
+// TestAggGroupsSorted: Groups() is the canonical iteration order — sorted
+// by name — regardless of insertion order.
+func TestAggGroupsSorted(t *testing.T) {
+	a := NewAgg()
+	for _, g := range []string{"zeta", "alpha", "mid"} {
+		a.Record(g, core.Stats{Iterations: 1}, 0)
+	}
+	gs := a.Groups()
+	names := []string{"alpha", "mid", "zeta"}
+	if len(gs) != len(names) {
+		t.Fatalf("got %d groups, want %d", len(gs), len(names))
+	}
+	for i, want := range names {
+		if gs[i].Name != want {
+			t.Errorf("group %d = %q, want %q", i, gs[i].Name, want)
+		}
+	}
+}
+
+// TestAggWallClock: per-group wall time sums unit elapsed times, and the
+// throughput derives from it.
+func TestAggWallClock(t *testing.T) {
+	a := NewAgg()
+	a.Record("g", core.Stats{Iterations: 500, Elapsed: time.Second}, 0)
+	a.Record("g", core.Stats{Iterations: 250, Elapsed: time.Second}, 0)
+	g := a.Group("g")
+	if g.WallNS != int64(2*time.Second) {
+		t.Errorf("WallNS = %d, want %d", g.WallNS, int64(2*time.Second))
+	}
+	if got := g.MutantsPerSec(); got != 375 {
+		t.Errorf("MutantsPerSec = %v, want 375", got)
+	}
+	if z := (GroupStats{}).MutantsPerSec(); z != 0 {
+		t.Errorf("zero-time throughput = %v, want 0", z)
+	}
+	if tot := a.Total(); tot.WallNS != g.WallNS || tot.Iterations != 750 {
+		t.Errorf("Total() = %+v", tot)
+	}
+}

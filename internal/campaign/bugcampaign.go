@@ -21,6 +21,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/opt"
 	"repro/internal/parser"
+	"repro/internal/telemetry"
 	"repro/internal/tv"
 )
 
@@ -40,6 +41,14 @@ type BugConfig struct {
 	Progress func(BugRow)
 	// Stderr receives seed-parse warnings (default os.Stderr).
 	Stderr io.Writer
+	// Telemetry, when non-nil, receives metrics and journal events. Each
+	// unit records into a shard-local collector merged into
+	// Telemetry.Metrics when the unit finishes, so the hot loop never
+	// contends on the run-wide registry and campaign results stay
+	// byte-identical with telemetry on or off.
+	Telemetry *telemetry.Sink
+	// StallThreshold arms the engine's per-unit stall watchdog (0 = off).
+	StallThreshold time.Duration
 }
 
 // BugRow is one bug's outcome — a row of table1.txt.
@@ -65,8 +74,9 @@ type BugReport struct {
 // bugState is the chained per-group state: the serial driver's `spent`
 // accumulator plus the first finding, threaded unit to unit.
 type bugState struct {
-	spent int
-	row   BugRow
+	spent        int
+	row          BugRow
+	budgetLogged bool // budget_exhausted journaled once per group
 }
 
 // RunBugs executes the campaign. It always returns a report — on
@@ -102,11 +112,18 @@ func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
 		units = append(units, bugUnits(info, suite, cfg, agg)...)
 	}
 
+	emit(cfg.Telemetry, telemetry.Event{
+		Type:   "campaign_start",
+		Shard:  -1,
+		Detail: fmt.Sprintf("bugs=%d units=%d budget=%d workers=%d seed=%d", len(infos), len(units), cfg.Budget, cfg.Workers, cfg.Seed),
+	})
 	rep := &BugReport{Agg: agg}
 	rowDone := map[string]BugRow{}
 	var mu sync.Mutex
 	opts := Options{
-		Workers: cfg.Workers,
+		Workers:        cfg.Workers,
+		Telemetry:      cfg.Telemetry,
+		StallThreshold: cfg.StallThreshold,
 		OnGroupDone: func(group string, outcomes []Outcome) {
 			// The last executed unit's state carries the group's result.
 			st := bugState{}
@@ -147,6 +164,11 @@ func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
 			}
 		}
 	}
+	detail := fmt.Sprintf("found=%d/%d miscompiles=%d crashes=%d", rep.Found, len(rep.Rows), rep.Miscompiles, rep.Crashes)
+	if rep.Interrupted {
+		detail += " interrupted"
+	}
+	emit(cfg.Telemetry, telemetry.Event{Type: "campaign_finish", Shard: -1, Detail: detail})
 	return rep
 }
 
@@ -176,6 +198,13 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 					st = prev.(bugState)
 				}
 				if st.spent >= cfg.Budget {
+					if !st.budgetLogged {
+						st.budgetLogged = true
+						emit(cfg.Telemetry, telemetry.Event{
+							Type: "budget_exhausted", Shard: WorkerID(ctx),
+							Group: group, Iters: st.spent,
+						})
+					}
 					return st, true, nil
 				}
 				n := cfg.Budget / 2
@@ -185,8 +214,14 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 				if st.spent+n > cfg.Budget {
 					n = cfg.Budget - st.spent
 				}
+				// Shard-local telemetry: a fresh collector per unit, merged
+				// into the run-wide one when the unit's loop finishes.
+				shard := cfg.Telemetry.ShardSink(WorkerID(ctx))
+				parseStop := shard.Collector().StartStage("parse")
 				mod, err := parser.Parse(t.Text)
+				parseStop()
 				if err != nil {
+					cfg.Telemetry.Collector().Merge(shard.Collector())
 					fmt.Fprintf(cfg.Stderr, "fuzz-campaign: seed %s: %v\n", t.Name, err)
 					return st, false, err
 				}
@@ -199,11 +234,14 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 					StopAtFirstFinding: true,
 					TV:                 tv.Options{ConflictBudget: cfg.TVBudget},
 					Stop:               func() bool { return ctx.Err() != nil },
+					Telemetry:          shard,
 				})
 				if err != nil {
+					cfg.Telemetry.Collector().Merge(shard.Collector())
 					return st, false, nil // whole seed unsupported for this pipeline
 				}
 				r := fz.Run()
+				cfg.Telemetry.Collector().Merge(shard.Collector())
 				st.spent += r.Stats.Iterations
 				agg.Record(group, r.Stats, len(r.Findings))
 				if len(r.Findings) > 0 {
@@ -216,6 +254,13 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 						SeedT: t.Name,
 					}
 					return st, true, nil
+				}
+				if st.spent >= cfg.Budget && !st.budgetLogged {
+					st.budgetLogged = true
+					emit(cfg.Telemetry, telemetry.Event{
+						Type: "budget_exhausted", Shard: WorkerID(ctx),
+						Group: group, Iters: st.spent,
+					})
 				}
 				if ctx.Err() != nil {
 					return st, true, nil // cancelled mid-unit: partial spend recorded

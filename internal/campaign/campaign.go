@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Unit is one schedulable shard of a campaign.
@@ -83,6 +85,35 @@ type Options struct {
 	// (early exit, queue exhausted, or cancellation), with the group's
 	// outcomes in unit order. Calls are serialized by the engine.
 	OnGroupDone func(group string, outcomes []Outcome)
+	// Telemetry, when non-nil, receives engine lifecycle events:
+	// unit_start / unit_finish (stamped with the executing worker's
+	// index) and worker_stall. It never influences scheduling.
+	Telemetry *telemetry.Sink
+	// StallThreshold arms a per-unit watchdog: a unit still executing
+	// after this long produces a worker_stall journal event (once). 0
+	// disables the watchdog.
+	StallThreshold time.Duration
+}
+
+// workerKey carries the executing worker's index in the unit's context.
+type workerKey struct{}
+
+// WorkerID returns the index of the engine worker executing this unit's
+// Run, or -1 when ctx did not come from an engine worker. Units use it to
+// stamp shard-local telemetry.
+func WorkerID(ctx context.Context) int {
+	if v, ok := ctx.Value(workerKey{}).(int); ok {
+		return v
+	}
+	return -1
+}
+
+// emit journals an engine event, preserving the event's own shard stamp
+// (the worker index) rather than the sink's (nil-safe).
+func emit(s *telemetry.Sink, ev telemetry.Event) {
+	if s != nil {
+		s.Journal.Emit(ev)
+	}
 }
 
 // groupState is the engine's bookkeeping for one chain.
@@ -147,8 +178,9 @@ func Run(ctx context.Context, units []Unit, opts Options) []Outcome {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			wctx := context.WithValue(ctx, workerKey{}, worker)
 			for idx := range ready {
 				r := result{idx: idx, start: time.Now()}
 				if ctx.Err() != nil {
@@ -157,11 +189,37 @@ func Run(ctx context.Context, units []Unit, opts Options) []Outcome {
 					continue
 				}
 				u := units[idx]
-				r.res, r.done, r.err = u.Run(ctx, groups[u.Group].prev)
+				emit(opts.Telemetry, telemetry.Event{
+					Type: "unit_start", Shard: worker,
+					Group: u.Group, Unit: u.Name, Seed: u.Seed,
+				})
+				var stall *time.Timer
+				if opts.StallThreshold > 0 && opts.Telemetry != nil {
+					stall = time.AfterFunc(opts.StallThreshold, func() {
+						emit(opts.Telemetry, telemetry.Event{
+							Type: "worker_stall", Shard: worker,
+							Group: u.Group, Unit: u.Name,
+							DurNS: int64(opts.StallThreshold),
+						})
+					})
+				}
+				r.res, r.done, r.err = u.Run(wctx, groups[u.Group].prev)
 				r.end = time.Now()
+				if stall != nil {
+					stall.Stop()
+				}
+				fin := telemetry.Event{
+					Type: "unit_finish", Shard: worker,
+					Group: u.Group, Unit: u.Name, Seed: u.Seed,
+					DurNS: int64(r.end.Sub(r.start)),
+				}
+				if r.err != nil {
+					fin.Err = r.err.Error()
+				}
+				emit(opts.Telemetry, fin)
 				results <- r
 			}
-		}()
+		}(w)
 	}
 
 	finishGroup := func(name string) {

@@ -1,0 +1,165 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// lockedBuf is a concurrency-safe bytes.Buffer for the journal's flusher.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func runTelemetered(t *testing.T, workers int, sink *telemetry.Sink) *BugReport {
+	t.Helper()
+	return RunBugs(context.Background(), BugConfig{
+		Budget:         120,
+		TVBudget:       4000,
+		Seed:           7,
+		Passes:         "O2",
+		Workers:        workers,
+		Only:           testIssues,
+		Stderr:         io.Discard,
+		Telemetry:      sink,
+		StallThreshold: time.Hour, // armed but must never fire on this tiny run
+	})
+}
+
+// TestCampaignTelemetryInvariance is the tentpole's acceptance criterion:
+// the campaign result table is byte-identical with telemetry off and with
+// full telemetry (metrics + journal + stall watchdog) on, at workers 1
+// and 8. Telemetry is strictly write-only with respect to results.
+func TestCampaignTelemetryInvariance(t *testing.T) {
+	baseline := runSmall(t, 1).Table()
+	for _, workers := range []int{1, 8} {
+		var buf lockedBuf
+		sink := &telemetry.Sink{
+			Metrics: telemetry.NewCollector(),
+			Journal: telemetry.NewJournal(&buf),
+			Shard:   -1,
+		}
+		rep := runTelemetered(t, workers, sink)
+		if err := sink.Journal.Close(); err != nil {
+			t.Fatalf("workers=%d: journal close: %v", workers, err)
+		}
+		if got := rep.Table(); got != baseline {
+			t.Errorf("workers=%d: telemetry changed the result table:\n--- baseline ---\n%s--- with telemetry ---\n%s",
+				workers, baseline, got)
+		}
+	}
+}
+
+// TestCampaignJournalEvents checks the journal contract end to end on a
+// real (small) campaign: valid JSON per line, agreeing seq/ts order, and
+// the lifecycle events present with sane shard ids.
+func TestCampaignJournalEvents(t *testing.T) {
+	var buf lockedBuf
+	sink := &telemetry.Sink{
+		Metrics: telemetry.NewCollector(),
+		Journal: telemetry.NewJournal(&buf),
+		Shard:   -1,
+	}
+	rep := runTelemetered(t, 4, sink)
+	if err := sink.Journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Found == 0 {
+		t.Fatal("campaign found nothing; journal assertions would be vacuous")
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	counts := map[string]int{}
+	var prevSeq int64
+	starts, finishes := 0, 0
+	for i, line := range lines {
+		var ev telemetry.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if ev.Seq != prevSeq+1 {
+			t.Fatalf("line %d: seq %d after %d", i, ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		counts[ev.Type]++
+		switch ev.Type {
+		case "campaign_start", "campaign_finish":
+			if ev.Shard != -1 {
+				t.Errorf("%s stamped shard %d, want -1", ev.Type, ev.Shard)
+			}
+		case "unit_start":
+			starts++
+			if ev.Shard < 0 || ev.Shard >= 4 {
+				t.Errorf("unit_start shard %d out of pool range", ev.Shard)
+			}
+			if ev.Group == "" || ev.Unit == "" {
+				t.Errorf("unit_start missing group/unit: %+v", ev)
+			}
+		case "unit_finish":
+			finishes++
+			if ev.DurNS <= 0 {
+				t.Errorf("unit_finish with non-positive duration: %+v", ev)
+			}
+		case "worker_stall":
+			t.Errorf("stall watchdog fired with a 1h threshold: %+v", ev)
+		}
+	}
+	if counts["campaign_start"] != 1 || counts["campaign_finish"] != 1 {
+		t.Errorf("campaign lifecycle events: %v", counts)
+	}
+	if starts == 0 || starts != finishes {
+		t.Errorf("unit_start=%d unit_finish=%d, want equal and non-zero", starts, finishes)
+	}
+	if counts["bug_found"] < rep.Found {
+		t.Errorf("bug_found events = %d, report found %d", counts["bug_found"], rep.Found)
+	}
+	if counts["budget_exhausted"] == 0 {
+		t.Error("no budget_exhausted event despite a missed bug (issue 53252 exhausts its budget)")
+	}
+}
+
+// TestCampaignMetricsMerged: shard-local collectors fold into the
+// run-wide one — after the run the global collector holds the campaign's
+// mutant count and core stage timings.
+func TestCampaignMetricsMerged(t *testing.T) {
+	sink := &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
+	rep := runTelemetered(t, 4, sink)
+
+	mutants := sink.Metrics.Counter("mutants").Value()
+	if want := int64(rep.Agg.Total().Iterations); mutants != want {
+		t.Errorf("merged mutants counter = %d, agg says %d", mutants, want)
+	}
+	totals := sink.Metrics.StageTotals()
+	for _, stage := range []string{"parse", "mutate", "opt", "tv"} {
+		if totals[stage] <= 0 {
+			t.Errorf("stage %q has no recorded time; totals = %v", stage, totals)
+		}
+	}
+}
+
+// TestWorkerID: outside a pool worker the id is -1.
+func TestWorkerID(t *testing.T) {
+	if id := WorkerID(context.Background()); id != -1 {
+		t.Errorf("WorkerID outside pool = %d, want -1", id)
+	}
+}

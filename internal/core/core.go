@@ -32,6 +32,7 @@ import (
 	"repro/internal/mutate"
 	"repro/internal/opt"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/tv"
 )
 
@@ -118,6 +119,12 @@ type Options struct {
 	VerifyMutants bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Telemetry, when non-nil, receives stage timings, pipeline counters,
+	// and journal events (see internal/telemetry and
+	// docs/OBSERVABILITY.md). It is strictly write-only — the loop never
+	// reads it — so results are bit-identical with telemetry on or off.
+	// In a sharded campaign this is the shard-local sink.
+	Telemetry *telemetry.Sink
 }
 
 // Report is the result of a fuzzing run.
@@ -133,6 +140,19 @@ type Fuzzer struct {
 	mutator *mutate.Mutator
 	passes  []opt.Pass
 	dropped []string
+
+	// Telemetry handles, resolved once per session so the hot loop pays
+	// only atomic adds (all nil-safe when telemetry is off).
+	tel         *telemetry.Collector
+	ctrMutants  *telemetry.Counter
+	ctrChecks   *telemetry.Counter
+	ctrFast     *telemetry.Counter
+	ctrCrashes  *telemetry.Counter
+	histMutate  *telemetry.Histogram
+	histOpt     *telemetry.Histogram
+	histInterp  *telemetry.Histogram
+	verdictCtr  map[tv.Verdict]*telemetry.Counter
+	observePass func(pass string, d time.Duration)
 }
 
 // New prepares a fuzzing session: resolves the pipeline, drops functions
@@ -150,12 +170,91 @@ func New(mod *ir.Module, opts Options) (*Fuzzer, error) {
 		return nil, err
 	}
 	f := &Fuzzer{opts: opts, passes: passes}
+	// Preprocessing runs with the caller's raw TV options: its queries are
+	// timed as their own stage below, not folded into the loop's stage.tv.
+	tel := opts.Telemetry.Collector()
+	preStop := tel.StartStage("preprocess")
 	f.orig = preprocess(mod, passes, opts, &f.dropped)
+	preStop()
 	if len(f.orig.Defs()) == 0 {
 		return nil, fmt.Errorf("core: no verifiable functions left after preprocessing (dropped %d)", len(f.dropped))
 	}
-	f.mutator = mutate.New(f.orig, opts.Mutations)
+	f.initTelemetry(tel)
+	f.mutator = mutate.New(f.orig, f.opts.Mutations)
 	return f, nil
+}
+
+// initTelemetry resolves every hot-loop telemetry handle once and
+// installs the observation hooks in the mutation engine, the pass
+// manager's context (per iteration, see iteration), and the TV checker.
+// With a nil collector every handle is nil and every hook stays unset, so
+// the loop's only overhead is a handful of nil tests.
+func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
+	f.tel = tel
+	if tel == nil {
+		return
+	}
+	f.ctrMutants = tel.Counter("mutants")
+	f.ctrChecks = tel.Counter("checks")
+	f.ctrFast = tel.Counter("tv.fastpath")
+	f.ctrCrashes = tel.Counter("crashes")
+	f.histMutate = tel.Histogram("stage.mutate")
+	f.histOpt = tel.Histogram("stage.opt")
+	f.histInterp = tel.Histogram("stage.interp")
+	f.verdictCtr = map[tv.Verdict]*telemetry.Counter{
+		tv.Valid:       tel.Counter("verdict.valid"),
+		tv.Invalid:     tel.Counter("verdict.invalid"),
+		tv.Unsupported: tel.Counter("verdict.unsupported"),
+		tv.Unknown:     tel.Counter("verdict.unknown"),
+	}
+
+	// Per-operator counters: the hook observes draws after the PRNG has
+	// been consumed, so mutation behaviour is untouched.
+	opCtrs := make([]*telemetry.Counter, len(mutate.AllOps))
+	for _, op := range mutate.AllOps {
+		opCtrs[int(op)] = tel.Counter("mutate.op." + op.String())
+	}
+	prevOp := f.opts.Mutations.ObserveOp
+	f.opts.Mutations.ObserveOp = func(op mutate.Op) {
+		if int(op) < len(opCtrs) {
+			opCtrs[int(op)].Add(1)
+		}
+		if prevOp != nil {
+			prevOp(op)
+		}
+	}
+
+	// Per-verdict TV latency histograms plus the aggregate stage.tv.
+	histTV := tel.Histogram("stage.tv")
+	tvHists := map[tv.Verdict]*telemetry.Histogram{
+		tv.Valid:       tel.Histogram("tv.valid"),
+		tv.Invalid:     tel.Histogram("tv.invalid"),
+		tv.Unsupported: tel.Histogram("tv.unsupported"),
+		tv.Unknown:     tel.Histogram("tv.unknown"),
+	}
+	prevTV := f.opts.TV.Observe
+	f.opts.TV.Observe = func(r tv.Result, d time.Duration) {
+		histTV.Observe(d)
+		if h, ok := tvHists[r.Verdict]; ok {
+			h.Observe(d)
+		}
+		if prevTV != nil {
+			prevTV(r, d)
+		}
+	}
+
+	// Per-pass histograms, resolved lazily once per pass name (pass sets
+	// are tiny and fixed, so after the first pipeline run this is one map
+	// hit per pass execution).
+	passHists := map[string]*telemetry.Histogram{}
+	f.observePass = func(pass string, d time.Duration) {
+		h, ok := passHists[pass]
+		if !ok {
+			h = tel.Histogram("pass." + pass)
+			passHists[pass] = h
+		}
+		h.Observe(d)
+	}
 }
 
 // Dropped returns the names of functions removed during preprocessing.
@@ -231,9 +330,20 @@ func (f *Fuzzer) Run() *Report {
 }
 
 // iteration performs one mutate→optimize→verify cycle; reports whether a
-// finding was recorded.
+// finding was recorded. Stage timings are taken manually (paired
+// time.Now calls gated on f.tel) rather than through closures: this is
+// the hot loop, and a closure per stage per mutant is an allocation the
+// throughput experiment would notice.
 func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
+	var t0 time.Time
+	if f.tel != nil {
+		f.ctrMutants.Add(1)
+		t0 = time.Now()
+	}
 	mutant := f.mutator.Mutate(seed)
+	if f.tel != nil {
+		f.histMutate.Observe(time.Since(t0))
+	}
 	if f.opts.VerifyMutants {
 		if err := mutant.Verify(); err != nil {
 			// A mutation-engine defect, not a compiler bug: surface hard.
@@ -247,7 +357,11 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 	if f.opts.Bugs != nil {
 		ctx.Bugs = f.opts.Bugs
 	}
+	ctx.ObservePass = f.observePass
 	var crashMsg string
+	if f.tel != nil {
+		t0 = time.Now()
+	}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -256,8 +370,12 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 		}()
 		opt.RunPasses(ctx, f.passes)
 	}()
+	if f.tel != nil {
+		f.histOpt.Observe(time.Since(t0))
+	}
 	if crashMsg != "" {
 		rep.Stats.Crashes++
+		f.ctrCrashes.Add(1)
 		fd := Finding{
 			Kind: Crash, Seed: seed, Iter: iter, PanicMsg: crashMsg,
 		}
@@ -265,6 +383,10 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			fd.MutantText = mutant.String()
 		}
 		rep.Findings = append(rep.Findings, fd)
+		f.opts.Telemetry.Emit(telemetry.Event{
+			Type: "bug_found", Seed: seed, Iters: iter,
+			Detail: "crash: " + crashMsg,
+		})
 		f.logf("iter %d seed %#x: CRASH: %s", iter, seed, crashMsg)
 		return true
 	}
@@ -276,15 +398,29 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			continue
 		}
 		rep.Stats.Checked++
+		f.ctrChecks.Add(1)
 		// Fast path: when the pipeline left the function textually
 		// unchanged, refinement holds trivially — no solver query needed.
 		// A large share of mutants are not touched by the optimizer, so
 		// this materially raises fuzzing throughput.
 		if fn.String() == src.String() {
 			rep.Stats.Valid++
+			f.ctrFast.Add(1)
 			continue
 		}
 		r := tv.Verify(mutant, src, fn, f.opts.TV)
+		if f.tel != nil {
+			f.verdictCtr[r.Verdict].Add(1)
+		}
+		if r.Verdict != tv.Valid {
+			// Valid is the overwhelming majority; journaling only the
+			// interesting verdicts keeps the journal proportional to
+			// campaign *events*, not campaign *size*.
+			f.opts.Telemetry.Emit(telemetry.Event{
+				Type: "tv_verdict", Seed: seed, Iters: iter,
+				Unit: fn.Name, Detail: r.Verdict.String(),
+			})
+		}
 		switch r.Verdict {
 		case tv.Valid:
 			rep.Stats.Valid++
@@ -299,13 +435,23 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			}
 			if r.CEX != nil {
 				fd.CEX = r.CEX.String()
+				if f.tel != nil {
+					t0 = time.Now()
+				}
 				fd.CrossChecked = crossCheck(mutant, optimized, src, fn, r.CEX)
+				if f.tel != nil {
+					f.histInterp.Observe(time.Since(t0))
+				}
 			}
 			if f.opts.SaveFindings {
 				fd.MutantText = mutant.String()
 				fd.OptimizedText = optimized.String()
 			}
 			rep.Findings = append(rep.Findings, fd)
+			f.opts.Telemetry.Emit(telemetry.Event{
+				Type: "bug_found", Seed: seed, Iters: iter, Unit: fn.Name,
+				Detail: "miscompilation",
+			})
 			f.logf("iter %d seed %#x: MISCOMPILE @%s (%s)", iter, seed, fn.Name, fd.CEX)
 			found = true
 		}

@@ -60,6 +60,11 @@ type Config struct {
 	// MaxMutationsPerFunction bounds how many operators are applied in
 	// sequence to each function (§IV-I); 0 means the default of 3.
 	MaxMutationsPerFunction int
+	// ObserveOp, when non-nil, is called once per successfully applied
+	// operator. The fuzzing loop wires this to per-operator telemetry
+	// counters; it must not influence mutation (it sees the draw *after*
+	// the PRNG has been consumed), so determinism is unaffected.
+	ObserveOp func(op Op)
 }
 
 // Mutator owns a preprocessed original module and produces mutants. The
@@ -118,6 +123,9 @@ func (mu *Mutator) mutateFunction(r *rng.Rand, mod *ir.Module, f *ir.Function, i
 		if mu.apply(op, r, mod, f, ov) {
 			applied++
 			ov.Invalidate()
+			if mu.cfg.ObserveOp != nil {
+				mu.cfg.ObserveOp(op)
+			}
 		}
 	}
 }

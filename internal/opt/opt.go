@@ -15,6 +15,7 @@ package opt
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/ir"
 )
@@ -25,6 +26,11 @@ type Context struct {
 	Bugs *BugSet
 	// Stats counts rule applications by name (diagnostics and tests).
 	Stats map[string]int
+	// ObservePass, when non-nil, receives every pass execution's name and
+	// duration (one call per pass per function). The fuzzing loop wires
+	// this to the telemetry layer's per-pass histograms; it is nil — and
+	// costs nothing — in ordinary compilation.
+	ObservePass func(pass string, d time.Duration)
 }
 
 // NewContext builds a context with no seeded bugs.
@@ -45,11 +51,18 @@ type Pass interface {
 	Run(ctx *Context, f *ir.Function) bool
 }
 
-// RunPasses applies the pipeline to every definition in the module.
+// RunPasses applies the pipeline to every definition in the module. With
+// ctx.ObservePass set, each pass execution is individually timed.
 func RunPasses(ctx *Context, passes []Pass) {
 	for _, f := range ctx.Mod.Defs() {
 		for _, p := range passes {
+			if ctx.ObservePass == nil {
+				p.Run(ctx, f)
+				continue
+			}
+			start := time.Now()
 			p.Run(ctx, f)
+			ctx.ObservePass(p.Name(), time.Since(start))
 		}
 	}
 }

@@ -1,0 +1,96 @@
+// The live metrics endpoint (`-metrics-addr`): a localhost HTTP listener
+// exposing expvar (/debug/vars), the full snapshot (/metrics.json), the
+// stage breakdown as text (/stages), and net/http/pprof (/debug/pprof/*)
+// so CPU and heap profiles can be attached to a campaign mid-flight —
+// "you can't speed up what you can't measure" applies to the fuzzer
+// itself, not just the programs it mutates.
+
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// published is the collector behind the process-global expvar variable.
+// expvar.Publish is global and panics on re-registration, so the variable
+// is registered once and indirects through this pointer; the last
+// ServeMetrics call wins (one live collector per process is the
+// intended use — tests that start several servers share it knowingly).
+var published atomic.Pointer[Collector]
+
+var publishOnce sync.Once
+
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("alive_mutate", expvar.Func(func() any {
+			return published.Load().Snapshot()
+		}))
+	})
+}
+
+// Server is a running metrics endpoint.
+type Server struct {
+	// Addr is the bound address (useful when the requested port was 0).
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeMetrics starts the metrics endpoint on addr (host:port; an empty
+// host binds localhost — the endpoint carries profiles and internals, so
+// it should never listen on a public interface unless asked explicitly).
+// The server runs until Close.
+func ServeMetrics(addr string, c *Collector) (*Server, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: bad -metrics-addr %q: %w", addr, err)
+	}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, port))
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	published.Store(c)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := c.Snapshot().MarshalIndentedJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/stages", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, c.StageBreakdown())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Close stops the endpoint (nil-safe).
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeMetrics boots the endpoint on an ephemeral localhost port and
+// exercises every route a user would hit mid-campaign.
+func TestServeMetrics(t *testing.T) {
+	c := NewCollector()
+	c.SetLabel("command", "test")
+	c.Add("mutants", 7)
+	c.ObserveStage("tv", 3*time.Millisecond)
+
+	srv, err := ServeMetrics("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	// /metrics.json serves a schema-valid live snapshot.
+	body := get("/metrics.json")
+	snap, err := ValidateSnapshot([]byte(body))
+	if err != nil {
+		t.Fatalf("/metrics.json is not a valid snapshot: %v", err)
+	}
+	if snap.Counters["mutants"] != 7 {
+		t.Errorf("/metrics.json mutants = %d, want 7", snap.Counters["mutants"])
+	}
+
+	// /debug/vars exposes the collector under the alive_mutate expvar.
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["alive_mutate"]; !ok {
+		t.Error("/debug/vars is missing the alive_mutate variable")
+	}
+
+	// /stages renders the breakdown table.
+	if out := get("/stages"); !strings.Contains(out, "tv") {
+		t.Errorf("/stages missing the recorded stage:\n%s", out)
+	}
+
+	// pprof is wired: cmdline is the cheapest endpoint to probe.
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+// TestServeMetricsBadAddr: a malformed address must fail up front, not at
+// first request.
+func TestServeMetricsBadAddr(t *testing.T) {
+	if _, err := ServeMetrics("no-port-here", NewCollector()); err == nil {
+		t.Error("expected error for address without port")
+	}
+}
+
+// TestServeMetricsEmptyHost defaults to localhost rather than all
+// interfaces (the endpoint exposes pprof, so this is a safety property).
+func TestServeMetricsEmptyHost(t *testing.T) {
+	srv, err := ServeMetrics(":0", NewCollector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.HasPrefix(srv.Addr, "127.0.0.1:") {
+		t.Errorf("empty host bound %s, want 127.0.0.1", srv.Addr)
+	}
+}

@@ -1,0 +1,153 @@
+// The structured event journal: one JSON object per line, written through
+// a buffered asynchronous writer so the fuzzing loop never blocks on a
+// slow disk. Events carry a monotonic timestamp (nanoseconds since the
+// journal opened — wall-clock-jump-proof) and a global sequence number;
+// both are assigned under the journal lock, so line order, seq order, and
+// ts order always agree even when shards emit concurrently.
+
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one journal record. Fixed fields are stamped by the journal;
+// the emitting site fills Type and whichever context fields apply.
+type Event struct {
+	// Seq is the global emit order (assigned by the journal).
+	Seq int64 `json:"seq"`
+	// TS is nanoseconds since the journal was opened, from a monotonic
+	// clock (assigned by the journal).
+	TS int64 `json:"ts_ns"`
+	// Type names the event: campaign_start, unit_start, unit_finish,
+	// tv_verdict, bug_found, worker_stall, budget_exhausted,
+	// campaign_finish.
+	Type string `json:"event"`
+	// Shard is the worker index that emitted the event (-1 = not from a
+	// pool worker).
+	Shard int `json:"shard"`
+	// Group/Unit locate the event in the campaign decomposition (the bug
+	// and seed test, or the input file), when applicable.
+	Group string `json:"group,omitempty"`
+	Unit  string `json:"unit,omitempty"`
+	// Seed is the PRNG seed relevant to the event (unit seed, or the
+	// mutant seed for bug_found), when applicable.
+	Seed uint64 `json:"seed,omitempty"`
+	// DurNS is the event's associated duration (unit execution time,
+	// stall age, TV query time), when applicable.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Detail carries event-specific text: the TV verdict, the finding
+	// kind, an error message.
+	Detail string `json:"detail,omitempty"`
+	// Iters carries a mutant count (unit_finish, budget_exhausted,
+	// bug_found's iteration), when applicable.
+	Iters int `json:"iters,omitempty"`
+	// Err records a unit error (unit_finish only).
+	Err string `json:"err,omitempty"`
+}
+
+// Journal writes Events as JSONL through a buffered async writer.
+type Journal struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	closer io.Closer // closed by Close when the sink is owned (a file)
+	start  time.Time
+	seq    int64
+	err    error // first write error; subsequent emits are dropped
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+	closeOnce sync.Once
+}
+
+// NewJournal wraps w in a journal. If w is an io.Closer the journal owns
+// it: Close closes it after the final flush. A background flusher drains
+// the buffer every 250ms so `tail -f` on a journal file tracks a live
+// campaign without per-event syscalls.
+func NewJournal(w io.Writer) *Journal {
+	j := &Journal{
+		bw:        bufio.NewWriterSize(w, 64<<10),
+		start:     time.Now(),
+		flushStop: make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	if c, ok := w.(io.Closer); ok {
+		j.closer = c
+	}
+	go j.flusher()
+	return j
+}
+
+// flusher periodically drains the buffer until Close.
+func (j *Journal) flusher() {
+	defer close(j.flushDone)
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			j.mu.Lock()
+			if j.err == nil {
+				j.err = j.bw.Flush()
+			}
+			j.mu.Unlock()
+		case <-j.flushStop:
+			return
+		}
+	}
+}
+
+// Emit stamps and writes one event (nil-safe). The event is marshalled
+// and buffered under the journal lock; the actual write(2) happens on the
+// flusher goroutine or at Close.
+func (j *Journal) Emit(ev Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.seq++
+	ev.Seq = j.seq
+	ev.TS = int64(time.Since(j.start))
+	line, err := json.Marshal(ev)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.bw.Write(append(line, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Close flushes the buffer, stops the flusher, and closes the underlying
+// writer if the journal owns it. Returns the first error seen (nil-safe).
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.closeOnce.Do(func() {
+		close(j.flushStop)
+		<-j.flushDone
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if ferr := j.bw.Flush(); j.err == nil {
+			j.err = ferr
+		}
+		if j.closer != nil {
+			if cerr := j.closer.Close(); j.err == nil {
+				j.err = cerr
+			}
+			j.closer = nil
+		}
+	})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

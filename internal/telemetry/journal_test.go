@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer lets concurrent journal flushes race safely against the
+// test's reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestJournalValidJSONPerLine: every journal line must parse as a
+// standalone JSON object with the stamped fields present.
+func TestJournalValidJSONPerLine(t *testing.T) {
+	var buf syncBuffer
+	j := NewJournal(&buf)
+	for i := 0; i < 10; i++ {
+		j.Emit(Event{Type: "unit_start", Shard: i % 3, Unit: fmt.Sprintf("u%d", i)})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10", len(lines))
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if ev.Type != "unit_start" || ev.Unit == "" {
+			t.Errorf("line %d lost fields: %+v", i, ev)
+		}
+	}
+}
+
+// TestJournalOrdering: under concurrent emitters, line order, seq order,
+// and ts order must all agree (seq strictly increasing from 1, ts
+// non-decreasing).
+func TestJournalOrdering(t *testing.T) {
+	var buf syncBuffer
+	j := NewJournal(&buf)
+	const emitters = 8
+	const perE = 200
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perE; i++ {
+				j.Emit(Event{Type: "tick", Shard: e})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != emitters*perE {
+		t.Fatalf("got %d lines, want %d", len(lines), emitters*perE)
+	}
+	var prevSeq, prevTS int64
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev.Seq != prevSeq+1 {
+			t.Fatalf("line %d: seq %d after %d (must be dense and increasing)", i, ev.Seq, prevSeq)
+		}
+		if ev.TS < prevTS {
+			t.Fatalf("line %d: ts %d before %d (must be monotonic)", i, ev.TS, prevTS)
+		}
+		prevSeq, prevTS = ev.Seq, ev.TS
+	}
+}
+
+// TestJournalCloseIdempotent: Close twice must not panic and must return
+// the same (nil) error.
+func TestJournalCloseIdempotent(t *testing.T) {
+	var buf syncBuffer
+	j := NewJournal(&buf)
+	j.Emit(Event{Type: "x"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalEmitAfterClose: emits after Close are dropped, not panics.
+func TestJournalEmitAfterClose(t *testing.T) {
+	var buf syncBuffer
+	j := NewJournal(&buf)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Event{Type: "late"})
+	if strings.Contains(buf.String(), "late") {
+		t.Error("event emitted after Close reached the writer")
+	}
+}

@@ -1,0 +1,75 @@
+// The periodic progress reporter (`-progress 5s`, off by default): a
+// single background goroutine printing live throughput to stderr — total
+// mutants, mutants/sec over the whole run and over the last interval, and
+// the dominant pipeline stage — so a long campaign is observable without
+// attaching to the HTTP endpoint.
+
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// StartProgress launches a reporter that prints one line to w every
+// interval until the returned stop func is called. The mutant count is
+// read from the "mutants" counter of c; per-stage time from the
+// "stage.*" histograms. Nil-safe: with a nil collector or non-positive
+// interval nothing starts and stop is a no-op.
+func StartProgress(w io.Writer, c *Collector, interval time.Duration) (stop func()) {
+	if c == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		start := time.Now()
+		var lastMutants int64
+		lastT := start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				mutants := c.Counter("mutants").Value()
+				totalRate := float64(mutants) / time.Since(start).Seconds()
+				instRate := float64(mutants-lastMutants) / now.Sub(lastT).Seconds()
+				fmt.Fprintf(w, "progress: %s elapsed, %d mutants (%.0f/s overall, %.0f/s now)%s\n",
+					time.Since(start).Round(time.Second), mutants, totalRate, instRate, topStage(c))
+				lastMutants, lastT = mutants, now
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// topStage names the stage with the largest total time so far.
+func topStage(c *Collector) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var name string
+	var best int64
+	var grand int64
+	for n, h := range c.hists {
+		if !strings.HasPrefix(n, "stage.") {
+			continue
+		}
+		s := h.Sum()
+		grand += s
+		if s > best {
+			best, name = s, strings.TrimPrefix(n, "stage.")
+		}
+	}
+	if name == "" || grand == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", top stage %s (%.0f%%)", name, 100*float64(best)/float64(grand))
+}

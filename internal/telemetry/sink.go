@@ -1,0 +1,47 @@
+// Sink bundles the destinations a run records into. Hot-path layers
+// (core, campaign) take a *Sink; a nil sink — or a nil field inside one —
+// turns every hook into a pointer test, which is the entire overhead of
+// disabled telemetry.
+
+package telemetry
+
+// Sink is the per-run telemetry context threaded through the pipeline.
+type Sink struct {
+	// Metrics receives counters and stage timings. In a sharded campaign
+	// each unit gets a Sink whose Metrics is shard-local; the campaign
+	// merges shards into the run-wide collector as they finish.
+	Metrics *Collector
+	// Journal receives structured events. The journal serializes
+	// internally, so one journal is shared by every shard.
+	Journal *Journal
+	// Shard is the worker index stamped on journal events (-1 when the
+	// emitter is not a pool worker).
+	Shard int
+}
+
+// Shard derives a shard-local sink: a fresh collector (merged later by
+// the caller), the shared journal, and the given shard id (nil-safe).
+func (s *Sink) ShardSink(shard int) *Sink {
+	if s == nil {
+		return nil
+	}
+	return &Sink{Metrics: NewCollector(), Journal: s.Journal, Shard: shard}
+}
+
+// Collector returns the sink's metrics collector (nil-safe).
+func (s *Sink) Collector() *Collector {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// Emit forwards an event to the journal, stamping the sink's shard id
+// (nil-safe).
+func (s *Sink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	ev.Shard = s.Shard
+	s.Journal.Emit(ev)
+}

@@ -1,0 +1,151 @@
+// The end-of-run snapshot: a stable JSON document (`-metrics-out`)
+// recording every counter and histogram, so benchmark trajectories can be
+// diffed across commits and CI can validate a run's shape. The schema is
+// versioned; ValidateSnapshot is the checker CI runs against the artifact
+// (see docs/OBSERVABILITY.md for the field-by-field description).
+
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// SchemaV1 identifies the snapshot document format.
+const SchemaV1 = "alive-mutate-telemetry/v1"
+
+// HistSnapshot is one histogram in a snapshot.
+type HistSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+	// BoundsNS[i] is the exclusive upper bound of Buckets[i]; the final
+	// Buckets entry (len == len(BoundsNS)+1) is the overflow bucket.
+	BoundsNS []int64 `json:"bounds_ns"`
+	Buckets  []int64 `json:"buckets"`
+}
+
+// Snapshot is the full metrics document.
+type Snapshot struct {
+	Schema     string                  `json:"schema"`
+	TakenAt    time.Time               `json:"taken_at"`
+	Labels     map[string]string       `json:"labels,omitempty"`
+	Counters   map[string]int64        `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the collector's current state (nil-safe: a nil
+// collector yields an empty, still-valid snapshot).
+func (c *Collector) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Schema:     SchemaV1,
+		TakenAt:    time.Now().UTC(),
+		Labels:     map[string]string{},
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if c == nil {
+		return s
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k, v := range c.labels {
+		s.Labels[k] = v
+	}
+	for _, name := range c.counterNames() {
+		s.Counters[name] = c.ctrs[name].Value()
+	}
+	bounds := make([]int64, NumBuckets)
+	for i := range bounds {
+		bounds[i] = BucketBound(i)
+	}
+	for _, name := range c.histNames() {
+		h := c.hists[name]
+		hs := HistSnapshot{
+			Count:    h.Count(),
+			TotalNS:  h.Sum(),
+			MinNS:    h.min.Load(),
+			MaxNS:    h.max.Load(),
+			BoundsNS: bounds,
+			Buckets:  make([]int64, NumBuckets+1),
+		}
+		for i := range hs.Buckets {
+			hs.Buckets[i] = h.Bucket(i)
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// MarshalIndentedJSON renders the snapshot for -metrics-out.
+func (s *Snapshot) MarshalIndentedJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ValidateSnapshot parses data as a Snapshot and checks every documented
+// schema invariant. It is the checker CI runs over -metrics-out
+// artifacts (cmd/telemetry-check).
+func ValidateSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("snapshot: not a valid document: %w", err)
+	}
+	if s.Schema != SchemaV1 {
+		return nil, fmt.Errorf("snapshot: schema %q, want %q", s.Schema, SchemaV1)
+	}
+	if s.TakenAt.IsZero() {
+		return nil, fmt.Errorf("snapshot: missing taken_at")
+	}
+	if s.Counters == nil {
+		return nil, fmt.Errorf("snapshot: missing counters map")
+	}
+	if s.Histograms == nil {
+		return nil, fmt.Errorf("snapshot: missing histograms map")
+	}
+	for name, v := range s.Counters {
+		if v < 0 {
+			return nil, fmt.Errorf("snapshot: counter %q is negative (%d)", name, v)
+		}
+	}
+	for name, h := range s.Histograms {
+		if len(h.BoundsNS) != NumBuckets {
+			return nil, fmt.Errorf("snapshot: histogram %q has %d bounds, want %d", name, len(h.BoundsNS), NumBuckets)
+		}
+		if len(h.Buckets) != NumBuckets+1 {
+			return nil, fmt.Errorf("snapshot: histogram %q has %d buckets, want %d", name, len(h.Buckets), NumBuckets+1)
+		}
+		var prev int64
+		for i, b := range h.BoundsNS {
+			if b <= prev {
+				return nil, fmt.Errorf("snapshot: histogram %q bounds not increasing at %d", name, i)
+			}
+			prev = b
+		}
+		var sum int64
+		for i, n := range h.Buckets {
+			if n < 0 {
+				return nil, fmt.Errorf("snapshot: histogram %q bucket %d is negative", name, i)
+			}
+			sum += n
+		}
+		if sum != h.Count {
+			return nil, fmt.Errorf("snapshot: histogram %q bucket sum %d != count %d", name, sum, h.Count)
+		}
+		if h.Count > 0 && (h.MinNS <= 0 || h.MaxNS < h.MinNS) {
+			return nil, fmt.Errorf("snapshot: histogram %q min/max inconsistent (min=%d max=%d)", name, h.MinNS, h.MaxNS)
+		}
+		if h.Count > 0 && h.TotalNS < 0 {
+			return nil, fmt.Errorf("snapshot: histogram %q negative total", name)
+		}
+	}
+	return &s, nil
+}

@@ -1,0 +1,418 @@
+// Package telemetry is the campaign observability layer: named atomic
+// counters, fixed-bucket latency histograms, stage timers, a structured
+// JSONL event journal, a live expvar/pprof endpoint, and an end-of-run
+// JSON snapshot. The paper's central claim is *throughput* — mutants
+// validated per second — and this package is how the repository measures
+// where that time goes inside the mutate→optimize→verify pipeline.
+//
+// Design constraints, in order:
+//
+//  1. Determinism of campaign *results* is untouched: telemetry is
+//     strictly write-only from the fuzzing loop's point of view — nothing
+//     in the pipeline reads a counter to make a decision. Shards record
+//     into shard-local collectors that are merged at aggregation time, so
+//     worker interleaving can reorder journal lines and wall-clock
+//     numbers but never the result table.
+//  2. Low overhead: the hot path touches only atomic adds and
+//     time.Now() pairs; name→counter lookups are done once per shard (or
+//     amortized behind a read-mostly lock), never per mutant. A nil
+//     *Collector (or *Sink) is a no-op on every method, so a build or run
+//     without telemetry pays a single pointer test per hook site.
+//  3. Zero dependencies: stdlib only, and no repo-internal imports, so
+//     every layer (opt, tv, core, campaign, commands) can use it without
+//     cycles.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter (nil-safe).
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value reads the counter (nil-safe).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// NumBuckets is the number of finite histogram buckets. Bucket i counts
+// observations in [BucketBound(i-1), BucketBound(i)); observations at or
+// above BucketBound(NumBuckets-1) land in the overflow bucket.
+const NumBuckets = 28
+
+// bucketBase is the upper bound of bucket 0 in nanoseconds (1µs). Bounds
+// double per bucket: 1µs, 2µs, 4µs, ... so bucket 27 tops out at 2^27µs
+// ≈ 134s — far beyond any single pipeline stage this repo times.
+const bucketBase = 1000
+
+// BucketBound returns the exclusive upper bound (in ns) of bucket i.
+func BucketBound(i int) int64 {
+	return bucketBase << uint(i)
+}
+
+// bucketFor maps a duration in ns to its bucket index, or NumBuckets for
+// the overflow bucket.
+func bucketFor(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	// Smallest i with ns < bucketBase<<i.
+	for i := 0; i < NumBuckets; i++ {
+		if ns < bucketBase<<uint(i) {
+			return i
+		}
+	}
+	return NumBuckets
+}
+
+// Histogram is a fixed-bucket latency histogram with exponential
+// (doubling) bucket bounds. All fields are atomics so shard-local and
+// merged histograms share one implementation; a shard-local histogram is
+// still only touched by one goroutine, so the atomics are uncontended.
+type Histogram struct {
+	buckets [NumBuckets + 1]atomic.Int64 // +1 = overflow
+	count   atomic.Int64
+	sum     atomic.Int64 // total ns
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+}
+
+// Observe records one duration (nil-safe).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	// min tracks the smallest non-zero-able observation with 0 meaning
+	// "unset"; a true 0ns observation is recorded as 1ns here, which is
+	// well under the resolution anything downstream reports.
+	if ns == 0 {
+		ns = 1
+	}
+	for {
+		old := h.min.Load()
+		if old != 0 && old <= ns {
+			break
+		}
+		if h.min.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if old >= ns {
+			break
+		}
+		if h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (nil-safe).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed nanoseconds (nil-safe).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket returns the count in bucket i (i == NumBuckets is overflow).
+func (h *Histogram) Bucket(i int) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// merge folds other into h.
+func (h *Histogram) merge(other *Histogram) {
+	if other.count.Load() == 0 {
+		return
+	}
+	for i := range h.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if om := other.min.Load(); om != 0 {
+		for {
+			old := h.min.Load()
+			if old != 0 && old <= om {
+				break
+			}
+			if h.min.CompareAndSwap(old, om) {
+				break
+			}
+		}
+	}
+	if om := other.max.Load(); om != 0 {
+		for {
+			old := h.max.Load()
+			if old >= om {
+				break
+			}
+			if h.max.CompareAndSwap(old, om) {
+				break
+			}
+		}
+	}
+}
+
+// Collector is a named registry of counters and histograms. One global
+// collector aggregates a whole run; each campaign shard records into its
+// own shard-local collector that is merged into the global one when the
+// shard finishes (Merge), so the hot loop never contends on the registry
+// lock. All methods are safe on a nil receiver (no-ops / zero values).
+type Collector struct {
+	mu     sync.RWMutex
+	ctrs   map[string]*Counter
+	hists  map[string]*Histogram
+	labels map[string]string // run metadata for the snapshot
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		ctrs:   map[string]*Counter{},
+		hists:  map[string]*Histogram{},
+		labels: map[string]string{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe: a nil
+// collector returns nil, and nil *Counter methods are no-ops, so hook
+// sites may cache the result unconditionally.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	ctr, ok := c.ctrs[name]
+	c.mu.RUnlock()
+	if ok {
+		return ctr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctr, ok = c.ctrs[name]; ok {
+		return ctr
+	}
+	ctr = &Counter{}
+	c.ctrs[name] = ctr
+	return ctr
+}
+
+// Histogram returns (creating if needed) the named histogram (nil-safe).
+func (c *Collector) Histogram(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	h, ok := c.hists[name]
+	c.mu.RUnlock()
+	if ok {
+		return h
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok = c.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	c.hists[name] = h
+	return h
+}
+
+// Add increments a named counter (nil-safe convenience).
+func (c *Collector) Add(name string, delta int64) {
+	c.Counter(name).Add(delta)
+}
+
+// Observe records a duration into a named histogram (nil-safe).
+func (c *Collector) Observe(name string, d time.Duration) {
+	c.Histogram(name).Observe(d)
+}
+
+// SetLabel attaches run metadata (workers, seed, command line) to the
+// snapshot (nil-safe).
+func (c *Collector) SetLabel(key, value string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.labels[key] = value
+	c.mu.Unlock()
+}
+
+// StartStage starts a named stage timer; the returned func records the
+// elapsed time into the stage's histogram. Nil-safe: a nil collector
+// returns a shared no-op func, so disabled telemetry allocates nothing.
+func (c *Collector) StartStage(name string) func() {
+	if c == nil {
+		return nopStop
+	}
+	h := c.Histogram("stage." + name)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// ObserveStage records an already-measured stage duration (the manual
+// variant hot loops use to avoid a closure allocation per stage).
+func (c *Collector) ObserveStage(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.Histogram("stage." + name).Observe(d)
+}
+
+func nopStop() {}
+
+// Merge folds a shard-local collector into c (nil-safe on both sides).
+// Counters and histogram buckets add; labels from the shard win only for
+// keys the target does not already have.
+func (c *Collector) Merge(shard *Collector) {
+	if c == nil || shard == nil {
+		return
+	}
+	shard.mu.RLock()
+	defer shard.mu.RUnlock()
+	for name, ctr := range shard.ctrs {
+		if v := ctr.Value(); v != 0 {
+			c.Counter(name).Add(v)
+		}
+	}
+	for name, h := range shard.hists {
+		c.Histogram(name).merge(h)
+	}
+	c.mu.Lock()
+	for k, v := range shard.labels {
+		if _, ok := c.labels[k]; !ok {
+			c.labels[k] = v
+		}
+	}
+	c.mu.Unlock()
+}
+
+// counterNames returns the sorted counter names (deterministic output).
+func (c *Collector) counterNames() []string {
+	names := make([]string, 0, len(c.ctrs))
+	for name := range c.ctrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// histNames returns the sorted histogram names.
+func (c *Collector) histNames() []string {
+	names := make([]string, 0, len(c.hists))
+	for name := range c.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StageTotals returns the total nanoseconds per "stage.*" histogram,
+// keyed by bare stage name (nil-safe; empty map when nothing recorded).
+func (c *Collector) StageTotals() map[string]int64 {
+	out := map[string]int64{}
+	if c == nil {
+		return out
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for name, h := range c.hists {
+		if strings.HasPrefix(name, "stage.") && h.Count() > 0 {
+			out[strings.TrimPrefix(name, "stage.")] = h.Sum()
+		}
+	}
+	return out
+}
+
+// StageBreakdown renders a human-readable per-stage time table: one line
+// per "stage.*" histogram, sorted by total time descending (ties by
+// name), with count, total, mean, and share of the summed stage time.
+// Returns "" when nothing was recorded (nil-safe).
+func (c *Collector) StageBreakdown() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.RLock()
+	type stage struct {
+		name  string
+		count int64
+		total int64
+	}
+	var stages []stage
+	var grand int64
+	for name, h := range c.hists {
+		if !strings.HasPrefix(name, "stage.") {
+			continue
+		}
+		if n := h.Count(); n > 0 {
+			stages = append(stages, stage{strings.TrimPrefix(name, "stage."), n, h.Sum()})
+			grand += h.Sum()
+		}
+	}
+	c.mu.RUnlock()
+	if len(stages) == 0 {
+		return ""
+	}
+	sort.Slice(stages, func(i, j int) bool {
+		if stages[i].total != stages[j].total {
+			return stages[i].total > stages[j].total
+		}
+		return stages[i].name < stages[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s %7s\n", "stage", "count", "total", "mean", "share")
+	for _, s := range stages {
+		mean := time.Duration(0)
+		if s.count > 0 {
+			mean = time.Duration(s.total / s.count)
+		}
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(s.total) / float64(grand)
+		}
+		fmt.Fprintf(&b, "%-16s %10d %12s %12s %6.1f%%\n",
+			s.name, s.count, time.Duration(s.total).Round(time.Microsecond),
+			mean.Round(time.Microsecond), share)
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the histogram's bucket edges: an observation
+// strictly below a bound lands in that bucket; one at the bound lands in
+// the next.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0},
+		{999, 0},                  // < 1µs
+		{1000, 1},                 // = bound of bucket 0 → bucket 1
+		{1999, 1},                 // < 2µs
+		{2000, 2},                 // = 2µs
+		{BucketBound(10) - 1, 10}, // just under ~1.024ms
+		{BucketBound(10), 11},     // at the bound
+		{BucketBound(NumBuckets-1) - 1, NumBuckets - 1}, // last finite bucket
+	}
+	for _, c := range cases {
+		h := &Histogram{}
+		h.Observe(time.Duration(c.ns))
+		if got := h.Bucket(c.bucket); got != 1 {
+			// Locate where it actually landed, for the failure message.
+			where := -1
+			for i := 0; i <= NumBuckets; i++ {
+				if h.Bucket(i) == 1 {
+					where = i
+				}
+			}
+			t.Errorf("Observe(%dns): want bucket %d, landed in %d", c.ns, c.bucket, where)
+		}
+	}
+}
+
+// TestBucketOverflow: observations at or beyond the last finite bound
+// land in the overflow bucket and are still counted and summed.
+func TestBucketOverflow(t *testing.T) {
+	h := &Histogram{}
+	big := time.Duration(BucketBound(NumBuckets - 1)) // exactly the last bound
+	h.Observe(big)
+	h.Observe(10 * big)
+	if got := h.Bucket(NumBuckets); got != 2 {
+		t.Errorf("overflow bucket = %d, want 2", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+	if want := int64(big) + int64(10*big); h.Sum() != want {
+		t.Errorf("sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+// TestHistogramMinMax tracks extrema, treating 0ns as 1ns so "unset" and
+// "zero" stay distinguishable.
+func TestHistogramMinMax(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(5 * time.Microsecond)
+	h.Observe(2 * time.Microsecond)
+	h.Observe(9 * time.Microsecond)
+	if h.min.Load() != int64(2*time.Microsecond) {
+		t.Errorf("min = %d", h.min.Load())
+	}
+	if h.max.Load() != int64(9*time.Microsecond) {
+		t.Errorf("max = %d", h.max.Load())
+	}
+}
+
+// TestConcurrentCounters hammers one counter and one histogram from many
+// goroutines; run under -race this is the data-race gate for the whole
+// atomic layer, and the totals must still be exact.
+func TestConcurrentCounters(t *testing.T) {
+	c := NewCollector()
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctr := c.Counter("mutants")
+			h := c.Histogram("stage.mutate")
+			for i := 0; i < perG; i++ {
+				ctr.Add(1)
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter("mutants").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := c.Histogram("stage.mutate").Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestMerge verifies shard-local collectors fold into a global one
+// without loss.
+func TestMerge(t *testing.T) {
+	global := NewCollector()
+	for shard := 0; shard < 4; shard++ {
+		local := NewCollector()
+		local.Add("mutants", 100)
+		local.Observe("stage.tv", 3*time.Millisecond)
+		local.Observe("stage.tv", 5*time.Millisecond)
+		global.Merge(local)
+	}
+	if got := global.Counter("mutants").Value(); got != 400 {
+		t.Errorf("merged counter = %d, want 400", got)
+	}
+	h := global.Histogram("stage.tv")
+	if h.Count() != 8 {
+		t.Errorf("merged hist count = %d, want 8", h.Count())
+	}
+	if h.Sum() != int64(4*(3+5)*time.Millisecond) {
+		t.Errorf("merged hist sum = %d", h.Sum())
+	}
+	if h.min.Load() != int64(3*time.Millisecond) || h.max.Load() != int64(5*time.Millisecond) {
+		t.Errorf("merged extrema min=%d max=%d", h.min.Load(), h.max.Load())
+	}
+}
+
+// TestNilSafety: every hook must be a no-op on nil receivers — this is
+// the disabled-telemetry fast path the hot loop relies on.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	c.Add("x", 1)
+	c.Observe("y", time.Second)
+	c.ObserveStage("z", time.Second)
+	c.StartStage("w")()
+	c.Merge(NewCollector())
+	c.SetLabel("k", "v")
+	if c.StageBreakdown() != "" || len(c.StageTotals()) != 0 {
+		t.Error("nil collector produced output")
+	}
+	var s *Sink
+	s.Emit(Event{Type: "x"})
+	if s.ShardSink(1) != nil || s.Collector() != nil {
+		t.Error("nil sink derived non-nil children")
+	}
+	var j *Journal
+	j.Emit(Event{Type: "x"})
+	if err := j.Close(); err != nil {
+		t.Errorf("nil journal Close: %v", err)
+	}
+	var ctr *Counter
+	ctr.Add(1)
+	var h *Histogram
+	h.Observe(time.Second)
+}
+
+// TestSnapshotRoundTrip: a populated collector snapshots to a document
+// that passes its own schema checker.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.SetLabel("command", "test")
+	c.Add("mutants", 42)
+	c.Observe("stage.mutate", time.Millisecond)
+	c.Observe("stage.opt", 2*time.Millisecond)
+	data, err := c.Snapshot().MarshalIndentedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ValidateSnapshot(data)
+	if err != nil {
+		t.Fatalf("own snapshot fails validation: %v", err)
+	}
+	if snap.Counters["mutants"] != 42 {
+		t.Errorf("mutants = %d", snap.Counters["mutants"])
+	}
+	if snap.Histograms["stage.mutate"].Count != 1 {
+		t.Errorf("stage.mutate count = %d", snap.Histograms["stage.mutate"].Count)
+	}
+}
+
+// TestValidateSnapshotRejects covers the checker's failure modes.
+func TestValidateSnapshotRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"wrong schema":  `{"schema":"nope/v9","taken_at":"2026-01-01T00:00:00Z","counters":{},"histograms":{}}`,
+		"unknown field": `{"schema":"alive-mutate-telemetry/v1","taken_at":"2026-01-01T00:00:00Z","counters":{},"histograms":{},"extra":1}`,
+		"missing taken": `{"schema":"alive-mutate-telemetry/v1","counters":{},"histograms":{}}`,
+		"negative ctr":  `{"schema":"alive-mutate-telemetry/v1","taken_at":"2026-01-01T00:00:00Z","counters":{"x":-1},"histograms":{}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ValidateSnapshot([]byte(doc)); err == nil {
+			t.Errorf("%s: validated but should not have", name)
+		}
+	}
+}
+
+// TestStageBreakdown checks ordering (total-time descending) and share
+// arithmetic.
+func TestStageBreakdown(t *testing.T) {
+	c := NewCollector()
+	c.ObserveStage("fast", time.Millisecond)
+	c.ObserveStage("slow", 3*time.Millisecond)
+	out := c.StageBreakdown()
+	slowIdx := strings.Index(out, "slow")
+	fastIdx := strings.Index(out, "fast")
+	if slowIdx < 0 || fastIdx < 0 || slowIdx > fastIdx {
+		t.Errorf("breakdown not sorted by total desc:\n%s", out)
+	}
+	if !strings.Contains(out, "75.0%") {
+		t.Errorf("expected 75%% share for slow:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ package tv
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/semantics"
@@ -91,12 +92,26 @@ type Options struct {
 	// DisableRewrites turns off the SMT builder's algebraic rewriting
 	// (ablation knob).
 	DisableRewrites bool
+	// Observe, when non-nil, receives every query's Result and wall time.
+	// The fuzzing loop wires this to per-verdict latency histograms; it
+	// is nil — and costs nothing — otherwise.
+	Observe func(r Result, d time.Duration)
 }
 
 // Verify checks that tgt refines src. The module provides callee
 // declarations for attribute lookup; src and tgt must have identical
 // signatures.
 func Verify(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
+	if opts.Observe == nil {
+		return verify(mod, src, tgt, opts)
+	}
+	start := time.Now()
+	r := verify(mod, src, tgt, opts)
+	opts.Observe(r, time.Since(start))
+	return r
+}
+
+func verify(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 	if err := checkSignatures(src, tgt); err != nil {
 		return Result{Verdict: Unsupported, Reason: err.Error()}
 	}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke bench ci
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -38,7 +38,26 @@ telemetry-smoke:
 		-metrics-out telemetry-smoke.json -journal telemetry-smoke.jsonl -stats
 	$(GO) run ./cmd/telemetry-check -require-campaign telemetry-smoke.json
 
+# Triage end-to-end: a short seeded campaign over a crash and a
+# miscompilation bug writes deduplicated, auto-shrunk reproducer bundles,
+# the index must be non-empty, and every bundle must replay (shrunk and
+# original mutant both fire; mutant regenerates byte-for-byte from seed).
+triage-smoke:
+	rm -rf triage-smoke
+	$(GO) run ./cmd/fuzz-campaign -budget 120 -tvbudget 4000 -seed 7 -workers 4 \
+		-only 55287,59757 -triage-dir triage-smoke -journal triage-smoke.jsonl
+	@test -s triage-smoke/index.json || { echo "triage-smoke: no index.json produced"; exit 1; }
+	$(GO) run ./cmd/triage-replay -dir triage-smoke
+	$(GO) run ./cmd/telemetry-check -trace-out triage-smoke-trace.json triage-smoke.jsonl
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-ci: build vet fmt-check test race campaign-smoke telemetry-smoke
+# Refresh the committed benchmark baseline (BENCH_throughput.json). Run on
+# an otherwise idle machine; the document validates against the
+# alive-mutate-bench/v1 schema before it can be committed.
+bench-baseline:
+	$(GO) run ./cmd/bench-throughput -count 200 -gen 10 -out res.txt -json BENCH_throughput.json
+	$(GO) run ./cmd/telemetry-check BENCH_throughput.json
+
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke

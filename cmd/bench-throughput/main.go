@@ -31,7 +31,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,30 +59,6 @@ type row struct {
 	integratedNS int64
 	discreteNS   int64
 }
-
-// benchJSON is the machine-readable result document (-json), the start of
-// the repo's recorded perf trajectory.
-type benchJSON struct {
-	Schema         string           `json:"schema"`
-	Workers        int              `json:"workers"`
-	MutantsPerFile int              `json:"mutants_per_file"`
-	Passes         string           `json:"passes"`
-	Seed           uint64           `json:"seed"`
-	WallNS         int64            `json:"wall_ns"` // whole experiment
-	Files          []benchFile      `json:"files"`
-	AvgSpeedup     float64          `json:"avg_speedup"`
-	StagesNS       map[string]int64 `json:"integrated_stages_ns"`
-}
-
-type benchFile struct {
-	File         string  `json:"file"`
-	IntegratedNS int64   `json:"integrated_ns"`
-	DiscreteNS   int64   `json:"discrete_ns"`
-	Speedup      float64 `json:"speedup"`
-}
-
-// benchSchema identifies the BENCH_throughput.json format.
-const benchSchema = "alive-mutate-bench/v1"
 
 func main() {
 	count := flag.Int("count", 1000, "mutants per input file (the paper's COUNT)")
@@ -261,8 +236,10 @@ func main() {
 	fmt.Print(b.String())
 
 	if *jsonPath != "" {
-		doc := benchJSON{
-			Schema:         benchSchema,
+		// The document uses internal/telemetry's Bench types, so what this
+		// writes is exactly what ValidateBench (telemetry-check) accepts.
+		doc := telemetry.Bench{
+			Schema:         telemetry.BenchSchemaV1,
 			Workers:        *workers,
 			MutantsPerFile: *count,
 			Passes:         *passSpec,
@@ -272,16 +249,16 @@ func main() {
 			StagesNS:       sink.Metrics.StageTotals(),
 		}
 		for _, r := range rows {
-			doc.Files = append(doc.Files, benchFile{
+			doc.Files = append(doc.Files, telemetry.BenchFile{
 				File: r.file, IntegratedNS: r.integratedNS,
 				DiscreteNS: r.discreteNS, Speedup: r.perf,
 			})
 		}
-		data, err := json.MarshalIndent(doc, "", "  ")
+		data, err := doc.MarshalIndentedJSON()
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("machine-readable results written to %s\n", *jsonPath)

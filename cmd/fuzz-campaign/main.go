@@ -20,6 +20,7 @@
 //	    [-deadline 10m] [-only 53252,50693] [-stats] [-out table1.txt]
 //	    [-metrics-addr 127.0.0.1:8787] [-metrics-out metrics.json]
 //	    [-journal events.jsonl] [-progress 10s] [-stall-threshold 2m]
+//	    [-triage-dir triage/]
 //
 // Observability (docs/OBSERVABILITY.md): -metrics-addr serves live
 // expvar counters and pprof profiles while the campaign runs;
@@ -27,6 +28,12 @@
 // structured JSONL events; -progress prints live throughput to stderr.
 // Telemetry is write-only — the result table is byte-identical with it
 // on or off.
+//
+// Triage (docs/OBSERVABILITY.md "Triage & Reproducers"): -triage-dir
+// deduplicates findings by bug signature and writes one auto-shrunk
+// reproducer bundle per signature (plus index.json) after the campaign
+// ends. Like telemetry it never feeds back into the campaign, so the
+// table stays byte-identical with triage on or off.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/opt"
 	"repro/internal/telemetry"
+	"repro/internal/triage"
 )
 
 func main() {
@@ -66,6 +74,7 @@ func run() int {
 	journalPath := flag.String("journal", "", "write the structured JSONL event journal to this file")
 	progress := flag.Duration("progress", 0, "print live throughput to stderr at this interval (0 = off)")
 	stall := flag.Duration("stall-threshold", 0, "journal a worker_stall event for units running longer than this (0 = off)")
+	triageDir := flag.String("triage-dir", "", "write deduplicated, auto-shrunk reproducer bundles to this directory")
 	flag.Parse()
 
 	var only []int
@@ -122,6 +131,11 @@ func run() int {
 	}
 	stopProgress := telemetry.StartProgress(os.Stderr, sink.Collector(), *progress)
 
+	var triageSink *triage.Sink
+	if *triageDir != "" {
+		triageSink = triage.NewSink()
+	}
+
 	// SIGINT cancels the campaign; the partial table still prints.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -138,6 +152,7 @@ func run() int {
 		Progress:       func(r campaign.BugRow) { fmt.Println(r.ProgressLine()) },
 		Telemetry:      sink,
 		StallThreshold: *stall,
+		Triage:         triageSink,
 	})
 	wall := time.Since(start)
 	stopProgress()
@@ -158,6 +173,21 @@ func run() int {
 		if err := os.WriteFile(*outPath, []byte(table), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
 			return 1
+		}
+	}
+	if triageSink != nil {
+		entries, err := triageSink.Flush(*triageDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
+			return 1
+		}
+		fmt.Printf("\nTriage: %d unique bug signature(s) bundled under %s\n", len(entries), *triageDir)
+		for _, e := range entries {
+			fmt.Printf("  %-36s -> %s (trace %s)\n", e.Signature, e.Dir, e.TraceID)
+			sink.Emit(telemetry.Event{
+				Type: "triage_bundle", Shard: -1, Group: e.Group,
+				Unit: e.Unit, Detail: e.Signature, Trace: e.TraceID,
+			})
 		}
 	}
 	if *metricsOut != "" {

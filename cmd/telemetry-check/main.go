@@ -1,22 +1,28 @@
-// telemetry-check validates -metrics-out snapshots against the
-// documented schema (docs/OBSERVABILITY.md) and compares stage-time
-// breakdowns across snapshots. CI runs it over the campaign-smoke
-// artifact; the workers sweep (benchmark/fuzzing/run.sh sweep) uses
-// -compare to print a per-worker-count stage table.
+// telemetry-check validates telemetry artifacts against their documented
+// schemas (docs/OBSERVABILITY.md) and compares stage-time breakdowns
+// across snapshots. CI runs it over the campaign-smoke artifact; the
+// workers sweep (benchmark/fuzzing/run.sh sweep) uses -compare to print a
+// per-worker-count stage table.
 //
 // Usage:
 //
 //	telemetry-check snapshot.json [more.json ...]
+//	telemetry-check BENCH_throughput.json
 //	telemetry-check -require-campaign snapshot.json
 //	telemetry-check -compare w1.json w2.json w4.json
+//	telemetry-check -trace-out trace.json journal.jsonl
 //
-// Without -compare, every file is validated and the process exits
-// non-zero on the first schema violation. -require-campaign additionally
-// asserts the snapshot came from a real campaign run: a positive mutants
-// counter and the three core pipeline stages present.
+// Each file's schema is dispatched on its "schema" field: both
+// alive-mutate-telemetry/v1 snapshots and alive-mutate-bench/v1 benchmark
+// documents validate. The process exits non-zero on the first violation.
+// -require-campaign additionally asserts a snapshot came from a real
+// campaign run: a positive mutants counter and the three core pipeline
+// stages present. -trace-out converts a JSONL event journal into Chrome
+// trace_event JSON loadable in Perfetto / chrome://tracing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,10 +37,19 @@ import (
 func main() {
 	compare := flag.Bool("compare", false, "print a stage-time comparison table across the given snapshots")
 	requireCampaign := flag.Bool("require-campaign", false, "additionally require campaign-shaped content (mutants > 0, core stages present)")
+	traceOut := flag.String("trace-out", "", "convert a JSONL event journal to Chrome trace_event JSON at this path")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: telemetry-check [-compare] [-require-campaign] snapshot.json ...")
+		fmt.Fprintln(os.Stderr, "usage: telemetry-check [-compare] [-require-campaign] file.json ...\n       telemetry-check -trace-out trace.json journal.jsonl")
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		if flag.NArg() != 1 {
+			fail("-trace-out takes exactly one journal file (got %d)", flag.NArg())
+		}
+		exportTrace(flag.Arg(0), *traceOut)
+		return
 	}
 
 	var snaps []*telemetry.Snapshot
@@ -44,25 +59,73 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		snap, err := telemetry.ValidateSnapshot(data)
-		if err != nil {
-			fail("%s: %v", path, err)
-		}
-		if *requireCampaign {
-			if err := checkCampaignShape(snap); err != nil {
+		switch schema := sniffSchema(path, data); schema {
+		case telemetry.BenchSchemaV1:
+			b, err := telemetry.ValidateBench(data)
+			if err != nil {
 				fail("%s: %v", path, err)
 			}
-		}
-		snaps = append(snaps, snap)
-		names = append(names, strings.TrimSuffix(filepath.Base(path), ".json"))
-		if !*compare {
-			fmt.Printf("%s: OK (%d counters, %d histograms, %d mutants)\n",
-				path, len(snap.Counters), len(snap.Histograms), snap.Counters["mutants"])
+			if *compare {
+				fail("%s: -compare wants snapshots, not %s documents", path, schema)
+			}
+			fmt.Printf("%s: OK (%s, %d files, avg speedup %.2fx)\n",
+				path, schema, len(b.Files), b.AvgSpeedup)
+		case telemetry.SchemaV1:
+			snap, err := telemetry.ValidateSnapshot(data)
+			if err != nil {
+				fail("%s: %v", path, err)
+			}
+			if *requireCampaign {
+				if err := checkCampaignShape(snap); err != nil {
+					fail("%s: %v", path, err)
+				}
+			}
+			snaps = append(snaps, snap)
+			names = append(names, strings.TrimSuffix(filepath.Base(path), ".json"))
+			if !*compare {
+				fmt.Printf("%s: OK (%d counters, %d histograms, %d mutants)\n",
+					path, len(snap.Counters), len(snap.Histograms), snap.Counters["mutants"])
+			}
+		default:
+			fail("%s: unknown schema %q (want %q or %q)", path, schema, telemetry.SchemaV1, telemetry.BenchSchemaV1)
 		}
 	}
 	if *compare {
 		fmt.Print(compareTable(names, snaps))
 	}
+}
+
+// sniffSchema reads just the document's "schema" field so validation can
+// dispatch without guessing from file names.
+func sniffSchema(path string, data []byte) string {
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		fail("%s: not a JSON document: %v", path, err)
+	}
+	return head.Schema
+}
+
+// exportTrace converts a journal to Chrome trace_event JSON.
+func exportTrace(journalPath, outPath string) {
+	in, err := os.Open(journalPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	n, err := telemetry.ExportTrace(in, out)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fail("%s: %v", journalPath, err)
+	}
+	fmt.Printf("%s: %d events -> %s (load in Perfetto or chrome://tracing)\n", journalPath, n, outPath)
 }
 
 // checkCampaignShape asserts the snapshot records an actual campaign.

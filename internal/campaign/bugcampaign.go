@@ -22,6 +22,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/parser"
 	"repro/internal/telemetry"
+	"repro/internal/triage"
 	"repro/internal/tv"
 )
 
@@ -49,6 +50,13 @@ type BugConfig struct {
 	Telemetry *telemetry.Sink
 	// StallThreshold arms the engine's per-unit stall watchdog (0 = off).
 	StallThreshold time.Duration
+	// Triage, when non-nil, receives every finding as a triage candidate
+	// (units then run with finding capture on, which changes nothing but
+	// what findings carry). Like Telemetry it is strictly write-only: the
+	// campaign never reads it, so result tables stay byte-identical with
+	// triage on or off at any worker count. Bundles are written by the
+	// caller via Triage.Flush after the campaign ends.
+	Triage *triage.Sink
 }
 
 // BugRow is one bug's outcome — a row of table1.txt.
@@ -185,8 +193,9 @@ func groupName(info opt.Info) string {
 func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) []Unit {
 	group := groupName(info)
 	var units []Unit
-	for _, t := range corpus.OrderedFor(suite, info.Issue) {
+	for unitIdx, t := range corpus.OrderedFor(suite, info.Issue) {
 		t := t
+		unitIdx := unitIdx
 		tagged := t.Near(info.Issue)
 		units = append(units, Unit{
 			Group: group,
@@ -232,9 +241,13 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 					Seed:               cfg.Seed ^ uint64(info.Issue),
 					NumMutants:         n,
 					StopAtFirstFinding: true,
-					TV:                 tv.Options{ConflictBudget: cfg.TVBudget},
-					Stop:               func() bool { return ctx.Err() != nil },
-					Telemetry:          shard,
+					// Triage needs the mutant/optimized .ll text; capture
+					// changes only what findings carry, never the loop's
+					// draws or verdicts, so tables stay byte-identical.
+					SaveFindings: cfg.Triage != nil,
+					TV:           tv.Options{ConflictBudget: cfg.TVBudget},
+					Stop:         func() bool { return ctx.Err() != nil },
+					Telemetry:    shard,
 				})
 				if err != nil {
 					cfg.Telemetry.Collector().Merge(shard.Collector())
@@ -244,6 +257,20 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 				cfg.Telemetry.Collector().Merge(shard.Collector())
 				st.spent += r.Stats.Iterations
 				agg.Record(group, r.Stats, len(r.Findings))
+				if cfg.Triage != nil {
+					for _, fd := range r.Findings {
+						cfg.Triage.Add(triage.Candidate{
+							Finding:  fd,
+							Group:    group,
+							Unit:     t.Name,
+							UnitIdx:  unitIdx,
+							Issue:    info.Issue,
+							Passes:   cfg.Passes,
+							TVBudget: cfg.TVBudget,
+							SeedText: t.Text,
+						})
+					}
+				}
 				if len(r.Findings) > 0 {
 					fd := r.Findings[0]
 					st.row = BugRow{

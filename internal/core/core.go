@@ -27,7 +27,6 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mutate"
 	"repro/internal/opt"
@@ -63,6 +62,19 @@ type Finding struct {
 	Func     string // function exhibiting the failure
 	CEX      string // counterexample, for miscompilations
 	PanicMsg string // panic payload, for crashes
+	// TraceID is the mutant's lineage identifier (mutate.TraceID(Seed)) —
+	// the join key between this finding, its journal bug_found event, and
+	// a triage bundle.
+	TraceID string
+	// Lineage is the ordered operator-application trace that produced the
+	// mutant, regenerated from the seed when the finding is recorded
+	// (mutants are pure functions of their seed, so the hot loop never
+	// pays for tracing).
+	Lineage *mutate.Trace
+	// Witness is the concretized counterexample (inputs plus both sides'
+	// observed behaviour), for miscompilations whose model could be
+	// replayed on the interpreter.
+	Witness *tv.Witness
 	// MutantText and OptimizedText are the .ll forms, captured only when
 	// Options.SaveFindings is set (the fast path skips printing, which is
 	// the point of the whole design).
@@ -378,14 +390,16 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 		f.ctrCrashes.Add(1)
 		fd := Finding{
 			Kind: Crash, Seed: seed, Iter: iter, PanicMsg: crashMsg,
+			TraceID: mutate.TraceID(seed),
 		}
+		_, fd.Lineage = f.mutator.MutateTraced(seed)
 		if f.opts.SaveFindings {
 			fd.MutantText = mutant.String()
 		}
 		rep.Findings = append(rep.Findings, fd)
 		f.opts.Telemetry.Emit(telemetry.Event{
 			Type: "bug_found", Seed: seed, Iters: iter,
-			Detail: "crash: " + crashMsg,
+			Detail: "crash: " + crashMsg, Trace: fd.TraceID,
 		})
 		f.logf("iter %d seed %#x: CRASH: %s", iter, seed, crashMsg)
 		return true
@@ -432,13 +446,16 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			rep.Stats.Invalid++
 			fd := Finding{
 				Kind: Miscompilation, Seed: seed, Iter: iter, Func: fn.Name,
+				TraceID: mutate.TraceID(seed),
 			}
+			_, fd.Lineage = f.mutator.MutateTraced(seed)
 			if r.CEX != nil {
 				fd.CEX = r.CEX.String()
 				if f.tel != nil {
 					t0 = time.Now()
 				}
-				fd.CrossChecked = crossCheck(mutant, optimized, src, fn, r.CEX)
+				fd.Witness = r.CEX.Concretize(mutant, optimized, src, fn)
+				fd.CrossChecked = fd.Witness.Confirmed
 				if f.tel != nil {
 					f.histInterp.Observe(time.Since(t0))
 				}
@@ -450,48 +467,13 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			rep.Findings = append(rep.Findings, fd)
 			f.opts.Telemetry.Emit(telemetry.Event{
 				Type: "bug_found", Seed: seed, Iters: iter, Unit: fn.Name,
-				Detail: "miscompilation",
+				Detail: "miscompilation", Trace: fd.TraceID,
 			})
 			f.logf("iter %d seed %#x: MISCOMPILE @%s (%s)", iter, seed, fn.Name, fd.CEX)
 			found = true
 		}
 	}
 	return found
-}
-
-// crossCheck re-executes source and target on the counterexample with the
-// concrete interpreter (same oracle both sides) and confirms they behave
-// differently — the paper's workflow of re-running a failure before
-// reporting it.
-func crossCheck(srcMod, tgtMod *ir.Module, src, tgt *ir.Function, cex *tv.Counterexample) bool {
-	args := make([]interp.Value, len(src.Params))
-	for i, p := range src.Params {
-		args[i] = interp.Value{
-			Bits:   cex.Inputs[p.Nm],
-			Poison: cex.Poison[p.Nm],
-		}
-	}
-	oracle := &interp.HashOracle{Seed: 0xa11ce}
-	si := &interp.Interp{Mod: srcMod, Oracle: oracle}
-	ti := &interp.Interp{Mod: tgtMod, Oracle: oracle}
-	sr, errS := si.Run(src, args)
-	tr, errT := ti.Run(tgt, args)
-	if errS != nil || errT != nil {
-		return false // interpreter couldn't model the environment; fine
-	}
-	if sr.UB {
-		return false // src UB on this input: model relied on memory/calls
-	}
-	if tr.UB {
-		return true // target UB where source defined: confirmed
-	}
-	if sr.HasRet && tr.HasRet {
-		if sr.Ret.Poison {
-			return false // poison return permits anything; not confirmable concretely
-		}
-		return tr.Ret.Poison || tr.Ret.Bits != sr.Ret.Bits
-	}
-	return false
 }
 
 func (f *Fuzzer) logf(format string, args ...any) {
@@ -506,3 +488,13 @@ func (f *Fuzzer) logf(format string, args ...any) {
 func (f *Fuzzer) Replay(seed uint64) *ir.Module {
 	return f.mutator.Mutate(seed)
 }
+
+// ReplayTraced regenerates a logged seed's mutant together with its
+// lineage trace.
+func (f *Fuzzer) ReplayTraced(seed uint64) (*ir.Module, *mutate.Trace) {
+	return f.mutator.MutateTraced(seed)
+}
+
+// Orig exposes the preprocessed original module (the seed the mutants
+// diverge from) — triage writes it into reproducer bundles.
+func (f *Fuzzer) Orig() *ir.Module { return f.orig }

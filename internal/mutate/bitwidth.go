@@ -1,6 +1,8 @@
 package mutate
 
 import (
+	"fmt"
+
 	"repro/internal/apint"
 	"repro/internal/ir"
 	"repro/internal/rng"
@@ -13,7 +15,7 @@ import (
 // on entry and a final extension/truncation adapting the result on exit
 // (Listing 13, Figs. 4–5). The original instructions are left in place for
 // their other users; only the last path node's uses are redirected.
-func mutateBitwidth(r *rng.Rand, f *ir.Function) bool {
+func mutateBitwidth(r *rng.Rand, f *ir.Function) (string, bool) {
 	// Candidate roots: binary instructions. All our binary opcodes are
 	// fully bitwidth-polymorphic; instructions like icmp (fixed i1 result)
 	// or bswap (16/32/64 only) are excluded by construction, which is the
@@ -26,7 +28,7 @@ func mutateBitwidth(r *rng.Rand, f *ir.Function) bool {
 		return true
 	})
 	if len(roots) == 0 {
-		return false
+		return "", false
 	}
 	root := roots[r.Intn(len(roots))]
 	oldW := root.Ty.(ir.IntType).Bits
@@ -119,5 +121,5 @@ func mutateBitwidth(r *rng.Rand, f *ir.Function) bool {
 	// back-cast itself must keep... the back-cast uses nlast, not last, so
 	// a blanket replace is safe.
 	f.ReplaceUses(last, back)
-	return true
+	return fmt.Sprintf("bitwidth %s w%d -> w%d len%d", instrRef(root), oldW, newW, len(path)), true
 }

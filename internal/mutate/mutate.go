@@ -53,6 +53,32 @@ func (o Op) String() string {
 // AllOps lists every operator.
 var AllOps = []Op{OpAttributes, OpInline, OpRemoveCall, OpShuffle, OpArith, OpUses, OpMove, OpBitwidth}
 
+// TraceStep records one applied mutation operator together with the site
+// it touched — the operand/instruction-level metadata a bug report needs
+// to explain *how* a mutant diverged from its seed.
+type TraceStep struct {
+	Op   string `json:"op"`
+	Func string `json:"func"`
+	Site string `json:"site,omitempty"`
+}
+
+// Trace is the mutation lineage of one mutant: the ordered operator
+// applications that produced it from the preprocessed seed. Because
+// mutants are pure functions of their seed, a trace can be regenerated at
+// any time with MutateTraced — the fuzzing loop only materializes traces
+// for findings, so the hot path pays nothing.
+type Trace struct {
+	Seed  uint64      `json:"seed"`
+	Steps []TraceStep `json:"steps"`
+}
+
+// TraceID renders a mutant seed as the stable identifier that joins a
+// finding, its journal bug_found event, and its triage bundle.
+func TraceID(seed uint64) string { return fmt.Sprintf("m%016x", seed) }
+
+// ID returns the trace's join identifier.
+func (t *Trace) ID() string { return TraceID(t.Seed) }
+
 // Config controls the engine.
 type Config struct {
 	// Ops enables a subset of operators (nil = all).
@@ -94,6 +120,20 @@ func New(m *ir.Module, cfg Config) *Mutator {
 // Mutate produces a fresh mutant of the whole module from the given seed.
 // Equal seeds yield identical mutants.
 func (mu *Mutator) Mutate(seed uint64) *ir.Module {
+	m, _ := mu.mutate(seed, nil)
+	return m
+}
+
+// MutateTraced produces the same mutant Mutate would for the seed, plus
+// its lineage trace. The PRNG consumption is identical in both entry
+// points, so tracing never perturbs which mutant a seed denotes.
+func (mu *Mutator) MutateTraced(seed uint64) (*ir.Module, *Trace) {
+	tr := &Trace{Seed: seed}
+	m, _ := mu.mutate(seed, tr)
+	return m, tr
+}
+
+func (mu *Mutator) mutate(seed uint64, tr *Trace) (*ir.Module, *Trace) {
 	r := rng.New(seed)
 	clone := mu.Orig.Clone()
 	for _, f := range clone.Defs() {
@@ -101,14 +141,14 @@ func (mu *Mutator) Mutate(seed uint64) *ir.Module {
 		if !ok {
 			continue
 		}
-		mu.mutateFunction(r, clone, f, info)
+		mu.mutateFunction(r, clone, f, info, tr)
 	}
-	return clone
+	return clone, tr
 }
 
 // mutateFunction applies 1..MaxMutationsPerFunction operators in sequence
 // (paper §IV-I).
-func (mu *Mutator) mutateFunction(r *rng.Rand, mod *ir.Module, f *ir.Function, info *analysis.FuncInfo) {
+func (mu *Mutator) mutateFunction(r *rng.Rand, mod *ir.Module, f *ir.Function, info *analysis.FuncInfo, tr *Trace) {
 	maxN := mu.cfg.MaxMutationsPerFunction
 	if maxN == 0 {
 		maxN = 3
@@ -120,9 +160,12 @@ func (mu *Mutator) mutateFunction(r *rng.Rand, mod *ir.Module, f *ir.Function, i
 	// report false and cost nothing.
 	for attempt := 0; attempt < 4*n && applied < n; attempt++ {
 		op := mu.ops[r.Intn(len(mu.ops))]
-		if mu.apply(op, r, mod, f, ov) {
+		if site, ok := mu.apply(op, r, mod, f, ov); ok {
 			applied++
 			ov.Invalidate()
+			if tr != nil {
+				tr.Steps = append(tr.Steps, TraceStep{Op: op.String(), Func: f.Name, Site: site})
+			}
 			if mu.cfg.ObserveOp != nil {
 				mu.cfg.ObserveOp(op)
 			}
@@ -130,7 +173,10 @@ func (mu *Mutator) mutateFunction(r *rng.Rand, mod *ir.Module, f *ir.Function, i
 	}
 }
 
-func (mu *Mutator) apply(op Op, r *rng.Rand, mod *ir.Module, f *ir.Function, ov *analysis.Overlay) bool {
+// apply runs one operator; on success the returned site string describes
+// the program point it touched (lineage metadata — it never feeds back
+// into mutation decisions).
+func (mu *Mutator) apply(op Op, r *rng.Rand, mod *ir.Module, f *ir.Function, ov *analysis.Overlay) (string, bool) {
 	switch op {
 	case OpAttributes:
 		return mutateAttributes(r, f)
@@ -149,6 +195,6 @@ func (mu *Mutator) apply(op Op, r *rng.Rand, mod *ir.Module, f *ir.Function, ov 
 	case OpBitwidth:
 		return mutateBitwidth(r, f)
 	default:
-		return false
+		return "", false
 	}
 }

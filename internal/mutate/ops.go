@@ -1,31 +1,55 @@
 package mutate
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/rng"
 )
 
+// Each operator returns (site, ok): ok reports whether it applied, and
+// site is the lineage metadata naming the program point it touched (see
+// Trace). Sites are descriptive only — nothing downstream parses them.
+
+// instrRef renders an instruction for a trace site: its SSA name when it
+// has one, otherwise its opcode plus position within its block.
+func instrRef(in *ir.Instr) string {
+	if in.Nm != "" {
+		return "%" + in.Nm
+	}
+	if b := in.Parent(); b != nil {
+		return fmt.Sprintf("%s@%s[%d]", in.Op, b.Name(), b.IndexOf(in))
+	}
+	return in.Op.String()
+}
+
 // --- §IV-A: attribute mutation ---
 
 // mutateAttributes randomly toggles one function attribute, one parameter
 // attribute, or an access alignment (Listing 5).
-func mutateAttributes(r *rng.Rand, f *ir.Function) bool {
+func mutateAttributes(r *rng.Rand, f *ir.Function) (string, bool) {
 	switch r.Intn(3) {
 	case 0: // function attribute
+		var name string
 		switch r.Intn(5) {
 		case 0:
 			f.Attrs.Nofree = !f.Attrs.Nofree
+			name = "nofree"
 		case 1:
 			f.Attrs.Willreturn = !f.Attrs.Willreturn
+			name = "willreturn"
 		case 2:
 			f.Attrs.Norecurse = !f.Attrs.Norecurse
+			name = "norecurse"
 		case 3:
 			f.Attrs.Nounwind = !f.Attrs.Nounwind
+			name = "nounwind"
 		default:
 			f.Attrs.Nosync = !f.Attrs.Nosync
+			name = "nosync"
 		}
-		return true
+		return "toggle func attr " + name, true
 	case 1: // parameter attribute
 		var ptrParams []*ir.Param
 		for _, p := range f.Params {
@@ -34,24 +58,29 @@ func mutateAttributes(r *rng.Rand, f *ir.Function) bool {
 			}
 		}
 		if len(ptrParams) == 0 {
-			return false
+			return "", false
 		}
 		p := ptrParams[r.Intn(len(ptrParams))]
+		var name string
 		switch r.Intn(4) {
 		case 0:
 			p.Attrs.Nocapture = !p.Attrs.Nocapture
+			name = "nocapture"
 		case 1:
 			p.Attrs.Nonnull = !p.Attrs.Nonnull
+			name = "nonnull"
 		case 2:
 			p.Attrs.Readonly = !p.Attrs.Readonly
+			name = "readonly"
 		default:
 			if p.Attrs.Dereferenceable == 0 {
 				p.Attrs.Dereferenceable = 1 + r.Uint64n(64)
 			} else {
 				p.Attrs.Dereferenceable = 0
 			}
+			name = fmt.Sprintf("dereferenceable(%d)", p.Attrs.Dereferenceable)
 		}
-		return true
+		return fmt.Sprintf("toggle param %%%s attr %s", p.Nm, name), true
 	default: // access alignment (incl. exotic values, cf. bug 64687)
 		var mems []*ir.Instr
 		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
@@ -61,7 +90,7 @@ func mutateAttributes(r *rng.Rand, f *ir.Function) bool {
 			return true
 		})
 		if len(mems) == 0 {
-			return false
+			return "", false
 		}
 		in := mems[r.Intn(len(mems))]
 		if r.Chance(1, 4) {
@@ -69,7 +98,7 @@ func mutateAttributes(r *rng.Rand, f *ir.Function) bool {
 		} else {
 			in.Align = uint64(1) << uint(r.Intn(5))
 		}
-		return true
+		return fmt.Sprintf("align %s = %d", instrRef(in), in.Align), true
 	}
 }
 
@@ -78,7 +107,7 @@ func mutateAttributes(r *rng.Rand, f *ir.Function) bool {
 // mutateInline picks a call and inlines the body of a *different* defined
 // function with a compatible signature (Listing 6). Only single-block
 // callees are spliced, keeping the caller's block structure intact.
-func mutateInline(r *rng.Rand, mod *ir.Module, f *ir.Function) bool {
+func mutateInline(r *rng.Rand, mod *ir.Module, f *ir.Function) (string, bool) {
 	type site struct {
 		b   *ir.Block
 		idx int
@@ -95,7 +124,7 @@ func mutateInline(r *rng.Rand, mod *ir.Module, f *ir.Function) bool {
 		}
 	}
 	if len(sites) == 0 {
-		return false
+		return "", false
 	}
 	s := sites[r.Intn(len(sites))]
 
@@ -112,7 +141,7 @@ func mutateInline(r *rng.Rand, mod *ir.Module, f *ir.Function) bool {
 		cands = append(cands, g)
 	}
 	if len(cands) == 0 {
-		return false
+		return "", false
 	}
 	g := cands[r.Intn(len(cands))]
 
@@ -150,7 +179,7 @@ func mutateInline(r *rng.Rand, mod *ir.Module, f *ir.Function) bool {
 	} else if !ir.IsVoid(s.in.Ty) {
 		f.ReplaceUses(s.in, &ir.Poison{Ty: s.in.Ty})
 	}
-	return true
+	return fmt.Sprintf("inline @%s at call @%s in %s", g.Name, s.in.Callee, s.b.Name()), true
 }
 
 func remap(m map[ir.Value]ir.Value, v ir.Value) ir.Value {
@@ -163,7 +192,7 @@ func remap(m map[ir.Value]ir.Value, v ir.Value) ir.Value {
 // --- §IV-C: removing void calls ---
 
 // mutateRemoveCall deletes a random void call (Listing 7).
-func mutateRemoveCall(r *rng.Rand, f *ir.Function) bool {
+func mutateRemoveCall(r *rng.Rand, f *ir.Function) (string, bool) {
 	type site struct {
 		b   *ir.Block
 		idx int
@@ -177,20 +206,21 @@ func mutateRemoveCall(r *rng.Rand, f *ir.Function) bool {
 		}
 	}
 	if len(sites) == 0 {
-		return false
+		return "", false
 	}
 	s := sites[r.Intn(len(sites))]
+	callee := s.b.Instrs[s.idx].Callee
 	s.b.Remove(s.idx)
-	return true
+	return fmt.Sprintf("remove call @%s in %s", callee, s.b.Name()), true
 }
 
 // --- §IV-D: shuffling independent instructions ---
 
 // mutateShuffle permutes one precomputed shufflable range (Listing 8).
-func mutateShuffle(r *rng.Rand, ov *analysis.Overlay) bool {
+func mutateShuffle(r *rng.Rand, ov *analysis.Overlay) (string, bool) {
 	ranges := ov.ShuffleRanges()
 	if len(ranges) == 0 {
-		return false
+		return "", false
 	}
 	rg := ranges[r.Intn(len(ranges))]
 	n := rg.Len()
@@ -200,7 +230,7 @@ func mutateShuffle(r *rng.Rand, ov *analysis.Overlay) bool {
 		tmp[i] = rg.Block.Instrs[rg.Start+p]
 	}
 	copy(rg.Block.Instrs[rg.Start:rg.End], tmp)
-	return true
+	return fmt.Sprintf("shuffle %s[%d:%d)", rg.Block.Name(), rg.Start, rg.End), true
 }
 
 // --- §IV-E: arithmetic mutations ---
@@ -208,7 +238,7 @@ func mutateShuffle(r *rng.Rand, ov *analysis.Overlay) bool {
 // mutateArith randomly changes an operation, swaps operands, toggles
 // flags, changes an icmp predicate, or replaces a literal constant
 // (Listing 9).
-func mutateArith(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
+func mutateArith(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) (string, bool) {
 	switch r.Intn(4) {
 	case 0: // change the operation / toggle flags / swap operands
 		var bins []*ir.Instr
@@ -219,7 +249,7 @@ func mutateArith(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 			return true
 		})
 		if len(bins) == 0 {
-			return false
+			return "", false
 		}
 		in := bins[r.Intn(len(bins))]
 		switch r.Intn(3) {
@@ -232,12 +262,14 @@ func mutateArith(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 			if !in.Op.HasExactFlag() {
 				in.Exact = false
 			}
+			return fmt.Sprintf("opcode %s -> %s", instrRef(in), in.Op), true
 		case 1:
 			in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+			return "swap operands " + instrRef(in), true
 		default:
 			randomFlags(r, in)
+			return "flags " + instrRef(in), true
 		}
-		return true
 	case 1: // change an icmp predicate
 		var cmps []*ir.Instr
 		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
@@ -247,22 +279,24 @@ func mutateArith(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 			return true
 		})
 		if len(cmps) == 0 {
-			return false
+			return "", false
 		}
-		cmps[r.Intn(len(cmps))].Pred = ir.Preds[r.Intn(len(ir.Preds))]
-		return true
+		in := cmps[r.Intn(len(cmps))]
+		in.Pred = ir.Preds[r.Intn(len(ir.Preds))]
+		return fmt.Sprintf("predicate %s -> %s", instrRef(in), in.Pred), true
 	default: // replace a literal constant (2/4 of draws: constants are rich)
 		sites := ov.ConstSites()
 		if len(sites) == 0 {
-			return false
+			return "", false
 		}
 		s := sites[r.Intn(len(sites))]
 		old, ok := s.Instr.Args[s.Arg].(*ir.Const)
 		if !ok {
-			return false // stale site after a prior mutation
+			return "", false // stale site after a prior mutation
 		}
 		s.Instr.Args[s.Arg] = randomConst(r, old.Ty)
-		return true
+		return fmt.Sprintf("const %s arg%d = %s", instrRef(s.Instr), s.Arg,
+			ir.OperandString(s.Instr.Args[s.Arg])), true
 	}
 }
 
@@ -270,7 +304,7 @@ func mutateArith(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 
 // mutateUses replaces one SSA use with a value from the random-value
 // primitive (Listings 10 and 11).
-func mutateUses(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
+func mutateUses(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) (string, bool) {
 	type use struct {
 		b   *ir.Block
 		in  *ir.Instr
@@ -294,12 +328,12 @@ func mutateUses(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 		}
 	}
 	if len(uses) == 0 {
-		return false
+		return "", false
 	}
 	u := uses[r.Intn(len(uses))]
 	v := randomValueAt(r, f, ov, point{u.b, u.in}, u.in.Args[u.arg].Type(), 2)
 	u.in.Args[u.arg] = v
-	return true
+	return fmt.Sprintf("use %s arg%d = %s", instrRef(u.in), u.arg, ir.OperandString(v)), true
 }
 
 // --- §IV-G: moving instructions ---
@@ -308,7 +342,7 @@ func mutateUses(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 // with the random-value primitive (Listing 12): operands that no longer
 // dominate the instruction, and uses the instruction no longer dominates,
 // are replaced with random values.
-func mutateMove(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
+func mutateMove(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) (string, bool) {
 	var cands []*ir.Instr
 	f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
 		if !in.Op.IsTerminator() && in.Op != ir.OpPhi {
@@ -317,7 +351,7 @@ func mutateMove(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 		return true
 	})
 	if len(cands) == 0 {
-		return false
+		return "", false
 	}
 	in := cands[r.Intn(len(cands))]
 	b := in.Parent()
@@ -327,11 +361,11 @@ func mutateMove(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 	firstSlot := len(b.Phis())
 	lastSlot := len(b.Instrs) - 1 // before terminator
 	if lastSlot <= firstSlot {
-		return false
+		return "", false
 	}
 	newIdx := firstSlot + r.Intn(lastSlot-firstSlot)
 	if newIdx == oldIdx {
-		return false
+		return "", false
 	}
 
 	b.Remove(oldIdx)
@@ -378,5 +412,5 @@ func mutateMove(r *rng.Rand, f *ir.Function, ov *analysis.Overlay) bool {
 			}
 		}
 	}
-	return true
+	return fmt.Sprintf("move %s %d -> %d in %s", instrRef(in), oldIdx, newIdx, b.Name()), true
 }

@@ -46,6 +46,9 @@ type Event struct {
 	// Iters carries a mutant count (unit_finish, budget_exhausted,
 	// bug_found's iteration), when applicable.
 	Iters int `json:"iters,omitempty"`
+	// Trace is the mutant's lineage trace ID (bug_found, triage events) —
+	// the join key against triage bundles' lineage.json.
+	Trace string `json:"trace_id,omitempty"`
 	// Err records a unit error (unit_finish only).
 	Err string `json:"err,omitempty"`
 }

@@ -1,0 +1,153 @@
+// Chrome trace_event export: converts the JSONL event journal into the
+// JSON-object trace format Perfetto and chrome://tracing load directly,
+// so a campaign's unit scheduling is viewable as a per-worker timeline
+// (one track per shard, one slice per unit, instants for bugs/verdicts).
+
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// traceEvent is one Chrome trace_event record. ts/dur are microseconds
+// (the format's unit); ph "X" is a complete slice, "i" an instant, "M"
+// metadata.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope: "t" = thread
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the JSON-object envelope chrome://tracing accepts.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ExportTrace reads a JSONL event journal and writes a Chrome trace_event
+// document: unit_finish events become complete slices on their shard's
+// track (the slice spans the unit's execution, reconstructed from the
+// journal timestamp minus the recorded duration); every other event
+// becomes a thread-scoped instant. Returns the number of journal events
+// converted.
+func ExportTrace(r io.Reader, w io.Writer) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var events []traceEvent
+	shards := map[int]bool{}
+	lineNo, converted := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return 0, fmt.Errorf("trace: journal line %d: %w", lineNo, err)
+		}
+		if ev.Type == "" {
+			return 0, fmt.Errorf("trace: journal line %d: missing event type", lineNo)
+		}
+		shards[ev.Shard] = true
+		converted++
+
+		args := map[string]any{"seq": ev.Seq}
+		if ev.Group != "" {
+			args["group"] = ev.Group
+		}
+		if ev.Unit != "" {
+			args["unit"] = ev.Unit
+		}
+		if ev.Seed != 0 {
+			// Seeds are 64-bit; a JSON number would silently lose precision
+			// past 2^53 in most viewers, so render as a string.
+			args["seed"] = strconv.FormatUint(ev.Seed, 10)
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		if ev.Iters != 0 {
+			args["iters"] = ev.Iters
+		}
+		if ev.Err != "" {
+			args["err"] = ev.Err
+		}
+		if ev.Trace != "" {
+			args["trace_id"] = ev.Trace
+		}
+
+		if ev.Type == "unit_finish" && ev.DurNS > 0 {
+			// The journal stamps unit_finish at completion; the slice spans
+			// [finish-dur, finish] on the worker's track.
+			events = append(events, traceEvent{
+				Name: ev.Group + "/" + ev.Unit,
+				Cat:  "unit",
+				Ph:   "X",
+				TS:   float64(ev.TS-ev.DurNS) / 1e3,
+				Dur:  float64(ev.DurNS) / 1e3,
+				Pid:  1,
+				Tid:  ev.Shard,
+				Args: args,
+			})
+			continue
+		}
+		if ev.DurNS != 0 {
+			args["dur_ns"] = ev.DurNS
+		}
+		events = append(events, traceEvent{
+			Name:  ev.Type,
+			Cat:   "event",
+			Ph:    "i",
+			TS:    float64(ev.TS) / 1e3,
+			Pid:   1,
+			Tid:   ev.Shard,
+			Scope: "t",
+			Args:  args,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if converted == 0 {
+		return 0, fmt.Errorf("trace: journal contains no events")
+	}
+
+	// Name each shard's track; the driver (shard -1) emits campaign
+	// lifecycle events.
+	tids := make([]int, 0, len(shards))
+	for tid := range shards {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	meta := make([]traceEvent, 0, len(tids))
+	for _, tid := range tids {
+		name := fmt.Sprintf("worker %d", tid)
+		if tid < 0 {
+			name = "driver"
+		}
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	doc := traceDoc{TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return 0, err
+	}
+	return converted, nil
+}

@@ -1,0 +1,350 @@
+package triage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mutate"
+	"repro/internal/parser"
+)
+
+// Bundle file names and schemas.
+const (
+	ManifestFile = "manifest.json"
+	SeedFile     = "seed.ll"
+	MutantFile   = "mutant.ll"
+	ShrunkFile   = "shrunk.ll"
+	LineageFile  = "lineage.json"
+	CEXFile      = "counterexample.json"
+	IndexFile    = "index.json"
+
+	BundleSchema = "alive-mutate-bundle/v1"
+	IndexSchema  = "alive-mutate-triage-index/v1"
+)
+
+// Candidate is one raw finding plus the campaign context triage needs to
+// signature, shrink, and replay it.
+type Candidate struct {
+	Finding  core.Finding
+	Group    string // campaign group (the seeded issue number as a string)
+	Unit     string // seed-test name
+	UnitIdx  int    // position of the unit in its group's chain
+	Issue    int    // seeded issue enabled during the unit (0 = none)
+	Passes   string
+	TVBudget int64
+	SeedText string // the unit's original seed-test .ll text
+}
+
+// Signature computes the candidate's dedup signature.
+func (c *Candidate) Signature() string {
+	if c.Finding.Kind == core.Crash {
+		return CrashSignature(c.Passes, c.Finding.PanicMsg)
+	}
+	divergence := ""
+	if c.Finding.Witness != nil {
+		divergence = c.Finding.Witness.Divergence
+	}
+	return MiscompileSignature(c.Passes, c.Issue, c.Finding.Func, divergence)
+}
+
+// sortKey orders candidates deterministically: campaign position first,
+// then the mutant seed as a tiebreaker. The per-signature representative
+// is the minimum under this order, so the dedup index converges to the
+// same state no matter how workers interleave their Add calls.
+func (c *Candidate) sortKey() [2]string {
+	return [2]string{
+		fmt.Sprintf("%s|%08d|%012d", c.Group, c.UnitIdx, c.Finding.Iter),
+		fmt.Sprintf("%020d", c.Finding.Seed),
+	}
+}
+
+func lessCandidate(a, b *Candidate) bool {
+	ka, kb := a.sortKey(), b.sortKey()
+	if ka[0] != kb[0] {
+		return ka[0] < kb[0]
+	}
+	return ka[1] < kb[1]
+}
+
+// Sink collects finding candidates from concurrently running campaign
+// units and deduplicates them by signature. It is strictly write-only with
+// respect to the campaign: nothing the campaign computes ever reads it, so
+// result tables are byte-identical with triage on or off.
+type Sink struct {
+	mu   sync.Mutex
+	best map[string]*Candidate
+}
+
+// NewSink returns an empty dedup sink.
+func NewSink() *Sink { return &Sink{best: make(map[string]*Candidate)} }
+
+// Add records one candidate (nil-safe, concurrency-safe). Per signature
+// only the minimum-sort-key candidate is kept, which makes the final index
+// independent of worker interleaving.
+func (s *Sink) Add(c Candidate) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sig := c.Signature()
+	if prev, ok := s.best[sig]; ok && !lessCandidate(&c, prev) {
+		return
+	}
+	cc := c
+	s.best[sig] = &cc
+}
+
+// Len reports the number of distinct signatures collected.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.best)
+}
+
+// Manifest is a bundle's machine-readable description. It contains no
+// timestamps or host details: a re-run campaign at the same flags produces
+// byte-identical bundles.
+type Manifest struct {
+	Schema    string `json:"schema"`
+	Signature string `json:"signature"`
+	Kind      string `json:"kind"`
+	Group     string `json:"group"`
+	Unit      string `json:"unit"`
+	UnitIdx   int    `json:"unit_idx"`
+	Iter      int    `json:"iter"`
+	// Seed is the mutant's PRNG seed in decimal, as a string: JSON numbers
+	// lose uint64 precision past 2^53.
+	Seed     string `json:"seed"`
+	TraceID  string `json:"trace_id"`
+	Issue    int    `json:"issue,omitempty"`
+	Passes   string `json:"passes"`
+	TVBudget int64  `json:"tv_budget"`
+	Func     string `json:"func,omitempty"`
+	Panic    string `json:"panic,omitempty"`
+	CEX      string `json:"cex,omitempty"`
+	// MutantInstrs/ShrunkInstrs document the reduction (shrunk is never
+	// larger than the mutant).
+	MutantInstrs int `json:"mutant_instrs"`
+	ShrunkInstrs int `json:"shrunk_instrs"`
+	// ReproCommand re-checks this bundle end to end.
+	ReproCommand string `json:"repro_command"`
+}
+
+// IndexEntry is one bundle's row in the campaign-level dedup index.
+type IndexEntry struct {
+	Signature string `json:"signature"`
+	Dir       string `json:"dir"`
+	Kind      string `json:"kind"`
+	Group     string `json:"group"`
+	Unit      string `json:"unit"`
+	Iter      int    `json:"iter"`
+	Seed      string `json:"seed"`
+	TraceID   string `json:"trace_id"`
+}
+
+// Index is the artifact sink's table of contents: one entry per distinct
+// bug signature, sorted by signature.
+type Index struct {
+	Schema  string       `json:"schema"`
+	Bundles []IndexEntry `json:"bundles"`
+}
+
+// Flush shrinks each signature's representative candidate and writes one
+// reproducer bundle per signature under dir, plus an index.json. Bundles
+// are written in sorted-signature order and contain no nondeterministic
+// fields. Returns the index entries written.
+func (s *Sink) Flush(dir string) ([]IndexEntry, error) {
+	if s == nil {
+		return nil, nil
+	}
+	s.mu.Lock()
+	sigs := make([]string, 0, len(s.best))
+	for sig := range s.best {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	cands := make([]*Candidate, len(sigs))
+	for i, sig := range sigs {
+		cands[i] = s.best[sig]
+	}
+	s.mu.Unlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var entries []IndexEntry
+	for i, sig := range sigs {
+		entry, err := writeBundle(dir, sig, cands[i])
+		if err != nil {
+			return nil, fmt.Errorf("triage: bundle %s: %w", sig, err)
+		}
+		entries = append(entries, entry)
+	}
+	idx := Index{Schema: IndexSchema, Bundles: entries}
+	if err := writeJSON(filepath.Join(dir, IndexFile), idx); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+func writeBundle(dir, sig string, c *Candidate) (IndexEntry, error) {
+	if c.Finding.MutantText == "" {
+		return IndexEntry{}, fmt.Errorf("candidate has no saved mutant text (campaign must run with findings saved)")
+	}
+	mutant, err := parser.Parse(c.Finding.MutantText)
+	if err != nil {
+		return IndexEntry{}, fmt.Errorf("re-parsing mutant: %w", err)
+	}
+
+	check := &Check{
+		Passes:    c.Passes,
+		Issue:     c.Issue,
+		TVBudget:  c.TVBudget,
+		Func:      c.Finding.Func,
+		Kind:      c.Finding.Kind.String(),
+		Signature: sig,
+	}
+	shrunk := Shrink(mutant, check.Keep)
+
+	slug := Slug(sig)
+	bdir := filepath.Join(dir, slug)
+	if err := os.MkdirAll(bdir, 0o755); err != nil {
+		return IndexEntry{}, err
+	}
+
+	man := Manifest{
+		Schema:       BundleSchema,
+		Signature:    sig,
+		Kind:         c.Finding.Kind.String(),
+		Group:        c.Group,
+		Unit:         c.Unit,
+		UnitIdx:      c.UnitIdx,
+		Iter:         c.Finding.Iter,
+		Seed:         fmt.Sprintf("%d", c.Finding.Seed),
+		TraceID:      c.Finding.TraceID,
+		Issue:        c.Issue,
+		Passes:       c.Passes,
+		TVBudget:     c.TVBudget,
+		Func:         c.Finding.Func,
+		Panic:        c.Finding.PanicMsg,
+		CEX:          c.Finding.CEX,
+		MutantInstrs: ModuleInstrs(mutant),
+		ShrunkInstrs: ModuleInstrs(shrunk),
+		ReproCommand: fmt.Sprintf("go run ./cmd/triage-replay -bundle %s", slug),
+	}
+	files := map[string][]byte{
+		SeedFile:   []byte(c.SeedText),
+		MutantFile: []byte(c.Finding.MutantText),
+		ShrunkFile: []byte(shrunk.String()),
+	}
+	for name, data := range map[string]any{ManifestFile: man, LineageFile: lineageOf(c)} {
+		buf, err := marshalJSON(data)
+		if err != nil {
+			return IndexEntry{}, err
+		}
+		files[name] = buf
+	}
+	if c.Finding.Witness != nil {
+		buf, err := marshalJSON(c.Finding.Witness)
+		if err != nil {
+			return IndexEntry{}, err
+		}
+		files[CEXFile] = buf
+	}
+	for _, name := range sortedKeys(files) {
+		if err := os.WriteFile(filepath.Join(bdir, name), files[name], 0o644); err != nil {
+			return IndexEntry{}, err
+		}
+	}
+	return IndexEntry{
+		Signature: sig,
+		Dir:       slug,
+		Kind:      man.Kind,
+		Group:     c.Group,
+		Unit:      c.Unit,
+		Iter:      c.Finding.Iter,
+		Seed:      man.Seed,
+		TraceID:   c.Finding.TraceID,
+	}, nil
+}
+
+// lineageOf returns the finding's lineage trace, synthesizing an empty
+// trace (seed only) if the finding predates tracing.
+func lineageOf(c *Candidate) *mutate.Trace {
+	if c.Finding.Lineage != nil {
+		return c.Finding.Lineage
+	}
+	return &mutate.Trace{Seed: c.Finding.Seed}
+}
+
+// marshalJSON renders deterministic, human-diffable JSON. uint64 fields
+// that could exceed 2^53 are declared as strings in their structs; the
+// one exception, mutate.Trace.Seed, round-trips exactly because Go's
+// encoder prints uint64 integers in full and the decoder reads them back
+// into uint64 — precision is only a hazard for consumers that parse JSON
+// numbers as floats, which is why manifest/index use strings.
+func marshalJSON(v any) ([]byte, error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+func writeJSON(path string, v any) error {
+	buf, err := marshalJSON(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LoadManifest reads a bundle's manifest.
+func LoadManifest(bundleDir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(bundleDir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("triage: %s: %w", bundleDir, err)
+	}
+	if m.Schema != BundleSchema {
+		return nil, fmt.Errorf("triage: %s: unexpected schema %q (want %q)", bundleDir, m.Schema, BundleSchema)
+	}
+	return &m, nil
+}
+
+// LoadIndex reads a triage directory's dedup index.
+func LoadIndex(dir string) (*Index, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, IndexFile))
+	if err != nil {
+		return nil, err
+	}
+	var idx Index
+	if err := json.Unmarshal(buf, &idx); err != nil {
+		return nil, fmt.Errorf("triage: %s: %w", dir, err)
+	}
+	if idx.Schema != IndexSchema {
+		return nil, fmt.Errorf("triage: %s: unexpected schema %q (want %q)", dir, idx.Schema, IndexSchema)
+	}
+	return &idx, nil
+}

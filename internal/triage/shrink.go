@@ -1,0 +1,175 @@
+package triage
+
+import "repro/internal/ir"
+
+// Shrink is the deterministic delta-debugging reducer: starting from a
+// module that satisfies keep, it repeatedly tries removal edits — whole
+// function definitions, unreachable blocks, individual instructions (uses
+// patched to poison), then poison-generating flags, alignments, and
+// attributes — accepting an edit only if keep still holds, until no edit
+// is accepted (a fixpoint). Because the edit enumeration is a pure
+// function of the current module and keep is deterministic, the result is
+// deterministic; because every edit removes or clears something, the
+// result is never larger than the input; and because the fixpoint rejects
+// every candidate, shrinking a shrunk module is a no-op.
+//
+// keep must be side-effect free on its argument (Check.Keep clones before
+// optimizing). The input module is never modified.
+func Shrink(mod *ir.Module, keep func(*ir.Module) bool) *ir.Module {
+	cur := mod.Clone()
+	if !keep(cur) {
+		// The caller handed us something that doesn't fire; nothing to do.
+		return cur
+	}
+	for {
+		next, ok := shrinkStep(cur, keep)
+		if !ok {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// shrinkStep tries every candidate edit against cur in a fixed order and
+// returns the first accepted candidate. Restarting the enumeration after
+// each accepted edit keeps index bookkeeping trivial and the edit order a
+// pure function of the module — the property the determinism and
+// idempotence tests rely on. Modules here are seed-test sized, so the
+// quadratic restart is immaterial next to the opt+TV check itself.
+func shrinkStep(cur *ir.Module, keep func(*ir.Module) bool) (*ir.Module, bool) {
+	// 1. Whole function definitions. Removing the function under test (or
+	// a still-called callee) yields a candidate keep rejects, so no
+	// special-casing is needed.
+	for _, f := range cur.Defs() {
+		cand := cur.Clone()
+		cand.RemoveFunc(f.Name)
+		if keep(cand) {
+			return cand, true
+		}
+	}
+	// 2. Predecessor-less non-entry blocks (unreachable code).
+	for _, f := range cur.Defs() {
+		for bi := 1; bi < len(f.Blocks); bi++ {
+			if blockHasPreds(f, f.Blocks[bi]) {
+				continue
+			}
+			cand := cur.Clone()
+			cf := cand.FuncByName(f.Name)
+			dropBlock(cf, cf.Blocks[bi])
+			if keep(cand) {
+				return cand, true
+			}
+		}
+	}
+	// 3. Individual instructions, last to first, so consumers go before
+	// their producers and whole dead chains fall in consecutive steps.
+	for _, f := range cur.Defs() {
+		for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
+			for ii := len(f.Blocks[bi].Instrs) - 1; ii >= 0; ii-- {
+				if f.Blocks[bi].Instrs[ii].Op.IsTerminator() {
+					continue
+				}
+				cand := cur.Clone()
+				cf := cand.FuncByName(f.Name)
+				dropInstr(cf, cf.Blocks[bi], ii)
+				if keep(cand) {
+					return cand, true
+				}
+			}
+		}
+	}
+	// 4. Poison-generating flags and alignments.
+	for _, f := range cur.Defs() {
+		for bi, b := range f.Blocks {
+			for ii, in := range b.Instrs {
+				if !in.Nuw && !in.Nsw && !in.Exact && in.Align == 0 {
+					continue
+				}
+				cand := cur.Clone()
+				ci := cand.FuncByName(f.Name).Blocks[bi].Instrs[ii]
+				ci.Nuw, ci.Nsw, ci.Exact, ci.Align = false, false, false, 0
+				if keep(cand) {
+					return cand, true
+				}
+			}
+		}
+	}
+	// 5. Function and parameter attributes, per function.
+	for _, f := range cur.Defs() {
+		clearable := !f.Attrs.IsZero()
+		for _, p := range f.Params {
+			clearable = clearable || !p.Attrs.IsZero()
+		}
+		if !clearable {
+			continue
+		}
+		cand := cur.Clone()
+		cf := cand.FuncByName(f.Name)
+		cf.Attrs = ir.FuncAttrs{}
+		for pi := range cf.Params {
+			cf.Params[pi].Attrs = ir.ParamAttrs{}
+		}
+		if keep(cand) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+func blockHasPreds(f *ir.Function, b *ir.Block) bool {
+	for _, bb := range f.Blocks {
+		if bb == b {
+			continue
+		}
+		for _, s := range bb.Succs() {
+			if s == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dropInstr removes one non-terminator instruction, patching its uses
+// with poison so the candidate stays structurally valid.
+func dropInstr(f *ir.Function, b *ir.Block, idx int) {
+	in := b.Instrs[idx]
+	if !ir.IsVoid(in.Ty) {
+		f.ReplaceUses(in, &ir.Poison{Ty: in.Ty})
+	}
+	b.Remove(idx)
+}
+
+// dropBlock removes an unreachable block: its values' remaining uses
+// become poison and phi arms naming it as a predecessor are deleted.
+func dropBlock(f *ir.Function, b *ir.Block) {
+	for _, in := range b.Instrs {
+		if !ir.IsVoid(in.Ty) {
+			f.ReplaceUses(in, &ir.Poison{Ty: in.Ty})
+		}
+	}
+	for _, bb := range f.Blocks {
+		if bb == b {
+			continue
+		}
+		for _, ph := range bb.Phis() {
+			for k := len(ph.Preds) - 1; k >= 0; k-- {
+				if ph.Preds[k] == b {
+					ph.Preds = append(ph.Preds[:k], ph.Preds[k+1:]...)
+					ph.Args = append(ph.Args[:k], ph.Args[k+1:]...)
+				}
+			}
+		}
+	}
+	f.RemoveBlock(b)
+}
+
+// ModuleInstrs counts instructions across all definitions — the size
+// metric the "shrunk is never larger" guarantee is stated in.
+func ModuleInstrs(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Defs() {
+		n += f.NumInstrs()
+	}
+	return n
+}

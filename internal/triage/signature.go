@@ -1,0 +1,94 @@
+// Package triage turns raw fuzzer findings into actionable bug reports:
+// a stable signature per root cause for deduplication, a deterministic
+// delta-debugging shrinker that minimizes the mutant while re-checking the
+// bug against opt+TV at every step, and self-contained reproducer bundles
+// (seed, shrunk mutant, lineage, counterexample, replay recipe) — the
+// C-Reduce-style reduction step the paper's workflow assumes between a
+// fuzzer hit and a filed issue.
+package triage
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Finding kinds, mirroring core.FindingKind's String forms (triage keeps
+// its own constants so bundles parse without importing core).
+const (
+	KindCrash      = "crash"
+	KindMiscompile = "miscompilation"
+)
+
+// seededAssertRe matches the opt package's seeded-assertion panic format:
+// "seeded-assert[<issue> <component>]: <detail>".
+var seededAssertRe = regexp.MustCompile(`^seeded-assert\[(\d+) [^\]]*\]`)
+
+// CrashSignature computes the dedup signature of an optimizer crash. A
+// seeded assertion carries its issue number, which IS the root cause; any
+// other panic is normalized (digit runs collapsed, whitespace flattened,
+// truncated) so two hits of the same assertion with different operand
+// values share a signature.
+func CrashSignature(passes, panicMsg string) string {
+	if m := seededAssertRe.FindStringSubmatch(panicMsg); m != nil {
+		return "crash:seeded-" + m[1]
+	}
+	return "crash:" + normalizePasses(passes) + ":" + normalizePanic(panicMsg)
+}
+
+// MiscompileSignature computes the dedup signature of a refinement
+// failure. When the campaign knows which seeded defect was enabled, that
+// issue is the root cause; otherwise the signature fingerprints the
+// pipeline, the failing function, and the witness's normalized divergence
+// class (tv.Diverge* constants).
+func MiscompileSignature(passes string, issue int, fn, divergence string) string {
+	if issue > 0 {
+		return fmt.Sprintf("miscompile:seeded-%d", issue)
+	}
+	if divergence == "" {
+		divergence = "model-only"
+	}
+	return fmt.Sprintf("miscompile:%s:%s:%s", normalizePasses(passes), fn, divergence)
+}
+
+var digitRunRe = regexp.MustCompile(`\d+`)
+
+// normalizePanic makes a panic message signature-stable: concrete values
+// (indices, widths, addresses) become "#", newlines become spaces, and the
+// result is truncated so pathological payloads stay indexable.
+func normalizePanic(msg string) string {
+	msg = strings.Join(strings.Fields(msg), " ")
+	msg = digitRunRe.ReplaceAllString(msg, "#")
+	if len(msg) > 120 {
+		msg = msg[:120]
+	}
+	return msg
+}
+
+func normalizePasses(p string) string {
+	return strings.ReplaceAll(strings.ToLower(strings.TrimSpace(p)), " ", "")
+}
+
+// slugRe strips everything a filesystem might dislike from a signature.
+var slugRe = regexp.MustCompile(`[^a-z0-9._-]+`)
+
+// Slug renders a signature as a directory-name-safe slug. A short FNV-1a
+// suffix keeps distinct signatures distinct even after sanitization.
+func Slug(sig string) string {
+	s := slugRe.ReplaceAllString(strings.ToLower(sig), "-")
+	s = strings.Trim(s, "-")
+	if len(s) > 48 {
+		s = s[:48]
+	}
+	return fmt.Sprintf("%s-%08x", s, fnv32(sig))
+}
+
+// fnv32 is FNV-1a, inlined so the package needs no hash imports.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

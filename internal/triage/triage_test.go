@@ -1,0 +1,236 @@
+package triage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+func TestCrashSignature(t *testing.T) {
+	// A seeded assertion's issue number is the root cause: operand values,
+	// component names, and the pipeline spelling must not matter.
+	a := CrashSignature("O2", "seeded-assert[59757 instcombine]: shift amount 17 out of range")
+	b := CrashSignature("instcombine", "seeded-assert[59757 gvn]: shift amount 3 out of range")
+	if a != "crash:seeded-59757" || a != b {
+		t.Errorf("seeded signatures: %q vs %q, want both crash:seeded-59757", a, b)
+	}
+
+	// Unseeded panics normalize: digit runs collapse so two hits of one
+	// assertion with different concrete values dedup together.
+	x := CrashSignature("O2", "index 17 out of range [0, 4)")
+	y := CrashSignature("O2", "index 3 out of range [0, 8)")
+	if x != y {
+		t.Errorf("normalized panic signatures differ: %q vs %q", x, y)
+	}
+	if x == CrashSignature("O2", "nil pointer dereference") {
+		t.Error("distinct panics share a signature")
+	}
+
+	long := strings.Repeat("very long panic payload ", 40)
+	if sig := CrashSignature("O2", long); len(sig) > 200 {
+		t.Errorf("pathological panic not truncated: %d bytes", len(sig))
+	}
+}
+
+func TestMiscompileSignature(t *testing.T) {
+	if got := MiscompileSignature("O2", 55287, "f", "ret_value"); got != "miscompile:seeded-55287" {
+		t.Errorf("seeded miscompile signature = %q", got)
+	}
+	a := MiscompileSignature("O2", 0, "f", "ret_value")
+	b := MiscompileSignature("O2", 0, "f", "tgt_ub")
+	if a == b {
+		t.Error("divergence class not part of the unseeded signature")
+	}
+	if got := MiscompileSignature("O2", 0, "f", ""); !strings.HasSuffix(got, ":model-only") {
+		t.Errorf("empty divergence should read model-only, got %q", got)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	sigs := []string{
+		"crash:seeded-59757",
+		"miscompile:o2:f:ret_value",
+		"crash:o2:index # out of range [#, #)",
+		strings.Repeat("x", 300),
+	}
+	seen := map[string]bool{}
+	for _, sig := range sigs {
+		s := Slug(sig)
+		if s != Slug(sig) {
+			t.Errorf("Slug(%q) not stable", sig)
+		}
+		if len(s) > 64 || strings.ContainsAny(s, " /:[]()") {
+			t.Errorf("Slug(%q) = %q is not directory-safe", sig, s)
+		}
+		if seen[s] {
+			t.Errorf("slug collision on %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+const shrinkSource = `define i32 @f(i32 %x, i32 %y) {
+entry:
+  %a = add nsw i32 %x, %y
+  %b = mul i32 %a, 3
+  %c = xor i32 %b, 7
+  ret i32 %c
+}
+
+define i32 @g(i32 %x) {
+entry:
+  %z = sub i32 %x, 1
+  ret i32 %z
+}
+`
+
+// keepMul is a cheap deterministic stand-in for Check.Keep: the "bug"
+// fires as long as the module still contains a mul. It lets the shrinker's
+// structural guarantees be tested without paying for opt+TV per edit.
+func keepMul(m *ir.Module) bool {
+	return strings.Contains(m.String(), "mul")
+}
+
+func TestShrinkReduces(t *testing.T) {
+	mod, err := parser.Parse(shrinkSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mod.String()
+	shrunk := Shrink(mod, keepMul)
+
+	if mod.String() != before {
+		t.Error("Shrink modified its input module")
+	}
+	if !keepMul(shrunk) {
+		t.Fatal("shrunk module no longer satisfies keep")
+	}
+	if ModuleInstrs(shrunk) > ModuleInstrs(mod) {
+		t.Errorf("shrunk grew: %d -> %d instrs", ModuleInstrs(mod), ModuleInstrs(shrunk))
+	}
+	out := shrunk.String()
+	if strings.Contains(out, "@g") {
+		t.Errorf("irrelevant function @g survived shrinking:\n%s", out)
+	}
+	if strings.Contains(out, "nsw") {
+		t.Errorf("irrelevant nsw flag survived shrinking:\n%s", out)
+	}
+	// Only the mul (with poison-patched operands) and the terminator can
+	// remain in @f.
+	if n := ModuleInstrs(shrunk); n > 2 {
+		t.Errorf("expected <=2 instrs after shrinking, got %d:\n%s", n, out)
+	}
+}
+
+func TestShrinkIdempotentAndDeterministic(t *testing.T) {
+	mod, err := parser.Parse(shrinkSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Shrink(mod, keepMul)
+	again := Shrink(mod, keepMul)
+	if once.String() != again.String() {
+		t.Errorf("Shrink is not deterministic:\n%s\nvs\n%s", once, again)
+	}
+	twice := Shrink(once, keepMul)
+	if once.String() != twice.String() {
+		t.Errorf("Shrink is not idempotent:\n%s\nvs\n%s", once, twice)
+	}
+}
+
+func TestShrinkRejectedInput(t *testing.T) {
+	mod, err := parser.Parse(shrinkSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keep that never holds: Shrink must return the input unchanged rather
+	// than reduce toward an empty module.
+	out := Shrink(mod, func(*ir.Module) bool { return false })
+	if out.String() != mod.String() {
+		t.Error("Shrink altered a module whose keep predicate never held")
+	}
+}
+
+func crashCandidate(group string, unitIdx, iter int, seed uint64) Candidate {
+	return Candidate{
+		Finding: core.Finding{
+			Kind:     core.Crash,
+			Seed:     seed,
+			Iter:     iter,
+			PanicMsg: "seeded-assert[59757 instcombine]: boom",
+		},
+		Group:   group,
+		UnitIdx: unitIdx,
+		Passes:  "O2",
+	}
+}
+
+// TestSinkDedupOrderIndependence: the per-signature representative is the
+// minimum sort key regardless of Add order or interleaving — the property
+// that makes the flushed index independent of worker scheduling.
+func TestSinkDedupOrderIndependence(t *testing.T) {
+	cands := []Candidate{
+		crashCandidate("59757", 2, 9, 1),
+		crashCandidate("59757", 0, 40, 7),
+		crashCandidate("59757", 0, 12, 99),
+		crashCandidate("59757", 0, 12, 3), // winner: earliest unit, iter, then seed
+		crashCandidate("59757", 1, 1, 2),
+	}
+	want := cands[3]
+
+	pick := func(order []int) Candidate {
+		s := NewSink()
+		for _, i := range order {
+			s.Add(cands[i])
+		}
+		if s.Len() != 1 {
+			t.Fatalf("same-signature candidates produced %d entries", s.Len())
+		}
+		for _, c := range s.best {
+			return *c
+		}
+		panic("unreachable")
+	}
+
+	for _, order := range [][]int{{0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 4, 0, 3, 1}} {
+		got := pick(order)
+		if got.Finding.Seed != want.Finding.Seed || got.UnitIdx != want.UnitIdx || got.Finding.Iter != want.Finding.Iter {
+			t.Errorf("order %v picked seed=%d unit=%d iter=%d, want seed=%d unit=%d iter=%d",
+				order, got.Finding.Seed, got.UnitIdx, got.Finding.Iter,
+				want.Finding.Seed, want.UnitIdx, want.Finding.Iter)
+		}
+	}
+
+	// Concurrent adds from many goroutines settle on the same winner.
+	s := NewSink()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range cands {
+				s.Add(cands[(i+w)%len(cands)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Fatalf("concurrent adds produced %d entries, want 1", s.Len())
+	}
+	for _, c := range s.best {
+		if c.Finding.Seed != want.Finding.Seed {
+			t.Errorf("concurrent adds picked seed %d, want %d", c.Finding.Seed, want.Finding.Seed)
+		}
+	}
+
+	// A nil sink swallows adds; the campaign can pass one unconditionally.
+	var nilSink *Sink
+	nilSink.Add(cands[0])
+	if nilSink.Len() != 0 {
+		t.Error("nil sink claims entries")
+	}
+}

@@ -61,11 +61,11 @@ type Counterexample struct {
 
 func (c *Counterexample) String() string {
 	s := "counterexample:"
-	for k, v := range c.Inputs {
+	for _, k := range c.sortedInputNames() {
 		if c.Poison[k] {
 			s += fmt.Sprintf(" %%%s=poison", k)
 		} else {
-			s += fmt.Sprintf(" %%%s=%d", k, v)
+			s += fmt.Sprintf(" %%%s=%d", k, c.Inputs[k])
 		}
 	}
 	return s

@@ -1,0 +1,143 @@
+package tv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Divergence kinds a concretized counterexample can exhibit. These are the
+// normalized classes triage uses in bug signatures, so they must stay
+// stable across runs.
+const (
+	DivergeTargetUB  = "tgt_ub"      // target UB where the source was defined
+	DivergeRetPoison = "ret_poison"  // target returned poison, source a value
+	DivergeRetValue  = "ret_value"   // both returned values, bits differ
+	DivergeNone      = "unconfirmed" // interpreter could not confirm concretely
+)
+
+// WitnessInput is one parameter's concrete value in source-parameter order.
+// Values are rendered as strings so 64-bit inputs survive JSON round-trips
+// exactly (JSON numbers lose precision past 2^53).
+type WitnessInput struct {
+	Name  string `json:"name"`
+	Value string `json:"value"` // decimal, or "poison"
+}
+
+// Behavior records one side's concrete execution on the witness inputs.
+type Behavior struct {
+	UB  bool   `json:"ub,omitempty"`
+	Ret string `json:"ret,omitempty"` // "void", "poison", or a decimal value
+	Err string `json:"err,omitempty"` // interpreter limitation, if any
+}
+
+// Witness is the counterexample model made concrete: the satisfying
+// assignment's inputs re-executed on source and target under the same call
+// oracle, with both observed behaviours. A bare "invalid" verdict says a
+// refinement query was satisfiable; a witness says *these inputs* make the
+// optimized function return 7 where the original returned 5 — the artifact
+// a bug report needs.
+type Witness struct {
+	Inputs []WitnessInput `json:"inputs"`
+	Src    Behavior       `json:"src"`
+	Tgt    Behavior       `json:"tgt"`
+	// Confirmed reports that concrete re-execution reproduced the
+	// divergence (the paper's re-run-before-reporting workflow). False
+	// means the model relied on memory or call behaviour the interpreter
+	// cannot mirror — the finding is still real per the solver, just not
+	// concretely replayed.
+	Confirmed bool `json:"confirmed"`
+	// Divergence is the normalized divergence class (Diverge* constants).
+	Divergence string `json:"divergence"`
+	// Detail is a human-readable one-liner, e.g. "ret 5 vs 7".
+	Detail string `json:"detail,omitempty"`
+}
+
+// Concretize re-executes src (from srcMod) and tgt (from tgtMod) on the
+// counterexample's inputs with a shared deterministic oracle and reports
+// what each side did. It subsumes the old boolean cross-check: Confirmed
+// is true exactly when re-execution demonstrates the refinement failure.
+func (c *Counterexample) Concretize(srcMod, tgtMod *ir.Module, src, tgt *ir.Function) *Witness {
+	w := &Witness{Divergence: DivergeNone}
+	args := make([]interp.Value, len(src.Params))
+	for i, p := range src.Params {
+		args[i] = interp.Value{
+			Bits:   c.Inputs[p.Nm],
+			Poison: c.Poison[p.Nm],
+		}
+		val := fmt.Sprintf("%d", args[i].Bits)
+		if args[i].Poison {
+			val = "poison"
+		}
+		w.Inputs = append(w.Inputs, WitnessInput{Name: p.Nm, Value: val})
+	}
+
+	oracle := &interp.HashOracle{Seed: 0xa11ce}
+	si := &interp.Interp{Mod: srcMod, Oracle: oracle}
+	ti := &interp.Interp{Mod: tgtMod, Oracle: oracle}
+	sr, errS := si.Run(src, args)
+	tr, errT := ti.Run(tgt, args)
+	if errS != nil {
+		w.Src.Err = errS.Error()
+	}
+	if errT != nil {
+		w.Tgt.Err = errT.Error()
+	}
+	if errS != nil || errT != nil {
+		w.Detail = "interpreter could not model the environment"
+		return w
+	}
+	w.Src = behaviorOf(sr)
+	w.Tgt = behaviorOf(tr)
+
+	switch {
+	case sr.UB:
+		// Source UB on this input: refinement permits anything, so the
+		// model must have relied on memory/call effects we can't replay.
+		w.Detail = "source UB on witness input; not concretely replayable"
+	case tr.UB:
+		w.Confirmed = true
+		w.Divergence = DivergeTargetUB
+		w.Detail = "target UB where source is defined"
+	case sr.HasRet && tr.HasRet && sr.Ret.Poison:
+		w.Detail = "source returns poison; any target behaviour refines it"
+	case sr.HasRet && tr.HasRet && tr.Ret.Poison:
+		w.Confirmed = true
+		w.Divergence = DivergeRetPoison
+		w.Detail = fmt.Sprintf("ret %d vs poison", sr.Ret.Bits)
+	case sr.HasRet && tr.HasRet && sr.Ret.Bits != tr.Ret.Bits:
+		w.Confirmed = true
+		w.Divergence = DivergeRetValue
+		w.Detail = fmt.Sprintf("ret %d vs %d", sr.Ret.Bits, tr.Ret.Bits)
+	default:
+		w.Detail = "no divergence visible to the interpreter"
+	}
+	return w
+}
+
+func behaviorOf(r interp.Result) Behavior {
+	b := Behavior{UB: r.UB}
+	switch {
+	case r.UB:
+	case !r.HasRet:
+		b.Ret = "void"
+	case r.Ret.Poison:
+		b.Ret = "poison"
+	default:
+		b.Ret = fmt.Sprintf("%d", r.Ret.Bits)
+	}
+	return b
+}
+
+// sortedInputNames returns the counterexample's parameter names in a
+// stable order, for deterministic rendering.
+func (c *Counterexample) sortedInputNames() []string {
+	names := make([]string, 0, len(c.Inputs))
+	for k := range c.Inputs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

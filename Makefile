@@ -16,6 +16,7 @@ race:
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./tools/vet-determinism -q
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \

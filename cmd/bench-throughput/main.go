@@ -71,6 +71,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve live expvar + pprof on this localhost address (host:port)")
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	repoRoot := flag.String("repo", ".", "repository root (for building the discrete tools)")
+	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B overhead runs)")
 	flag.Parse()
 
 	// The integrated loop always records stage telemetry here: the
@@ -143,7 +144,7 @@ func main() {
 					return row{}, true, err
 				}
 				shard := sink.ShardSink(campaign.WorkerID(ctx))
-				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count, shard)
+				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count, *noAnalysis, shard)
 				sink.Metrics.Merge(shard.Collector())
 				return r, true, err
 			},
@@ -291,7 +292,7 @@ func avgPerf(rows []row) float64 {
 // records into it, and the discrete loop's wall time lands in
 // stage.discrete for comparison.
 func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
-	passes string, seed uint64, count int, tel *telemetry.Sink) (row, error) {
+	passes string, seed uint64, count int, noAnalysis bool, tel *telemetry.Sink) (row, error) {
 	r := row{file: filepath.Base(path)}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -308,7 +309,7 @@ func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
 	// Integrated workflow.
 	fz, err := core.New(mod.Clone(), core.Options{
 		Passes: passes, Seed: seed, NumMutants: count,
-		Telemetry: tel,
+		Telemetry: tel, DisableAnalysis: noAnalysis,
 	})
 	if err != nil {
 		r.invalid = true

@@ -42,12 +42,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/campaign"
+	"repro/internal/moduleio"
 	"repro/internal/opt"
 	"repro/internal/telemetry"
 	"repro/internal/triage"
@@ -75,6 +78,7 @@ func run() int {
 	progress := flag.Duration("progress", 0, "print live throughput to stderr at this interval (0 = off)")
 	stall := flag.Duration("stall-threshold", 0, "journal a worker_stall event for units running longer than this (0 = off)")
 	triageDir := flag.String("triage-dir", "", "write deduplicated, auto-shrunk reproducer bundles to this directory")
+	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B comparison runs)")
 	flag.Parse()
 
 	var only []int
@@ -153,6 +157,7 @@ func run() int {
 		Telemetry:      sink,
 		StallThreshold: *stall,
 		Triage:         triageSink,
+		NoAnalysis:     *noAnalysis,
 	})
 	wall := time.Since(start)
 	stopProgress()
@@ -188,6 +193,16 @@ func run() int {
 				Type: "triage_bundle", Shard: -1, Group: e.Group,
 				Unit: e.Unit, Detail: e.Signature, Trace: e.TraceID,
 			})
+			// Lint the bundle's shrunk reproducer and count findings per
+			// rule (the lint.* counters of docs/OBSERVABILITY.md). Purely
+			// additive: lint never feeds back into the campaign.
+			mod, err := moduleio.Load(filepath.Join(*triageDir, e.Dir, triage.ShrunkFile))
+			if err != nil {
+				continue
+			}
+			for rule, n := range analysis.CountByRule(analysis.Lint(mod, analysis.LintConfig{})) {
+				sink.Collector().Counter("lint." + string(rule)).Add(int64(n))
+			}
 		}
 	}
 	if *metricsOut != "" {

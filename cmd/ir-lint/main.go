@@ -1,0 +1,108 @@
+// ir-lint runs the analysis-backed lint suite (internal/analysis.Lint)
+// over IR modules: unreachable blocks, dead parameters, raw poison uses,
+// provably redundant poison flags, always-poison instructions and
+// malformed alignment assertions.
+//
+// Usage:
+//
+//	ir-lint [-disable rule1,rule2] [-q] file.ll [file2.ll ...]
+//	ir-lint -rules
+//
+// Directories are walked for *.ll files. Exit codes: 0 clean, 1
+// usage/IO/parse error, 2 diagnostics found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/moduleio"
+)
+
+func main() {
+	disable := flag.String("disable", "", "comma-separated lint rules to skip")
+	quiet := flag.Bool("q", false, "suppress per-diagnostic output, print only the summary")
+	listRules := flag.Bool("rules", false, "list known rules and exit")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range analysis.AllRules {
+			fmt.Println(r)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ir-lint [-disable rules] [-q] file.ll ...")
+		os.Exit(1)
+	}
+	disabled, err := analysis.ParseRuleList(*disable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ir-lint:", err)
+		os.Exit(1)
+	}
+	cfg := analysis.LintConfig{Disabled: disabled}
+
+	var files []string
+	for _, arg := range flag.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ir-lint:", err)
+			os.Exit(1)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".ll") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ir-lint:", err)
+			os.Exit(1)
+		}
+	}
+	sort.Strings(files)
+
+	total := 0
+	counts := make(map[analysis.LintRule]int)
+	for _, path := range files {
+		mod, err := moduleio.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ir-lint: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		diags := analysis.Lint(mod, cfg)
+		total += len(diags)
+		for _, d := range diags {
+			counts[d.Rule]++
+			if !*quiet {
+				fmt.Printf("%s: %s\n", path, d)
+			}
+		}
+	}
+
+	if total == 0 {
+		fmt.Printf("ir-lint: %d file(s) clean\n", len(files))
+		return
+	}
+	var parts []string
+	for _, r := range analysis.AllRules {
+		if counts[r] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, counts[r]))
+		}
+	}
+	fmt.Printf("ir-lint: %d finding(s) in %d file(s): %s\n", total, len(files), strings.Join(parts, " "))
+	os.Exit(2)
+}

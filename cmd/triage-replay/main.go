@@ -20,6 +20,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/analysis"
+	"repro/internal/moduleio"
 	"repro/internal/triage"
 )
 
@@ -30,6 +32,7 @@ func main() {
 func run() int {
 	dir := flag.String("dir", "", "triage directory to replay (every bundle in its index.json)")
 	bundle := flag.String("bundle", "", "single bundle directory to replay")
+	noLint := flag.Bool("no-lint", false, "skip the IR lint pass over each bundle's shrunk reproducer")
 	flag.Parse()
 	if (*dir == "") == (*bundle == "") {
 		fmt.Fprintln(os.Stderr, "triage-replay: exactly one of -dir or -bundle is required")
@@ -70,10 +73,33 @@ func run() int {
 		fmt.Printf("%-4s %s\n", status, res.Signature)
 		fmt.Printf("     shrunk fires=%v (%d instrs)  mutant fires=%v (%d instrs)  regenerated-from-seed=%v\n",
 			res.ShrunkFires, res.ShrunkInstrs, res.MutantFires, res.MutantInstrs, res.RegenMatches)
+		if !*noLint {
+			lintBundle(bdir)
+		}
 	}
 	fmt.Printf("%d/%d bundle(s) replayed\n", len(bundles)-failed, len(bundles))
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// lintBundle runs the IR lint suite over the bundle's shrunk reproducer.
+// Findings are informational — reduced reproducers routinely contain
+// lint-worthy IR (that is often the bug) — so they never fail the replay.
+func lintBundle(bdir string) {
+	mod, err := moduleio.Load(filepath.Join(bdir, triage.ShrunkFile))
+	if err != nil {
+		fmt.Printf("     lint: skipped (%v)\n", err)
+		return
+	}
+	diags := analysis.Lint(mod, analysis.LintConfig{})
+	if len(diags) == 0 {
+		fmt.Printf("     lint: clean\n")
+		return
+	}
+	fmt.Printf("     lint: %d finding(s)\n", len(diags))
+	for _, d := range diags {
+		fmt.Printf("       %s\n", d)
+	}
 }

@@ -1,0 +1,15 @@
+; Pack two nibbles into one byte. Known-bits tracks the disjoint masks
+; through the or, proving the icmp in @has_high without running anything.
+define i8 @pack(i8 %lo, i8 %hi) {
+  %l = and i8 %lo, 15
+  %h4 = shl i8 %hi, 4
+  %packed = or i8 %h4, %l
+  ret i8 %packed
+}
+
+define i1 @has_high(i8 %lo) {
+  %l = and i8 %lo, 15
+  %set = or i8 %l, 16
+  %c = icmp uge i8 %set, 16
+  ret i1 %c
+}

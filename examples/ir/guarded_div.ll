@@ -1,0 +1,12 @@
+; A branch-guarded division: the guarded edge proves the divisor nonzero
+; in %safe, which the LVI-lite range refinement picks up.
+define i32 @guarded_div(i32 %n, i32 %d) {
+entry:
+  %nz = icmp ne i32 %d, 0
+  br i1 %nz, label %safe, label %fallback
+safe:
+  %q = udiv i32 %n, %d
+  ret i32 %q
+fallback:
+  ret i32 0
+}

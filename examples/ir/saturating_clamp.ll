@@ -1,0 +1,13 @@
+; Clamp a value into [lo, hi] with smax/smin, the canonical pattern the
+; range analysis tightens (docs/ANALYSIS.md).
+define i32 @clamp(i32 %v, i32 %lo, i32 %hi) {
+  %above = call i32 @llvm.smax.i32(i32 %v, i32 %lo)
+  %r = call i32 @llvm.smin.i32(i32 %above, i32 %hi)
+  ret i32 %r
+}
+
+define i32 @clamp_byte(i32 %v) {
+  %above = call i32 @llvm.smax.i32(i32 %v, i32 0)
+  %r = call i32 @llvm.smin.i32(i32 %above, i32 255)
+  ret i32 %r
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// Demanded returns the demanded-bits mask for the result of in: the
+// claim is that flipping any result bit OUTSIDE the mask (while keeping
+// the result's poison-ness) changes neither the function's observable
+// behavior (return value, UB) nor any store/call operand. A dead
+// instruction demands nothing. For non-integer results the mask is 0.
+//
+// The analysis is a whole-function backward fixpoint computed on first
+// query and cached until Invalidate.
+func (fa *Facts) Demanded(in *ir.Instr) uint64 {
+	if _, ok := ir.IsInt(in.Ty); !ok {
+		return 0
+	}
+	if !fa.hasDem {
+		fa.computeDemanded()
+	}
+	return fa.demanded[in]
+}
+
+func (fa *Facts) computeDemanded() {
+	dem := make(map[*ir.Instr]uint64)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fa.F.Blocks {
+			for _, u := range b.Instrs {
+				var du uint64
+				if _, ok := ir.IsInt(u.Ty); ok {
+					du = dem[u]
+				}
+				for i, a := range u.Args {
+					def, ok := a.(*ir.Instr)
+					if !ok {
+						continue
+					}
+					wOp, ok := ir.IsInt(def.Ty)
+					if !ok {
+						continue
+					}
+					d := demandThrough(u, i, du, wOp)
+					if dem[def]|d != dem[def] {
+						dem[def] |= d
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	fa.demanded = dem
+	fa.hasDem = true
+}
+
+// spreadLow widens a demand mask downward: bit k of an add/sub/mul/shl
+// result depends on all operand bits at or below k.
+func spreadLow(d uint64) uint64 { return lowMask(bits.Len64(d)) }
+
+// demandThrough computes which bits of operand idx (an integer of width
+// wOp) the user u demands, given that u's own result is demanded at du.
+// Any operand whose VALUE can influence poison or UB (flag-carrying ops,
+// shift amounts, divisors, comparisons, memory addresses, calls,
+// terminators) is demanded in full.
+func demandThrough(u *ir.Instr, idx int, du uint64, wOp int) uint64 {
+	m := apint.Mask(wOp)
+	if u.Nuw || u.Nsw || u.Exact {
+		return m
+	}
+	switch u.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		return spreadLow(du) & m
+	case ir.OpAnd:
+		if c, ok := otherConst(u, idx); ok {
+			return du & c
+		}
+		return du
+	case ir.OpOr:
+		if c, ok := otherConst(u, idx); ok {
+			return du &^ c
+		}
+		return du
+	case ir.OpXor:
+		return du
+	case ir.OpShl:
+		if idx != 0 {
+			return m // shift amount decides poison
+		}
+		if c, ok := constOperand(u, 1); ok {
+			if c >= uint64(wOp) {
+				return 0 // result always poison; value bits are moot
+			}
+			return du >> c
+		}
+		return spreadLow(du) & m
+	case ir.OpLShr:
+		if idx != 0 {
+			return m
+		}
+		if c, ok := constOperand(u, 1); ok {
+			if c >= uint64(wOp) {
+				return 0
+			}
+			return (du << c) & m
+		}
+		if du == 0 {
+			return 0
+		}
+		return m &^ lowMask(bits.TrailingZeros64(du))
+	case ir.OpAShr:
+		if idx != 0 {
+			return m
+		}
+		if c, ok := constOperand(u, 1); ok {
+			if c >= uint64(wOp) {
+				return 0
+			}
+			d := (du << c) & m
+			if c > 0 && du&(m&^lowMask(wOp-int(c))) != 0 {
+				d |= 1 << uint(wOp-1) // high result bits replicate the sign
+			}
+			return d
+		}
+		return m
+	case ir.OpTrunc:
+		return du
+	case ir.OpZExt:
+		return du & m
+	case ir.OpSExt:
+		d := du & m
+		if du&^m != 0 {
+			d |= 1 << uint(wOp-1)
+		}
+		return d
+	case ir.OpSelect:
+		if idx == 0 {
+			return m
+		}
+		return du
+	case ir.OpFreeze, ir.OpPhi:
+		return du
+	default:
+		// icmp, div/rem, memory, calls, terminators: everything.
+		return m
+	}
+}
+
+func constOperand(u *ir.Instr, idx int) (uint64, bool) {
+	c, ok := u.Args[idx].(*ir.Const)
+	if !ok {
+		return 0, false
+	}
+	return c.Val, true
+}
+
+func otherConst(u *ir.Instr, idx int) (uint64, bool) {
+	return constOperand(u, 1-idx)
+}

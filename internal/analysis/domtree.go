@@ -1,140 +1,82 @@
-// Package analysis provides the program analyses the mutation engine
-// depends on: dominator trees, def-use information, shufflable instruction
-// ranges, and literal-constant scans — plus the two-level mutant overlay
-// cache described in §III-B of the paper, which lets thousands of mutants
-// per second reuse the analyses computed once on the original function.
+// Package analysis provides the program analyses the mutation engine and
+// the optimizer depend on: dominator trees, def-use information,
+// shufflable instruction ranges, and literal-constant scans — plus the
+// two-level mutant overlay cache described in §III-B of the paper, which
+// lets thousands of mutants per second reuse the analyses computed once
+// on the original function. On top of those structural analyses, the
+// package implements the dataflow layer (known-bits, constant ranges,
+// demanded bits) behind the cached Facts object, and the IR lint suite.
 package analysis
 
 import (
+	"repro/internal/graph"
 	"repro/internal/ir"
 )
 
-// DomTree is a dominator tree over a function's basic blocks, built with
-// the Cooper–Harvey–Kennedy iterative algorithm and annotated with DFS
-// intervals for O(1) dominance queries.
+// DomTree is a dominator tree over a function's basic blocks. The actual
+// algorithm (Cooper–Harvey–Kennedy with DFS intervals for O(1) queries)
+// lives in internal/graph and is shared with the IR verifier; this type
+// adds the block-pointer view the rest of the analyses want.
 type DomTree struct {
-	f     *ir.Function
-	idom  map[*ir.Block]*ir.Block
-	in    map[*ir.Block]int
-	out   map[*ir.Block]int
-	reach map[*ir.Block]bool
+	f    *ir.Function
+	tree *graph.DomTree
+	idx  map[*ir.Block]int
 }
 
 // BuildDomTree computes the dominator tree of f. Blocks unreachable from
 // the entry are recorded as such; they dominate nothing and are dominated
 // by nothing.
 func BuildDomTree(f *ir.Function) *DomTree {
-	entry := f.Entry()
-
-	// Postorder DFS over the CFG.
-	var post []*ir.Block
-	seen := map[*ir.Block]bool{entry: true}
-	var dfs func(*ir.Block)
-	dfs = func(b *ir.Block) {
-		for _, s := range b.Succs() {
-			if !seen[s] {
-				seen[s] = true
-				dfs(s)
-			}
+	idx := make(map[*ir.Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	succs := func(i int) []int {
+		ss := f.Blocks[i].Succs()
+		out := make([]int, len(ss))
+		for j, s := range ss {
+			out[j] = idx[s]
 		}
-		post = append(post, b)
+		return out
 	}
-	dfs(entry)
-
-	rpo := make([]*ir.Block, len(post))
-	num := make(map[*ir.Block]int, len(post))
-	for i := range post {
-		rpo[len(post)-1-i] = post[i]
+	entry := 0
+	if len(f.Blocks) > 0 {
+		entry = idx[f.Entry()]
 	}
-	for i, b := range rpo {
-		num[b] = i
+	return &DomTree{
+		f:    f,
+		tree: graph.Dominators(len(f.Blocks), entry, succs),
+		idx:  idx,
 	}
-
-	preds := make(map[*ir.Block][]*ir.Block, len(f.Blocks))
-	for _, b := range f.Blocks {
-		for _, s := range b.Succs() {
-			preds[s] = append(preds[s], b)
-		}
-	}
-
-	idom := make(map[*ir.Block]*ir.Block, len(rpo))
-	idom[entry] = entry
-	intersect := func(a, b *ir.Block) *ir.Block {
-		for a != b {
-			for num[a] > num[b] {
-				a = idom[a]
-			}
-			for num[b] > num[a] {
-				b = idom[b]
-			}
-		}
-		return a
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, b := range rpo[1:] {
-			var newIdom *ir.Block
-			for _, p := range preds[b] {
-				if !seen[p] || idom[p] == nil {
-					continue
-				}
-				if newIdom == nil {
-					newIdom = p
-				} else {
-					newIdom = intersect(p, newIdom)
-				}
-			}
-			if newIdom != nil && idom[b] != newIdom {
-				idom[b] = newIdom
-				changed = true
-			}
-		}
-	}
-
-	t := &DomTree{
-		f:     f,
-		idom:  idom,
-		in:    make(map[*ir.Block]int, len(rpo)),
-		out:   make(map[*ir.Block]int, len(rpo)),
-		reach: seen,
-	}
-	t.idom[entry] = nil
-
-	// DFS over the dominator tree to assign intervals.
-	children := make(map[*ir.Block][]*ir.Block)
-	for _, b := range rpo[1:] {
-		children[idom[b]] = append(children[idom[b]], b)
-	}
-	clock := 0
-	var number func(*ir.Block)
-	number = func(b *ir.Block) {
-		clock++
-		t.in[b] = clock
-		for _, c := range children[b] {
-			number(c)
-		}
-		clock++
-		t.out[b] = clock
-	}
-	number(entry)
-	return t
 }
 
 // IDom returns the immediate dominator of b (nil for the entry block and
 // for unreachable blocks).
-func (t *DomTree) IDom(b *ir.Block) *ir.Block { return t.idom[b] }
+func (t *DomTree) IDom(b *ir.Block) *ir.Block {
+	i, ok := t.idx[b]
+	if !ok {
+		return nil
+	}
+	p := t.tree.IDom(i)
+	if p < 0 {
+		return nil
+	}
+	return t.f.Blocks[p]
+}
 
 // Reachable reports whether b is reachable from the entry.
-func (t *DomTree) Reachable(b *ir.Block) bool { return t.reach[b] }
+func (t *DomTree) Reachable(b *ir.Block) bool {
+	i, ok := t.idx[b]
+	return ok && t.tree.Reachable(i)
+}
 
 // Dominates reports whether a dominates b (reflexively: every block
 // dominates itself). Unreachable blocks neither dominate nor are
 // dominated.
 func (t *DomTree) Dominates(a, b *ir.Block) bool {
-	if !t.reach[a] || !t.reach[b] {
-		return false
-	}
-	return t.in[a] <= t.in[b] && t.out[b] <= t.out[a]
+	ai, aok := t.idx[a]
+	bi, bok := t.idx[b]
+	return aok && bok && t.tree.Dominates(ai, bi)
 }
 
 // StrictlyDominates reports a dominates b and a != b.

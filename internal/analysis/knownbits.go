@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/apint"
+)
+
+// KnownBits records, for an integer value of a given width, which bits
+// are known to hold 0 (Zeros) and which are known to hold 1 (Ones).
+// The lattice element claims: every NON-POISON runtime value v of the
+// instruction satisfies v&Zeros == 0 and v&Ones == Ones. Poison values
+// make every claim vacuous, which is exactly what lets nuw/nsw/exact
+// flags sharpen facts soundly — a flag violation produces poison, so the
+// sharpened claim never has to hold for it.
+//
+// Zeros&Ones == 0 always; Zeros == Ones == 0 is the "unknown" top.
+type KnownBits struct {
+	Width int
+	Zeros uint64
+	Ones  uint64
+}
+
+// Unknown returns the no-information element at width w.
+func Unknown(w int) KnownBits { return KnownBits{Width: w} }
+
+// lowMask is apint.Mask extended to the degenerate counts that bit
+// arithmetic produces: n <= 0 gives 0, n >= 64 gives all ones.
+func lowMask(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// FromConst returns the all-bits-known element for constant v at width w.
+func FromConst(w int, v uint64) KnownBits {
+	v &= apint.Mask(w)
+	return KnownBits{Width: w, Zeros: ^v & apint.Mask(w), Ones: v}
+}
+
+func (k KnownBits) String() string {
+	return fmt.Sprintf("i%d{zeros=%#x ones=%#x}", k.Width, k.Zeros, k.Ones)
+}
+
+// IsConst reports whether every bit is known; Const returns the value.
+func (k KnownBits) IsConst() bool { return k.Zeros|k.Ones == apint.Mask(k.Width) }
+func (k KnownBits) Const() uint64 { return k.Ones }
+
+// UMin and UMax are the tightest unsigned bounds implied by the masks.
+func (k KnownBits) UMin() uint64 { return k.Ones }
+func (k KnownBits) UMax() uint64 { return ^k.Zeros & apint.Mask(k.Width) }
+
+// SignKnownZero / SignKnownOne report knowledge of the sign bit.
+func (k KnownBits) SignKnownZero() bool { return k.Zeros>>(uint(k.Width)-1)&1 == 1 }
+func (k KnownBits) SignKnownOne() bool  { return k.Ones>>(uint(k.Width)-1)&1 == 1 }
+
+// Consistent reports whether the concrete value v satisfies the claim.
+func (k KnownBits) Consistent(v uint64) bool {
+	v &= apint.Mask(k.Width)
+	return v&k.Zeros == 0 && v&k.Ones == k.Ones
+}
+
+// Union is the lattice meet: bits known only if known equal in both —
+// sound for any instruction whose result always equals one of the two
+// inputs (select, phi, min/max).
+func (k KnownBits) Union(o KnownBits) KnownBits {
+	return KnownBits{Width: k.Width, Zeros: k.Zeros & o.Zeros, Ones: k.Ones & o.Ones}
+}
+
+// Not is bitwise complement.
+func (k KnownBits) Not() KnownBits {
+	return KnownBits{Width: k.Width, Zeros: k.Ones, Ones: k.Zeros}
+}
+
+// And, Or, Xor are the bitwise transfer functions.
+func (k KnownBits) And(o KnownBits) KnownBits {
+	return KnownBits{Width: k.Width, Zeros: k.Zeros | o.Zeros, Ones: k.Ones & o.Ones}
+}
+
+func (k KnownBits) Or(o KnownBits) KnownBits {
+	return KnownBits{Width: k.Width, Zeros: k.Zeros & o.Zeros, Ones: k.Ones | o.Ones}
+}
+
+func (k KnownBits) Xor(o KnownBits) KnownBits {
+	return KnownBits{
+		Width: k.Width,
+		Zeros: (k.Zeros & o.Zeros) | (k.Ones & o.Ones),
+		Ones:  (k.Zeros & o.Ones) | (k.Ones & o.Zeros),
+	}
+}
+
+// addCarry is the add transfer with a known-or-unknown carry-in
+// (carryZero: carry-in known 0; carryOne: carry-in known 1). A result bit
+// is known when the operand bits and the incoming carry are known; the
+// carry into each position is known when the minimal-world and
+// maximal-world sums agree with it (the carry chain is monotone in the
+// operand values, so agreement at the extremes pins it everywhere).
+func addCarry(a, b KnownBits, carryZero, carryOne bool) KnownBits {
+	w := a.Width
+	m := apint.Mask(w)
+	var cinMax, cinMin uint64
+	if !carryZero {
+		cinMax = 1
+	}
+	if carryOne {
+		cinMin = 1
+	}
+	sumMax := (a.UMax() + b.UMax() + cinMax) & m
+	sumMin := (a.UMin() + b.UMin() + cinMin) & m
+	carryKnownZero := ^(sumMax ^ a.Zeros ^ b.Zeros) & m
+	carryKnownOne := (sumMin ^ a.Ones ^ b.Ones) & m
+	known := (a.Zeros | a.Ones) & (b.Zeros | b.Ones) & (carryKnownZero | carryKnownOne)
+	return KnownBits{Width: w, Zeros: ^sumMax & m & known, Ones: sumMin & known}
+}
+
+// Add and Sub transfer functions (a-b == a + ~b + 1).
+func (k KnownBits) Add(o KnownBits) KnownBits { return addCarry(k, o, true, false) }
+func (k KnownBits) Sub(o KnownBits) KnownBits { return addCarry(k, o.Not(), false, true) }
+
+// Mul keeps the provable trailing zeros (a multiple of 2^i times a
+// multiple of 2^j is a multiple of 2^(i+j), even mod 2^w) and, when the
+// maximal product cannot wrap, the leading zeros of its bound.
+func (k KnownBits) Mul(o KnownBits) KnownBits {
+	w := k.Width
+	m := apint.Mask(w)
+	if k.IsConst() && o.IsConst() {
+		return FromConst(w, apint.Mul(k.Const(), o.Const(), w))
+	}
+	tz := bits.TrailingZeros64(^k.Zeros) + bits.TrailingZeros64(^o.Zeros)
+	if tz >= w {
+		return FromConst(w, 0)
+	}
+	out := KnownBits{Width: w, Zeros: lowMask(tz)}
+	hi, lo := bits.Mul64(k.UMax(), o.UMax())
+	if hi == 0 && lo <= m {
+		out.Zeros |= ^lowMask(bits.Len64(lo)) & m
+	}
+	return out
+}
+
+// UDiv bounds the quotient by UMax(a)/max(1,UMin(b)); division by zero is
+// UB (the value never exists), so the divisor may be assumed nonzero.
+func (k KnownBits) UDiv(o KnownBits) KnownBits {
+	w := k.Width
+	div := o.UMin()
+	if div == 0 {
+		div = 1
+	}
+	max := k.UMax() / div
+	return KnownBits{Width: w, Zeros: ^lowMask(bits.Len64(max)) & apint.Mask(w)}
+}
+
+// URem: the remainder is < the divisor and <= the dividend; a fully known
+// power-of-two divisor turns it into a bit mask.
+func (k KnownBits) URem(o KnownBits) KnownBits {
+	w := k.Width
+	if o.IsConst() && apint.IsPowerOfTwo(o.Const()) {
+		return k.And(FromConst(w, o.Const()-1))
+	}
+	max := k.UMax()
+	if bm := o.UMax(); bm > 0 && bm-1 < max {
+		max = bm - 1
+	}
+	return KnownBits{Width: w, Zeros: ^lowMask(bits.Len64(max)) & apint.Mask(w)}
+}
+
+// ShlConst, LShrConst, AShrConst are the shift transfers for a known
+// in-range amount c (0 <= c < width). Out-of-range shifts produce poison,
+// so callers must not use these for them.
+func (k KnownBits) ShlConst(c int) KnownBits {
+	m := apint.Mask(k.Width)
+	return KnownBits{
+		Width: k.Width,
+		Zeros: ((k.Zeros << uint(c)) | lowMask(c)) & m,
+		Ones:  (k.Ones << uint(c)) & m,
+	}
+}
+
+func (k KnownBits) LShrConst(c int) KnownBits {
+	m := apint.Mask(k.Width)
+	fill := ^(m >> uint(c)) & m
+	return KnownBits{Width: k.Width, Zeros: (k.Zeros >> uint(c)) | fill, Ones: k.Ones >> uint(c)}
+}
+
+func (k KnownBits) AShrConst(c int) KnownBits {
+	m := apint.Mask(k.Width)
+	fill := ^(m >> uint(c)) & m
+	out := KnownBits{Width: k.Width, Zeros: k.Zeros >> uint(c), Ones: k.Ones >> uint(c)}
+	if k.SignKnownZero() {
+		out.Zeros |= fill
+	} else if k.SignKnownOne() {
+		out.Ones |= fill
+	} else {
+		out.Zeros &^= fill
+		out.Ones &^= fill
+	}
+	return out
+}
+
+// ZExtTo, SExtTo, TruncTo are the cast transfers.
+func (k KnownBits) ZExtTo(w int) KnownBits {
+	ext := apint.Mask(w) &^ apint.Mask(k.Width)
+	return KnownBits{Width: w, Zeros: k.Zeros | ext, Ones: k.Ones}
+}
+
+func (k KnownBits) SExtTo(w int) KnownBits {
+	ext := apint.Mask(w) &^ apint.Mask(k.Width)
+	out := KnownBits{Width: w, Zeros: k.Zeros, Ones: k.Ones}
+	if k.SignKnownZero() {
+		out.Zeros |= ext
+	} else if k.SignKnownOne() {
+		out.Ones |= ext
+	}
+	return out
+}
+
+func (k KnownBits) TruncTo(w int) KnownBits {
+	m := apint.Mask(w)
+	return KnownBits{Width: w, Zeros: k.Zeros & m, Ones: k.Ones & m}
+}
+
+// Bswap permutes whole bytes of the masks (widths that are multiples of
+// 16, per ir.BswapSupports).
+func (k KnownBits) Bswap() KnownBits {
+	n := k.Width / 8
+	out := KnownBits{Width: k.Width}
+	for i := 0; i < n; i++ {
+		src := uint((n - 1 - i) * 8)
+		dst := uint(i * 8)
+		out.Zeros |= (k.Zeros >> src & 0xff) << dst
+		out.Ones |= (k.Ones >> src & 0xff) << dst
+	}
+	return out
+}
+
+// CountBound is the transfer for ctpop/ctlz/cttz: the result is at most
+// the width, so every bit above bits.Len(width) is zero.
+func CountBound(w int) KnownBits {
+	return KnownBits{Width: w, Zeros: ^lowMask(bits.Len64(uint64(w))) & apint.Mask(w)}
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/apint"
+	"repro/internal/rng"
+)
+
+// enumPatterns yields every (Zeros, Ones) partition at width w — each bit
+// is known-0, known-1, or unknown, so 3^w patterns.
+func enumPatterns(w int) []KnownBits {
+	var out []KnownBits
+	var rec func(bit int, zeros, ones uint64)
+	rec = func(bit int, zeros, ones uint64) {
+		if bit == w {
+			out = append(out, KnownBits{Width: w, Zeros: zeros, Ones: ones})
+			return
+		}
+		rec(bit+1, zeros, ones)
+		rec(bit+1, zeros|1<<uint(bit), ones)
+		rec(bit+1, zeros, ones|1<<uint(bit))
+	}
+	rec(0, 0, 0)
+	return out
+}
+
+// consistentValues lists every concrete value a pattern allows.
+func consistentValues(k KnownBits) []uint64 {
+	free := ^(k.Zeros | k.Ones) & apint.Mask(k.Width)
+	var out []uint64
+	// Iterate subsets of the free mask.
+	sub := uint64(0)
+	for {
+		out = append(out, k.Ones|sub)
+		if sub == free {
+			return out
+		}
+		sub = (sub - free) & free
+	}
+}
+
+// kbBinCase describes one binary transfer function and its concrete
+// semantics; ok=false marks executions whose result is poison or UB
+// (claims are vacuous there).
+type kbBinCase struct {
+	name  string
+	apply func(a, b KnownBits) KnownBits
+	eval  func(a, b uint64, w int) (uint64, bool)
+}
+
+func kbBinCases() []kbBinCase {
+	return []kbBinCase{
+		{"and", KnownBits.And, func(a, b uint64, w int) (uint64, bool) { return a & b, true }},
+		{"or", KnownBits.Or, func(a, b uint64, w int) (uint64, bool) { return a | b, true }},
+		{"xor", KnownBits.Xor, func(a, b uint64, w int) (uint64, bool) { return a ^ b, true }},
+		{"add", KnownBits.Add, func(a, b uint64, w int) (uint64, bool) { return apint.Add(a, b, w), true }},
+		{"sub", KnownBits.Sub, func(a, b uint64, w int) (uint64, bool) { return apint.Sub(a, b, w), true }},
+		{"mul", KnownBits.Mul, func(a, b uint64, w int) (uint64, bool) { return apint.Mul(a, b, w), true }},
+		{"udiv", KnownBits.UDiv, func(a, b uint64, w int) (uint64, bool) {
+			if b == 0 {
+				return 0, false // UB
+			}
+			return apint.UDiv(a, b, w), true
+		}},
+		{"urem", KnownBits.URem, func(a, b uint64, w int) (uint64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return apint.URem(a, b, w), true
+		}},
+		// Union is the transfer for any pick-one-operand op.
+		{"smax", KnownBits.Union, func(a, b uint64, w int) (uint64, bool) { return apint.SMax(a, b, w), true }},
+		{"umin", KnownBits.Union, func(a, b uint64, w int) (uint64, bool) { return apint.UMin(a, b), true }},
+	}
+}
+
+// TestKnownBitsBinaryExhaustive checks every binary transfer against
+// every concrete execution of every knowledge pattern at width 3.
+func TestKnownBitsBinaryExhaustive(t *testing.T) {
+	const w = 3
+	pats := enumPatterns(w)
+	for _, tc := range kbBinCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, ka := range pats {
+				for _, kb := range pats {
+					out := tc.apply(ka, kb)
+					if out.Zeros&out.Ones != 0 {
+						t.Fatalf("%s(%v, %v) = %v has conflicting masks", tc.name, ka, kb, out)
+					}
+					for _, va := range consistentValues(ka) {
+						for _, vb := range consistentValues(kb) {
+							res, ok := tc.eval(va, vb, w)
+							if !ok {
+								continue
+							}
+							if !out.Consistent(res) {
+								t.Fatalf("%s: a=%#x (%v) b=%#x (%v) -> %#x violates %v",
+									tc.name, va, ka, vb, kb, res, out)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKnownBitsShiftsExhaustive checks the known-constant-amount shift
+// transfers for every amount and pattern at width 4.
+func TestKnownBitsShiftsExhaustive(t *testing.T) {
+	const w = 4
+	pats := enumPatterns(w)
+	for c := 0; c < w; c++ {
+		for _, ka := range pats {
+			shl := ka.ShlConst(c)
+			lshr := ka.LShrConst(c)
+			ashr := ka.AShrConst(c)
+			for _, va := range consistentValues(ka) {
+				if got := apint.Shl(va, uint64(c), w); !shl.Consistent(got) {
+					t.Fatalf("shl %#x,%d -> %#x violates %v (in %v)", va, c, got, shl, ka)
+				}
+				if got := apint.LShr(va, uint64(c), w); !lshr.Consistent(got) {
+					t.Fatalf("lshr %#x,%d -> %#x violates %v (in %v)", va, c, got, lshr, ka)
+				}
+				if got := apint.AShr(va, uint64(c), w); !ashr.Consistent(got) {
+					t.Fatalf("ashr %#x,%d -> %#x violates %v (in %v)", va, c, got, ashr, ka)
+				}
+			}
+		}
+	}
+}
+
+// TestKnownBitsCastsExhaustive checks trunc/zext/sext at width 4 -> 2/7.
+func TestKnownBitsCastsExhaustive(t *testing.T) {
+	const w = 4
+	for _, ka := range enumPatterns(w) {
+		tr := ka.TruncTo(2)
+		ze := ka.ZExtTo(7)
+		se := ka.SExtTo(7)
+		for _, va := range consistentValues(ka) {
+			if got := apint.Trunc(va, 2); !tr.Consistent(got) {
+				t.Fatalf("trunc %#x violates %v", va, tr)
+			}
+			if got := apint.ZExt(va, w, 7); !ze.Consistent(got) {
+				t.Fatalf("zext %#x violates %v", va, ze)
+			}
+			if got := apint.SExt(va, w, 7); !se.Consistent(got) {
+				t.Fatalf("sext %#x violates %v", va, se)
+			}
+		}
+	}
+}
+
+// randPattern builds a random consistent pattern and a sample of values
+// it allows.
+func randPattern(r *rng.Rand, w int) (KnownBits, []uint64) {
+	m := apint.Mask(w)
+	known := r.Uint64() & m
+	val := r.Uint64() & m
+	k := KnownBits{Width: w, Zeros: known & ^val & m, Ones: known & val}
+	vals := make([]uint64, 0, 8)
+	free := ^known & m
+	for i := 0; i < 8; i++ {
+		vals = append(vals, k.Ones|(r.Uint64()&free))
+	}
+	return k, vals
+}
+
+// TestKnownBitsWide runs randomized spot checks at widths 8, 33, 64 —
+// catching width-edge bugs the exhaustive small-width sweep cannot.
+func TestKnownBitsWide(t *testing.T) {
+	r := rng.New(0x6b62)
+	for _, w := range []int{8, 33, 64} {
+		for iter := 0; iter < 2000; iter++ {
+			ka, vas := randPattern(r, w)
+			kb, vbs := randPattern(r, w)
+			for _, tc := range kbBinCases() {
+				out := tc.apply(ka, kb)
+				for _, va := range vas {
+					for _, vb := range vbs {
+						res, ok := tc.eval(va, vb, w)
+						if !ok {
+							continue
+						}
+						if !out.Consistent(res) {
+							t.Fatalf("w=%d %s: a=%#x b=%#x -> %#x violates %v", w, tc.name, va, vb, res, out)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKnownBitsExactCases(t *testing.T) {
+	// A few pinned expectations so precision regressions (not just
+	// soundness bugs) are caught.
+	c5 := FromConst(8, 5)
+	c3 := FromConst(8, 3)
+	if got := c5.Add(c3); !got.IsConst() || got.Const() != 8 {
+		t.Errorf("5+3 = %v, want const 8", got)
+	}
+	// and x, 0xF0 has low nibble known zero.
+	x := Unknown(8)
+	if got := x.And(FromConst(8, 0xF0)); got.Zeros != 0x0F {
+		t.Errorf("and x, 0xF0: zeros = %#x, want 0x0F", got.Zeros)
+	}
+	// zext i8 -> i16 pins the high byte.
+	if got := x.ZExtTo(16); got.Zeros != 0xFF00 {
+		t.Errorf("zext: zeros = %#x, want 0xFF00", got.Zeros)
+	}
+	// shl by 3 pins three trailing zeros.
+	if got := x.ShlConst(3); got.Zeros != 0x07 {
+		t.Errorf("shl 3: zeros = %#x, want 0x07", got.Zeros)
+	}
+	// urem by power-of-two constant is a mask.
+	if got := x.URem(FromConst(8, 8)); got.Zeros != 0xF8 {
+		t.Errorf("urem 8: zeros = %#x, want 0xF8", got.Zeros)
+	}
+	// Bswap moves a known low byte to the top.
+	k := FromConst(16, 0x00AB)
+	if got := k.Bswap(); !got.IsConst() || got.Const() != 0xAB00 {
+		t.Errorf("bswap(0x00AB) = %v, want const 0xAB00", got)
+	}
+}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// LintRule names one lint check. Rules are stable identifiers: they
+// appear in diagnostics, in telemetry counters (lint.<rule>) and in
+// cmd/ir-lint's -disable flag.
+type LintRule string
+
+const (
+	// RuleUnreachable flags blocks no path from the entry reaches.
+	RuleUnreachable LintRule = "unreachable-block"
+	// RuleDeadParam flags parameters without a single use.
+	RuleDeadParam LintRule = "dead-param"
+	// RuleUndefUse flags direct uses of a poison constant outside
+	// freeze — the canonical source of surprise UB in mutants.
+	RuleUndefUse LintRule = "undef-use"
+	// RuleRedundantFlag flags nuw/nsw/exact flags that known bits or
+	// ranges prove can never fire (the operation cannot wrap / drops no
+	// bits), so the flag adds no information.
+	RuleRedundantFlag LintRule = "redundant-flag"
+	// RuleMisalignedMem flags loads/stores whose declared alignment is
+	// not a power of two or exceeds what their allocation guarantees.
+	RuleMisalignedMem LintRule = "misaligned-mem"
+	// RuleAlwaysPoison flags instructions that produce poison (or are
+	// immediate UB) on every execution: oversized constant shifts,
+	// division by a constant zero, arithmetic whose flag always fires.
+	RuleAlwaysPoison LintRule = "always-poison"
+)
+
+// AllRules lists every rule in stable order.
+var AllRules = []LintRule{
+	RuleUnreachable, RuleDeadParam, RuleUndefUse,
+	RuleRedundantFlag, RuleMisalignedMem, RuleAlwaysPoison,
+}
+
+// Diag is one lint finding.
+type Diag struct {
+	Rule  LintRule
+	Func  string
+	Block string // empty for function-level findings
+	Msg   string
+}
+
+func (d Diag) String() string {
+	if d.Block == "" {
+		return fmt.Sprintf("@%s: %s: %s", d.Func, d.Rule, d.Msg)
+	}
+	return fmt.Sprintf("@%s/%s: %s: %s", d.Func, d.Block, d.Rule, d.Msg)
+}
+
+// LintConfig selects which rules run. The zero value runs everything.
+type LintConfig struct {
+	Disabled map[LintRule]bool
+}
+
+func (c LintConfig) on(r LintRule) bool { return !c.Disabled[r] }
+
+// Lint runs the configured rules over every definition in m. Diagnostics
+// come out in deterministic order (function order, then block order,
+// then rule order within an instruction).
+func Lint(m *ir.Module, cfg LintConfig) []Diag {
+	var out []Diag
+	for _, f := range m.Funcs {
+		if f.IsDecl {
+			continue
+		}
+		out = append(out, LintFunc(f, NewFacts(f), cfg)...)
+	}
+	return out
+}
+
+// LintFunc runs the configured rules over one function using the given
+// fact provider.
+func LintFunc(f *ir.Function, fa *Facts, cfg LintConfig) []Diag {
+	var out []Diag
+	diag := func(rule LintRule, b *ir.Block, format string, args ...any) {
+		d := Diag{Rule: rule, Func: f.Name, Msg: fmt.Sprintf(format, args...)}
+		if b != nil {
+			d.Block = b.Nm
+		}
+		out = append(out, d)
+	}
+
+	if cfg.on(RuleDeadParam) {
+		used := make(map[ir.Value]bool)
+		for _, in := range f.Instrs() {
+			for _, a := range in.Args {
+				used[a] = true
+			}
+		}
+		for _, p := range f.Params {
+			if !used[p] {
+				diag(RuleDeadParam, nil, "parameter %%%s is never used", p.Nm)
+			}
+		}
+	}
+
+	if cfg.on(RuleUnreachable) {
+		dom := fa.Dom()
+		for _, b := range f.Blocks {
+			if b != f.Entry() && !dom.Reachable(b) {
+				diag(RuleUnreachable, b, "block is unreachable from entry")
+			}
+		}
+	}
+
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if cfg.on(RuleUndefUse) && in.Op != ir.OpFreeze {
+				for i, a := range in.Args {
+					if _, isPoison := a.(*ir.Poison); isPoison {
+						diag(RuleUndefUse, b, "%s: operand %d is poison (freeze it before use)", in.String(), i)
+					}
+				}
+			}
+			if cfg.on(RuleAlwaysPoison) {
+				if msg, bad := alwaysPoison(in, fa); bad {
+					diag(RuleAlwaysPoison, b, "%s: %s", in.String(), msg)
+				}
+			}
+			if cfg.on(RuleRedundantFlag) {
+				for _, flag := range redundantFlags(in, fa) {
+					diag(RuleRedundantFlag, b, "%s: %s flag is provably redundant (operation can never %s)",
+						in.String(), flag, flagEffect(flag))
+				}
+			}
+			if cfg.on(RuleMisalignedMem) {
+				if msg, bad := misaligned(in); bad {
+					diag(RuleMisalignedMem, b, "%s: %s", in.String(), msg)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func flagEffect(flag string) string {
+	if flag == "exact" {
+		return "drop bits"
+	}
+	return "wrap"
+}
+
+// alwaysPoison detects instructions whose every execution yields poison
+// or immediate UB.
+func alwaysPoison(in *ir.Instr, fa *Facts) (string, bool) {
+	w, isInt := ir.IsInt(in.Ty)
+	switch in.Op {
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if c, ok := in.Args[1].(*ir.Const); ok && isInt && c.Val >= uint64(w) {
+			return fmt.Sprintf("shift amount %d >= width %d always yields poison", c.Val, w), true
+		}
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		if c, ok := in.Args[1].(*ir.Const); ok && c.Val == 0 {
+			return "division by constant zero is immediate UB", true
+		}
+	case ir.OpAdd:
+		if in.Nuw && isInt {
+			a := fa.RangeOf(in.Args[0], in.Parent())
+			b := fa.RangeOf(in.Args[1], in.Parent())
+			if lo, carry := addU64(a.ULo, b.ULo); carry || lo > apint.Mask(w) {
+				return "nuw addition always wraps", true
+			}
+		}
+	}
+	return "", false
+}
+
+func addU64(a, b uint64) (uint64, bool) {
+	s := a + b
+	return s, s < a
+}
+
+// redundantFlags reports which of in's poison flags provably never fire.
+func redundantFlags(in *ir.Instr, fa *Facts) []string {
+	if !in.Nuw && !in.Nsw && !in.Exact {
+		return nil
+	}
+	w, ok := ir.IsInt(in.Ty)
+	if !ok {
+		return nil
+	}
+	m := apint.Mask(w)
+	var flags []string
+	at := in.Parent()
+
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpShl:
+		a := fa.RangeOf(in.Args[0], at)
+		b := fa.RangeOf(in.Args[1], at)
+		if in.Nuw && noUnsignedWrap(in.Op, a, b, w, m) {
+			flags = append(flags, "nuw")
+		}
+		if in.Nsw && noSignedWrap(in.Op, a, b, w) {
+			flags = append(flags, "nsw")
+		}
+	case ir.OpLShr, ir.OpAShr:
+		if in.Exact {
+			if c, ok := in.Args[1].(*ir.Const); ok && c.Val < uint64(w) {
+				ka := fa.Known(in.Args[0])
+				if ka.Zeros&lowMask(int(c.Val)) == lowMask(int(c.Val)) {
+					flags = append(flags, "exact")
+				}
+			}
+		}
+	case ir.OpUDiv:
+		if in.Exact {
+			if c, ok := in.Args[1].(*ir.Const); ok && apint.IsPowerOfTwo(c.Val) {
+				tz := uint64(bits.TrailingZeros64(c.Val))
+				ka := fa.Known(in.Args[0])
+				if ka.Zeros&lowMask(int(tz)) == lowMask(int(tz)) {
+					flags = append(flags, "exact")
+				}
+			}
+		}
+	}
+	return flags
+}
+
+func noUnsignedWrap(op ir.Op, a, b Range, w int, m uint64) bool {
+	switch op {
+	case ir.OpAdd:
+		s, carry := addU64(a.UHi, b.UHi)
+		return !carry && s <= m
+	case ir.OpSub:
+		return a.ULo >= b.UHi
+	case ir.OpMul:
+		hi, lo := bits.Mul64(a.UHi, b.UHi)
+		return hi == 0 && lo <= m
+	case ir.OpShl:
+		return b.UHi < uint64(w) && a.UHi <= m>>b.UHi
+	}
+	return false
+}
+
+func noSignedWrap(op ir.Op, a, b Range, w int) bool {
+	switch op {
+	case ir.OpAdd:
+		lo, loOK := addS(a.SLo, b.SLo)
+		hi, hiOK := addS(a.SHi, b.SHi)
+		return loOK && hiOK && lo >= minSigned(w) && hi <= maxSigned(w)
+	case ir.OpSub:
+		lo, loOK := subS(a.SLo, b.SHi)
+		hi, hiOK := subS(a.SHi, b.SLo)
+		return loOK && hiOK && lo >= minSigned(w) && hi <= maxSigned(w)
+	case ir.OpMul:
+		worst := [4][2]int64{{a.SLo, b.SLo}, {a.SLo, b.SHi}, {a.SHi, b.SLo}, {a.SHi, b.SHi}}
+		for _, c := range worst {
+			p, ok := mulS(c[0], c[1])
+			if !ok || p < minSigned(w) || p > maxSigned(w) {
+				return false
+			}
+		}
+		return true
+	case ir.OpShl:
+		if b.UHi >= uint64(w) {
+			return false
+		}
+		c := b.UHi
+		return a.SHi <= maxSigned(w)>>c && a.SLo >= minSigned(w)>>c
+	}
+	return false
+}
+
+// misaligned flags alignment assertions that are malformed or exceed
+// what the accessed allocation guarantees. The natural alignment of iN
+// is the smallest power of two >= its byte size, capped at 8 (the
+// LLVM-ish datalayout the interpreter's byte-addressed memory implies).
+func misaligned(in *ir.Instr) (string, bool) {
+	if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+		return "", false
+	}
+	if in.Align == 0 {
+		return "", false
+	}
+	if !apint.IsPowerOfTwo(in.Align) {
+		return fmt.Sprintf("alignment %d is not a power of two", in.Align), true
+	}
+	ptrIdx := 0
+	if in.Op == ir.OpStore {
+		ptrIdx = 1
+	}
+	if alloca, ok := in.Args[ptrIdx].(*ir.Instr); ok && alloca.Op == ir.OpAlloca {
+		guaranteed := alloca.Align
+		if guaranteed == 0 {
+			guaranteed = naturalAlign(alloca.AllocTy)
+		}
+		if in.Align > guaranteed {
+			return fmt.Sprintf("assumes align %d but %%%s only guarantees align %d",
+				in.Align, alloca.Nm, guaranteed), true
+		}
+	}
+	return "", false
+}
+
+func naturalAlign(t ir.Type) uint64 {
+	w, ok := ir.IsInt(t)
+	if !ok {
+		return 8
+	}
+	size := uint64((w + 7) / 8)
+	a := uint64(1)
+	for a < size {
+		a <<= 1
+	}
+	if a > 8 {
+		a = 8
+	}
+	return a
+}
+
+// CountByRule tallies diagnostics per rule (for telemetry counters).
+func CountByRule(diags []Diag) map[LintRule]int {
+	out := make(map[LintRule]int)
+	for _, d := range diags {
+		out[d.Rule]++
+	}
+	return out
+}
+
+// ParseRuleList parses a comma-separated rule list (for CLI -disable).
+// Unknown names are reported, not ignored.
+func ParseRuleList(s string) (map[LintRule]bool, error) {
+	out := make(map[LintRule]bool)
+	if s == "" {
+		return out, nil
+	}
+	known := make(map[LintRule]bool, len(AllRules))
+	for _, r := range AllRules {
+		known[r] = true
+	}
+	start := 0
+	var names []string
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			names = append(names, s[start:i])
+			start = i + 1
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if n == "" {
+			continue
+		}
+		if !known[LintRule(n)] {
+			return nil, fmt.Errorf("unknown lint rule %q", n)
+		}
+		out[LintRule(n)] = true
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// TestLintSeededFixtures checks that each seeded fixture under
+// testdata/lint triggers exactly the rules planted in it.
+func TestLintSeededFixtures(t *testing.T) {
+	expect := map[string][]LintRule{
+		"dead_param.ll":            {RuleDeadParam},
+		"always_poison.ll":         {RuleAlwaysPoison},
+		"undef_use.ll":             {RuleUndefUse},
+		"unreachable_and_flags.ll": {RuleUnreachable, RuleRedundantFlag},
+		"misaligned.ll":            {RuleMisalignedMem},
+	}
+	flagged := 0
+	for name, rules := range expect {
+		src, err := os.ReadFile(filepath.Join("testdata", "lint", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		diags := Lint(parser.MustParse(string(src)), LintConfig{})
+		if len(diags) == 0 {
+			t.Errorf("%s: no diagnostics, want %v", name, rules)
+			continue
+		}
+		flagged++
+		for _, r := range rules {
+			if !hasRule(diags, r) {
+				t.Errorf("%s: missing %s in %v", name, r, diags)
+			}
+		}
+	}
+	if flagged < 3 {
+		t.Fatalf("only %d fixtures flagged, want >= 3", flagged)
+	}
+}
+
+// TestLintExamplesClean: the shipped example IR must produce zero
+// diagnostics (the same invariant `ir-lint examples/ir` enforces).
+func TestLintExamplesClean(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "ir")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/ir: %v", err)
+	}
+	checked := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".ll" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := Lint(parser.MustParse(string(src)), LintConfig{}); len(diags) != 0 {
+			t.Errorf("examples/ir/%s: unexpected findings: %v", e.Name(), diags)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no .ll examples found")
+	}
+}

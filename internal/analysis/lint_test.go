@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// lintSrc runs the full rule set over one module source.
+func lintSrc(t *testing.T, src string) []Diag {
+	t.Helper()
+	return Lint(parser.MustParse(src), LintConfig{})
+}
+
+func hasRule(diags []Diag, r LintRule) bool {
+	for _, d := range diags {
+		if d.Rule == r {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintUnreachableBlock(t *testing.T) {
+	diags := lintSrc(t, `define i8 @f(i8 %x) {
+entry:
+  ret i8 %x
+orphan:
+  ret i8 0
+}
+`)
+	if !hasRule(diags, RuleUnreachable) {
+		t.Fatalf("unreachable block not flagged: %v", diags)
+	}
+}
+
+func TestLintDeadParam(t *testing.T) {
+	diags := lintSrc(t, `define i8 @f(i8 %x, i8 %unused) {
+  ret i8 %x
+}
+`)
+	if !hasRule(diags, RuleDeadParam) {
+		t.Fatalf("dead param not flagged: %v", diags)
+	}
+	for _, d := range diags {
+		if d.Rule == RuleDeadParam && !strings.Contains(d.Msg, "unused") {
+			t.Errorf("dead-param diag names wrong param: %s", d.Msg)
+		}
+	}
+}
+
+func TestLintUndefUse(t *testing.T) {
+	diags := lintSrc(t, `define i8 @f(i8 %x) {
+  %a = add i8 poison, %x
+  ret i8 %a
+}
+`)
+	if !hasRule(diags, RuleUndefUse) {
+		t.Fatalf("poison operand not flagged: %v", diags)
+	}
+	// freeze poison is the sanctioned laundering idiom: no diagnostic.
+	clean := lintSrc(t, `define i8 @f() {
+  %a = freeze i8 poison
+  ret i8 %a
+}
+`)
+	if hasRule(clean, RuleUndefUse) {
+		t.Fatalf("freeze poison wrongly flagged: %v", clean)
+	}
+}
+
+func TestLintAlwaysPoison(t *testing.T) {
+	for _, src := range []string{
+		`define i8 @f(i8 %x) {
+  %s = shl i8 %x, 9
+  ret i8 %s
+}
+`,
+		`define i8 @f(i8 %x) {
+  %d = udiv i8 %x, 0
+  ret i8 %d
+}
+`,
+		`define i8 @f(i8 %x) {
+  %a = or i8 %x, 128
+  %b = or i8 %x, 129
+  %s = add nuw i8 %a, %b
+  ret i8 %s
+}
+`,
+	} {
+		if diags := lintSrc(t, src); !hasRule(diags, RuleAlwaysPoison) {
+			t.Errorf("always-poison not flagged in:\n%s\ngot %v", src, diags)
+		}
+	}
+}
+
+func TestLintRedundantFlag(t *testing.T) {
+	// zext-bounded operands cannot wrap an i16 add: nuw and nsw are
+	// both redundant.
+	diags := lintSrc(t, `define i16 @f(i8 %x, i8 %y) {
+  %zx = zext i8 %x to i16
+  %zy = zext i8 %y to i16
+  %s = add nuw nsw i16 %zx, %zy
+  ret i16 %s
+}
+`)
+	if !hasRule(diags, RuleRedundantFlag) {
+		t.Fatalf("redundant add flags not flagged: %v", diags)
+	}
+	// shl of a masked value known to drop no set bits: exact lshr.
+	diags = lintSrc(t, `define i8 @f(i8 %x) {
+  %hi = shl i8 %x, 4
+  %s = lshr exact i8 %hi, 4
+  ret i8 %s
+}
+`)
+	if !hasRule(diags, RuleRedundantFlag) {
+		t.Fatalf("redundant exact not flagged: %v", diags)
+	}
+	// A genuinely informative flag stays quiet.
+	clean := lintSrc(t, `define i8 @f(i8 %x, i8 %y) {
+  %s = add nuw i8 %x, %y
+  ret i8 %s
+}
+`)
+	if hasRule(clean, RuleRedundantFlag) {
+		t.Fatalf("informative nuw wrongly flagged: %v", clean)
+	}
+}
+
+func TestLintMisalignedMem(t *testing.T) {
+	// Over-aligned access to an alloca with a weaker guarantee.
+	diags := lintSrc(t, `define i8 @f() {
+  %p = alloca i8, align 1
+  %v = load i8, ptr %p, align 8
+  ret i8 %v
+}
+`)
+	if !hasRule(diags, RuleMisalignedMem) {
+		t.Fatalf("over-aligned load not flagged: %v", diags)
+	}
+	clean := lintSrc(t, `define i8 @f() {
+  %p = alloca i8, align 8
+  %v = load i8, ptr %p, align 8
+  ret i8 %v
+}
+`)
+	if hasRule(clean, RuleMisalignedMem) {
+		t.Fatalf("correctly aligned load wrongly flagged: %v", clean)
+	}
+}
+
+func TestLintConfigDisables(t *testing.T) {
+	src := `define i8 @f(i8 %x, i8 %unused) {
+  ret i8 %x
+}
+`
+	all := Lint(parser.MustParse(src), LintConfig{})
+	if !hasRule(all, RuleDeadParam) {
+		t.Fatal("fixture lost its finding")
+	}
+	off := Lint(parser.MustParse(src), LintConfig{Disabled: map[LintRule]bool{RuleDeadParam: true}})
+	if hasRule(off, RuleDeadParam) {
+		t.Fatalf("disabled rule still fired: %v", off)
+	}
+}
+
+func TestLintDeterministicOrder(t *testing.T) {
+	src := `define i8 @f(i8 %a, i8 %b, i8 %c) {
+entry:
+  ret i8 0
+dead1:
+  ret i8 1
+dead2:
+  ret i8 2
+}
+`
+	first := lintSrc(t, src)
+	for i := 0; i < 10; i++ {
+		again := lintSrc(t, src)
+		if len(again) != len(first) {
+			t.Fatalf("diag count varies: %d vs %d", len(first), len(again))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("diag order varies at %d: %v vs %v", j, first[j], again[j])
+			}
+		}
+	}
+}
+
+func TestParseRuleList(t *testing.T) {
+	m, err := ParseRuleList("dead-param,unreachable-block")
+	if err != nil || !m[RuleDeadParam] || !m[RuleUnreachable] {
+		t.Fatalf("ParseRuleList: %v %v", m, err)
+	}
+	if _, err := ParseRuleList("no-such-rule"); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+	if m, err := ParseRuleList(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty list: %v %v", m, err)
+	}
+}
+
+func TestCountByRule(t *testing.T) {
+	diags := lintSrc(t, `define i8 @f(i8 %x, i8 %u1, i8 %u2) {
+  ret i8 %x
+}
+`)
+	counts := CountByRule(diags)
+	if counts[RuleDeadParam] != 2 {
+		t.Fatalf("CountByRule: %v, want 2 dead params", counts)
+	}
+}

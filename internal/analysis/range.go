@@ -1,0 +1,636 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// Range is a pair of non-wrapped intervals over a width-w integer value:
+// an unsigned interval [ULo, UHi] and a signed interval [SLo, SHi], both
+// inclusive. The claim is the same shape as KnownBits': every NON-POISON
+// runtime value lies in both intervals. Unlike LLVM's wrapped
+// ConstantRange this cannot express "everything except a middle chunk",
+// but every element is trivially checkable against a concrete execution,
+// which is what the differential soundness harness wants.
+type Range struct {
+	Width    int
+	ULo, UHi uint64
+	SLo, SHi int64
+}
+
+// FullRange is the no-information element at width w.
+func FullRange(w int) Range {
+	return Range{Width: w, ULo: 0, UHi: apint.Mask(w), SLo: minSigned(w), SHi: maxSigned(w)}
+}
+
+// ConstRange is the single-value element.
+func ConstRange(w int, v uint64) Range {
+	v &= apint.Mask(w)
+	s := apint.ToInt64(v, w)
+	return Range{Width: w, ULo: v, UHi: v, SLo: s, SHi: s}
+}
+
+// BoolRange is the i1 [0,1] element (i1 is signed [-1, 0]).
+func BoolRange() Range { return Range{Width: 1, ULo: 0, UHi: 1, SLo: -1, SHi: 0} }
+
+func minSigned(w int) int64 { return -(int64(1) << uint(w-1)) }
+func maxSigned(w int) int64 { return int64(1)<<uint(w-1) - 1 }
+
+func (r Range) String() string {
+	return fmt.Sprintf("i%d u[%d,%d] s[%d,%d]", r.Width, r.ULo, r.UHi, r.SLo, r.SHi)
+}
+
+// Contains reports whether the concrete canonical value v satisfies the
+// claim.
+func (r Range) Contains(v uint64) bool {
+	v &= apint.Mask(r.Width)
+	s := apint.ToInt64(v, r.Width)
+	return r.ULo <= v && v <= r.UHi && r.SLo <= s && s <= r.SHi
+}
+
+// IsConst reports whether the range pins a single value.
+func (r Range) IsConst() bool { return r.ULo == r.UHi }
+func (r Range) Const() uint64 { return r.ULo }
+
+// Union is the lattice meet (interval hull of both claims).
+func (r Range) Union(o Range) Range {
+	return Range{
+		Width: r.Width,
+		ULo:   min64u(r.ULo, o.ULo), UHi: max64u(r.UHi, o.UHi),
+		SLo: min64s(r.SLo, o.SLo), SHi: max64s(r.SHi, o.SHi),
+	}
+}
+
+// Intersect tightens both intervals. An empty intersection (possible only
+// for values that are always poison or on dead paths, where claims are
+// vacuous) collapses to the single point at the crossing to keep the
+// non-wrapped invariant.
+func (r Range) Intersect(o Range) Range {
+	out := Range{
+		Width: r.Width,
+		ULo:   max64u(r.ULo, o.ULo), UHi: min64u(r.UHi, o.UHi),
+		SLo: max64s(r.SLo, o.SLo), SHi: min64s(r.SHi, o.SHi),
+	}
+	if out.ULo > out.UHi {
+		out.UHi = out.ULo
+	}
+	if out.SLo > out.SHi {
+		out.SHi = out.SLo
+	}
+	return out
+}
+
+// FromKnown converts bit-level knowledge into interval knowledge.
+func FromKnown(k KnownBits) Range {
+	w := k.Width
+	m := apint.Mask(w)
+	sb := uint64(1) << uint(w-1)
+	lo := k.Ones
+	if k.Zeros&sb == 0 {
+		lo |= sb
+	}
+	hi := ^k.Zeros & m
+	if k.Ones&sb == 0 {
+		hi &^= sb
+	}
+	return Range{
+		Width: w,
+		ULo:   k.UMin(), UHi: k.UMax(),
+		SLo: apint.ToInt64(lo, w), SHi: apint.ToInt64(hi, w),
+	}
+}
+
+func min64u(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64u(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64s(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64s(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addS/subS/mulS are int64 arithmetic with overflow reporting, needed
+// only at width 64 where bound arithmetic can escape int64.
+func addS(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subS(a, b int64) (int64, bool) {
+	s := a - b
+	if (b < 0 && s < a) || (b > 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulS(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	s := a * b
+	if s/b != a || (a == -1 && b == minSigned(64)) || (b == -1 && a == minSigned(64)) {
+		return 0, false
+	}
+	return s, true
+}
+
+// Add is the range transfer for add with the given poison flags. When
+// wrapping is possible and the matching flag is absent, the affected
+// interval widens to full; with the flag, wrapping executions are poison
+// (vacuous), so the interval stays the clamped true-arithmetic one.
+func (r Range) Add(o Range, nuw, nsw bool) Range {
+	w := r.Width
+	m := apint.Mask(w)
+	out := FullRange(w)
+
+	uLo, loCarry := bits.Add64(r.ULo, o.ULo, 0)
+	uHi, hiCarry := bits.Add64(r.UHi, o.UHi, 0)
+	if hiCarry == 0 && uHi <= m {
+		out.ULo, out.UHi = uLo, uHi
+	} else if nuw {
+		// Non-poison sums did not wrap, so they are >= the true low
+		// bound (or no such sums exist and the claim is vacuous).
+		if loCarry == 0 && uLo <= m {
+			out.ULo, out.UHi = uLo, m
+		} else {
+			out.ULo, out.UHi = m, m
+		}
+	}
+
+	sLo, loOK := addS(r.SLo, o.SLo)
+	sHi, hiOK := addS(r.SHi, o.SHi)
+	if loOK && hiOK && sLo >= minSigned(w) && sHi <= maxSigned(w) {
+		out.SLo, out.SHi = sLo, sHi
+	} else if nsw {
+		out.SLo, out.SHi = minSigned(w), maxSigned(w)
+		if loOK {
+			out.SLo = max64s(sLo, minSigned(w))
+		}
+		if hiOK {
+			out.SHi = min64s(sHi, maxSigned(w))
+		}
+		if out.SLo > out.SHi {
+			out.SHi = out.SLo
+		}
+	}
+	return out
+}
+
+// Sub is the range transfer for sub with the given poison flags.
+func (r Range) Sub(o Range, nuw, nsw bool) Range {
+	w := r.Width
+	out := FullRange(w)
+
+	if r.ULo >= o.UHi {
+		out.ULo, out.UHi = r.ULo-o.UHi, r.UHi-o.ULo
+	} else if nuw {
+		out.ULo = 0
+		if r.UHi >= o.ULo {
+			out.UHi = r.UHi - o.ULo
+		} else {
+			out.UHi = 0
+		}
+	}
+
+	sLo, loOK := subS(r.SLo, o.SHi)
+	sHi, hiOK := subS(r.SHi, o.SLo)
+	if loOK && hiOK && sLo >= minSigned(w) && sHi <= maxSigned(w) {
+		out.SLo, out.SHi = sLo, sHi
+	} else if nsw {
+		out.SLo, out.SHi = minSigned(w), maxSigned(w)
+		if loOK {
+			out.SLo = max64s(sLo, minSigned(w))
+		}
+		if hiOK {
+			out.SHi = min64s(sHi, maxSigned(w))
+		}
+		if out.SLo > out.SHi {
+			out.SHi = out.SLo
+		}
+	}
+	return out
+}
+
+// Mul is the range transfer for mul.
+func (r Range) Mul(o Range, nuw bool) Range {
+	w := r.Width
+	m := apint.Mask(w)
+	out := FullRange(w)
+
+	hiWord, prod := bits.Mul64(r.UHi, o.UHi)
+	if hiWord == 0 && prod <= m {
+		out.ULo, out.UHi = r.ULo*o.ULo, prod
+	} else if nuw {
+		loWord, lprod := bits.Mul64(r.ULo, o.ULo)
+		if loWord == 0 && lprod <= m {
+			out.ULo, out.UHi = lprod, m
+		} else {
+			out.ULo, out.UHi = m, m
+		}
+	}
+
+	// Signed: all four corner products must be exact and in range.
+	corners := [4][2]int64{{r.SLo, o.SLo}, {r.SLo, o.SHi}, {r.SHi, o.SLo}, {r.SHi, o.SHi}}
+	sLo, sHi := maxSigned(64), minSigned(64)
+	ok := true
+	for _, c := range corners {
+		p, pOK := mulS(c[0], c[1])
+		if !pOK {
+			ok = false
+			break
+		}
+		sLo = min64s(sLo, p)
+		sHi = max64s(sHi, p)
+	}
+	if ok && sLo >= minSigned(w) && sHi <= maxSigned(w) {
+		out.SLo, out.SHi = sLo, sHi
+	}
+	return out
+}
+
+// UDiv is the range transfer for udiv. Division by zero is UB, so the
+// divisor is assumed >= 1.
+func (r Range) UDiv(o Range) Range {
+	w := r.Width
+	out := FullRange(w)
+	if o.UHi == 0 {
+		// Divisor always zero: every execution is UB; any claim is
+		// vacuous.
+		return ConstRange(w, 0)
+	}
+	out.ULo = r.ULo / o.UHi
+	out.UHi = r.UHi / max64u(1, o.ULo)
+	// The quotient fits in the unsigned interval; its signed view is
+	// derived from that when it stays in the non-negative half.
+	if out.UHi <= uint64(maxSigned(w)) {
+		out.SLo, out.SHi = int64(out.ULo), int64(out.UHi)
+	}
+	return out
+}
+
+// URem is the range transfer for urem (divisor assumed nonzero).
+func (r Range) URem(o Range) Range {
+	w := r.Width
+	out := FullRange(w)
+	if o.UHi == 0 {
+		return ConstRange(w, 0)
+	}
+	out.ULo = 0
+	out.UHi = min64u(r.UHi, o.UHi-1)
+	if out.UHi <= uint64(maxSigned(w)) {
+		out.SLo, out.SHi = 0, int64(out.UHi)
+	}
+	return out
+}
+
+// Shl is the range transfer for shl by an amount range. Amounts >= width
+// make the result poison, so non-poison results come from amounts in
+// [o.ULo, min(o.UHi, w-1)].
+func (r Range) Shl(o Range, nuw bool) Range {
+	w := r.Width
+	m := apint.Mask(w)
+	out := FullRange(w)
+	aMin := min64u(o.ULo, uint64(w-1))
+	aMax := min64u(o.UHi, uint64(w-1))
+	if r.UHi <= m>>aMax {
+		out.ULo, out.UHi = r.ULo<<aMin, r.UHi<<aMax
+	} else if nuw {
+		if r.ULo <= m>>aMin {
+			out.ULo, out.UHi = r.ULo<<aMin, m
+		} else {
+			out.ULo, out.UHi = m, m
+		}
+	}
+	if out.UHi <= uint64(maxSigned(w)) {
+		out.SLo, out.SHi = int64(out.ULo), int64(out.UHi)
+	}
+	return out
+}
+
+// LShr is the range transfer for lshr (amounts clamped to < width, since
+// larger ones produce poison).
+func (r Range) LShr(o Range) Range {
+	w := r.Width
+	out := FullRange(w)
+	aMin := min64u(o.ULo, uint64(w-1))
+	aMax := min64u(o.UHi, uint64(w-1))
+	out.ULo = r.ULo >> aMax
+	out.UHi = r.UHi >> aMin
+	if out.UHi <= uint64(maxSigned(w)) {
+		out.SLo, out.SHi = int64(out.ULo), int64(out.UHi)
+	}
+	return out
+}
+
+// AShr is the range transfer for ashr.
+func (r Range) AShr(o Range) Range {
+	w := r.Width
+	out := FullRange(w)
+	aMin := min64u(o.ULo, uint64(w-1))
+	aMax := min64u(o.UHi, uint64(w-1))
+	out.SLo = min64s(r.SLo>>aMin, r.SLo>>aMax)
+	out.SHi = max64s(r.SHi>>aMin, r.SHi>>aMax)
+	if out.SLo >= 0 {
+		out.ULo, out.UHi = uint64(out.SLo), uint64(out.SHi)
+	} else if out.SHi < 0 {
+		out.ULo = apint.FromInt64(out.SLo, w)
+		out.UHi = apint.FromInt64(out.SHi, w)
+	}
+	return out
+}
+
+// ZExt widens the unsigned interval; the result is non-negative in the
+// wider type.
+func (r Range) ZExt(to int) Range {
+	return Range{Width: to, ULo: r.ULo, UHi: r.UHi, SLo: int64(r.ULo), SHi: int64(r.UHi)}
+}
+
+// SExt widens the signed interval.
+func (r Range) SExt(to int) Range {
+	out := FullRange(to)
+	out.SLo, out.SHi = r.SLo, r.SHi
+	if r.SLo >= 0 {
+		out.ULo, out.UHi = uint64(r.SLo), uint64(r.SHi)
+	} else if r.SHi < 0 {
+		out.ULo = apint.FromInt64(r.SLo, to)
+		out.UHi = apint.FromInt64(r.SHi, to)
+	}
+	return out
+}
+
+// Trunc narrows when the interval provably fits the narrow type.
+func (r Range) Trunc(to int) Range {
+	out := FullRange(to)
+	if r.UHi <= apint.Mask(to) {
+		out.ULo, out.UHi = r.ULo, r.UHi
+	}
+	if r.SLo >= minSigned(to) && r.SHi <= maxSigned(to) {
+		out.SLo, out.SHi = r.SLo, r.SHi
+	}
+	// The two views must stay mutually consistent: recompute the signed
+	// view from the unsigned one if only one side transferred.
+	if out.ULo > out.UHi || out.SLo > out.SHi {
+		return FullRange(to)
+	}
+	return out
+}
+
+// SMax/SMin/UMax/UMin are the pick-one-operand transfers: the hull of
+// both inputs, with the ordered dimension tightened.
+func (r Range) SMax(o Range) Range {
+	out := r.Union(o)
+	out.SLo = max64s(r.SLo, o.SLo)
+	return out
+}
+
+func (r Range) SMin(o Range) Range {
+	out := r.Union(o)
+	out.SHi = min64s(r.SHi, o.SHi)
+	return out
+}
+
+func (r Range) UMax(o Range) Range {
+	out := r.Union(o)
+	out.ULo = max64u(r.ULo, o.ULo)
+	return out
+}
+
+func (r Range) UMin(o Range) Range {
+	out := r.Union(o)
+	out.UHi = min64u(r.UHi, o.UHi)
+	return out
+}
+
+// Abs is the transfer for llvm.abs. If INT_MIN is possible and not
+// flagged as poison, the wrapped result escapes the simple bound, so the
+// refinement applies only when SLo > INT_MIN or the flag makes that case
+// vacuous.
+func (r Range) Abs(intMinPoison bool) Range {
+	w := r.Width
+	out := FullRange(w)
+	if r.SLo > minSigned(w) || intMinPoison {
+		lo := max64s(r.SLo, minSigned(w)+1)
+		hi := max64s(-lo, r.SHi)
+		if r.SLo >= 0 {
+			out.SLo = r.SLo
+		} else {
+			out.SLo = 0
+		}
+		out.SHi = max64s(out.SLo, hi)
+		out.ULo = uint64(out.SLo)
+		out.UHi = uint64(out.SHi)
+	}
+	return out
+}
+
+// SatAdd/SatSub are the saturating-arithmetic transfers.
+func (r Range) UAddSat(o Range) Range {
+	w := r.Width
+	m := apint.Mask(w)
+	satU := func(a, b uint64) uint64 {
+		s, carry := bits.Add64(a, b, 0)
+		if carry != 0 || s > m {
+			return m
+		}
+		return s
+	}
+	out := FullRange(w)
+	out.ULo, out.UHi = satU(r.ULo, o.ULo), satU(r.UHi, o.UHi)
+	if out.UHi <= uint64(maxSigned(w)) {
+		out.SLo, out.SHi = int64(out.ULo), int64(out.UHi)
+	}
+	return out
+}
+
+func (r Range) USubSat(o Range) Range {
+	w := r.Width
+	satU := func(a, b uint64) uint64 {
+		if a <= b {
+			return 0
+		}
+		return a - b
+	}
+	out := FullRange(w)
+	out.ULo, out.UHi = satU(r.ULo, o.UHi), satU(r.UHi, o.ULo)
+	if out.UHi <= uint64(maxSigned(w)) {
+		out.SLo, out.SHi = int64(out.ULo), int64(out.UHi)
+	}
+	return out
+}
+
+func (r Range) SAddSat(o Range) Range {
+	w := r.Width
+	satS := func(a, b int64) int64 {
+		s, ok := addS(a, b)
+		if !ok {
+			if a > 0 {
+				return maxSigned(w)
+			}
+			return minSigned(w)
+		}
+		return max64s(minSigned(w), min64s(maxSigned(w), s))
+	}
+	out := FullRange(w)
+	out.SLo, out.SHi = satS(r.SLo, o.SLo), satS(r.SHi, o.SHi)
+	return out
+}
+
+func (r Range) SSubSat(o Range) Range {
+	w := r.Width
+	satS := func(a, b int64) int64 {
+		s, ok := subS(a, b)
+		if !ok {
+			if b < 0 {
+				return maxSigned(w)
+			}
+			return minSigned(w)
+		}
+		return max64s(minSigned(w), min64s(maxSigned(w), s))
+	}
+	out := FullRange(w)
+	out.SLo, out.SHi = satS(r.SLo, o.SHi), satS(r.SHi, o.SLo)
+	return out
+}
+
+// CountRange is the [0, w] result range of ctpop/ctlz/cttz.
+func CountRange(w int) Range {
+	out := FullRange(w)
+	out.ULo, out.UHi = 0, uint64(w)
+	if out.UHi <= uint64(maxSigned(w)) {
+		out.SLo, out.SHi = 0, int64(w)
+	} else {
+		// Degenerate tiny widths (w=1: count can be 0 or 1 == -1).
+		out.SLo, out.SHi = minSigned(w), maxSigned(w)
+	}
+	return out
+}
+
+// rangeFromPred is the region a value must lie in for `v pred C` to hold;
+// ok is false when the predicate gives no non-wrapped interval (ne).
+func rangeFromPred(p ir.Pred, c uint64, w int) (Range, bool) {
+	m := apint.Mask(w)
+	c &= m
+	cs := apint.ToInt64(c, w)
+	out := FullRange(w)
+	switch p {
+	case ir.EQ:
+		return ConstRange(w, c), true
+	case ir.NE:
+		return out, false
+	case ir.ULT:
+		if c == 0 {
+			return ConstRange(w, 0), true // never true: vacuous
+		}
+		out.ULo, out.UHi = 0, c-1
+	case ir.ULE:
+		out.ULo, out.UHi = 0, c
+	case ir.UGT:
+		if c == m {
+			return ConstRange(w, m), true
+		}
+		out.ULo, out.UHi = c+1, m
+	case ir.UGE:
+		out.ULo, out.UHi = c, m
+	case ir.SLT:
+		if cs == minSigned(w) {
+			return ConstRange(w, c), true
+		}
+		out.SLo, out.SHi = minSigned(w), cs-1
+	case ir.SLE:
+		out.SLo, out.SHi = minSigned(w), cs
+	case ir.SGT:
+		if cs == maxSigned(w) {
+			return ConstRange(w, c), true
+		}
+		out.SLo, out.SHi = cs+1, maxSigned(w)
+	case ir.SGE:
+		out.SLo, out.SHi = cs, maxSigned(w)
+	default:
+		return out, false
+	}
+	return out, true
+}
+
+// DecideICmp evaluates `a pred b` from the two ranges, returning
+// (result, true) when the ranges prove it one way.
+func DecideICmp(p ir.Pred, a, b Range) (bool, bool) {
+	switch p {
+	case ir.EQ:
+		if a.IsConst() && b.IsConst() {
+			return a.Const() == b.Const(), true
+		}
+		if a.ULo > b.UHi || a.UHi < b.ULo || a.SLo > b.SHi || a.SHi < b.SLo {
+			return false, true
+		}
+	case ir.NE:
+		if a.IsConst() && b.IsConst() {
+			return a.Const() != b.Const(), true
+		}
+		if a.ULo > b.UHi || a.UHi < b.ULo || a.SLo > b.SHi || a.SHi < b.SLo {
+			return true, true
+		}
+	case ir.ULT:
+		if a.UHi < b.ULo {
+			return true, true
+		}
+		if a.ULo >= b.UHi {
+			return false, true
+		}
+	case ir.ULE:
+		if a.UHi <= b.ULo {
+			return true, true
+		}
+		if a.ULo > b.UHi {
+			return false, true
+		}
+	case ir.UGT:
+		return DecideICmp(ir.ULT, b, a)
+	case ir.UGE:
+		return DecideICmp(ir.ULE, b, a)
+	case ir.SLT:
+		if a.SHi < b.SLo {
+			return true, true
+		}
+		if a.SLo >= b.SHi {
+			return false, true
+		}
+	case ir.SLE:
+		if a.SHi <= b.SLo {
+			return true, true
+		}
+		if a.SLo > b.SHi {
+			return false, true
+		}
+	case ir.SGT:
+		return DecideICmp(ir.SLT, b, a)
+	case ir.SGE:
+		return DecideICmp(ir.SLE, b, a)
+	}
+	return false, false
+}

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/apint"
+	"repro/internal/ir"
+	"repro/internal/rng"
+)
+
+// hullOf builds the tightest Range containing every sample — so every
+// sample is a witness the transfer's output must keep containing.
+func hullOf(w int, vals []uint64) Range {
+	out := ConstRange(w, vals[0])
+	for _, v := range vals[1:] {
+		out = out.Union(ConstRange(w, v))
+	}
+	return out
+}
+
+// randRange returns a range plus the concrete values it was built from.
+func randRange(r *rng.Rand, w int) (Range, []uint64) {
+	m := apint.Mask(w)
+	n := 1 + r.Intn(5)
+	vals := make([]uint64, n)
+	for i := range vals {
+		switch r.Intn(4) {
+		case 0: // near-zero / near-top corners
+			vals[i] = r.Uint64() & 3 & m
+		case 1:
+			vals[i] = (m - r.Uint64()&3) & m
+		default:
+			vals[i] = r.Uint64() & m
+		}
+	}
+	return hullOf(w, vals), vals
+}
+
+type rgBinCase struct {
+	name  string
+	apply func(a, b Range) Range
+	// eval returns (result, ok); ok=false marks poison/UB executions
+	// where the transfer's claim is vacuous.
+	eval func(a, b uint64, w int) (uint64, bool)
+}
+
+func satAddU(a, b uint64, w int) uint64 {
+	m := apint.Mask(w)
+	s, carry := bits.Add64(a, b, 0)
+	if carry != 0 || s > m {
+		return m
+	}
+	return s
+}
+
+func satAddS(a, b uint64, w int) uint64 {
+	as, bs := apint.ToInt64(a, w), apint.ToInt64(b, w)
+	s, ok := addS(as, bs)
+	if !ok {
+		if as > 0 {
+			s = maxSigned(w)
+		} else {
+			s = minSigned(w)
+		}
+	}
+	s = max64s(minSigned(w), min64s(maxSigned(w), s))
+	return apint.FromInt64(s, w)
+}
+
+func satSubS(a, b uint64, w int) uint64 {
+	as, bs := apint.ToInt64(a, w), apint.ToInt64(b, w)
+	s, ok := subS(as, bs)
+	if !ok {
+		if bs < 0 {
+			s = maxSigned(w)
+		} else {
+			s = minSigned(w)
+		}
+	}
+	s = max64s(minSigned(w), min64s(maxSigned(w), s))
+	return apint.FromInt64(s, w)
+}
+
+func rgBinCases() []rgBinCase {
+	return []rgBinCase{
+		{"add", func(a, b Range) Range { return a.Add(b, false, false) },
+			func(a, b uint64, w int) (uint64, bool) { return apint.Add(a, b, w), true }},
+		{"add-nuw", func(a, b Range) Range { return a.Add(b, true, false) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if apint.AddOverflowsUnsigned(a, b, w) {
+					return 0, false
+				}
+				return apint.Add(a, b, w), true
+			}},
+		{"add-nsw", func(a, b Range) Range { return a.Add(b, false, true) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if apint.AddOverflowsSigned(a, b, w) {
+					return 0, false
+				}
+				return apint.Add(a, b, w), true
+			}},
+		{"add-nuw-nsw", func(a, b Range) Range { return a.Add(b, true, true) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if apint.AddOverflowsUnsigned(a, b, w) || apint.AddOverflowsSigned(a, b, w) {
+					return 0, false
+				}
+				return apint.Add(a, b, w), true
+			}},
+		{"sub", func(a, b Range) Range { return a.Sub(b, false, false) },
+			func(a, b uint64, w int) (uint64, bool) { return apint.Sub(a, b, w), true }},
+		{"sub-nuw", func(a, b Range) Range { return a.Sub(b, true, false) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if apint.SubOverflowsUnsigned(a, b, w) {
+					return 0, false
+				}
+				return apint.Sub(a, b, w), true
+			}},
+		{"sub-nsw", func(a, b Range) Range { return a.Sub(b, false, true) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if apint.SubOverflowsSigned(a, b, w) {
+					return 0, false
+				}
+				return apint.Sub(a, b, w), true
+			}},
+		{"mul", func(a, b Range) Range { return a.Mul(b, false) },
+			func(a, b uint64, w int) (uint64, bool) { return apint.Mul(a, b, w), true }},
+		{"mul-nuw", func(a, b Range) Range { return a.Mul(b, true) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if apint.MulOverflowsUnsigned(a, b, w) {
+					return 0, false
+				}
+				return apint.Mul(a, b, w), true
+			}},
+		{"udiv", Range.UDiv, func(a, b uint64, w int) (uint64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return apint.UDiv(a, b, w), true
+		}},
+		{"urem", Range.URem, func(a, b uint64, w int) (uint64, bool) {
+			if b == 0 {
+				return 0, false
+			}
+			return apint.URem(a, b, w), true
+		}},
+		{"shl", func(a, b Range) Range { return a.Shl(b, false) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if b >= uint64(w) {
+					return 0, false
+				}
+				return apint.Shl(a, b, w), true
+			}},
+		{"shl-nuw", func(a, b Range) Range { return a.Shl(b, true) },
+			func(a, b uint64, w int) (uint64, bool) {
+				if b >= uint64(w) || apint.ShlOverflowsUnsigned(a, b, w) {
+					return 0, false
+				}
+				return apint.Shl(a, b, w), true
+			}},
+		{"lshr", Range.LShr, func(a, b uint64, w int) (uint64, bool) {
+			if b >= uint64(w) {
+				return 0, false
+			}
+			return apint.LShr(a, b, w), true
+		}},
+		{"ashr", Range.AShr, func(a, b uint64, w int) (uint64, bool) {
+			if b >= uint64(w) {
+				return 0, false
+			}
+			return apint.AShr(a, b, w), true
+		}},
+		{"smax", Range.SMax, func(a, b uint64, w int) (uint64, bool) { return apint.SMax(a, b, w), true }},
+		{"smin", Range.SMin, func(a, b uint64, w int) (uint64, bool) { return apint.SMin(a, b, w), true }},
+		{"umax", Range.UMax, func(a, b uint64, w int) (uint64, bool) { return apint.UMax(a, b), true }},
+		{"umin", Range.UMin, func(a, b uint64, w int) (uint64, bool) { return apint.UMin(a, b), true }},
+		{"uadd.sat", Range.UAddSat, func(a, b uint64, w int) (uint64, bool) { return satAddU(a, b, w), true }},
+		{"usub.sat", Range.USubSat, func(a, b uint64, w int) (uint64, bool) {
+			if a <= b {
+				return 0, true
+			}
+			return a - b, true
+		}},
+		{"sadd.sat", Range.SAddSat, func(a, b uint64, w int) (uint64, bool) { return satAddS(a, b, w), true }},
+		{"ssub.sat", Range.SSubSat, func(a, b uint64, w int) (uint64, bool) { return satSubS(a, b, w), true }},
+	}
+}
+
+// TestRangeBinaryDifferential builds ranges as hulls of concrete sample
+// sets and checks every transfer keeps containing every sampled
+// execution, across small, medium and full widths.
+func TestRangeBinaryDifferential(t *testing.T) {
+	cases := rgBinCases()
+	for _, w := range []int{4, 8, 64} {
+		r := rng.New(uint64(0x7269 + w))
+		iters := 400
+		if w == 4 {
+			iters = 1500
+		}
+		for iter := 0; iter < iters; iter++ {
+			ra, vas := randRange(r, w)
+			rb, vbs := randRange(r, w)
+			for _, tc := range cases {
+				out := tc.apply(ra, rb)
+				if out.ULo > out.UHi || out.SLo > out.SHi {
+					t.Fatalf("w=%d %s(%v, %v) = %v is malformed", w, tc.name, ra, rb, out)
+				}
+				for _, va := range vas {
+					for _, vb := range vbs {
+						res, ok := tc.eval(va, vb, w)
+						if !ok {
+							continue
+						}
+						if !out.Contains(res) {
+							t.Fatalf("w=%d %s: a=%#x in %v, b=%#x in %v -> %#x escapes %v",
+								w, tc.name, va, ra, vb, rb, res, out)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRangeCastsAndAbs covers the unary transfers the binary sweep
+// cannot express.
+func TestRangeCastsAndAbs(t *testing.T) {
+	for _, pair := range [][2]int{{4, 9}, {8, 64}, {33, 64}} {
+		from, to := pair[0], pair[1]
+		r := rng.New(uint64(0xca57 + from))
+		for iter := 0; iter < 1000; iter++ {
+			ra, vas := randRange(r, from)
+			ze, se := ra.ZExt(to), ra.SExt(to)
+			for _, va := range vas {
+				if got := apint.ZExt(va, from, to); !ze.Contains(got) {
+					t.Fatalf("zext i%d->i%d: %#x in %v -> %#x escapes %v", from, to, va, ra, got, ze)
+				}
+				if got := apint.SExt(va, from, to); !se.Contains(got) {
+					t.Fatalf("sext i%d->i%d: %#x in %v -> %#x escapes %v", from, to, va, ra, got, se)
+				}
+			}
+			rw, vws := randRange(r, to)
+			tr := rw.Trunc(from)
+			abs0, abs1 := rw.Abs(false), rw.Abs(true)
+			for _, vw := range vws {
+				if got := apint.Trunc(vw, from); !tr.Contains(got) {
+					t.Fatalf("trunc i%d->i%d: %#x in %v -> %#x escapes %v", to, from, vw, rw, got, tr)
+				}
+				s := apint.ToInt64(vw, to)
+				if s == minSigned(to) {
+					// abs(INT_MIN) wraps to INT_MIN without the flag and
+					// is poison (vacuous) with it.
+					if !abs0.Contains(vw) {
+						t.Fatalf("abs i%d: INT_MIN wrap escapes %v", to, abs0)
+					}
+					continue
+				}
+				av := s
+				if av < 0 {
+					av = -av
+				}
+				got := apint.FromInt64(av, to)
+				if !abs0.Contains(got) || !abs1.Contains(got) {
+					t.Fatalf("abs i%d: %#x in %v -> %#x escapes %v / %v", to, vw, rw, got, abs0, abs1)
+				}
+			}
+		}
+	}
+}
+
+// TestFromKnownSound: every value consistent with a bit pattern lies in
+// the derived range.
+func TestFromKnownSound(t *testing.T) {
+	for _, k := range enumPatterns(4) {
+		rg := FromKnown(k)
+		for _, v := range consistentValues(k) {
+			if !rg.Contains(v) {
+				t.Fatalf("FromKnown(%v) = %v excludes consistent value %#x", k, rg, v)
+			}
+		}
+	}
+}
+
+func evalPred(p ir.Pred, a, b uint64, w int) bool {
+	as, bs := apint.ToInt64(a, w), apint.ToInt64(b, w)
+	switch p {
+	case ir.EQ:
+		return a == b
+	case ir.NE:
+		return a != b
+	case ir.ULT:
+		return a < b
+	case ir.ULE:
+		return a <= b
+	case ir.UGT:
+		return a > b
+	case ir.UGE:
+		return a >= b
+	case ir.SLT:
+		return as < bs
+	case ir.SLE:
+		return as <= bs
+	case ir.SGT:
+		return as > bs
+	case ir.SGE:
+		return as >= bs
+	}
+	return false
+}
+
+// TestRangeFromPredExhaustive: at width 4, for every predicate, constant
+// and value, if `v pred c` holds then the derived region contains v.
+func TestRangeFromPredExhaustive(t *testing.T) {
+	const w = 4
+	for _, p := range ir.Preds {
+		for c := uint64(0); c < 16; c++ {
+			rg, ok := rangeFromPred(p, c, w)
+			if !ok {
+				continue
+			}
+			for v := uint64(0); v < 16; v++ {
+				if evalPred(p, v, c, w) && !rg.Contains(v) {
+					t.Fatalf("pred %v c=%d: %d satisfies it but escapes %v", p, c, v, rg)
+				}
+			}
+		}
+	}
+}
+
+// TestDecideICmpSound: when the ranges decide a comparison, every pair of
+// witness values must agree with the decision.
+func TestDecideICmpSound(t *testing.T) {
+	for _, w := range []int{4, 8, 64} {
+		r := rng.New(uint64(0xdec1 + w))
+		for iter := 0; iter < 2000; iter++ {
+			ra, vas := randRange(r, w)
+			rb, vbs := randRange(r, w)
+			for _, p := range ir.Preds {
+				res, decided := DecideICmp(p, ra, rb)
+				if !decided {
+					continue
+				}
+				for _, va := range vas {
+					for _, vb := range vbs {
+						if evalPred(p, va, vb, w) != res {
+							t.Fatalf("w=%d DecideICmp(%v, %v, %v) = %v contradicted by a=%#x b=%#x",
+								w, p, ra, rb, res, va, vb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountRange pins the ctpop/ctlz/cttz result bound.
+func TestCountRange(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 64} {
+		rg := CountRange(w)
+		for _, v := range []uint64{0, 1, apint.Mask(w), apint.Mask(w) >> 1} {
+			for _, cnt := range []uint64{
+				uint64(bits.OnesCount64(v)),
+				uint64(apint.Ctlz(v, w)),
+				uint64(apint.Cttz(v, w)),
+			} {
+				if !rg.Contains(cnt & apint.Mask(w)) {
+					t.Fatalf("w=%d count %d of %#x escapes %v", w, cnt, v, rg)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+define i8 @oversized_shift(i8 %x) {
+  %s = shl i8 %x, 12
+  ret i8 %s
+}
+
+define i8 @div_by_zero(i8 %x) {
+  %d = udiv i8 %x, 0
+  ret i8 %d
+}

@@ -1,0 +1,4 @@
+define i32 @uses_half(i32 %used, i32 %never) {
+  %r = add i32 %used, 7
+  ret i32 %r
+}

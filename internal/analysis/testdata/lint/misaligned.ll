@@ -1,0 +1,5 @@
+define i8 @overaligned() {
+  %p = alloca i8, align 1
+  %v = load i8, ptr %p, align 8
+  ret i8 %v
+}

@@ -1,0 +1,4 @@
+define i16 @raw_poison(i16 %x) {
+  %a = add i16 poison, %x
+  ret i16 %a
+}

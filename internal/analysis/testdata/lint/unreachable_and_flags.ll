@@ -1,0 +1,8 @@
+define i16 @dead_code(i8 %x) {
+entry:
+  %zx = zext i8 %x to i16
+  %s = add nuw nsw i16 %zx, %zx
+  ret i16 %s
+island:
+  ret i16 0
+}

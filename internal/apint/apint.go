@@ -142,12 +142,14 @@ func LShr(a, b uint64, w int) uint64 {
 	return a >> b
 }
 
-// AShr returns the arithmetic right shift at width w.
+// AShr returns the arithmetic right shift at width w. The shift runs on
+// int64 so the sign fill is correct even at w == 64, where a uint64
+// shift of the sign-extended value would pull in zeros.
 func AShr(a, b uint64, w int) uint64 {
 	if b >= uint64(w) {
 		b = uint64(w) - 1
 	}
-	return SExt(a, w, 64) >> b & Mask(w)
+	return uint64(ToInt64(a, w)>>b) & Mask(w)
 }
 
 // ULT reports a < b unsigned.

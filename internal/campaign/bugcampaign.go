@@ -50,6 +50,9 @@ type BugConfig struct {
 	Telemetry *telemetry.Sink
 	// StallThreshold arms the engine's per-unit stall watchdog (0 = off).
 	StallThreshold time.Duration
+	// NoAnalysis disables the optimizer's dataflow-analysis-backed folds
+	// for the whole campaign (A/B comparisons; analysis is on by default).
+	NoAnalysis bool
 	// Triage, when non-nil, receives every finding as a triage candidate
 	// (units then run with finding capture on, which changes nothing but
 	// what findings carry). Like Telemetry it is strictly write-only: the
@@ -244,10 +247,11 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 					// Triage needs the mutant/optimized .ll text; capture
 					// changes only what findings carry, never the loop's
 					// draws or verdicts, so tables stay byte-identical.
-					SaveFindings: cfg.Triage != nil,
-					TV:           tv.Options{ConflictBudget: cfg.TVBudget},
-					Stop:         func() bool { return ctx.Err() != nil },
-					Telemetry:    shard,
+					SaveFindings:    cfg.Triage != nil,
+					TV:              tv.Options{ConflictBudget: cfg.TVBudget},
+					Stop:            func() bool { return ctx.Err() != nil },
+					Telemetry:       shard,
+					DisableAnalysis: cfg.NoAnalysis,
 				})
 				if err != nil {
 					cfg.Telemetry.Collector().Merge(shard.Collector())

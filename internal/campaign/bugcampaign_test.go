@@ -59,6 +59,38 @@ func TestBugCampaignDeterminism(t *testing.T) {
 	}
 }
 
+// TestBugCampaignAnalysisInvariance: the dataflow-analysis-backed folds
+// (on by default) must not hide any seeded bug — the found/missed census
+// is identical with analysis on and off. Mutant counts to first finding
+// may legitimately differ (the optimizer differs), so only the census is
+// compared.
+func TestBugCampaignAnalysisInvariance(t *testing.T) {
+	withAnalysis := runSmall(t, 4)
+	without := RunBugs(context.Background(), BugConfig{
+		Budget:     120,
+		TVBudget:   4000,
+		Seed:       7,
+		Passes:     "O2",
+		Workers:    4,
+		Only:       testIssues,
+		Stderr:     io.Discard,
+		NoAnalysis: true,
+	})
+	if len(withAnalysis.Rows) != len(without.Rows) {
+		t.Fatalf("row counts differ: %d with analysis, %d without", len(withAnalysis.Rows), len(without.Rows))
+	}
+	for i := range withAnalysis.Rows {
+		on, off := withAnalysis.Rows[i], without.Rows[i]
+		if on.Info.Issue != off.Info.Issue || on.Found != off.Found || on.Kind != off.Kind {
+			t.Errorf("issue %d census diverged:\n  analysis on:  found=%v kind=%q\n  analysis off: found=%v kind=%q",
+				on.Info.Issue, on.Found, on.Kind, off.Found, off.Kind)
+		}
+	}
+	if withAnalysis.Found == 0 {
+		t.Error("invariance campaign found nothing; assertions vacuous")
+	}
+}
+
 // TestBugCampaignRepeatable: two identical runs are identical (the
 // engine introduces no hidden per-run state).
 func TestBugCampaignRepeatable(t *testing.T) {

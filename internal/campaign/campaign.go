@@ -182,7 +182,7 @@ func Run(ctx context.Context, units []Unit, opts Options) []Outcome {
 			defer wg.Done()
 			wctx := context.WithValue(ctx, workerKey{}, worker)
 			for idx := range ready {
-				r := result{idx: idx, start: time.Now()}
+				r := result{idx: idx, start: time.Now()} // vet:determinism — unit wall-clock, reporting only
 				if ctx.Err() != nil {
 					r.canceled = true
 					results <- r
@@ -204,7 +204,7 @@ func Run(ctx context.Context, units []Unit, opts Options) []Outcome {
 					})
 				}
 				r.res, r.done, r.err = u.Run(wctx, groups[u.Group].prev)
-				r.end = time.Now()
+				r.end = time.Now() // vet:determinism — unit wall-clock, reporting only
 				if stall != nil {
 					stall.Stop()
 				}

@@ -129,6 +129,11 @@ type Options struct {
 	// VerifyMutants runs the IR verifier on every mutant (the §II validity
 	// claim); enabled in tests, off in throughput runs.
 	VerifyMutants bool
+	// DisableAnalysis turns off the dataflow-analysis-backed folds (known
+	// bits, ranges, demanded bits) in the optimizer, restoring the
+	// pattern-only pipeline. Used for A/B throughput comparisons; the
+	// analysis layer is on by default.
+	DisableAnalysis bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 	// Telemetry, when non-nil, receives stage timings, pipeline counters,
@@ -155,16 +160,18 @@ type Fuzzer struct {
 
 	// Telemetry handles, resolved once per session so the hot loop pays
 	// only atomic adds (all nil-safe when telemetry is off).
-	tel         *telemetry.Collector
-	ctrMutants  *telemetry.Counter
-	ctrChecks   *telemetry.Counter
-	ctrFast     *telemetry.Counter
-	ctrCrashes  *telemetry.Counter
-	histMutate  *telemetry.Histogram
-	histOpt     *telemetry.Histogram
-	histInterp  *telemetry.Histogram
-	verdictCtr  map[tv.Verdict]*telemetry.Counter
-	observePass func(pass string, d time.Duration)
+	tel             *telemetry.Collector
+	ctrMutants      *telemetry.Counter
+	ctrChecks       *telemetry.Counter
+	ctrFast         *telemetry.Counter
+	ctrCrashes      *telemetry.Counter
+	histMutate      *telemetry.Histogram
+	histOpt         *telemetry.Histogram
+	histInterp      *telemetry.Histogram
+	verdictCtr      map[tv.Verdict]*telemetry.Counter
+	ruleCtrs        map[string]*telemetry.Counter
+	observePass     func(pass string, d time.Duration)
+	observeAnalysis func(d time.Duration)
 }
 
 // New prepares a fuzzing session: resolves the pipeline, drops functions
@@ -267,6 +274,33 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 		}
 		h.Observe(d)
 	}
+
+	// Time spent inside dataflow-analysis-backed folds, as its own stage
+	// so the docs/OBSERVABILITY.md overhead budget is measurable directly.
+	histAnalysis := tel.Histogram("stage.analysis")
+	f.observeAnalysis = func(d time.Duration) {
+		histAnalysis.Observe(d)
+	}
+}
+
+// recordRuleStats folds one mutant's optimizer rule-application counts
+// into the opt.rule.* counters. Handles are cached by name: pipelines fire
+// a small fixed set of rules, so after warm-up this is a map hit per rule.
+func (f *Fuzzer) recordRuleStats(stats map[string]int) {
+	if len(stats) == 0 {
+		return
+	}
+	if f.ruleCtrs == nil {
+		f.ruleCtrs = make(map[string]*telemetry.Counter)
+	}
+	for name, n := range stats {
+		c, ok := f.ruleCtrs[name]
+		if !ok {
+			c = f.tel.Counter("opt.rule." + name)
+			f.ruleCtrs[name] = c
+		}
+		c.Add(int64(n))
+	}
 }
 
 // Dropped returns the names of functions removed during preprocessing.
@@ -288,6 +322,7 @@ func preprocess(mod *ir.Module, passes []opt.Pass, opts Options, dropped *[]stri
 		// Optimize a copy with the *correct* compiler and validate.
 		trial := mod.Clone()
 		ctx := opt.NewContext(trial)
+		ctx.DisableAnalysis = opts.DisableAnalysis
 		ok := func() (ok bool) {
 			defer func() {
 				if recover() != nil {
@@ -315,7 +350,7 @@ func preprocess(mod *ir.Module, passes []opt.Pass, opts Options, dropped *[]stri
 
 // Run executes the fuzzing loop.
 func (f *Fuzzer) Run() *Report {
-	start := time.Now()
+	start := time.Now() // vet:determinism — Stats.Elapsed, reporting only
 	rep := &Report{}
 	rep.Stats.Dropped = f.dropped
 	master := rng.New(f.opts.Seed)
@@ -350,7 +385,7 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 	var t0 time.Time
 	if f.tel != nil {
 		f.ctrMutants.Add(1)
-		t0 = time.Now()
+		t0 = time.Now() // vet:determinism — stage timer, telemetry only
 	}
 	mutant := f.mutator.Mutate(seed)
 	if f.tel != nil {
@@ -370,9 +405,11 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 		ctx.Bugs = f.opts.Bugs
 	}
 	ctx.ObservePass = f.observePass
+	ctx.ObserveAnalysis = f.observeAnalysis
+	ctx.DisableAnalysis = f.opts.DisableAnalysis
 	var crashMsg string
 	if f.tel != nil {
-		t0 = time.Now()
+		t0 = time.Now() // vet:determinism — stage timer, telemetry only
 	}
 	func() {
 		defer func() {
@@ -384,6 +421,7 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 	}()
 	if f.tel != nil {
 		f.histOpt.Observe(time.Since(t0))
+		f.recordRuleStats(ctx.Stats)
 	}
 	if crashMsg != "" {
 		rep.Stats.Crashes++
@@ -452,7 +490,7 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			if r.CEX != nil {
 				fd.CEX = r.CEX.String()
 				if f.tel != nil {
-					t0 = time.Now()
+					t0 = time.Now() // vet:determinism — stage timer, telemetry only
 				}
 				fd.Witness = r.CEX.Concretize(mutant, optimized, src, fn)
 				fd.CrossChecked = fd.Witness.Confirmed

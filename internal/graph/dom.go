@@ -1,0 +1,162 @@
+// Package graph implements generic control-flow-graph algorithms over
+// integer-numbered nodes. It has no dependencies on the IR packages, so
+// both internal/ir (the verifier) and internal/analysis (the cached
+// per-function analyses) can share one dominator implementation instead
+// of carrying diverging copies.
+package graph
+
+// DomTree is a dominator tree over nodes 0..N-1, built with the
+// Cooper–Harvey–Kennedy iterative algorithm over a reverse-postorder
+// numbering and annotated with DFS intervals for O(1) dominance queries.
+type DomTree struct {
+	n     int
+	entry int
+	idom  []int // immediate dominator per node; -1 for entry/unreachable
+	reach []bool
+	in    []int
+	out   []int
+}
+
+// Dominators computes the dominator tree of the graph with n nodes whose
+// edges are given by succs, rooted at entry. Nodes unreachable from the
+// entry are recorded as such; they dominate nothing and are dominated by
+// nothing.
+func Dominators(n, entry int, succs func(int) []int) *DomTree {
+	t := &DomTree{
+		n:     n,
+		entry: entry,
+		idom:  make([]int, n),
+		reach: make([]bool, n),
+		in:    make([]int, n),
+		out:   make([]int, n),
+	}
+	for i := range t.idom {
+		t.idom[i] = -1
+	}
+	if n == 0 {
+		return t
+	}
+
+	// Postorder DFS over the CFG (iterative to handle deep graphs).
+	post := make([]int, 0, n)
+	t.reach[entry] = true
+	type frame struct {
+		node int
+		next int
+	}
+	stack := []frame{{entry, 0}}
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		ss := succs(fr.node)
+		advanced := false
+		for fr.next < len(ss) {
+			s := ss[fr.next]
+			fr.next++
+			if !t.reach[s] {
+				t.reach[s] = true
+				stack = append(stack, frame{s, 0})
+				advanced = true
+				break
+			}
+		}
+		if !advanced && fr.next >= len(ss) {
+			post = append(post, fr.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	rpo := make([]int, len(post))
+	num := make([]int, n)
+	for i := range num {
+		num[i] = -1
+	}
+	for i := range post {
+		rpo[len(post)-1-i] = post[i]
+	}
+	for i, b := range rpo {
+		num[b] = i
+	}
+
+	preds := make([][]int, n)
+	for b := 0; b < n; b++ {
+		for _, s := range succs(b) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	idom := t.idom
+	idom[entry] = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for num[a] > num[b] {
+				a = idom[a]
+			}
+			for num[b] > num[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			newIdom := -1
+			for _, p := range preds[b] {
+				if !t.reach[p] || idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = -1
+
+	// DFS over the dominator tree to assign intervals.
+	children := make([][]int, n)
+	for _, b := range rpo[1:] {
+		children[idom[b]] = append(children[idom[b]], b)
+	}
+	clock := 0
+	var number func(int)
+	number = func(b int) {
+		clock++
+		t.in[b] = clock
+		for _, c := range children[b] {
+			number(c)
+		}
+		clock++
+		t.out[b] = clock
+	}
+	number(entry)
+	return t
+}
+
+// IDom returns the immediate dominator of b, or -1 for the entry node and
+// for unreachable nodes.
+func (t *DomTree) IDom(b int) int { return t.idom[b] }
+
+// Reachable reports whether b is reachable from the entry.
+func (t *DomTree) Reachable(b int) bool { return t.reach[b] }
+
+// Dominates reports whether a dominates b (reflexively: every reachable
+// node dominates itself). Unreachable nodes neither dominate nor are
+// dominated.
+func (t *DomTree) Dominates(a, b int) bool {
+	if !t.reach[a] || !t.reach[b] {
+		return false
+	}
+	return t.in[a] <= t.in[b] && t.out[b] <= t.out[a]
+}
+
+// StrictlyDominates reports a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b int) bool {
+	return a != b && t.Dominates(a, b)
+}

@@ -1,0 +1,76 @@
+package graph
+
+import "testing"
+
+// adj builds a succs function from an adjacency list.
+func adj(edges [][]int) func(int) []int {
+	return func(i int) []int { return edges[i] }
+}
+
+func TestDiamond(t *testing.T) {
+	// 0 -> 1, 2 ; 1 -> 3 ; 2 -> 3
+	d := Dominators(4, 0, adj([][]int{{1, 2}, {3}, {3}, {}}))
+	for b, want := range []int{-1, 0, 0, 0} {
+		if got := d.IDom(b); got != want {
+			t.Errorf("idom(%d) = %d, want %d", b, got, want)
+		}
+	}
+	if !d.Dominates(0, 3) || d.Dominates(1, 3) || d.Dominates(2, 3) {
+		t.Error("diamond dominance wrong")
+	}
+	if !d.Dominates(3, 3) {
+		t.Error("dominance must be reflexive")
+	}
+	if d.StrictlyDominates(3, 3) {
+		t.Error("strict dominance must be irreflexive")
+	}
+}
+
+func TestLoop(t *testing.T) {
+	// 0 -> 1 ; 1 -> 2 ; 2 -> 1, 3
+	d := Dominators(4, 0, adj([][]int{{1}, {2}, {1, 3}, {}}))
+	for b, want := range []int{-1, 0, 1, 2} {
+		if got := d.IDom(b); got != want {
+			t.Errorf("idom(%d) = %d, want %d", b, got, want)
+		}
+	}
+	if !d.Dominates(1, 3) {
+		t.Error("loop header must dominate exit")
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	// node 2 has no in-edges from the entry component.
+	d := Dominators(3, 0, adj([][]int{{1}, {}, {1}}))
+	if d.Reachable(2) {
+		t.Error("node 2 must be unreachable")
+	}
+	if d.Dominates(2, 1) || d.Dominates(0, 2) || d.Dominates(2, 2) {
+		t.Error("unreachable nodes must not participate in dominance")
+	}
+	if d.IDom(2) != -1 {
+		t.Error("unreachable node must have no idom")
+	}
+}
+
+func TestDeepChainNoOverflow(t *testing.T) {
+	// A 50k-node chain must not blow the stack (iterative DFS).
+	const n = 50000
+	succ := func(i int) []int {
+		if i+1 < n {
+			return []int{i + 1}
+		}
+		return nil
+	}
+	d := Dominators(n, 0, succ)
+	if !d.Dominates(0, n-1) || d.IDom(n-1) != n-2 {
+		t.Fatal("chain dominance wrong")
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	d := Dominators(1, 0, adj([][]int{{}}))
+	if !d.Dominates(0, 0) || d.IDom(0) != -1 || !d.Reachable(0) {
+		t.Error("single-node graph wrong")
+	}
+}

@@ -143,6 +143,16 @@ type Interp struct {
 	// MaxSteps caps executed instructions (loops are legal here); 0 means
 	// a generous default.
 	MaxSteps int
+	// OnValue, when non-nil, observes every integer-typed SSA definition
+	// as it is computed, in execution order (phis included). The
+	// dataflow-analysis soundness harness uses it to check claimed facts
+	// against the concrete values of a run.
+	OnValue func(instr *ir.Instr, v Value)
+	// Override, when non-nil, may replace an integer instruction's
+	// just-computed value before it is stored and before OnValue sees it.
+	// The demanded-bits soundness check uses it to flip bits the analysis
+	// claims are dead and assert the observable result is unchanged.
+	Override func(instr *ir.Instr, v Value) Value
 }
 
 // ptrVal tracks pointer provenance alongside bits.
@@ -225,6 +235,7 @@ func (in *Interp) Run(f *ir.Function, args []Value) (Result, error) {
 				if ir.IsPtr(phi.Ty) {
 					st.ptrs[phi] = pvs[pi]
 				}
+				in.observe(st, phi)
 			}
 
 			for _, instr := range blk.Instrs[len(phis):] {
@@ -258,6 +269,7 @@ func (in *Interp) Run(f *ir.Function, args []Value) (Result, error) {
 					if err := in.step(st, instr); err != nil {
 						return err
 					}
+					in.observe(st, instr)
 					continue
 				}
 				break // took a terminator; restart block loop
@@ -272,6 +284,25 @@ func (in *Interp) Run(f *ir.Function, args []Value) (Result, error) {
 		return Result{UB: true, UBReason: e.reason}, nil
 	default:
 		return Result{}, err
+	}
+}
+
+// observe applies the Override and OnValue hooks to an integer-typed
+// instruction whose value was just stored in the environment.
+func (in *Interp) observe(st *execState, instr *ir.Instr) {
+	if in.OnValue == nil && in.Override == nil {
+		return
+	}
+	if _, isInt := ir.IsInt(instr.Ty); !isInt {
+		return
+	}
+	v := st.env[instr]
+	if in.Override != nil {
+		v = in.Override(instr, v)
+		st.env[instr] = v
+	}
+	if in.OnValue != nil {
+		in.OnValue(instr, v)
 	}
 }
 

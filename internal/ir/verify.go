@@ -3,6 +3,8 @@ package ir
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/graph"
 )
 
 // VerifyError describes a structural or SSA invariant violation found by
@@ -293,14 +295,26 @@ func predecessors(f *Function) map[*Block][]*Block {
 }
 
 // verifyDominance checks that every operand use is dominated by its
-// definition. It runs its own small dominance computation so that package
-// ir has no dependency on internal/analysis (which depends on ir).
+// definition. The dominator computation is the shared internal/graph
+// implementation (the same one behind analysis.DomTree), so the verifier
+// and the analyses can never disagree about dominance.
 func (f *Function) verifyDominance() error {
 	fail := func(format string, args ...any) error {
 		return &VerifyError{Func: f.Name, Msg: fmt.Sprintf(format, args...)}
 	}
 
-	idom := simpleIdom(f)
+	idx := make(map[*Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	dom := graph.Dominators(len(f.Blocks), idx[f.Entry()], func(i int) []int {
+		ss := f.Blocks[i].Succs()
+		out := make([]int, len(ss))
+		for j, s := range ss {
+			out[j] = idx[s]
+		}
+		return out
+	})
 
 	// Position of each defining instruction.
 	defBlock := make(map[Value]*Block)
@@ -318,15 +332,7 @@ func (f *Function) verifyDominance() error {
 		if db == ub {
 			return di < ui
 		}
-		for b := ub; b != nil; b = idom[b] {
-			if b == db {
-				return true
-			}
-			if b == f.Entry() {
-				break
-			}
-		}
-		return false
+		return dom.Dominates(idx[db], idx[ub])
 	}
 
 	for _, b := range f.Blocks {
@@ -358,76 +364,4 @@ func (f *Function) verifyDominance() error {
 		}
 	}
 	return nil
-}
-
-// simpleIdom computes immediate dominators with the classic iterative
-// algorithm (Cooper–Harvey–Kennedy) over a reverse-postorder numbering.
-// internal/analysis has the richer, cached version; this copy keeps the
-// verifier self-contained.
-func simpleIdom(f *Function) map[*Block]*Block {
-	entry := f.Entry()
-
-	// Reverse postorder.
-	var post []*Block
-	seen := map[*Block]bool{entry: true}
-	var dfs func(*Block)
-	dfs = func(b *Block) {
-		for _, s := range b.Succs() {
-			if !seen[s] {
-				seen[s] = true
-				dfs(s)
-			}
-		}
-		post = append(post, b)
-	}
-	dfs(entry)
-	rpo := make([]*Block, len(post))
-	num := make(map[*Block]int, len(post))
-	for i := range post {
-		rpo[len(post)-1-i] = post[i]
-	}
-	for i, b := range rpo {
-		num[b] = i
-	}
-
-	preds := predecessors(f)
-	idom := make(map[*Block]*Block, len(rpo))
-	idom[entry] = entry
-	intersect := func(a, b *Block) *Block {
-		for a != b {
-			for num[a] > num[b] {
-				a = idom[a]
-			}
-			for num[b] > num[a] {
-				b = idom[b]
-			}
-		}
-		return a
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, b := range rpo[1:] {
-			var newIdom *Block
-			for _, p := range preds[b] {
-				if _, ok := num[p]; !ok {
-					continue // unreachable predecessor
-				}
-				if idom[p] == nil {
-					continue
-				}
-				if newIdom == nil {
-					newIdom = p
-				} else {
-					newIdom = intersect(p, newIdom)
-				}
-			}
-			if newIdom != nil && idom[b] != newIdom {
-				idom[b] = newIdom
-				changed = true
-			}
-		}
-	}
-	// Normalize: entry's idom is nil for callers walking up.
-	idom[entry] = nil
-	return idom
 }

@@ -26,7 +26,7 @@ func (p *InstCombinePass) Run(ctx *Context, f *ir.Function) bool {
 	// Replaced instructions can survive erasure when they might trap;
 	// never re-fire on such leftovers.
 	done := make(map[*ir.Instr]bool)
-	for iter := 0; iter < maxInstCombineIters; iter++ {
+	sweep := func(fold func(c *combiner, in *ir.Instr) ir.Value) bool {
 		again := false
 		for _, b := range f.Blocks {
 			for i := 0; i < len(b.Instrs); i++ {
@@ -35,10 +35,11 @@ func (p *InstCombinePass) Run(ctx *Context, f *ir.Function) bool {
 					continue
 				}
 				c := &combiner{ctx: ctx, f: f, b: b, idx: i}
-				if v := c.combine(in); v != nil {
+				if v := fold(c, in); v != nil {
 					done[in] = true
 					replaceAllUses(f, in, v)
 					eraseDeadInstr(f, in)
+					ctx.InvalidateFacts(f)
 					again, changed = true, true
 					// c may have inserted instructions before idx; restart
 					// this block to keep indices coherent.
@@ -46,7 +47,20 @@ func (p *InstCombinePass) Run(ctx *Context, f *ir.Function) bool {
 				}
 			}
 		}
-		if !again {
+		return again
+	}
+	for iter := 0; iter < maxInstCombineIters; iter++ {
+		if sweep((*combiner).combine) {
+			continue
+		}
+		// Pattern rules reached fixpoint: only now apply the
+		// dataflow-analysis-backed folds (demanded bits, guard-refined
+		// ranges). Running them later keeps the pattern rules — the
+		// seeded bugs among them in particular — first shot at their
+		// trigger shapes.
+		if !sweep(func(c *combiner, in *ir.Instr) ir.Value {
+			return analysisCombine(c.ctx, c.f, in)
+		}) {
 			break
 		}
 	}

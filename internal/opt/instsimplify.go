@@ -16,12 +16,26 @@ func (*InstSimplifyPass) Name() string { return "instsimplify" }
 // Run implements Pass.
 func (p *InstSimplifyPass) Run(ctx *Context, f *ir.Function) bool {
 	changed := false
+	// A folded instruction whose result is dead can still survive erasure
+	// when it might trap (e.g. a division by a non-constant divisor); track
+	// those so the next sweep does not fold the survivor again forever.
+	done := make(map[*ir.Instr]bool)
 	for {
 		again := false
 		f.ForEachInstr(func(_ *ir.Block, _ int, in *ir.Instr) bool {
-			if v := simplifyInstr(ctx, in); v != nil {
+			if done[in] {
+				return true
+			}
+			v := simplifyInstr(ctx, in)
+			if v == nil {
+				v = analysisSimplify(ctx, f, in)
+			}
+			if v != nil {
 				replaceAllUses(f, in, v)
-				eraseDeadInstr(f, in)
+				if !eraseDeadInstr(f, in) {
+					done[in] = true
+				}
+				ctx.InvalidateFacts(f)
 				ctx.stat("instsimplify")
 				again, changed = true, true
 				return false

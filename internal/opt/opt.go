@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
@@ -31,11 +32,50 @@ type Context struct {
 	// this to the telemetry layer's per-pass histograms; it is nil — and
 	// costs nothing — in ordinary compilation.
 	ObservePass func(pass string, d time.Duration)
+	// ObserveAnalysis, when non-nil, receives the time spent inside
+	// dataflow-analysis-backed folds (fact computation plus matching) so
+	// the telemetry layer can report the analysis stage's cost.
+	ObserveAnalysis func(d time.Duration)
+	// DisableAnalysis turns off the dataflow-analysis-backed folds
+	// (known bits, ranges, demanded bits). Passes then behave exactly as
+	// they did before the analysis layer existed.
+	DisableAnalysis bool
+
+	// facts caches the per-function analysis provider. Invalidated (not
+	// discarded) whenever a pass mutates the function.
+	facts map[*ir.Function]*analysis.Facts
 }
 
 // NewContext builds a context with no seeded bugs.
 func NewContext(mod *ir.Module) *Context {
 	return &Context{Mod: mod, Bugs: &BugSet{}, Stats: make(map[string]int)}
+}
+
+// FactsFor returns the cached analysis-fact provider for f, or nil when
+// analysis is disabled. Callers must treat the provider as stale after
+// any mutation of f and call InvalidateFacts.
+func (c *Context) FactsFor(f *ir.Function) *analysis.Facts {
+	if c.DisableAnalysis {
+		return nil
+	}
+	if c.facts == nil {
+		c.facts = make(map[*ir.Function]*analysis.Facts)
+	}
+	fa := c.facts[f]
+	if fa == nil {
+		fa = analysis.NewFacts(f)
+		c.facts[f] = fa
+	}
+	return fa
+}
+
+// InvalidateFacts drops every cached fact about f. Every pass (and every
+// in-place rewrite inside a pass) that mutates f must call this before
+// the next fact query.
+func (c *Context) InvalidateFacts(f *ir.Function) {
+	if fa := c.facts[f]; fa != nil {
+		fa.Invalidate()
+	}
 }
 
 func (c *Context) stat(name string) {
@@ -56,13 +96,17 @@ type Pass interface {
 func RunPasses(ctx *Context, passes []Pass) {
 	for _, f := range ctx.Mod.Defs() {
 		for _, p := range passes {
+			var changed bool
 			if ctx.ObservePass == nil {
-				p.Run(ctx, f)
-				continue
+				changed = p.Run(ctx, f)
+			} else {
+				start := time.Now() // vet:determinism — ObservePass timing, telemetry only
+				changed = p.Run(ctx, f)
+				ctx.ObservePass(p.Name(), time.Since(start))
 			}
-			start := time.Now()
-			p.Run(ctx, f)
-			ctx.ObservePass(p.Name(), time.Since(start))
+			if changed {
+				ctx.InvalidateFacts(f)
+			}
 		}
 	}
 }

@@ -105,7 +105,7 @@ func Verify(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 	if opts.Observe == nil {
 		return verify(mod, src, tgt, opts)
 	}
-	start := time.Now()
+	start := time.Now() // vet:determinism — Observe latency hook, telemetry only
 	r := verify(mod, src, tgt, opts)
 	opts.Observe(r, time.Since(start))
 	return r

@@ -1,0 +1,202 @@
+// vet-determinism enforces the repository's reproducibility policy: the
+// fuzzing loop, mutation engine, optimizer, and verifier must be
+// deterministic functions of their seeds, so library code must not read
+// wall-clock time or use the stdlib's global, seed-hostile PRNG.
+//
+// Forbidden in library packages (internal/...):
+//
+//   - importing math/rand or math/rand/v2 — use internal/rng, whose
+//     generator is split-seeded and logged with every finding;
+//   - calling time.Now — timing belongs to internal/telemetry or must be
+//     waived explicitly.
+//
+// Exemptions: internal/telemetry and internal/rng themselves, _test.go
+// files, testdata, and the non-library trees (cmd/, examples/, tools/).
+// A deliberate use is waived by a "vet:determinism" comment on the same
+// line; every waiver is reported so the inventory stays reviewable.
+//
+// The tool is stdlib-only (go/parser + go/ast): no module downloads, no
+// toolchain beyond what `go build` already needs. Run via `make vet`.
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// exemptDirs are path segments whose subtrees the policy does not cover:
+// non-library code where wall-clock use is legitimate (CLIs print
+// timings; examples demonstrate them) or not part of the build.
+var exemptDirs = map[string]bool{
+	"cmd":      true,
+	"examples": true,
+	"tools":    true,
+	"testdata": true,
+	".git":     true,
+}
+
+// exemptPkgs are library directories allowed to touch the forbidden API:
+// the telemetry layer is where wall-clock time belongs, and the rng
+// package documents why it replaces math/rand.
+var exemptPkgs = map[string]bool{
+	filepath.Join("internal", "telemetry"): true,
+	filepath.Join("internal", "rng"):       true,
+}
+
+// waiverMarker on the offending line (usually a trailing comment)
+// acknowledges a deliberate, reviewed use.
+const waiverMarker = "vet:determinism"
+
+type finding struct {
+	pos    token.Position
+	what   string
+	waived bool
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quiet := flag.Bool("q", false, "suppress the waiver inventory; print violations only")
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if exemptDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if exemptPkgs[filepath.Dir(rel)] {
+			return nil
+		}
+		files = append(files, path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vet-determinism:", err)
+		return 2
+	}
+	sort.Strings(files)
+
+	var all []finding
+	for _, path := range files {
+		fs, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vet-determinism:", err)
+			return 2
+		}
+		all = append(all, fs...)
+	}
+
+	violations, waived := 0, 0
+	for _, f := range all {
+		if f.waived {
+			waived++
+			if !*quiet {
+				fmt.Printf("%s: waived: %s\n", f.pos, f.what)
+			}
+			continue
+		}
+		violations++
+		fmt.Printf("%s: %s (forbidden outside internal/telemetry and internal/rng; waive with a %q comment on the line)\n",
+			f.pos, f.what, waiverMarker)
+	}
+	if violations > 0 {
+		fmt.Printf("vet-determinism: %d violation(s), %d waiver(s) in %d file(s)\n", violations, waived, len(files))
+		return 1
+	}
+	if !*quiet {
+		fmt.Printf("vet-determinism: clean — %d file(s), %d waiver(s)\n", len(files), waived)
+	}
+	return 0
+}
+
+// checkFile parses one file and reports every forbidden use in it.
+func checkFile(path string) ([]finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lines carrying the waiver marker.
+	waivedLines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, waiverMarker) {
+				waivedLines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	var out []finding
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, finding{pos: p, what: what, waived: waivedLines[p.Line]})
+	}
+
+	// The local names the "time" package is imported under ("time" unless
+	// renamed), so time.Now calls are matched by import identity, not by
+	// a package merely named time.
+	timeNames := map[string]bool{}
+	for _, imp := range file.Imports {
+		ipath, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch ipath {
+		case "math/rand", "math/rand/v2":
+			report(imp.Pos(), "import of "+ipath)
+		case "time":
+			name := "time"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				timeNames[name] = true
+			}
+		}
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !timeNames[id.Name] {
+			return true
+		}
+		report(sel.Pos(), "call to time.Now")
+		return true
+	})
+	return out, nil
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke bench bench-baseline ci
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke microbench bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
+# internal/campaign's end-to-end tests run many seeded campaigns; under
+# the race detector on a loaded runner they can exceed go test's default
+# 10m per-package timeout, so give them headroom explicitly.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +54,27 @@ triage-smoke:
 	$(GO) run ./cmd/triage-replay -dir triage-smoke
 	$(GO) run ./cmd/telemetry-check -trace-out triage-smoke-trace.json triage-smoke.jsonl
 
+# Acceleration A/B end-to-end: the same seeded campaign with the TV
+# verdict cache on and off must render byte-identical result tables (the
+# cache only ever short-circuits Valid/Unsupported verdicts), and the
+# cache-on run must actually take hits — a cache that is wired up but
+# never taken fails the build, not just the speedup.
+perf-smoke:
+	$(GO) run ./cmd/fuzz-campaign -budget 120 -tvbudget 4000 -seed 7 -workers 4 \
+		-only 53252,53218,55201,55287,58423,59757,64687 \
+		-out perf-smoke-on.txt -metrics-out perf-smoke-on.json
+	$(GO) run ./cmd/fuzz-campaign -budget 120 -tvbudget 4000 -seed 7 -workers 4 \
+		-only 53252,53218,55201,55287,58423,59757,64687 -no-tv-cache \
+		-out perf-smoke-off.txt -metrics-out perf-smoke-off.json
+	cmp perf-smoke-on.txt perf-smoke-off.txt
+	$(GO) run ./cmd/telemetry-check -require-counter tv.cache.hit perf-smoke-on.json
+
+# Hot-path microbenchmarks: sat.Solve on canned CNFs, smt blasting and
+# sessions, and tv.Verify over the examples corpus — a tracked baseline
+# for solver changes independent of the end-to-end harness.
+microbench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/sat ./internal/smt ./internal/tv
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -59,6 +83,6 @@ bench:
 # alive-mutate-bench/v1 schema before it can be committed.
 bench-baseline:
 	$(GO) run ./cmd/bench-throughput -count 200 -gen 10 -out res.txt -json BENCH_throughput.json
-	$(GO) run ./cmd/telemetry-check BENCH_throughput.json
+	$(GO) run ./cmd/telemetry-check -require-positive BENCH_throughput.json
 
-ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke

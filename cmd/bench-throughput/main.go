@@ -47,6 +47,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/tv"
 )
 
 type row struct {
@@ -72,7 +73,15 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	repoRoot := flag.String("repo", ".", "repository root (for building the discrete tools)")
 	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B overhead runs)")
+	noTVCache := flag.Bool("no-tv-cache", false, "disable the per-file refinement-verdict cache (A/B comparison runs)")
+	noIncremental := flag.Bool("no-incremental", false, "disable assumption-based incremental SAT solving (A/B comparison runs)")
+	satPreprocess := flag.Bool("sat-preprocess", false, "enable SatELite-lite CNF preprocessing before each solve")
 	flag.Parse()
+	accel := accelConfig{
+		cache:       !*noTVCache,
+		incremental: !*noIncremental,
+		preprocess:  *satPreprocess,
+	}
 
 	// The integrated loop always records stage telemetry here: the
 	// per-stage breakdown is part of the benchmark's output. (Overhead is
@@ -144,7 +153,7 @@ func main() {
 					return row{}, true, err
 				}
 				shard := sink.ShardSink(campaign.WorkerID(ctx))
-				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count, *noAnalysis, shard)
+				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count, *noAnalysis, accel, shard)
 				sink.Metrics.Merge(shard.Collector())
 				return r, true, err
 			},
@@ -248,6 +257,20 @@ func main() {
 			WallNS:         int64(time.Since(expStart)),
 			AvgSpeedup:     avgPerf(rows),
 			StagesNS:       sink.Metrics.StageTotals(),
+			Solver: &telemetry.BenchSolver{
+				TVCacheEnabled: accel.cache,
+				// The solver section records effective state: under the
+				// benchmark's generous conflict budget the per-class
+				// session never engages (it pays off only when budget
+				// exhaustion is plausible), so "incremental" is reported
+				// false even when the knob is on.
+				IncrementalEnabled: accel.incremental && tv.SessionEligible(benchTVBudget),
+				PreprocessEnabled:  accel.preprocess,
+				TVCacheHits:        sink.Metrics.Counter("tv.cache.hit").Value(),
+				TVCacheMisses:      sink.Metrics.Counter("tv.cache.miss").Value(),
+				SATAssumptions:     sink.Metrics.Counter("sat.assumptions").Value(),
+				SATPreprocessElim:  sink.Metrics.Counter("sat.preprocess.eliminated").Value(),
+			},
 		}
 		for _, r := range rows {
 			doc.Files = append(doc.Files, telemetry.BenchFile{
@@ -291,8 +314,33 @@ func avgPerf(rows []row) float64 {
 // shard-local telemetry sink; the integrated loop's stage breakdown
 // records into it, and the discrete loop's wall time lands in
 // stage.discrete for comparison.
+// accelConfig selects the TV acceleration knobs for the integrated loop
+// (the discrete side has no equivalents — its per-iteration process model
+// is exactly what the acceleration stack removes).
+type accelConfig struct {
+	cache       bool
+	incremental bool
+	preprocess  bool
+}
+
+// benchTVBudget is the conflict budget both workflows verify under. It is
+// deliberately generous — the benchmark measures steady-state throughput,
+// not budget-exhaustion behavior — and is shared between the integrated
+// TV options and the discrete pipeline so the comparison stays symmetric.
+const benchTVBudget = 30000
+
+// tvOptions resolves one file's TV options; the verdict cache is
+// per-file, so measurements are independent and deterministic.
+func (a accelConfig) tvOptions() tv.Options {
+	o := tv.Options{Incremental: a.incremental, Preprocess: a.preprocess, ConflictBudget: benchTVBudget}
+	if a.cache {
+		o.Cache = tv.NewCache()
+	}
+	return o
+}
+
 func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
-	passes string, seed uint64, count int, noAnalysis bool, tel *telemetry.Sink) (row, error) {
+	passes string, seed uint64, count int, noAnalysis bool, accel accelConfig, tel *telemetry.Sink) (row, error) {
 	r := row{file: filepath.Base(path)}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -310,6 +358,7 @@ func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
 	fz, err := core.New(mod.Clone(), core.Options{
 		Passes: passes, Seed: seed, NumMutants: count,
 		Telemetry: tel, DisableAnalysis: noAnalysis,
+		TV: accel.tvOptions(),
 	})
 	if err != nil {
 		r.invalid = true
@@ -322,7 +371,7 @@ func measureFile(ctx context.Context, path, tmpDir string, tools discrete.Tools,
 
 	// Discrete workflow: same seeds, same count (the Python loop of
 	// §V-B).
-	pipe := &discrete.Pipeline{Tools: tools, Passes: passes, TmpDir: tmpDir, TVBudget: 30000}
+	pipe := &discrete.Pipeline{Tools: tools, Passes: passes, TmpDir: tmpDir, TVBudget: benchTVBudget}
 	master := rng.New(seed)
 	t0 = time.Now()
 	var disRes discrete.Result

@@ -79,6 +79,10 @@ func run() int {
 	stall := flag.Duration("stall-threshold", 0, "journal a worker_stall event for units running longer than this (0 = off)")
 	triageDir := flag.String("triage-dir", "", "write deduplicated, auto-shrunk reproducer bundles to this directory")
 	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B comparison runs)")
+	noTVCache := flag.Bool("no-tv-cache", false, "disable the per-unit refinement-verdict cache (A/B comparison runs)")
+	sharedTVCache := flag.Bool("shared-tv-cache", false, "share one verdict cache across all workers (hit counts become scheduling-dependent)")
+	noIncremental := flag.Bool("no-incremental", false, "disable assumption-based incremental SAT solving (A/B comparison runs)")
+	satPreprocess := flag.Bool("sat-preprocess", false, "enable SatELite-lite CNF preprocessing before each solve")
 	flag.Parse()
 
 	var only []int
@@ -158,6 +162,10 @@ func run() int {
 		StallThreshold: *stall,
 		Triage:         triageSink,
 		NoAnalysis:     *noAnalysis,
+		NoTVCache:      *noTVCache,
+		SharedTVCache:  *sharedTVCache,
+		NoIncremental:  *noIncremental,
+		SATPreprocess:  *satPreprocess,
 	})
 	wall := time.Since(start)
 	stopProgress()

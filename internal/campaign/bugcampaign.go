@@ -60,6 +60,43 @@ type BugConfig struct {
 	// triage on or off at any worker count. Bundles are written by the
 	// caller via Triage.Flush after the campaign ends.
 	Triage *triage.Sink
+
+	// NoTVCache disables the per-unit refinement-verdict cache. The
+	// default (cache on) memoizes Valid/Unsupported verdicts across the
+	// mutants of one unit execution; because each unit gets a fresh
+	// cache, hit/miss counts — not just verdicts — are deterministic at
+	// any worker count (docs/PERFORMANCE.md).
+	NoTVCache bool
+	// SharedTVCache replaces the per-unit caches with one campaign-wide
+	// concurrent cache. Verdict tables stay identical (cached verdicts
+	// are mode-independent), but hit/miss counts become
+	// scheduling-dependent, so this is opt-in.
+	SharedTVCache bool
+	// NoIncremental disables assumption-based incremental SAT solving of
+	// the per-class refinement queries (A/B comparisons; on by default).
+	NoIncremental bool
+	// SATPreprocess enables SatELite-lite CNF preprocessing before each
+	// solve. Off by default: on this workload's small queries elimination
+	// costs more than it saves (see `make microbench`).
+	SATPreprocess bool
+}
+
+// tvOptions resolves one unit execution's TV configuration. shared is
+// the campaign-wide cache, or nil for the per-unit default.
+func (cfg BugConfig) tvOptions(shared *tv.Cache) tv.Options {
+	o := tv.Options{
+		ConflictBudget: cfg.TVBudget,
+		Incremental:    !cfg.NoIncremental,
+		Preprocess:     cfg.SATPreprocess,
+	}
+	switch {
+	case cfg.NoTVCache:
+	case shared != nil:
+		o.Cache = shared
+	default:
+		o.Cache = tv.NewCache()
+	}
+	return o
 }
 
 // BugRow is one bug's outcome — a row of table1.txt.
@@ -112,6 +149,10 @@ func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
 	}
 	suite := corpus.TargetedTests()
 	agg := NewAgg()
+	var sharedCache *tv.Cache
+	if cfg.SharedTVCache && !cfg.NoTVCache {
+		sharedCache = tv.NewCache()
+	}
 
 	var infos []opt.Info
 	var units []Unit
@@ -120,7 +161,7 @@ func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
 			continue
 		}
 		infos = append(infos, info)
-		units = append(units, bugUnits(info, suite, cfg, agg)...)
+		units = append(units, bugUnits(info, suite, cfg, agg, sharedCache)...)
 	}
 
 	emit(cfg.Telemetry, telemetry.Event{
@@ -193,7 +234,7 @@ func groupName(info opt.Info) string {
 // accumulator to the next. The budget split — half the budget for each
 // tagged seed, an eighth for each untagged one, clipped to what remains —
 // matches the serial driver exactly.
-func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) []Unit {
+func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, sharedCache *tv.Cache) []Unit {
 	group := groupName(info)
 	var units []Unit
 	for unitIdx, t := range corpus.OrderedFor(suite, info.Issue) {
@@ -248,7 +289,7 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg) 
 					// changes only what findings carry, never the loop's
 					// draws or verdicts, so tables stay byte-identical.
 					SaveFindings:    cfg.Triage != nil,
-					TV:              tv.Options{ConflictBudget: cfg.TVBudget},
+					TV:              cfg.tvOptions(sharedCache),
 					Stop:            func() bool { return ctx.Err() != nil },
 					Telemetry:       shard,
 					DisableAnalysis: cfg.NoAnalysis,

@@ -251,11 +251,36 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 		tv.Unsupported: tel.Histogram("tv.unsupported"),
 		tv.Unknown:     tel.Histogram("tv.unknown"),
 	}
+	// Acceleration counters (docs/PERFORMANCE.md). Cache hit/miss are
+	// counted only when a cache is configured, so the pair always sums to
+	// the number of cached-path queries.
+	cacheOn := f.opts.TV.Cache != nil
+	ctrCacheHit := tel.Counter("tv.cache.hit")
+	ctrCacheMiss := tel.Counter("tv.cache.miss")
+	ctrAssumptions := tel.Counter("sat.assumptions")
+	ctrEliminated := tel.Counter("sat.preprocess.eliminated")
+	ctrConflicts := tel.Counter("sat.conflicts")
+	ctrProps := tel.Counter("sat.propagations")
 	prevTV := f.opts.TV.Observe
 	f.opts.TV.Observe = func(r tv.Result, d time.Duration) {
 		histTV.Observe(d)
 		if h, ok := tvHists[r.Verdict]; ok {
 			h.Observe(d)
+		}
+		ctrConflicts.Add(r.Conflicts)
+		ctrProps.Add(r.Propagations)
+		if cacheOn {
+			if r.CacheHit {
+				ctrCacheHit.Add(1)
+			} else {
+				ctrCacheMiss.Add(1)
+			}
+		}
+		if r.AssumptionQueries > 0 {
+			ctrAssumptions.Add(r.AssumptionQueries)
+		}
+		if r.PreprocessEliminated > 0 {
+			ctrEliminated.Add(r.PreprocessEliminated)
 		}
 		if prevTV != nil {
 			prevTV(r, d)

@@ -31,13 +31,17 @@ func (l Lit) Neg() Lit { return l ^ 1 }
 // Sign reports whether the literal is negated.
 func (l Lit) Sign() bool { return l&1 == 1 }
 
-// lbool is a three-valued boolean.
-type lbool int8
+// lbool is a three-valued boolean. The encoding is chosen so that
+// negating a value is XOR with 1 and "undefined" survives negation
+// (2^1 = 3, still >= lUndef): litValue is then a single load and XOR
+// with the literal's sign bit, no branches — it is the hottest
+// instruction sequence in the solver (see docs/PERFORMANCE.md).
+type lbool uint8
 
 const (
-	lUndef lbool = iota
-	lTrue
-	lFalse
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
 )
 
 // Result is a Solve outcome.
@@ -97,11 +101,37 @@ type Solver struct {
 	Decisions    int64
 	Propagations int64
 
+	// Preprocessing statistics (see preprocess.go).
+	EliminatedVars      int64
+	SubsumedClauses     int64
+	StrengthenedClauses int64
+
 	// Budget caps the number of conflicts per Solve call; 0 means no cap.
 	Budget int64
 
 	seen  []bool // scratch for analyze
 	model []lbool
+
+	// Preprocessing state: frozen variables may not be eliminated (the
+	// caller still needs their model values or will assume them);
+	// eliminated variables are resolved away by Preprocess and restored
+	// into models by extendModel.
+	frozen       []bool
+	eliminated   []bool
+	elimStack    []elimRecord
+	preprocessed bool
+
+	// conflict is the final conflict of the last failed
+	// SolveUnderAssumptions call: the subset of assumption literals
+	// (negated) that together are inconsistent with the formula. Empty
+	// when the formula is unsatisfiable without any assumptions.
+	conflict []Lit
+
+	// Scratch buffers reused across Solve calls so the conflict-analysis
+	// hot path performs no per-conflict allocation.
+	learntScratch  []Lit
+	cleanupScratch []int
+	actsScratch    []float64
 }
 
 type watcher struct {
@@ -125,6 +155,8 @@ func (s *Solver) NewVar() int {
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, true) // default phase: false (neg)
 	s.seen = append(s.seen, false)
+	s.frozen = append(s.frozen, false)
+	s.eliminated = append(s.eliminated, false)
 	s.watches = append(s.watches, nil, nil)
 	s.order.insert(v)
 	return v
@@ -133,15 +165,15 @@ func (s *Solver) NewVar() int {
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assign) }
 
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// litValue returns the literal's value under the current assignment:
+// lTrue, lFalse, or >= lUndef when the variable is unassigned (callers
+// compare against lTrue/lFalse only, never == lUndef, so the 2-vs-3
+// ambiguity of an xored undef never escapes).
 func (s *Solver) litValue(l Lit) lbool {
-	a := s.assign[l.Var()]
-	if a == lUndef {
-		return lUndef
-	}
-	if l.Sign() == (a == lFalse) {
-		return lTrue
-	}
-	return lFalse
+	return s.assign[l>>1] ^ lbool(l&1)
 }
 
 // AddClause adds a clause; it returns false if the formula became
@@ -159,6 +191,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	for _, l := range lits {
 		if int(l.Var()) >= len(s.assign) {
 			panic("sat: literal for unallocated variable")
+		}
+		if s.eliminated[l.Var()] {
+			panic("sat: clause on eliminated variable (Freeze it before Preprocess)")
 		}
 		switch s.litValue(l) {
 		case lTrue:
@@ -215,11 +250,7 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 		return false
 	}
 	v := l.Var()
-	if l.Sign() {
-		s.assign[v] = lFalse
-	} else {
-		s.assign[v] = lTrue
-	}
+	s.assign[v] = lbool(l & 1) // sign bit is the lbool encoding
 	s.level[v] = int32(len(s.trailLim))
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
@@ -234,18 +265,41 @@ func (s *Solver) propagate() *clause {
 		s.qhead++
 		s.Propagations++
 
+		np := p.Neg()
 		ws := s.watches[p]
 		kept := ws[:0]
 		var confl *clause
 		for wi := 0; wi < len(ws); wi++ {
 			w := ws[wi]
-			if s.litValue(w.blocker) == lTrue {
+			bv := s.litValue(w.blocker)
+			if bv == lTrue {
 				kept = append(kept, w)
 				continue
 			}
 			c := w.c
+			if len(c.lits) == 2 {
+				// Binary clause: the blocker is exactly the other literal
+				// (watchClause invariant; the new-watch search below starts
+				// at index 2, so binary watchers are never reordered). With
+				// the blocker not true, the clause is unit or conflicting —
+				// no swap, no search. Note the implied literal may sit at
+				// lits[1]; nothing position-sensitive sees binary reasons
+				// (reduceDB keeps all binary clauses before its locked
+				// check, and analyze/analyzeFinal match by value).
+				kept = append(kept, w)
+				if bv == lFalse {
+					confl = c
+					for wi++; wi < len(ws); wi++ {
+						kept = append(kept, ws[wi])
+					}
+					s.qhead = len(s.trail)
+					break
+				}
+				s.enqueue(w.blocker, c)
+				continue
+			}
 			// Ensure the false literal is lits[1].
-			if c.lits[0] == p.Neg() {
+			if c.lits[0] == np {
 				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
 			}
 			first := c.lits[0]
@@ -290,13 +344,13 @@ func (s *Solver) propagate() *clause {
 // analyze performs 1UIP conflict analysis, returning the learnt clause
 // (with the asserting literal first) and the backtrack level.
 func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	learnt := append(s.learntScratch[:0], 0) // slot 0 reserved for the asserting literal
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
 	curLevel := len(s.trailLim)
 
-	var cleanup []int
+	cleanup := s.cleanupScratch[:0]
 	for {
 		s.bumpClause(confl)
 		for i := 0; i < len(confl.lits); i++ {
@@ -348,7 +402,41 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for _, v := range cleanup {
 		s.seen[v] = false
 	}
+	s.learntScratch = learnt
+	s.cleanupScratch = cleanup
 	return learnt, btLevel
+}
+
+// analyzeFinal computes the final conflict after assumption a was found
+// to be falsified by propagation of the earlier assumptions: the subset
+// of the assumption literals that is already inconsistent with the
+// formula. At the point of the call every open decision level is an
+// assumption pseudo-decision, so trail entries with a nil reason above
+// trailLim[0] are exactly the assumptions involved.
+func (s *Solver) analyzeFinal(a Lit) {
+	s.conflict = append(s.conflict[:0], a)
+	if len(s.trailLim) == 0 {
+		return
+	}
+	s.seen[a.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			// Pseudo-decision: this trail literal is one of the assumptions.
+			s.conflict = append(s.conflict, s.trail[i])
+		} else {
+			for _, q := range r.lits {
+				if q.Var() != v && s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[a.Var()] = false
 }
 
 func (s *Solver) cancelUntil(lvl int) {
@@ -398,7 +486,7 @@ func (s *Solver) decide() Lit {
 		if !ok {
 			return -1
 		}
-		if s.assign[v] == lUndef {
+		if s.assign[v] == lUndef && !s.eliminated[v] {
 			s.Decisions++
 			return MkLit(v, s.polarity[v])
 		}
@@ -431,20 +519,22 @@ func (s *Solver) reduceDB() {
 		return
 	}
 	// Partial sort: simple threshold on median activity.
-	acts := make([]float64, len(s.learnts))
-	for i, c := range s.learnts {
-		acts[i] = c.activity
+	acts := s.actsScratch[:0]
+	for _, c := range s.learnts {
+		acts = append(acts, c.activity)
 	}
+	s.actsScratch = acts
 	med := quickMedian(acts)
-	locked := make(map[*clause]bool)
-	for _, r := range s.reason {
-		if r != nil {
-			locked[r] = true
-		}
+	// A learnt clause is locked iff it is the reason for its own first
+	// literal's current assignment (the watched asserting literal), so no
+	// reason-set map is needed.
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assign[v] != lUndef && s.reason[v] == c
 	}
 	kept := s.learnts[:0]
 	for _, c := range s.learnts {
-		if len(c.lits) <= 2 || locked[c] || c.activity >= med {
+		if len(c.lits) <= 2 || locked(c) || c.activity >= med {
 			kept = append(kept, c)
 		} else {
 			s.detachClause(c)
@@ -502,8 +592,27 @@ func quickMedian(xs []float64) float64 {
 // Solve determines satisfiability under the given assumption literals.
 // It returns Unknown only if the conflict Budget is exhausted.
 func (s *Solver) Solve(assumptions ...Lit) Result {
+	return s.SolveUnderAssumptions(assumptions)
+}
+
+// SolveUnderAssumptions determines satisfiability with the given literals
+// held true for the duration of this call only (MiniSat-style incremental
+// interface). Learnt clauses are retained across calls, so a sequence of
+// related queries on one solver shares all derived lemmas. After an Unsat
+// result, Conflict returns the subset of assumptions that failed. The
+// solver is fully reusable afterwards — including after a Budget-exhausted
+// Unknown: every call re-enters the search loop from decision level 0 with
+// a fresh per-call conflict allowance, so a reused solver can never carry
+// a stale Unknown verdict.
+func (s *Solver) SolveUnderAssumptions(assumptions []Lit) Result {
+	s.conflict = s.conflict[:0]
 	if !s.ok {
 		return Unsat
+	}
+	for _, a := range assumptions {
+		if s.eliminated[a.Var()] {
+			panic("sat: assumption on eliminated variable (Freeze it before Preprocess)")
+		}
 	}
 	s.cancelUntil(0)
 	if s.propagate() != nil {
@@ -522,6 +631,7 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		if res != Unknown {
 			if res == Sat {
 				s.model = append(s.model[:0], s.assign...)
+				s.extendModel()
 			}
 			s.cancelUntil(0)
 			return res
@@ -533,6 +643,13 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		}
 	}
 }
+
+// Conflict returns the final conflict of the most recent Unsat result
+// from SolveUnderAssumptions: a subset of the assumption literals that is
+// inconsistent with the formula. An empty slice means the formula is
+// unsatisfiable regardless of assumptions. The slice is valid until the
+// next Solve call.
+func (s *Solver) Conflict() []Lit { return s.conflict }
 
 // search runs CDCL until a result, a restart (conflict budget for this
 // round exhausted → Unknown), or an assumption conflict (→ Unsat).
@@ -565,7 +682,8 @@ func (s *Solver) search(nConflicts int64, assumptions []Lit, maxLearnts *float64
 					return Unsat
 				}
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				// learnt aliases a scratch buffer; copy before retaining.
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
 				s.learnts = append(s.learnts, c)
 				s.watchClause(c)
 				s.bumpClause(c)
@@ -595,6 +713,7 @@ func (s *Solver) search(nConflicts int64, assumptions []Lit, maxLearnts *float64
 				s.trailLim = append(s.trailLim, len(s.trail))
 				continue
 			case lFalse:
+				s.analyzeFinal(a)
 				return Unsat
 			}
 			s.trailLim = append(s.trailLim, len(s.trail))

@@ -1,0 +1,90 @@
+package smt
+
+// Microbenchmarks for the blast/solve hot path (run with
+// `make microbench`). The Session-vs-Checker pair quantifies what
+// blast-once + learnt-clause retention buys on a batch of related
+// queries — the exact shape of tv.Verify's refinement classes.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sat"
+)
+
+func benchQueries(b *Builder, r *rng.Rand, w int) ([]*Term, []*Term) {
+	vars := []*Term{b.Var(w, "x"), b.Var(w, "y"), b.Var(w, "z")}
+	shared := buildRandomTerm(b, r, vars, 4)
+	queries := []*Term{
+		b.Eq(shared, buildRandomTerm(b, r, vars, 3)),
+		b.Ult(shared, buildRandomTerm(b, r, vars, 2)),
+		b.Ne(b.Add(shared, vars[0]), vars[1]),
+		b.Eq(b.Mul(shared, vars[2]), buildRandomTerm(b, r, vars, 2)),
+	}
+	return vars, queries
+}
+
+func BenchmarkCheckerFourQueries(bm *testing.B) {
+	b := NewBuilder()
+	r := rng.New(5)
+	_, queries := benchQueries(b, r, 16)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		for _, q := range queries {
+			var c Checker
+			c.Check(q)
+		}
+	}
+}
+
+func BenchmarkSessionFourQueries(bm *testing.B) {
+	b := NewBuilder()
+	r := rng.New(5)
+	vars, queries := benchQueries(b, r, 16)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		se := NewSession(0, false)
+		se.BindVars(vars)
+		acts := make([]sat.Lit, len(queries))
+		for j, q := range queries {
+			acts[j] = se.Activation(q)
+		}
+		for _, a := range acts {
+			se.Solve(a)
+		}
+	}
+}
+
+func BenchmarkSessionFourQueriesPreprocessed(bm *testing.B) {
+	b := NewBuilder()
+	r := rng.New(5)
+	vars, queries := benchQueries(b, r, 16)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		se := NewSession(0, true)
+		se.BindVars(vars)
+		acts := make([]sat.Lit, len(queries))
+		for j, q := range queries {
+			acts[j] = se.Activation(q)
+		}
+		for _, a := range acts {
+			se.Solve(a)
+		}
+	}
+}
+
+// BenchmarkBlastSharedDAG measures pure Tseitin lowering of a deep
+// shared DAG (no solving), the per-query cost the Session amortizes.
+func BenchmarkBlastSharedDAG(bm *testing.B) {
+	b := NewBuilder()
+	r := rng.New(17)
+	vars := []*Term{b.Var(32, "x"), b.Var(32, "y"), b.Var(32, "z")}
+	term := buildRandomTerm(b, r, vars, 6)
+	root := b.Eq(term, b.Const(term.W, 0))
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		s := sat.New()
+		bl := NewBlast(s)
+		bl.Bits(root)
+	}
+}

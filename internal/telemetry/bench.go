@@ -22,6 +22,20 @@ type BenchFile struct {
 	Speedup      float64 `json:"speedup"`
 }
 
+// BenchSolver records the TV-acceleration configuration and counters for
+// one run (tv.cache.*, sat.assumptions, sat.preprocess.* — see
+// docs/PERFORMANCE.md). The booleans pin down which knobs were active so
+// that A/B documents are self-describing.
+type BenchSolver struct {
+	TVCacheEnabled     bool  `json:"tv_cache_enabled"`
+	IncrementalEnabled bool  `json:"incremental_enabled"`
+	PreprocessEnabled  bool  `json:"preprocess_enabled"`
+	TVCacheHits        int64 `json:"tv_cache_hits"`
+	TVCacheMisses      int64 `json:"tv_cache_misses"`
+	SATAssumptions     int64 `json:"sat_assumptions"`
+	SATPreprocessElim  int64 `json:"sat_preprocess_eliminated"`
+}
+
 // Bench is the machine-readable throughput-benchmark result (paper §V-B):
 // integrated-vs-discrete wall times per file plus the integrated loop's
 // per-stage breakdown.
@@ -35,6 +49,9 @@ type Bench struct {
 	Files          []BenchFile      `json:"files"`
 	AvgSpeedup     float64          `json:"avg_speedup"`
 	StagesNS       map[string]int64 `json:"integrated_stages_ns"`
+	// Solver is absent in documents written before the acceleration
+	// stack landed; ValidateBench accepts both forms.
+	Solver *BenchSolver `json:"solver,omitempty"`
 }
 
 // MarshalIndentedJSON renders the document for -json output.
@@ -94,6 +111,17 @@ func ValidateBench(data []byte) (*Bench, error) {
 	for name, ns := range b.StagesNS {
 		if ns < 0 {
 			return nil, fmt.Errorf("bench: stage %q has negative total (%d)", name, ns)
+		}
+	}
+	if s := b.Solver; s != nil {
+		if s.TVCacheHits < 0 || s.TVCacheMisses < 0 || s.SATAssumptions < 0 || s.SATPreprocessElim < 0 {
+			return nil, fmt.Errorf("bench: solver counters must be non-negative (%+v)", *s)
+		}
+		if !s.TVCacheEnabled && (s.TVCacheHits != 0 || s.TVCacheMisses != 0) {
+			return nil, fmt.Errorf("bench: cache counters nonzero with tv_cache_enabled=false (%+v)", *s)
+		}
+		if !s.IncrementalEnabled && s.SATAssumptions != 0 {
+			return nil, fmt.Errorf("bench: sat_assumptions nonzero with incremental_enabled=false (%+v)", *s)
 		}
 	}
 	return &b, nil

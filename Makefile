@@ -3,7 +3,9 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke microbench bench bench-baseline ci
+include tools/tools.mk
+
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke microbench bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -17,9 +19,23 @@ test:
 race:
 	$(GO) test -race -timeout 20m ./...
 
+# staticcheck and govulncheck run when installed (CI installs the pinned
+# versions via `make lint-tools`; see tools/tools.mk) and are skipped
+# with a notice otherwise, so offline machines still get go vet +
+# vet-determinism from the bare target.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./tools/vet-determinism -q
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "vet: staticcheck not installed; skipping (make lint-tools)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vet: govulncheck not installed; skipping (make lint-tools)"; \
+	fi
 
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -69,6 +85,13 @@ perf-smoke:
 	cmp perf-smoke-on.txt perf-smoke-off.txt
 	$(GO) run ./cmd/telemetry-check -require-counter tv.cache.hit perf-smoke-on.json
 
+# Checkpoint/resume end-to-end: an uninterrupted reference run, a
+# checkpointed run SIGKILLed mid-campaign, and a -resume continuation at
+# a different worker count; the resumed table and triage tree must be
+# byte-identical to the reference (docs/CHECKPOINTING.md).
+resume-smoke:
+	bash tools/resume-smoke.sh
+
 # Hot-path microbenchmarks: sat.Solve on canned CNFs, smt blasting and
 # sessions, and tv.Verify over the examples corpus — a tracked baseline
 # for solver changes independent of the end-to-end harness.
@@ -85,4 +108,4 @@ bench-baseline:
 	$(GO) run ./cmd/bench-throughput -count 200 -gen 10 -out res.txt -json BENCH_throughput.json
 	$(GO) run ./cmd/telemetry-check -require-positive BENCH_throughput.json
 
-ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke

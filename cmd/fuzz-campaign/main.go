@@ -20,7 +20,18 @@
 //	    [-deadline 10m] [-only 53252,50693] [-stats] [-out table1.txt]
 //	    [-metrics-addr 127.0.0.1:8787] [-metrics-out metrics.json]
 //	    [-journal events.jsonl] [-progress 10s] [-stall-threshold 2m]
-//	    [-triage-dir triage/]
+//	    [-triage-dir triage/] [-checkpoint-dir ckpt/]
+//	    [-checkpoint-interval 10s] [-resume]
+//
+// Checkpointing (docs/CHECKPOINTING.md): -checkpoint-dir makes the
+// campaign durable — its progress is periodically serialized to
+// <dir>/checkpoint.jsonl, and a campaign killed at ANY point (SIGKILL
+// included) restarts with -resume and produces a final table and triage
+// tree byte-identical to an uninterrupted run, at any -workers value.
+// SIGINT additionally flushes a final checkpoint before the partial
+// table prints, so a deliberate interrupt is always resumable. A resumed
+// run appends to the same -journal file, starting with a
+// campaign_resumed event.
 //
 // Observability (docs/OBSERVABILITY.md): -metrics-addr serves live
 // expvar counters and pprof profiles while the campaign runs;
@@ -78,6 +89,9 @@ func run() int {
 	progress := flag.Duration("progress", 0, "print live throughput to stderr at this interval (0 = off)")
 	stall := flag.Duration("stall-threshold", 0, "journal a worker_stall event for units running longer than this (0 = off)")
 	triageDir := flag.String("triage-dir", "", "write deduplicated, auto-shrunk reproducer bundles to this directory")
+	ckptDir := flag.String("checkpoint-dir", "", "durably checkpoint campaign progress under this directory")
+	ckptInterval := flag.Duration("checkpoint-interval", 10*time.Second, "minimum gap between periodic checkpoint writes (0 = every unit)")
+	resume := flag.Bool("resume", false, "resume the campaign from -checkpoint-dir's checkpoint")
 	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B comparison runs)")
 	noTVCache := flag.Bool("no-tv-cache", false, "disable the per-unit refinement-verdict cache (A/B comparison runs)")
 	sharedTVCache := flag.Bool("shared-tv-cache", false, "share one verdict cache across all workers (hit counts become scheduling-dependent)")
@@ -120,7 +134,14 @@ func run() int {
 		sink.Metrics.SetLabel("passes", *passSpec)
 	}
 	if *journalPath != "" {
-		jf, err := os.Create(*journalPath)
+		// A resumed campaign appends to the killed run's journal so the
+		// full event history — ending in campaign_resumed, then the
+		// continuation — lives in one file.
+		jflags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if *resume {
+			jflags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		jf, err := os.OpenFile(*journalPath, jflags, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
 			return 1
@@ -149,26 +170,40 @@ func run() int {
 	defer stop()
 
 	start := time.Now()
-	rep := campaign.RunBugs(ctx, campaign.BugConfig{
-		Budget:         *budget,
-		TVBudget:       *tvBudget,
-		Seed:           *seed,
-		Passes:         *passSpec,
-		Workers:        *workers,
-		Deadline:       *deadline,
-		Only:           only,
-		Progress:       func(r campaign.BugRow) { fmt.Println(r.ProgressLine()) },
-		Telemetry:      sink,
-		StallThreshold: *stall,
-		Triage:         triageSink,
-		NoAnalysis:     *noAnalysis,
-		NoTVCache:      *noTVCache,
-		SharedTVCache:  *sharedTVCache,
-		NoIncremental:  *noIncremental,
-		SATPreprocess:  *satPreprocess,
+	rep, err := campaign.RunBugs(ctx, campaign.BugConfig{
+		Budget:             *budget,
+		TVBudget:           *tvBudget,
+		Seed:               *seed,
+		Passes:             *passSpec,
+		Workers:            *workers,
+		Deadline:           *deadline,
+		Only:               only,
+		Progress:           func(r campaign.BugRow) { fmt.Println(r.ProgressLine()) },
+		Telemetry:          sink,
+		StallThreshold:     *stall,
+		Triage:             triageSink,
+		NoAnalysis:         *noAnalysis,
+		NoTVCache:          *noTVCache,
+		SharedTVCache:      *sharedTVCache,
+		NoIncremental:      *noIncremental,
+		SATPreprocess:      *satPreprocess,
+		CheckpointDir:      *ckptDir,
+		CheckpointInterval: *ckptInterval,
+		Resume:             *resume,
 	})
 	wall := time.Since(start)
 	stopProgress()
+	if rep == nil {
+		// Resume refused (missing, corrupt, or mismatched checkpoint):
+		// nothing ran, so there is no partial table to print.
+		fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
+		return 1
+	}
+	if err != nil {
+		// The campaign ran but checkpointing failed mid-way; the table is
+		// still valid — report the checkpoint loss and keep going.
+		fmt.Fprintln(os.Stderr, "fuzz-campaign: warning:", err)
+	}
 
 	table := rep.Table()
 	fmt.Println()

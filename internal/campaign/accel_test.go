@@ -25,7 +25,7 @@ func runAccel(t *testing.T, workers int, mutate func(*BugConfig), sink *telemetr
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return RunBugs(context.Background(), cfg)
+	return mustRunBugs(t, context.Background(), cfg)
 }
 
 // TestCampaignTVAccelInvariance is the acceleration stack's acceptance

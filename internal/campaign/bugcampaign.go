@@ -4,15 +4,21 @@
 // as the original serial driver spent it. That invariant is what makes
 // `-workers 1` reproduce the serial driver's table byte-for-byte and
 // `-workers N` reproduce the same found/missed census and mutant counts
-// in less wall-clock time.
+// in less wall-clock time — and, because every unit's result is a pure
+// function of its seed and its chained predecessor, it is also what makes
+// a checkpointed campaign resumable with byte-identical output
+// (docs/CHECKPOINTING.md).
 
 package campaign
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -38,7 +44,8 @@ type BugConfig struct {
 	// (small deterministic campaigns for tests and CI smoke runs).
 	Only []int
 	// Progress, when non-nil, receives each bug's row as its group
-	// completes. Calls are serialized.
+	// completes (including groups restored whole from a checkpoint).
+	// Calls are serialized.
 	Progress func(BugRow)
 	// Stderr receives seed-parse warnings (default os.Stderr).
 	Stderr io.Writer
@@ -60,6 +67,25 @@ type BugConfig struct {
 	// triage on or off at any worker count. Bundles are written by the
 	// caller via Triage.Flush after the campaign ends.
 	Triage *triage.Sink
+
+	// CheckpointDir, when non-empty, enables durable checkpointing: the
+	// coordinator writes CheckpointFile under this directory at start,
+	// periodically as units complete, and once more before RunBugs
+	// returns (docs/CHECKPOINTING.md).
+	CheckpointDir string
+	// CheckpointInterval is the minimum gap between periodic checkpoint
+	// writes; <= 0 writes after every unit completion.
+	CheckpointInterval time.Duration
+	// Resume loads CheckpointDir's checkpoint before running and
+	// continues the campaign from it. The checkpoint must have been
+	// written by a campaign with the same result-affecting configuration
+	// (any worker count is fine); the resumed run's final table and
+	// triage bundles are byte-identical to an uninterrupted run's.
+	Resume bool
+	// StopAfterUnits is a fault-injection hook for resume tests: after
+	// this many unit completions the engine checkpoints and cancels,
+	// simulating a kill at an injected cut point. 0 disables the hook.
+	StopAfterUnits int
 
 	// NoTVCache disables the per-unit refinement-verdict cache. The
 	// default (cache on) memoizes Valid/Unsupported verdicts across the
@@ -99,6 +125,18 @@ func (cfg BugConfig) tvOptions(shared *tv.Cache) tv.Options {
 	return o
 }
 
+// fingerprint digests every configuration knob that can change the
+// campaign's results. A checkpoint only resumes under a matching
+// fingerprint; knobs that can never change results (workers, telemetry,
+// TV acceleration modes) are deliberately excluded so a campaign can
+// resume at a different parallelism or observability setting.
+func (cfg BugConfig) fingerprint() string {
+	only := append([]int(nil), cfg.Only...)
+	sort.Ints(only)
+	return fmt.Sprintf("budget=%d tvbudget=%d seed=%d passes=%s only=%v analysis=%t triage=%t",
+		cfg.Budget, cfg.TVBudget, cfg.Seed, cfg.Passes, only, !cfg.NoAnalysis, cfg.Triage != nil)
+}
+
 // BugRow is one bug's outcome — a row of table1.txt.
 type BugRow struct {
 	Info  opt.Info
@@ -116,20 +154,47 @@ type BugReport struct {
 	Miscompiles int
 	Crashes     int
 	Interrupted bool // the campaign was cancelled; Rows are partial
+	Restored    int  // units restored from a checkpoint instead of run
 	Agg         *Agg
 }
 
 // bugState is the chained per-group state: the serial driver's `spent`
-// accumulator plus the first finding, threaded unit to unit.
+// accumulator plus the first finding, threaded unit to unit. Fields are
+// exported for checkpoint serialization.
 type bugState struct {
-	spent        int
-	row          BugRow
-	budgetLogged bool // budget_exhausted journaled once per group
+	Spent        int    `json:"spent"`
+	Row          BugRow `json:"row"`
+	BudgetLogged bool   `json:"budget_logged,omitempty"` // budget_exhausted journaled once per group
 }
 
-// RunBugs executes the campaign. It always returns a report — on
-// cancellation a partial one, with Interrupted set.
-func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
+// bugUnitRes is one unit's checkpointable result: the chained group
+// state plus this unit's own side-effect deltas — the loop stats folded
+// into the aggregate and the triage candidates it produced — which a
+// resume replays instead of re-running the unit.
+type bugUnitRes struct {
+	State bugState `json:"state"`
+	// Ran distinguishes units that executed a fuzzing loop from units
+	// that only forwarded state (budget pre-exhausted, unsupported or
+	// unparsable seed) and so have no stats to replay.
+	Ran      bool               `json:"ran,omitempty"`
+	Stats    core.Stats         `json:"stats"`
+	Findings int                `json:"findings,omitempty"`
+	Triage   []triage.Candidate `json:"triage,omitempty"`
+}
+
+// chainOf extracts the chained group state from an engine prev value.
+func chainOf(prev any) bugState {
+	if prev == nil {
+		return bugState{}
+	}
+	return prev.(bugUnitRes).State
+}
+
+// RunBugs executes the campaign. It always returns a report when the
+// campaign ran — on cancellation a partial one, with Interrupted set.
+// The error is non-nil when resume or checkpointing fails; a nil report
+// with a non-nil error means the campaign never started.
+func RunBugs(ctx context.Context, cfg BugConfig) (*BugReport, error) {
 	if cfg.Passes == "" {
 		cfg.Passes = "O2"
 	}
@@ -164,18 +229,80 @@ func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
 		units = append(units, bugUnits(info, suite, cfg, agg, sharedCache)...)
 	}
 
+	meta := CheckpointMeta{Kind: "bugs", Fingerprint: cfg.fingerprint(), Units: len(units)}
+	var ckpt *CheckpointConfig
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		ckpt = &CheckpointConfig{
+			Path:     filepath.Join(cfg.CheckpointDir, CheckpointFile),
+			Interval: cfg.CheckpointInterval,
+			Meta:     meta,
+			Encode:   func(res any) ([]byte, error) { return json.Marshal(res.(bugUnitRes)) },
+		}
+	}
+
+	rep := &BugReport{Agg: agg}
+	var restored []RestoredUnit
+	if cfg.Resume {
+		if cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("checkpoint: resume requires a checkpoint directory")
+		}
+		cp, err := LoadCheckpoint(filepath.Join(cfg.CheckpointDir, CheckpointFile))
+		if err != nil {
+			return nil, err
+		}
+		if cp.Meta.Kind != meta.Kind || cp.Meta.Fingerprint != meta.Fingerprint {
+			return nil, fmt.Errorf("checkpoint was written by a different campaign configuration:\n  checkpoint: %s %q\n  this run:   %s %q",
+				cp.Meta.Kind, cp.Meta.Fingerprint, meta.Kind, meta.Fingerprint)
+		}
+		if cp.Meta.Units != meta.Units {
+			return nil, fmt.Errorf("checkpoint describes %d campaign unit(s), this configuration has %d (registry or corpus changed?)",
+				cp.Meta.Units, meta.Units)
+		}
+		for _, rec := range cp.Records {
+			var res bugUnitRes
+			if err := json.Unmarshal(rec.State, &res); err != nil {
+				return nil, fmt.Errorf("checkpoint: unit %s/%d state undecodable: %w", rec.Group, rec.Index, err)
+			}
+			// Replay the unit's side effects: its loop stats into the
+			// aggregate and its findings into the triage sink. The
+			// fuzzing work itself is never repeated.
+			if res.Ran {
+				agg.Record(rec.Group, res.Stats, res.Findings)
+			}
+			for _, c := range res.Triage {
+				cfg.Triage.Add(c)
+			}
+			restored = append(restored, RestoredUnit{Record: rec, Res: res})
+		}
+		if cp.Metrics != nil {
+			cfg.Telemetry.Collector().MergeSnapshot(cp.Metrics)
+		}
+		rep.Restored = len(restored)
+		cfg.Telemetry.Collector().Add("checkpoint.restored_units", int64(len(restored)))
+		emit(cfg.Telemetry, telemetry.Event{
+			Type:   "campaign_resumed",
+			Shard:  -1,
+			Detail: fmt.Sprintf("restored=%d/%d units", len(restored), len(units)),
+		})
+	}
+
 	emit(cfg.Telemetry, telemetry.Event{
 		Type:   "campaign_start",
 		Shard:  -1,
 		Detail: fmt.Sprintf("bugs=%d units=%d budget=%d workers=%d seed=%d", len(infos), len(units), cfg.Budget, cfg.Workers, cfg.Seed),
 	})
-	rep := &BugReport{Agg: agg}
 	rowDone := map[string]BugRow{}
 	var mu sync.Mutex
 	opts := Options{
 		Workers:        cfg.Workers,
 		Telemetry:      cfg.Telemetry,
 		StallThreshold: cfg.StallThreshold,
+		Checkpoint:     ckpt,
+		Restore:        restored,
+		StopAfterUnits: cfg.StopAfterUnits,
 		OnGroupDone: func(group string, outcomes []Outcome) {
 			// The last executed unit's state carries the group's result.
 			st := bugState{}
@@ -184,22 +311,22 @@ func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
 				o := &outcomes[i]
 				secs += o.Elapsed().Seconds()
 				if !o.Skipped && o.Res != nil {
-					st = o.Res.(bugState)
+					st = o.Res.(bugUnitRes).State
 				}
 			}
-			st.row.Secs = secs
-			if !st.row.Found {
-				st.row.Iters = st.spent
+			st.Row.Secs = secs
+			if !st.Row.Found {
+				st.Row.Iters = st.Spent
 			}
 			mu.Lock()
-			rowDone[group] = st.row
+			rowDone[group] = st.Row
 			mu.Unlock()
 			if cfg.Progress != nil {
-				cfg.Progress(st.row)
+				cfg.Progress(st.Row)
 			}
 		},
 	}
-	Run(ctx, units, opts)
+	_, err := Run(ctx, units, opts)
 	rep.Interrupted = ctx.Err() != nil
 
 	// Assemble rows in registry order regardless of completion order.
@@ -221,7 +348,7 @@ func RunBugs(ctx context.Context, cfg BugConfig) *BugReport {
 		detail += " interrupted"
 	}
 	emit(cfg.Telemetry, telemetry.Event{Type: "campaign_finish", Shard: -1, Detail: detail})
-	return rep
+	return rep, err
 }
 
 func groupName(info opt.Info) string {
@@ -246,26 +373,23 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, 
 			Name:  t.Name,
 			Seed:  cfg.Seed ^ uint64(info.Issue),
 			Run: func(ctx context.Context, prev any) (any, bool, error) {
-				st := bugState{}
-				if prev != nil {
-					st = prev.(bugState)
-				}
-				if st.spent >= cfg.Budget {
-					if !st.budgetLogged {
-						st.budgetLogged = true
+				st := chainOf(prev)
+				if st.Spent >= cfg.Budget {
+					if !st.BudgetLogged {
+						st.BudgetLogged = true
 						emit(cfg.Telemetry, telemetry.Event{
 							Type: "budget_exhausted", Shard: WorkerID(ctx),
-							Group: group, Iters: st.spent,
+							Group: group, Iters: st.Spent,
 						})
 					}
-					return st, true, nil
+					return bugUnitRes{State: st}, true, nil
 				}
 				n := cfg.Budget / 2
 				if !tagged {
 					n = cfg.Budget / 8
 				}
-				if st.spent+n > cfg.Budget {
-					n = cfg.Budget - st.spent
+				if st.Spent+n > cfg.Budget {
+					n = cfg.Budget - st.Spent
 				}
 				// Shard-local telemetry: a fresh collector per unit, merged
 				// into the run-wide one when the unit's loop finishes.
@@ -276,7 +400,7 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, 
 				if err != nil {
 					cfg.Telemetry.Collector().Merge(shard.Collector())
 					fmt.Fprintf(cfg.Stderr, "fuzz-campaign: seed %s: %v\n", t.Name, err)
-					return st, false, err
+					return bugUnitRes{State: st}, false, err
 				}
 				bugs := (&opt.BugSet{}).Enable(info.ID)
 				fz, err := core.New(mod, core.Options{
@@ -296,15 +420,16 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, 
 				})
 				if err != nil {
 					cfg.Telemetry.Collector().Merge(shard.Collector())
-					return st, false, nil // whole seed unsupported for this pipeline
+					return bugUnitRes{State: st}, false, nil // whole seed unsupported for this pipeline
 				}
 				r := fz.Run()
 				cfg.Telemetry.Collector().Merge(shard.Collector())
-				st.spent += r.Stats.Iterations
+				st.Spent += r.Stats.Iterations
 				agg.Record(group, r.Stats, len(r.Findings))
+				res := bugUnitRes{Ran: true, Stats: r.Stats, Findings: len(r.Findings)}
 				if cfg.Triage != nil {
 					for _, fd := range r.Findings {
-						cfg.Triage.Add(triage.Candidate{
+						c := triage.Candidate{
 							Finding:  fd,
 							Group:    group,
 							Unit:     t.Name,
@@ -313,31 +438,35 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, 
 							Passes:   cfg.Passes,
 							TVBudget: cfg.TVBudget,
 							SeedText: t.Text,
-						})
+						}
+						cfg.Triage.Add(c)
+						res.Triage = append(res.Triage, c)
 					}
 				}
 				if len(r.Findings) > 0 {
 					fd := r.Findings[0]
-					st.row = BugRow{
+					st.Row = BugRow{
 						Info:  info,
 						Found: true,
-						Iters: st.spent - r.Stats.Iterations + fd.Iter,
+						Iters: st.Spent - r.Stats.Iterations + fd.Iter,
 						Kind:  fd.Kind.String(),
 						SeedT: t.Name,
 					}
-					return st, true, nil
+					res.State = st
+					return res, true, nil
 				}
-				if st.spent >= cfg.Budget && !st.budgetLogged {
-					st.budgetLogged = true
+				if st.Spent >= cfg.Budget && !st.BudgetLogged {
+					st.BudgetLogged = true
 					emit(cfg.Telemetry, telemetry.Event{
 						Type: "budget_exhausted", Shard: WorkerID(ctx),
-						Group: group, Iters: st.spent,
+						Group: group, Iters: st.Spent,
 					})
 				}
+				res.State = st
 				if ctx.Err() != nil {
-					return st, true, nil // cancelled mid-unit: partial spend recorded
+					return res, true, nil // cancelled mid-unit: partial spend recorded
 				}
-				return st, false, nil
+				return res, false, nil
 			},
 		})
 	}
@@ -346,7 +475,8 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, 
 
 // Table renders the report in the table1.txt format. For an
 // uninterrupted `-workers 1` run this is byte-identical to the historical
-// serial driver's output; for any worker count the found/missed census
+// serial driver's output; for any worker count — and for any
+// kill-and-resume sequence through a checkpoint — the found/missed census
 // and mutant counts are identical too.
 func (rep *BugReport) Table() string {
 	var b strings.Builder

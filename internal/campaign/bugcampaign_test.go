@@ -12,9 +12,20 @@ import (
 // kinds without a minutes-long campaign.
 var testIssues = []int{53252, 53218, 55201, 55287, 58423, 59757, 64687}
 
+// mustRunBugs runs a campaign that must not fail with a checkpoint or
+// restore error (none of these tests configure either).
+func mustRunBugs(t *testing.T, ctx context.Context, cfg BugConfig) *BugReport {
+	t.Helper()
+	rep, err := RunBugs(ctx, cfg)
+	if err != nil {
+		t.Fatalf("RunBugs: %v", err)
+	}
+	return rep
+}
+
 func runSmall(t *testing.T, workers int) *BugReport {
 	t.Helper()
-	return RunBugs(context.Background(), BugConfig{
+	return mustRunBugs(t, context.Background(), BugConfig{
 		Budget:   120,
 		TVBudget: 4000,
 		Seed:     7,
@@ -66,7 +77,7 @@ func TestBugCampaignDeterminism(t *testing.T) {
 // compared.
 func TestBugCampaignAnalysisInvariance(t *testing.T) {
 	withAnalysis := runSmall(t, 4)
-	without := RunBugs(context.Background(), BugConfig{
+	without := mustRunBugs(t, context.Background(), BugConfig{
 		Budget:     120,
 		TVBudget:   4000,
 		Seed:       7,
@@ -105,7 +116,7 @@ func TestBugCampaignRepeatable(t *testing.T) {
 func TestBugCampaignCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	rep := RunBugs(ctx, BugConfig{
+	rep := mustRunBugs(t, ctx, BugConfig{
 		Budget: 120, TVBudget: 4000, Seed: 7, Workers: 4,
 		Only: testIssues, Stderr: io.Discard,
 	})
@@ -124,7 +135,7 @@ func TestBugCampaignCancelled(t *testing.T) {
 // row, and rows carry the registry metadata.
 func TestProgressCallback(t *testing.T) {
 	seen := map[int]int{}
-	RunBugs(context.Background(), BugConfig{
+	mustRunBugs(t, context.Background(), BugConfig{
 		Budget: 40, TVBudget: 2000, Seed: 7, Workers: 4,
 		Only:     []int{53218, 55201, 55287},
 		Stderr:   io.Discard,

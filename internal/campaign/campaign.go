@@ -6,26 +6,41 @@
 // same observation), so a campaign over many (bug × seed-test) cells
 // should saturate every core the hardware offers.
 //
-// The engine decomposes a campaign into Units. Units carry a Group name;
-// units that share a group form a *chain*: the engine guarantees they run
-// sequentially in slice order, each receiving its predecessor's result,
-// which is how a per-bug mutant budget is threaded through a bug's seed
-// tests exactly as a serial driver would spend it. Different groups run
-// concurrently over a bounded worker pool. Because every unit derives its
-// randomness from its own Unit.Seed (not from any shared stream), results
-// are reproducible regardless of worker count or scheduling order: the
-// only scheduling-dependent observable is wall-clock time.
+// The engine is split along a coordinator/executor boundary:
+//
+//   - The coordinator (coordinator.go) owns the unit queue, the group
+//     chains, budget/result aggregation, and checkpointing. It is the only
+//     place campaign state lives.
+//   - Executors (executor.go) run units. They speak a transport-agnostic
+//     shard protocol — a stream of ShardRequest in, ShardResult out — so
+//     the in-process LocalExecutor of today and an HTTP/JSON worker fleet
+//     tomorrow slot behind the same interface.
+//   - Checkpoints (checkpoint.go) durably serialize the coordinator's
+//     completed-unit state to a versioned JSONL file, so a killed campaign
+//     resumes byte-identical to an uninterrupted run
+//     (docs/CHECKPOINTING.md).
+//
+// The coordinator decomposes a campaign into Units. Units carry a Group
+// name; units that share a group form a *chain*: the engine guarantees
+// they run sequentially in slice order, each receiving its predecessor's
+// result, which is how a per-bug mutant budget is threaded through a
+// bug's seed tests exactly as a serial driver would spend it. Different
+// groups run concurrently over a bounded worker pool. Because every unit
+// derives its randomness from its own Unit.Seed (not from any shared
+// stream), results are reproducible regardless of worker count or
+// scheduling order: the only scheduling-dependent observable is
+// wall-clock time.
 //
 // Cancellation is first-class: the context passed to Run bounds the whole
 // campaign (deadline, SIGINT), is forwarded to every unit, and a
 // cancelled campaign still returns the outcomes of every unit that
-// completed, so a driver can print a partial result table.
+// completed, so a driver can print a partial result table — and, with
+// checkpointing enabled, a final checkpoint is flushed before Run
+// returns, so an interrupted run is always resumable.
 package campaign
 
 import (
 	"context"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/telemetry"
@@ -40,8 +55,8 @@ type Unit struct {
 	// Name identifies the unit within its group (e.g. the seed test).
 	Name string
 	// Seed is the unit's independent PRNG seed. The engine does not use
-	// it; it is carried here so schedulers, logs, and replay tooling all
-	// read the same value the unit's Run closure consumes.
+	// it; it is carried here so schedulers, logs, checkpoints, and replay
+	// tooling all read the same value the unit's Run closure consumes.
 	Seed uint64
 	// Run executes the unit. prev is the result of the previous unit in
 	// the same group (nil for the group's first unit); the engine
@@ -64,7 +79,8 @@ type Outcome struct {
 	End     time.Time
 }
 
-// Elapsed is the unit's execution wall time (zero if skipped).
+// Elapsed is the unit's execution wall time (zero if skipped). For units
+// restored from a checkpoint it is the recorded pre-restart duration.
 func (o *Outcome) Elapsed() time.Duration {
 	if o.Skipped {
 		return 0
@@ -75,15 +91,19 @@ func (o *Outcome) Elapsed() time.Duration {
 // Options configures an engine run.
 type Options struct {
 	// Workers is the number of worker goroutines; <= 0 means
-	// runtime.NumCPU().
+	// runtime.NumCPU(). Ignored when Executor is set.
 	Workers int
+	// Executor runs the campaign's units. Nil means an in-process
+	// LocalExecutor with Workers goroutines.
+	Executor Executor
 	// Deadline bounds the whole campaign's wall-clock time (0 = none).
 	// On expiry, running units are asked to stop via their context and
 	// unstarted units are skipped.
 	Deadline time.Duration
 	// OnGroupDone, when non-nil, is called once per group as it finishes
-	// (early exit, queue exhausted, or cancellation), with the group's
-	// outcomes in unit order. Calls are serialized by the engine.
+	// (early exit, queue exhausted, restored-complete from a checkpoint,
+	// or cancellation), with the group's outcomes in unit order. Calls
+	// are serialized by the engine.
 	OnGroupDone func(group string, outcomes []Outcome)
 	// Telemetry, when non-nil, receives engine lifecycle events:
 	// unit_start / unit_finish (stamped with the executing worker's
@@ -93,6 +113,21 @@ type Options struct {
 	// after this long produces a worker_stall journal event (once). 0
 	// disables the watchdog.
 	StallThreshold time.Duration
+	// Checkpoint, when non-nil, enables durable checkpointing: the
+	// coordinator writes an initial checkpoint before dispatching, a
+	// periodic one as units complete, and a final one before Run returns
+	// (docs/CHECKPOINTING.md).
+	Checkpoint *CheckpointConfig
+	// Restore pre-seeds the group chains with units completed by an
+	// earlier run, loaded from that run's checkpoint. Restored units are
+	// never re-executed; their recorded results thread into the chains
+	// exactly as if they had just run.
+	Restore []RestoredUnit
+	// StopAfterUnits is a fault-injection hook for resume tests: after
+	// this many (non-restored) unit completions the coordinator writes a
+	// checkpoint and cancels the campaign — an injected kill at a
+	// deterministic cut point. 0 disables the hook.
+	StopAfterUnits int
 }
 
 // workerKey carries the executing worker's index in the unit's context.
@@ -116,190 +151,11 @@ func emit(s *telemetry.Sink, ev telemetry.Event) {
 	}
 }
 
-// groupState is the engine's bookkeeping for one chain.
-type groupState struct {
-	queue   []int // indices into the unit slice, in order
-	next    int   // next queue position to dispatch
-	running bool  // a unit of this group is dispatched or executing
-	done    bool  // early exit or exhaustion; remaining units skip
-	prev    any   // chained result threaded to the next unit
-}
-
-// result is what a worker reports back to the control loop.
-type result struct {
-	idx        int
-	res        any
-	done       bool
-	err        error
-	start, end time.Time
-	canceled   bool // unit never ran because the context was cancelled
-}
-
 // Run executes the units and returns one outcome per unit, in input
 // order. It blocks until every dispatched unit has finished; on context
-// cancellation the remaining units are marked Skipped.
-func Run(ctx context.Context, units []Unit, opts Options) []Outcome {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if opts.Deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
-		defer cancel()
-	}
-
-	outcomes := make([]Outcome, len(units))
-	for i := range outcomes {
-		outcomes[i].Unit = units[i]
-		outcomes[i].Skipped = true // overwritten when the unit runs
-	}
-
-	// Group chains, in first-appearance order.
-	groups := map[string]*groupState{}
-	var order []string
-	for i, u := range units {
-		g, ok := groups[u.Group]
-		if !ok {
-			g = &groupState{}
-			groups[u.Group] = g
-			order = append(order, u.Group)
-		}
-		g.queue = append(g.queue, i)
-	}
-
-	// Bounded fan-out: workers pull unit indices from ready; the control
-	// loop pulls completions from results. The ready buffer is
-	// deliberately small — backpressure, not queue depth, is what keeps
-	// memory flat when a campaign has thousands of shards.
-	ready := make(chan int, workers)
-	results := make(chan result, workers)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			wctx := context.WithValue(ctx, workerKey{}, worker)
-			for idx := range ready {
-				r := result{idx: idx, start: time.Now()} // vet:determinism — unit wall-clock, reporting only
-				if ctx.Err() != nil {
-					r.canceled = true
-					results <- r
-					continue
-				}
-				u := units[idx]
-				emit(opts.Telemetry, telemetry.Event{
-					Type: "unit_start", Shard: worker,
-					Group: u.Group, Unit: u.Name, Seed: u.Seed,
-				})
-				var stall *time.Timer
-				if opts.StallThreshold > 0 && opts.Telemetry != nil {
-					stall = time.AfterFunc(opts.StallThreshold, func() {
-						emit(opts.Telemetry, telemetry.Event{
-							Type: "worker_stall", Shard: worker,
-							Group: u.Group, Unit: u.Name,
-							DurNS: int64(opts.StallThreshold),
-						})
-					})
-				}
-				r.res, r.done, r.err = u.Run(wctx, groups[u.Group].prev)
-				r.end = time.Now() // vet:determinism — unit wall-clock, reporting only
-				if stall != nil {
-					stall.Stop()
-				}
-				fin := telemetry.Event{
-					Type: "unit_finish", Shard: worker,
-					Group: u.Group, Unit: u.Name, Seed: u.Seed,
-					DurNS: int64(r.end.Sub(r.start)),
-				}
-				if r.err != nil {
-					fin.Err = r.err.Error()
-				}
-				emit(opts.Telemetry, fin)
-				results <- r
-			}
-		}(w)
-	}
-
-	finishGroup := func(name string) {
-		g := groups[name]
-		g.done = true
-		if opts.OnGroupDone == nil {
-			return
-		}
-		var out []Outcome
-		for _, idx := range g.queue {
-			out = append(out, outcomes[idx])
-		}
-		opts.OnGroupDone(name, out)
-	}
-
-	// Control loop: keep every group's head unit in flight. All group
-	// state is touched only here, which is what lets Unit.Run read prev
-	// without locks (the happens-before edge is the ready/results channel
-	// pair).
-	dispatched, completed := 0, 0
-	for {
-		// Collect groups with a dispatchable head.
-		var dispatchable []string
-		if ctx.Err() == nil {
-			for _, name := range order {
-				g := groups[name]
-				if !g.done && !g.running && g.next < len(g.queue) {
-					dispatchable = append(dispatchable, name)
-				}
-			}
-		}
-		if len(dispatchable) == 0 && dispatched == completed {
-			break // nothing running, nothing to start
-		}
-
-		if len(dispatchable) > 0 {
-			g := groups[dispatchable[0]]
-			select {
-			case ready <- g.queue[g.next]:
-				g.running = true
-				g.next++
-				dispatched++
-				continue
-			case r := <-results:
-				completed++
-				finish(r, units, groups, outcomes, finishGroup)
-			}
-		} else {
-			r := <-results
-			completed++
-			finish(r, units, groups, outcomes, finishGroup)
-		}
-	}
-	close(ready)
-	wg.Wait()
-
-	// Groups cut short by cancellation still owe their completion
-	// callback (partial-table printing on SIGINT relies on it).
-	for _, name := range order {
-		if !groups[name].done {
-			finishGroup(name)
-		}
-	}
-	return outcomes
-}
-
-// finish folds one worker report back into the engine state.
-func finish(r result, units []Unit, groups map[string]*groupState,
-	outcomes []Outcome, finishGroup func(string)) {
-	g := groups[units[r.idx].Group]
-	g.running = false
-	if r.canceled {
-		return // stays Skipped; group is torn down by the cancel sweep
-	}
-	outcomes[r.idx] = Outcome{
-		Unit: units[r.idx], Res: r.res, Err: r.err,
-		Start: r.start, End: r.end,
-	}
-	g.prev = r.res
-	if r.done || g.next >= len(g.queue) {
-		finishGroup(units[r.idx].Group)
-	}
+// cancellation the remaining units are marked Skipped. The error is
+// non-nil only when checkpointing or restore fails — a cancelled or
+// deadline-expired campaign is not an error.
+func Run(ctx context.Context, units []Unit, opts Options) ([]Outcome, error) {
+	return newCoordinator(units, opts).run(ctx)
 }

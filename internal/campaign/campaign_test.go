@@ -42,7 +42,7 @@ func TestGroupChainingOrder(t *testing.T) {
 			})
 		}
 	}
-	outcomes := Run(context.Background(), units, Options{Workers: 8})
+	outcomes, _ := Run(context.Background(), units, Options{Workers: 8})
 	for g, order := range execOrder {
 		for i, v := range order {
 			if v != i {
@@ -71,7 +71,7 @@ func TestEarlyExit(t *testing.T) {
 		mk(0, "a", false), mk(1, "a", true), mk(2, "a", false),
 		mk(3, "b", false), mk(4, "b", false), mk(5, "b", false),
 	}
-	outcomes := Run(context.Background(), units, Options{Workers: 4})
+	outcomes, _ := Run(context.Background(), units, Options{Workers: 4})
 	if !ran[0] || !ran[1] || ran[2] {
 		t.Errorf("group a executed wrong units: ran=%v", ran[:3])
 	}
@@ -94,7 +94,7 @@ func TestUnitErrorContinuesGroup(t *testing.T) {
 			return "ok", false, nil
 		}},
 	}
-	outcomes := Run(context.Background(), units, Options{Workers: 2})
+	outcomes, _ := Run(context.Background(), units, Options{Workers: 2})
 	if outcomes[0].Err == nil {
 		t.Error("error not recorded")
 	}
@@ -128,8 +128,8 @@ func TestSeedDerivedDeterminism(t *testing.T) {
 		}
 		return units
 	}
-	res1 := Run(context.Background(), build(), Options{Workers: 1})
-	res8 := Run(context.Background(), build(), Options{Workers: 8})
+	res1, _ := Run(context.Background(), build(), Options{Workers: 1})
+	res8, _ := Run(context.Background(), build(), Options{Workers: 8})
 	for i := range res1 {
 		if res1[i].Res != res8[i].Res {
 			t.Fatalf("unit %d: workers=1 got %v, workers=8 got %v", i, res1[i].Res, res8[i].Res)
@@ -163,7 +163,10 @@ func TestCancellation(t *testing.T) {
 		cancel()
 	}()
 	done := make(chan []Outcome)
-	go func() { done <- Run(ctx, units, Options{Workers: 2}) }()
+	go func() {
+		outcomes, _ := Run(ctx, units, Options{Workers: 2})
+		done <- outcomes
+	}()
 	select {
 	case outcomes := <-done:
 		if outcomes[0].Skipped {

@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/triage"
+)
+
+// resumeCfg is the shared small-campaign configuration for the resume
+// tests (identical to runSmall plus triage, so bundle trees can be
+// compared too).
+func resumeCfg(workers int, sink *triage.Sink) BugConfig {
+	return BugConfig{
+		Budget:   120,
+		TVBudget: 4000,
+		Seed:     7,
+		Passes:   "O2",
+		Workers:  workers,
+		Only:     testIssues,
+		Stderr:   io.Discard,
+		Triage:   sink,
+	}
+}
+
+// TestBugCampaignCheckpointResumeInvariance is the tentpole's acceptance
+// criterion: a campaign killed at an injected cut point and resumed from
+// its checkpoint — at the same or a different worker count — produces a
+// final table AND a triage bundle tree byte-identical to an
+// uninterrupted run's.
+func TestBugCampaignCheckpointResumeInvariance(t *testing.T) {
+	refSink := triage.NewSink()
+	ref := mustRunBugs(t, context.Background(), resumeCfg(4, refSink))
+	refTable := ref.Table()
+	refDir := t.TempDir()
+	if _, err := refSink.Flush(refDir); err != nil {
+		t.Fatal(err)
+	}
+	refTree := dirSnapshot(t, refDir)
+	if ref.Found == 0 || len(refTree) == 0 {
+		t.Fatal("reference campaign found nothing; resume assertions would be vacuous")
+	}
+
+	for _, cut := range []int{1, 3, 7} {
+		for _, workers := range []struct{ kill, resume int }{{1, 8}, {8, 1}} {
+			name := fmt.Sprintf("cut=%d/kill@%d-resume@%d", cut, workers.kill, workers.resume)
+			t.Run(name, func(t *testing.T) {
+				ckptDir := t.TempDir()
+
+				// The killed run: its triage sink and report die with it —
+				// only the checkpoint survives.
+				killCfg := resumeCfg(workers.kill, triage.NewSink())
+				killCfg.CheckpointDir = ckptDir
+				killCfg.StopAfterUnits = cut
+				if _, err := RunBugs(context.Background(), killCfg); err != nil {
+					t.Fatalf("killed run: %v", err)
+				}
+
+				resSink := triage.NewSink()
+				resCfg := resumeCfg(workers.resume, resSink)
+				resCfg.CheckpointDir = ckptDir
+				resCfg.Resume = true
+				rep, err := RunBugs(context.Background(), resCfg)
+				if err != nil {
+					t.Fatalf("resumed run: %v", err)
+				}
+				if rep.Restored == 0 {
+					t.Error("resumed run restored nothing from the checkpoint")
+				}
+				if got := rep.Table(); got != refTable {
+					t.Errorf("resumed table differs from uninterrupted run:\n--- resumed ---\n%s--- reference ---\n%s", got, refTable)
+				}
+				resDir := t.TempDir()
+				if _, err := resSink.Flush(resDir); err != nil {
+					t.Fatal(err)
+				}
+				resTree := dirSnapshot(t, resDir)
+				if len(resTree) != len(refTree) {
+					t.Errorf("resumed triage tree has %d files, reference %d", len(resTree), len(refTree))
+				}
+				for path, want := range refTree {
+					if got, ok := resTree[path]; !ok {
+						t.Errorf("resumed triage tree missing %s", path)
+					} else if got != want {
+						t.Errorf("resumed triage file %s differs from reference", path)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBugCampaignResumeCompleted: resuming a campaign that already ran to
+// completion re-runs nothing and reproduces the same table.
+func TestBugCampaignResumeCompleted(t *testing.T) {
+	ckptDir := t.TempDir()
+	first := resumeCfg(4, triage.NewSink())
+	first.CheckpointDir = ckptDir
+	full, err := RunBugs(context.Background(), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	again := resumeCfg(2, triage.NewSink())
+	again.CheckpointDir = ckptDir
+	again.Resume = true
+	rep, err := RunBugs(context.Background(), again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(filepath.Join(ckptDir, CheckpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != len(cp.Records) || rep.Restored == 0 {
+		t.Errorf("restored %d units, checkpoint has %d", rep.Restored, len(cp.Records))
+	}
+	if rep.Table() != full.Table() {
+		t.Errorf("resume-of-completed table differs:\n%s\nvs\n%s", rep.Table(), full.Table())
+	}
+}
+
+// TestBugCampaignResumeFingerprintMismatch: a checkpoint from a campaign
+// with different result-affecting configuration must be refused.
+func TestBugCampaignResumeFingerprintMismatch(t *testing.T) {
+	ckptDir := t.TempDir()
+	first := resumeCfg(2, triage.NewSink())
+	first.CheckpointDir = ckptDir
+	first.StopAfterUnits = 1
+	if _, err := RunBugs(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+
+	changed := resumeCfg(2, triage.NewSink())
+	changed.CheckpointDir = ckptDir
+	changed.Resume = true
+	changed.Budget = 121 // result-affecting: the fingerprint must catch it
+	rep, err := RunBugs(context.Background(), changed)
+	if err == nil {
+		t.Fatalf("mismatched resume accepted: %+v", rep)
+	}
+	if rep != nil {
+		t.Error("refused resume still returned a report")
+	}
+
+	// A worker-count change alone is NOT result-affecting and must resume.
+	diffWorkers := resumeCfg(7, triage.NewSink())
+	diffWorkers.CheckpointDir = ckptDir
+	diffWorkers.Resume = true
+	if _, err := RunBugs(context.Background(), diffWorkers); err != nil {
+		t.Errorf("worker-count change refused resume: %v", err)
+	}
+}
+
+// TestBugCampaignResumeMissingCheckpoint: -resume without a readable
+// checkpoint is an error, not a silent fresh start.
+func TestBugCampaignResumeMissingCheckpoint(t *testing.T) {
+	cfg := resumeCfg(2, triage.NewSink())
+	cfg.CheckpointDir = t.TempDir()
+	cfg.Resume = true
+	if rep, err := RunBugs(context.Background(), cfg); err == nil {
+		t.Fatalf("resume with no checkpoint succeeded: %+v", rep)
+	}
+	cfg.CheckpointDir = ""
+	if rep, err := RunBugs(context.Background(), cfg); err == nil {
+		t.Fatalf("resume with no checkpoint dir succeeded: %+v", rep)
+	}
+}

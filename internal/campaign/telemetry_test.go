@@ -33,7 +33,7 @@ func (l *lockedBuf) String() string {
 
 func runTelemetered(t *testing.T, workers int, sink *telemetry.Sink) *BugReport {
 	t.Helper()
-	return RunBugs(context.Background(), BugConfig{
+	return mustRunBugs(t, context.Background(), BugConfig{
 		Budget:         120,
 		TVBudget:       4000,
 		Seed:           7,

@@ -14,7 +14,7 @@ import (
 
 func runTriaged(t *testing.T, workers int, sink *triage.Sink) *BugReport {
 	t.Helper()
-	return RunBugs(context.Background(), BugConfig{
+	return mustRunBugs(t, context.Background(), BugConfig{
 		Budget:   120,
 		TVBudget: 4000,
 		Seed:     7,

@@ -80,6 +80,65 @@ func (c *Collector) Snapshot() *Snapshot {
 	return s
 }
 
+// MergeSnapshot folds a previously-taken snapshot back into the
+// collector — how a resumed campaign carries its pre-restart metrics
+// forward (docs/CHECKPOINTING.md). Counters and histogram buckets add;
+// labels from the snapshot win only for keys the collector lacks.
+// Histograms whose bucket count does not match this build are skipped
+// rather than corrupting live ones. Nil-safe on both sides.
+func (c *Collector) MergeSnapshot(s *Snapshot) {
+	if c == nil || s == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		if v != 0 {
+			c.Counter(name).Add(v)
+		}
+	}
+	for name, hs := range s.Histograms {
+		if hs.Count == 0 || len(hs.Buckets) != NumBuckets+1 {
+			continue
+		}
+		h := c.Histogram(name)
+		for i, n := range hs.Buckets {
+			if n != 0 {
+				h.buckets[i].Add(n)
+			}
+		}
+		h.count.Add(hs.Count)
+		h.sum.Add(hs.TotalNS)
+		if om := hs.MinNS; om > 0 {
+			for {
+				old := h.min.Load()
+				if old != 0 && old <= om {
+					break
+				}
+				if h.min.CompareAndSwap(old, om) {
+					break
+				}
+			}
+		}
+		if om := hs.MaxNS; om > 0 {
+			for {
+				old := h.max.Load()
+				if old >= om {
+					break
+				}
+				if h.max.CompareAndSwap(old, om) {
+					break
+				}
+			}
+		}
+	}
+	c.mu.Lock()
+	for k, v := range s.Labels {
+		if _, ok := c.labels[k]; !ok {
+			c.labels[k] = v
+		}
+	}
+	c.mu.Unlock()
+}
+
 // MarshalIndentedJSON renders the snapshot for -metrics-out.
 func (s *Snapshot) MarshalIndentedJSON() ([]byte, error) {
 	b, err := json.MarshalIndent(s, "", "  ")

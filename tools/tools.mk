@@ -1,0 +1,15 @@
+# Pinned versions of the lint/vuln tooling CI installs. Pinning lives
+# here (not in the workflow) so `make lint-tools` reproduces CI's exact
+# toolchain locally and version bumps are one-line diffs reviewed like
+# any other dependency change.
+
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# Install the pinned tools into GOBIN (or GOPATH/bin). Network access
+# required; the vet target below degrades gracefully when the tools are
+# absent, so offline development never blocks on this.
+.PHONY: lint-tools
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)

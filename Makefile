@@ -5,7 +5,7 @@ GO ?= go
 
 include tools/tools.mk
 
-.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke microbench bench bench-baseline ci
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke microbench bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -92,6 +92,13 @@ perf-smoke:
 resume-smoke:
 	bash tools/resume-smoke.sh
 
+# Live observability end-to-end: a seeded campaign with -metrics-addr on
+# an ephemeral port; the dashboard, status API, SSE event stream, and
+# Prometheus exposition are all probed mid-run from the one listener, and
+# the captures validate with telemetry-check (docs/OBSERVABILITY.md).
+dashboard-smoke:
+	bash tools/dashboard-smoke.sh
+
 # Hot-path microbenchmarks: sat.Solve on canned CNFs, smt blasting and
 # sessions, and tv.Verify over the examples corpus — a tracked baseline
 # for solver changes independent of the end-to-end harness.
@@ -108,4 +115,4 @@ bench-baseline:
 	$(GO) run ./cmd/bench-throughput -count 200 -gen 10 -out res.txt -json BENCH_throughput.json
 	$(GO) run ./cmd/telemetry-check -require-positive BENCH_throughput.json
 
-ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke

@@ -53,7 +53,8 @@ func main() {
 	mutations := flag.String("mutations", "", "comma-separated mutation operators (default: all)")
 	verifyMutants := flag.Bool("verify-mutants", false, "run the IR verifier on every mutant")
 	quiet := flag.Bool("quiet", false, "suppress the per-finding log")
-	metricsAddr := flag.String("metrics-addr", "", "serve live expvar + pprof on this localhost address (host:port)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics, expvar and pprof on this address (host:port; localhost unless -metrics-public)")
+	metricsPublic := flag.Bool("metrics-public", false, "allow -metrics-addr to bind a non-loopback interface (endpoint exposes pprof and internals)")
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	progress := flag.Duration("progress", 0, "print live throughput to stderr at this interval (0 = off)")
 	stages := flag.Bool("stages", false, "print the per-stage time breakdown after each file")
@@ -87,14 +88,20 @@ func main() {
 		sink.Metrics.SetLabel("passes", *passSpec)
 	}
 	if *metricsAddr != "" {
-		srv, err := telemetry.ServeMetrics(*metricsAddr, sink.Metrics)
+		// No campaign coordinator here, so the status API and SSE stream
+		// stay off; the dashboard, Prometheus, expvar, and pprof routes
+		// serve from the shared collector.
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.ServeOptions{
+			Collector: sink.Metrics,
+			Public:    *metricsPublic,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "alive-mutate: metrics at http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "alive-mutate: metrics at http://%s/ (Prometheus /metrics/prometheus, pprof /debug/pprof/)\n", srv.Addr)
 		defer srv.Close()
 	}
-	stopProgress := telemetry.StartProgress(os.Stderr, sink.Collector(), *progress)
+	stopProgress := telemetry.StartProgress(os.Stderr, sink.Collector(), nil, *progress)
 	defer stopProgress()
 
 	anyFinding := false

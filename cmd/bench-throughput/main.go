@@ -33,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -69,7 +70,8 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel file shards (keep 1 for publishable timings)")
 	outPath := flag.String("out", "res.txt", "result file (Listing 20 format)")
 	jsonPath := flag.String("json", "BENCH_throughput.json", "machine-readable result file (empty = skip)")
-	metricsAddr := flag.String("metrics-addr", "", "serve live expvar + pprof on this localhost address (host:port)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live dashboard, status API, SSE events, Prometheus metrics, expvar and pprof on this address (host:port; localhost unless -metrics-public)")
+	metricsPublic := flag.Bool("metrics-public", false, "allow -metrics-addr to bind a non-loopback interface (endpoint exposes pprof and internals)")
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	repoRoot := flag.String("repo", ".", "repository root (for building the discrete tools)")
 	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B overhead runs)")
@@ -93,11 +95,24 @@ func main() {
 	sink.Metrics.SetLabel("workers", fmt.Sprint(*workers))
 	sink.Metrics.SetLabel("seed", fmt.Sprint(*seed))
 	if *metricsAddr != "" {
-		srv, err := telemetry.ServeMetrics(*metricsAddr, sink.Metrics)
+		// Full live surface: the benchmark has no journal file, so the SSE
+		// ring is fed by a discard-backed journal (the ring is its only
+		// reader), and the coordinator publishes per-file status.
+		sink.Status = telemetry.NewStatusPublisher()
+		sink.Journal = telemetry.NewJournal(io.Discard)
+		defer sink.Journal.Close()
+		events := telemetry.NewEventBuffer(0)
+		sink.Journal.Tee(events)
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.ServeOptions{
+			Collector: sink.Metrics,
+			Status:    sink.Status,
+			Events:    events,
+			Public:    *metricsPublic,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "bench-throughput: metrics at http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "bench-throughput: dashboard at http://%s/ (status /api/status, metrics /metrics/prometheus, pprof /debug/pprof/)\n", srv.Addr)
 		defer srv.Close()
 	}
 
@@ -165,6 +180,15 @@ func main() {
 	outcomes, _ := campaign.Run(ctx, units, campaign.Options{
 		Workers:   *workers,
 		Telemetry: sink,
+		// Each file-group spends exactly -count mutants in its single
+		// unit, so live status reports all-or-nothing per group.
+		GroupProgress: func(group string, prev any) telemetry.GroupProgress {
+			gp := telemetry.GroupProgress{Total: int64(*count)}
+			if prev != nil {
+				gp.Spent = int64(*count)
+			}
+			return gp
+		},
 		OnGroupDone: func(group string, outs []campaign.Outcome) {
 			for _, o := range outs {
 				if o.Skipped || o.Err != nil {

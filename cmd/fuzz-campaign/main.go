@@ -18,7 +18,7 @@
 //
 //	fuzz-campaign [-budget 12000] [-seed 7] [-passes O2] [-workers N]
 //	    [-deadline 10m] [-only 53252,50693] [-stats] [-out table1.txt]
-//	    [-metrics-addr 127.0.0.1:8787] [-metrics-out metrics.json]
+//	    [-metrics-addr 127.0.0.1:8787] [-metrics-public] [-metrics-out metrics.json]
 //	    [-journal events.jsonl] [-progress 10s] [-stall-threshold 2m]
 //	    [-triage-dir triage/] [-checkpoint-dir ckpt/]
 //	    [-checkpoint-interval 10s] [-resume]
@@ -33,10 +33,14 @@
 // run appends to the same -journal file, starting with a
 // campaign_resumed event.
 //
-// Observability (docs/OBSERVABILITY.md): -metrics-addr serves live
-// expvar counters and pprof profiles while the campaign runs;
-// -metrics-out writes the end-of-run snapshot; -journal streams
-// structured JSONL events; -progress prints live throughput to stderr.
+// Observability (docs/OBSERVABILITY.md): -metrics-addr serves the live
+// surface while the campaign runs — an embedded dashboard at /, the
+// coordinator status API (/api/status, /api/units, /api/groups), the SSE
+// journal tail (/api/events), Prometheus exposition
+// (/metrics/prometheus), plus expvar and pprof. The listener binds
+// loopback unless -metrics-public is set. -metrics-out writes the
+// end-of-run snapshot; -journal streams structured JSONL events;
+// -progress prints live throughput, ETA, and groups-found to stderr.
 // Telemetry is write-only — the result table is byte-identical with it
 // on or off.
 //
@@ -51,6 +55,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -83,7 +88,8 @@ func run() int {
 	onlySpec := flag.String("only", "", "comma-separated issue numbers to restrict the campaign to")
 	stats := flag.Bool("stats", false, "print the per-bug loop-statistics aggregate")
 	outPath := flag.String("out", "", "also write the table to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve live expvar + pprof on this localhost address (host:port)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live dashboard, status API, SSE events, Prometheus metrics, expvar and pprof on this address (host:port; localhost unless -metrics-public)")
+	metricsPublic := flag.Bool("metrics-public", false, "allow -metrics-addr to bind a non-loopback interface (endpoint exposes pprof and internals)")
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	journalPath := flag.String("journal", "", "write the structured JSONL event journal to this file")
 	progress := flag.Duration("progress", 0, "print live throughput to stderr at this interval (0 = off)")
@@ -149,16 +155,36 @@ func run() int {
 		sink.Journal = telemetry.NewJournal(jf)
 		defer sink.Journal.Close()
 	}
+	// The coordinator publishes its live read model whenever something
+	// will read it: the HTTP status API or the -progress ticker (both
+	// consume the same snapshot, so their rates and ETAs always agree).
+	if *metricsAddr != "" || *progress > 0 {
+		sink.Status = telemetry.NewStatusPublisher()
+	}
 	if *metricsAddr != "" {
-		srv, err := telemetry.ServeMetrics(*metricsAddr, sink.Metrics)
+		// The SSE stream tails the journal through a bounded ring. With no
+		// -journal file the events still need a journal to be born in, so
+		// one is opened over io.Discard — the ring is then its only reader.
+		if sink.Journal == nil {
+			sink.Journal = telemetry.NewJournal(io.Discard)
+			defer sink.Journal.Close()
+		}
+		events := telemetry.NewEventBuffer(0)
+		sink.Journal.Tee(events)
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.ServeOptions{
+			Collector: sink.Metrics,
+			Status:    sink.Status,
+			Events:    events,
+			Public:    *metricsPublic,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
 			return 1
 		}
-		fmt.Fprintf(os.Stderr, "fuzz-campaign: metrics at http://%s/debug/vars (pprof at /debug/pprof/)\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "fuzz-campaign: dashboard at http://%s/ (status /api/status, events /api/events, metrics /metrics/prometheus, pprof /debug/pprof/)\n", srv.Addr)
 		defer srv.Close()
 	}
-	stopProgress := telemetry.StartProgress(os.Stderr, sink.Collector(), *progress)
+	stopProgress := telemetry.StartProgress(os.Stderr, sink.Collector(), sink.StatusPublisher(), *progress)
 
 	var triageSink *triage.Sink
 	if *triageDir != "" {

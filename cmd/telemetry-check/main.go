@@ -11,14 +11,22 @@
 //	telemetry-check -require-campaign snapshot.json
 //	telemetry-check -compare w1.json w2.json w4.json
 //	telemetry-check -trace-out trace.json journal.jsonl
+//	telemetry-check -status status.json
+//	telemetry-check -prom [-against metrics.json] prometheus.txt
 //
-// Each file's schema is dispatched on its "schema" field: both
-// alive-mutate-telemetry/v1 snapshots and alive-mutate-bench/v1 benchmark
-// documents validate. The process exits non-zero on the first violation.
+// Each JSON file's schema is dispatched on its "schema" field:
+// alive-mutate-telemetry/v1 snapshots, alive-mutate-bench/v1 benchmark
+// documents, and alive-mutate-status/v1 captures of /api/status all
+// validate. The process exits non-zero on the first violation.
 // -require-campaign additionally asserts a snapshot came from a real
 // campaign run: a positive mutants counter and the three core pipeline
 // stages present. -trace-out converts a JSONL event journal into Chrome
-// trace_event JSON loadable in Perfetto / chrome://tracing.
+// trace_event JSON loadable in Perfetto / chrome://tracing. -status
+// forces status validation (schema plus internal consistency: unit
+// states sum to the total, group tallies match the summary). -prom lints
+// a /metrics/prometheus capture — sorted families, monotone cumulative
+// le buckets, _sum/_count self-consistency — and, with -against, cross
+// checks it against a /metrics.json snapshot of the same run.
 package main
 
 import (
@@ -40,9 +48,13 @@ func main() {
 	requirePositive := flag.Bool("require-positive", false, "additionally require bench documents to carry solver counters with positive activity for every enabled acceleration knob")
 	requireCounter := flag.String("require-counter", "", "comma-separated counter names that must be present and positive in snapshot documents")
 	traceOut := flag.String("trace-out", "", "convert a JSONL event journal to Chrome trace_event JSON at this path")
+	statusMode := flag.Bool("status", false, "validate /api/status JSON captures (schema + internal consistency)")
+	promMode := flag.Bool("prom", false, "lint /metrics/prometheus exposition captures")
+	against := flag.String("against", "", "with -prom: cross-check the exposition against this /metrics.json snapshot")
+	tolerance := flag.Float64("tolerance", 0, "with -prom -against: relative tolerance for _sum agreement (0 = 1e-9)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: telemetry-check [-compare] [-require-campaign] file.json ...\n       telemetry-check -trace-out trace.json journal.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: telemetry-check [-compare] [-require-campaign] file.json ...\n       telemetry-check -trace-out trace.json journal.jsonl\n       telemetry-check -status status.json\n       telemetry-check -prom [-against metrics.json] prometheus.txt")
 		os.Exit(2)
 	}
 
@@ -51,6 +63,49 @@ func main() {
 			fail("-trace-out takes exactly one journal file (got %d)", flag.NArg())
 		}
 		exportTrace(flag.Arg(0), *traceOut)
+		return
+	}
+	if *statusMode {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fail("%v", err)
+			}
+			s, err := telemetry.ValidateStatus(data)
+			if err != nil {
+				fail("%s: %v", path, err)
+			}
+			fmt.Printf("%s: OK (%s, %d/%d units done, %d/%d groups found, %d mutants)\n",
+				path, telemetry.StatusSchemaV1, s.UnitsDone, s.UnitsTotal, s.GroupsFound, s.GroupsTotal, s.Mutants)
+		}
+		return
+	}
+	if *promMode {
+		var snap *telemetry.Snapshot
+		if *against != "" {
+			data, err := os.ReadFile(*against)
+			if err != nil {
+				fail("%v", err)
+			}
+			snap, err = telemetry.ValidateSnapshot(data)
+			if err != nil {
+				fail("%s: %v", *against, err)
+			}
+		}
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := telemetry.LintPrometheus(data, snap, *tolerance); err != nil {
+				fail("%s: %v", path, err)
+			}
+			extra := ""
+			if snap != nil {
+				extra = fmt.Sprintf(", cross-checked against %s", filepath.Base(*against))
+			}
+			fmt.Printf("%s: OK (prometheus exposition%s)\n", path, extra)
+		}
 		return
 	}
 
@@ -103,8 +158,18 @@ func main() {
 				fmt.Printf("%s: OK (%d counters, %d histograms, %d mutants)\n",
 					path, len(snap.Counters), len(snap.Histograms), snap.Counters["mutants"])
 			}
+		case telemetry.StatusSchemaV1:
+			s, err := telemetry.ValidateStatus(data)
+			if err != nil {
+				fail("%s: %v", path, err)
+			}
+			if *compare {
+				fail("%s: -compare wants snapshots, not %s documents", path, schema)
+			}
+			fmt.Printf("%s: OK (%s, %d/%d units done, %d/%d groups found, %d mutants)\n",
+				path, schema, s.UnitsDone, s.UnitsTotal, s.GroupsFound, s.GroupsTotal, s.Mutants)
 		default:
-			fail("%s: unknown schema %q (want %q or %q)", path, schema, telemetry.SchemaV1, telemetry.BenchSchemaV1)
+			fail("%s: unknown schema %q (want %q, %q, or %q)", path, schema, telemetry.SchemaV1, telemetry.BenchSchemaV1, telemetry.StatusSchemaV1)
 		}
 	}
 	if *compare {

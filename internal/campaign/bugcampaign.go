@@ -303,6 +303,15 @@ func RunBugs(ctx context.Context, cfg BugConfig) (*BugReport, error) {
 		Checkpoint:     ckpt,
 		Restore:        restored,
 		StopAfterUnits: cfg.StopAfterUnits,
+		GroupProgress: func(group string, prev any) telemetry.GroupProgress {
+			st := chainOf(prev)
+			gp := telemetry.GroupProgress{Spent: int64(st.Spent), Total: int64(cfg.Budget)}
+			if st.Row.Found {
+				gp.Found = true
+				gp.Detail = fmt.Sprintf("%s after %d mutants (%s)", st.Row.Kind, st.Row.Iters, st.Row.SeedT)
+			}
+			return gp
+		},
 		OnGroupDone: func(group string, outcomes []Outcome) {
 			// The last executed unit's state carries the group's result.
 			st := bugState{}

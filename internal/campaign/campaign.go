@@ -109,6 +109,14 @@ type Options struct {
 	// unit_start / unit_finish (stamped with the executing worker's
 	// index) and worker_stall. It never influences scheduling.
 	Telemetry *telemetry.Sink
+	// GroupProgress, when non-nil, extracts the campaign-specific slice
+	// of a group's live status — mutant budget spent, first finding —
+	// from the group's chained prev state, for the /api/status read
+	// model (Telemetry.Status). Called on the coordinator goroutine with
+	// the group's latest chained result (nil before the first unit
+	// finishes); it must read prev without mutating it. Like all
+	// telemetry it never influences scheduling.
+	GroupProgress func(group string, prev any) telemetry.GroupProgress
 	// StallThreshold arms a per-unit watchdog: a unit still executing
 	// after this long produces a worker_stall journal event (once). 0
 	// disables the watchdog.

@@ -45,7 +45,8 @@ type coordinator struct {
 	lastWrite time.Time
 	ckptErr   error
 
-	completed int // non-restored completions (StopAfterUnits hook)
+	restored  []bool // unit idx -> completion came from a checkpoint
+	completed int    // non-restored completions (StopAfterUnits hook)
 }
 
 func newCoordinator(units []Unit, opts Options) *coordinator {
@@ -56,6 +57,7 @@ func newCoordinator(units []Unit, opts Options) *coordinator {
 		pos:      make([]int, len(units)),
 		outcomes: make([]Outcome, len(units)),
 		recs:     make([]*UnitRecord, len(units)),
+		restored: make([]bool, len(units)),
 	}
 	for i, u := range units {
 		co.outcomes[i].Unit = u
@@ -108,6 +110,7 @@ func (co *coordinator) run(ctx context.Context) ([]Outcome, error) {
 	// the campaign starts: a kill at any later point finds a loadable
 	// (possibly empty-progress) snapshot.
 	co.writeCheckpoint()
+	co.publishStatus()
 
 	exec := co.opts.Executor
 	if exec == nil {
@@ -148,6 +151,7 @@ func (co *coordinator) run(ctx context.Context) ([]Outcome, error) {
 				g.running = true
 				g.next++
 				dispatched++
+				co.publishStatus()
 				continue
 			case r := <-results:
 				completedHere++
@@ -173,6 +177,7 @@ func (co *coordinator) run(ctx context.Context) ([]Outcome, error) {
 	// SIGINT — leave a resumable checkpoint behind, written before the
 	// caller gets to render a (possibly partial) table.
 	co.flushCheckpoint()
+	co.publishStatus()
 	return co.outcomes, co.ckptErr
 }
 
@@ -200,6 +205,7 @@ func (co *coordinator) finish(ctx context.Context, r ShardResult, stop context.C
 		co.finishGroup(co.units[r.Idx].Group)
 	}
 	co.completed++
+	co.publishStatus()
 	if ctx.Err() == nil {
 		if co.opts.StopAfterUnits > 0 && co.completed >= co.opts.StopAfterUnits {
 			// Injected kill: persist exactly the state a real crash
@@ -262,6 +268,7 @@ func (co *coordinator) applyRestore() error {
 		}
 		keep := rec
 		co.recs[idx] = &keep
+		co.restored[idx] = true
 		g.prev = ru.Res
 		g.next = rec.Index + 1
 		if rec.Done {
@@ -297,6 +304,90 @@ func (co *coordinator) record(r ShardResult) {
 		rec.Err = r.Err.Error()
 	}
 	co.recs[r.Idx] = rec
+}
+
+// publishStatus rebuilds the live read model and hands it to the status
+// publisher (no-op when the run has none). It runs on the coordinator
+// goroutine after every scheduling transition and only reads coordinator
+// state, so it costs O(units) per transition — microseconds against
+// units that each spend seconds fuzzing — and, being write-only
+// telemetry, can never influence dispatch order or results.
+func (co *coordinator) publishStatus() {
+	st := co.opts.Telemetry.StatusPublisher()
+	if st == nil {
+		return
+	}
+	s := &telemetry.StatusSnapshot{
+		UnitsTotal:  len(co.units),
+		GroupsTotal: len(co.order),
+		Units:       make([]telemetry.UnitStatus, len(co.units)),
+	}
+	for i, u := range co.units {
+		row := telemetry.UnitStatus{Group: u.Group, Name: u.Name, Seed: u.Seed}
+		g := co.groups[u.Group]
+		switch {
+		case !co.outcomes[i].Skipped:
+			row.State = telemetry.UnitDone
+			row.Restored = co.restored[i]
+			row.DurNS = int64(co.outcomes[i].Elapsed())
+			if co.outcomes[i].Err != nil {
+				row.Err = co.outcomes[i].Err.Error()
+			}
+			s.UnitsDone++
+			if row.Restored {
+				s.UnitsRestored++
+			}
+		case g.running && co.pos[i] == g.next-1:
+			row.State = telemetry.UnitRunning
+			s.UnitsRunning++
+		case g.done || co.pos[i] < g.next:
+			// The group ended (early exit, exhaustion, cancellation)
+			// before this unit ran, or the unit itself was cancelled
+			// mid-flight — either way it will never execute.
+			row.State = telemetry.UnitSkipped
+			s.UnitsSkipped++
+		default:
+			row.State = telemetry.UnitQueued
+			s.UnitsQueued++
+		}
+		s.Units[i] = row
+	}
+	s.Groups = make([]telemetry.GroupStatus, 0, len(co.order))
+	for _, name := range co.order {
+		g := co.groups[name]
+		row := telemetry.GroupStatus{
+			Name: name, UnitsTotal: len(g.queue),
+			Running: g.running, Done: g.done,
+		}
+		for _, idx := range g.queue {
+			if !co.outcomes[idx].Skipped {
+				row.UnitsDone++
+			}
+		}
+		if co.opts.GroupProgress != nil {
+			gp := co.opts.GroupProgress(name, g.prev)
+			row.MutantsSpent, row.MutantsBudget = gp.Spent, gp.Total
+			row.Found, row.Detail = gp.Found, gp.Detail
+		}
+		if g.done {
+			s.GroupsDone++
+		}
+		if row.Found {
+			s.GroupsFound++
+		}
+		s.MutantsBudget += row.MutantsBudget
+		if !g.done && !row.Found {
+			// Unspent budget of groups still searching: the ETA numerator.
+			if rem := row.MutantsBudget - row.MutantsSpent; rem > 0 {
+				s.MutantsRemaining += rem
+			}
+		}
+		s.Groups = append(s.Groups, row)
+	}
+	// The run-wide mutant count (the throughput numerator) comes from the
+	// merged collector, so a resumed campaign's pre-kill mutants count.
+	s.Mutants = co.opts.Telemetry.Collector().Counter("mutants").Value()
+	st.Publish(s)
 }
 
 // maybeWriteCheckpoint writes a periodic snapshot when the configured

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -47,9 +50,11 @@ func runTelemetered(t *testing.T, workers int, sink *telemetry.Sink) *BugReport 
 }
 
 // TestCampaignTelemetryInvariance is the tentpole's acceptance criterion:
-// the campaign result table is byte-identical with telemetry off and with
-// full telemetry (metrics + journal + stall watchdog) on, at workers 1
-// and 8. Telemetry is strictly write-only with respect to results.
+// the campaign result table is byte-identical with observability off and
+// with the full stack on — metrics, journal, stall watchdog, status
+// publisher, a live HTTP server, an attached SSE consumer, and a client
+// hammering /api/status mid-run — at workers 1 and 8. Observability is
+// strictly write-only with respect to results.
 func TestCampaignTelemetryInvariance(t *testing.T) {
 	baseline := runSmall(t, 1).Table()
 	for _, workers := range []int{1, 8} {
@@ -57,16 +62,175 @@ func TestCampaignTelemetryInvariance(t *testing.T) {
 		sink := &telemetry.Sink{
 			Metrics: telemetry.NewCollector(),
 			Journal: telemetry.NewJournal(&buf),
+			Status:  telemetry.NewStatusPublisher(),
 			Shard:   -1,
 		}
+		events := telemetry.NewEventBuffer(0)
+		sink.Journal.Tee(events)
+		srv, err := telemetry.Serve("127.0.0.1:0", telemetry.ServeOptions{
+			Collector: sink.Metrics,
+			Status:    sink.Status,
+			Events:    events,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Live consumers for the duration of the run: a status poller that
+		// validates every response, and an SSE tail draining /api/events.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var polls, sseBytes atomic.Int64
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(fmt.Sprintf("http://%s/api/status", srv.Addr))
+				if err != nil {
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if _, err := telemetry.ValidateStatus(body); err != nil {
+					t.Errorf("workers=%d: mid-run /api/status invalid: %v\n%s", workers, err, body)
+					return
+				}
+				polls.Add(1)
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("http://%s/api/events", srv.Addr))
+			if err != nil {
+				t.Errorf("workers=%d: /api/events: %v", workers, err)
+				return
+			}
+			defer resp.Body.Close()
+			n, _ := io.Copy(io.Discard, resp.Body) // returns when srv closes
+			sseBytes.Store(n)
+		}()
+
 		rep := runTelemetered(t, workers, sink)
+		close(stop)
+		srv.Close()
+		wg.Wait()
 		if err := sink.Journal.Close(); err != nil {
 			t.Fatalf("workers=%d: journal close: %v", workers, err)
 		}
+		if polls.Load() == 0 {
+			t.Errorf("workers=%d: status poller never completed a poll", workers)
+		}
+		if sseBytes.Load() == 0 {
+			t.Errorf("workers=%d: SSE consumer saw no event bytes", workers)
+		}
 		if got := rep.Table(); got != baseline {
-			t.Errorf("workers=%d: telemetry changed the result table:\n--- baseline ---\n%s--- with telemetry ---\n%s",
+			t.Errorf("workers=%d: observability changed the result table:\n--- baseline ---\n%s--- with observability ---\n%s",
 				workers, baseline, got)
 		}
+	}
+}
+
+// TestCampaignResumeObservability extends the resume tests to the HTTP
+// surface: after a kill + checkpoint resume, the live /metrics.json,
+// /metrics/prometheus, and /api/status endpoints must all reflect the
+// MERGED campaign — pre-kill counters folded in via MergeSnapshot, not
+// just the resumed leg's.
+func TestCampaignResumeObservability(t *testing.T) {
+	ckptDir := t.TempDir()
+	killSink := &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
+	killCfg := resumeCfg(4, nil)
+	killCfg.CheckpointDir = ckptDir
+	killCfg.StopAfterUnits = 3
+	killCfg.Telemetry = killSink
+	if _, err := RunBugs(context.Background(), killCfg); err != nil {
+		t.Fatalf("killed run: %v", err)
+	}
+	preKill := killSink.Metrics.Counter("mutants").Value()
+	if preKill <= 0 {
+		t.Fatal("killed run recorded no mutants; merge assertions would be vacuous")
+	}
+
+	resSink := &telemetry.Sink{
+		Metrics: telemetry.NewCollector(),
+		Status:  telemetry.NewStatusPublisher(),
+		Shard:   -1,
+	}
+	srv, err := telemetry.Serve("127.0.0.1:0", telemetry.ServeOptions{
+		Collector: resSink.Metrics,
+		Status:    resSink.Status,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resCfg := resumeCfg(2, nil)
+	resCfg.CheckpointDir = ckptDir
+	resCfg.Resume = true
+	resCfg.Telemetry = resSink
+	rep := mustRunBugs(t, context.Background(), resCfg)
+	if rep.Restored == 0 {
+		t.Fatal("resumed run restored nothing")
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	// The merged counter covers at least the whole campaign's per-unit
+	// mutant total (it can exceed it: units in flight at the kill point
+	// had already spent mutants and re-run from scratch on resume — the
+	// counter measures work executed) and strictly exceeds the pre-kill
+	// leg alone, proving MergeSnapshot folded the checkpoint in without
+	// losing the resumed leg.
+	snap, err := telemetry.ValidateSnapshot(get("/metrics.json"))
+	if err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	wantMutants := int64(rep.Agg.Total().Iterations)
+	merged := snap.Counters["mutants"]
+	if merged < wantMutants {
+		t.Errorf("/metrics.json mutants = %d, below campaign total %d (pre-kill counters lost?)", merged, wantMutants)
+	}
+	if merged <= preKill {
+		t.Errorf("/metrics.json mutants = %d, not above pre-kill %d (MergeSnapshot lost the resumed leg?)",
+			merged, preKill)
+	}
+
+	if err := telemetry.LintPrometheus(get("/metrics/prometheus"), snap, 0); err != nil {
+		t.Errorf("/metrics/prometheus disagrees with /metrics.json on the resumed run: %v", err)
+	}
+
+	s, err := telemetry.ValidateStatus(get("/api/status"))
+	if err != nil {
+		t.Fatalf("/api/status: %v", err)
+	}
+	if s.UnitsRestored != rep.Restored {
+		t.Errorf("/api/status units_restored = %d, report restored %d", s.UnitsRestored, rep.Restored)
+	}
+	if s.UnitsDone+s.UnitsSkipped != s.UnitsTotal || s.UnitsRunning != 0 {
+		t.Errorf("/api/status not settled after the run: %+v", s)
+	}
+	if s.Mutants != merged {
+		t.Errorf("/api/status mutants = %d, /metrics.json says %d", s.Mutants, merged)
 	}
 }
 

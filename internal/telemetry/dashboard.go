@@ -1,0 +1,12 @@
+// The embedded dashboard: one self-contained HTML file (no external
+// assets, no build step) compiled into the binary, served at "/". It is a
+// pure consumer of the public API — it polls /api/status and subscribes
+// to /api/events like any external client would, so it doubles as living
+// documentation of the HTTP surface.
+
+package telemetry
+
+import _ "embed"
+
+//go:embed dashboard/index.html
+var dashboardHTML []byte

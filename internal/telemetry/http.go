@@ -1,13 +1,22 @@
-// The live metrics endpoint (`-metrics-addr`): a localhost HTTP listener
-// exposing expvar (/debug/vars), the full snapshot (/metrics.json), the
-// stage breakdown as text (/stages), and net/http/pprof (/debug/pprof/*)
-// so CPU and heap profiles can be attached to a campaign mid-flight —
-// "you can't speed up what you can't measure" applies to the fuzzer
-// itself, not just the programs it mutates.
+// The live observability endpoint (`-metrics-addr`): one HTTP listener
+// carrying the whole surface — the embedded dashboard (/), the
+// coordinator status API (/api/status, /api/units, /api/groups), the SSE
+// journal tail (/api/events), Prometheus exposition
+// (/metrics/prometheus), the full JSON snapshot (/metrics.json), expvar
+// (/debug/vars), the stage breakdown (/stages), a liveness probe
+// (/healthz), and net/http/pprof (/debug/pprof/*) so CPU and heap
+// profiles can be attached to a campaign mid-flight — "you can't speed up
+// what you can't measure" applies to the fuzzer itself, not just the
+// programs it mutates.
+//
+// The endpoint carries profiles and process internals, so it binds
+// loopback only: a non-loopback host is refused unless
+// ServeOptions.Public is set (the -metrics-public flag).
 
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -20,8 +29,8 @@ import (
 // published is the collector behind the process-global expvar variable.
 // expvar.Publish is global and panics on re-registration, so the variable
 // is registered once and indirects through this pointer; the last
-// ServeMetrics call wins (one live collector per process is the
-// intended use — tests that start several servers share it knowingly).
+// Serve call wins (one live collector per process is the intended use —
+// tests that start several servers share it knowingly).
 var published atomic.Pointer[Collector]
 
 var publishOnce sync.Once
@@ -34,22 +43,50 @@ func publishExpvar() {
 	})
 }
 
-// Server is a running metrics endpoint.
+// Server is a running observability endpoint.
 type Server struct {
 	// Addr is the bound address (useful when the requested port was 0).
-	Addr string
-	srv  *http.Server
-	ln   net.Listener
+	Addr      string
+	srv       *http.Server
+	ln        net.Listener
+	done      chan struct{} // closed by Close; terminates SSE streams
+	closeOnce sync.Once
 }
 
-// ServeMetrics starts the metrics endpoint on addr (host:port; an empty
-// host binds localhost — the endpoint carries profiles and internals, so
-// it should never listen on a public interface unless asked explicitly).
-// The server runs until Close.
-func ServeMetrics(addr string, c *Collector) (*Server, error) {
+// ServeOptions selects what the endpoint exposes. Zero-value fields
+// disable their routes gracefully (404 with a hint), so one mux serves
+// every configuration from a bare collector to the full dashboard.
+type ServeOptions struct {
+	// Collector feeds /metrics.json, /metrics/prometheus, /stages and
+	// /debug/vars.
+	Collector *Collector
+	// Status feeds /api/status, /api/units, /api/groups.
+	Status *StatusPublisher
+	// Events feeds /api/events (SSE). Tee the campaign journal into it.
+	Events *EventBuffer
+	// Public permits binding a non-loopback host. Off by default: the
+	// endpoint exposes pprof and internals.
+	Public bool
+}
+
+// isLoopbackHost reports whether host names the loopback interface.
+func isLoopbackHost(host string) bool {
+	if host == "" || host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// Serve starts the observability endpoint on addr (host:port; an empty
+// host binds localhost). The server runs until Close.
+func Serve(addr string, opts ServeOptions) (*Server, error) {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: bad -metrics-addr %q: %w", addr, err)
+	}
+	if !opts.Public && !isLoopbackHost(host) {
+		return nil, fmt.Errorf("telemetry: refusing non-loopback bind %q without -metrics-public (endpoint exposes pprof and process internals)", addr)
 	}
 	if host == "" {
 		host = "127.0.0.1"
@@ -58,11 +95,68 @@ func ServeMetrics(addr string, c *Collector) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
+	c := opts.Collector
 	published.Store(c)
 	publishExpvar()
+	done := make(chan struct{})
+
+	writeJSON := func(w http.ResponseWriter, v any) {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(b, '\n'))
+	}
+	status := func(w http.ResponseWriter) *StatusSnapshot {
+		s := opts.Status.Status()
+		if s == nil {
+			http.Error(w, "status API not enabled (no campaign coordinator attached)", http.StatusNotFound)
+		}
+		return s
+	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(dashboardHTML)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/api/status", func(w http.ResponseWriter, _ *http.Request) {
+		if s := status(w); s != nil {
+			s.Stages = c.StageRows()
+			writeJSON(w, s)
+		}
+	})
+	mux.HandleFunc("/api/units", func(w http.ResponseWriter, _ *http.Request) {
+		if s := status(w); s != nil {
+			writeJSON(w, s.Units)
+		}
+	})
+	mux.HandleFunc("/api/groups", func(w http.ResponseWriter, _ *http.Request) {
+		if s := status(w); s != nil {
+			writeJSON(w, s.Groups)
+		}
+	})
+	mux.HandleFunc("/api/events", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Events == nil {
+			http.Error(w, "event stream not enabled (run with a journal)", http.StatusNotFound)
+			return
+		}
+		opts.Events.serveSSE(w, r, done)
+	})
+	mux.HandleFunc("/metrics/prometheus", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(PrometheusText(c.Snapshot()))
+	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		b, err := c.Snapshot().MarshalIndentedJSON()
 		if err != nil {
@@ -76,21 +170,30 @@ func ServeMetrics(addr string, c *Collector) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, c.StageBreakdown())
 	})
+	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln, done: done}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
 }
 
-// Close stops the endpoint (nil-safe).
+// ServeMetrics starts a metrics-only endpoint (the pre-dashboard
+// surface). Kept as the one-argument entry point for callers that have
+// nothing but a collector.
+func ServeMetrics(addr string, c *Collector) (*Server, error) {
+	return Serve(addr, ServeOptions{Collector: c})
+}
+
+// Close stops the endpoint and terminates open SSE streams (nil-safe).
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.closeOnce.Do(func() { close(s.done) })
 	return s.srv.Close()
 }

@@ -65,6 +65,8 @@ type Journal struct {
 	flushStop chan struct{}
 	flushDone chan struct{}
 	closeOnce sync.Once
+
+	tee *EventBuffer // optional live mirror for the SSE stream
 }
 
 // NewJournal wraps w in a journal. If w is an io.Closer the journal owns
@@ -104,6 +106,19 @@ func (j *Journal) flusher() {
 	}
 }
 
+// Tee mirrors every subsequent emitted line into buf (nil-safe on both
+// sides). The mirror happens after the line is buffered for disk, under
+// the same lock, so the ring sees exactly the journal's line order; the
+// buffer itself never blocks, preserving the async-writer guarantee.
+func (j *Journal) Tee(buf *EventBuffer) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.tee = buf
+	j.mu.Unlock()
+}
+
 // Emit stamps and writes one event (nil-safe). The event is marshalled
 // and buffered under the journal lock; the actual write(2) happens on the
 // flusher goroutine or at Close.
@@ -126,7 +141,9 @@ func (j *Journal) Emit(ev Event) {
 	}
 	if _, err := j.bw.Write(append(line, '\n')); err != nil {
 		j.err = err
+		return
 	}
+	j.tee.Add(ev.Seq, line)
 }
 
 // Close flushes the buffer, stops the flusher, and closes the underlying

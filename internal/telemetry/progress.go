@@ -1,7 +1,8 @@
 // The periodic progress reporter (`-progress 5s`, off by default): a
 // single background goroutine printing live throughput to stderr — total
-// mutants, mutants/sec over the whole run and over the last interval, and
-// the dominant pipeline stage — so a long campaign is observable without
+// mutants, mutants/sec over the whole run and over the last interval,
+// ETA and per-group progress when a campaign publishes status, and the
+// dominant pipeline stage — so a long campaign is observable without
 // attaching to the HTTP endpoint.
 
 package telemetry
@@ -16,9 +17,13 @@ import (
 // StartProgress launches a reporter that prints one line to w every
 // interval until the returned stop func is called. The mutant count is
 // read from the "mutants" counter of c; per-stage time from the
-// "stage.*" histograms. Nil-safe: with a nil collector or non-positive
-// interval nothing starts and stop is a no-op.
-func StartProgress(w io.Writer, c *Collector, interval time.Duration) (stop func()) {
+// "stage.*" histograms. When st is non-nil the line additionally carries
+// the campaign ETA and groups-found tally, taken from the same
+// StatusSnapshot (and therefore the same rate arithmetic) that
+// /api/status serves — the two surfaces can never disagree. Nil-safe:
+// with a nil collector or non-positive interval nothing starts and stop
+// is a no-op.
+func StartProgress(w io.Writer, c *Collector, st *StatusPublisher, interval time.Duration) (stop func()) {
 	if c == nil || interval <= 0 {
 		return func() {}
 	}
@@ -37,11 +42,23 @@ func StartProgress(w io.Writer, c *Collector, interval time.Duration) (stop func
 				return
 			case now := <-t.C:
 				mutants := c.Counter("mutants").Value()
-				totalRate := float64(mutants) / time.Since(start).Seconds()
 				instRate := float64(mutants-lastMutants) / now.Sub(lastT).Seconds()
-				fmt.Fprintf(w, "progress: %s elapsed, %d mutants (%.0f/s overall, %.0f/s now)%s\n",
-					time.Since(start).Round(time.Second), mutants, totalRate, instRate, topStage(c))
-				lastMutants, lastT = mutants, now
+				var totalRate float64
+				var campaign string
+				if s := st.Status(); s != nil {
+					// The published snapshot carries the authoritative
+					// mutant count and rate (including a resumed
+					// checkpoint's head start).
+					mutants = s.Mutants
+					totalRate = s.RatePerSec
+					campaign = fmt.Sprintf(", ETA %s, groups %d/%d found",
+						fmtETA(s.ETANS), s.GroupsFound, s.GroupsTotal)
+				} else {
+					totalRate = float64(mutants) / time.Since(start).Seconds()
+				}
+				fmt.Fprintf(w, "progress: %s elapsed, %d mutants (%.0f/s overall, %.0f/s now)%s%s\n",
+					time.Since(start).Round(time.Second), mutants, totalRate, instRate, campaign, topStage(c))
+				lastMutants, lastT = c.Counter("mutants").Value(), now
 			}
 		}
 	}()
@@ -49,6 +66,15 @@ func StartProgress(w io.Writer, c *Collector, interval time.Duration) (stop func
 		close(done)
 		<-finished
 	}
+}
+
+// fmtETA renders an ETA in nanoseconds for the progress line ("-" while
+// the rate is not yet established).
+func fmtETA(etaNS int64) string {
+	if etaNS < 0 {
+		return "-"
+	}
+	return time.Duration(etaNS).Round(time.Second).String()
 }
 
 // topStage names the stage with the largest total time so far.

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuf is a mutex'd string sink for the progress goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestStartProgress(t *testing.T) {
+	// Nil collector / zero interval: nothing starts, stop is a no-op.
+	StartProgress(nil, nil, nil, time.Second)()
+	StartProgress(nil, NewCollector(), nil, 0)()
+
+	// Without a publisher the line carries mutants and rates only.
+	c := NewCollector()
+	c.Add("mutants", 50)
+	c.ObserveStage("tv", 10*time.Millisecond)
+	var plain syncBuf
+	stop := StartProgress(&plain, c, nil, 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	out := plain.String()
+	if !strings.Contains(out, "50 mutants") || !strings.Contains(out, "top stage tv") {
+		t.Errorf("plain progress line missing mutants/top stage:\n%s", out)
+	}
+	if strings.Contains(out, "ETA") {
+		t.Errorf("plain progress line has campaign fields without a publisher:\n%s", out)
+	}
+
+	// With a published snapshot the line gains ETA and groups found, and
+	// the mutant count comes from the snapshot (the authoritative one on
+	// resumed campaigns).
+	st := NewStatusPublisher()
+	st.Publish(&StatusSnapshot{
+		Mutants:          150,
+		MutantsRemaining: 60,
+		GroupsTotal:      2,
+		GroupsFound:      1,
+	})
+	time.Sleep(2 * time.Millisecond) // let elapsed>0 establish a rate
+	var full syncBuf
+	stop = StartProgress(&full, c, st, 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	out = full.String()
+	if !strings.Contains(out, "150 mutants") {
+		t.Errorf("progress line ignores the published mutant count:\n%s", out)
+	}
+	if !strings.Contains(out, "ETA ") || !strings.Contains(out, "groups 1/2 found") {
+		t.Errorf("progress line missing ETA/groups:\n%s", out)
+	}
+}
+
+func TestFmtETA(t *testing.T) {
+	if got := fmtETA(-1); got != "-" {
+		t.Errorf("fmtETA(-1) = %q", got)
+	}
+	if got := fmtETA(int64(90 * time.Second)); got != "1m30s" {
+		t.Errorf("fmtETA(90s) = %q", got)
+	}
+	if got := fmtETA(0); got != "0s" {
+		t.Errorf("fmtETA(0) = %q", got)
+	}
+}

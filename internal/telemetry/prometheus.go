@@ -1,0 +1,330 @@
+// Prometheus text exposition (text format 0.0.4), rendered from a
+// Snapshot so /metrics/prometheus and the end-of-run document can never
+// disagree. Naming follows Prometheus conventions: everything sits under
+// the alive_mutate_ namespace, counters get a _total suffix, histograms
+// are exported in seconds with cumulative `le` buckets, and run labels
+// become a single alive_mutate_run_info gauge. Families are emitted in
+// sorted-name order and floats are formatted canonically, so the output
+// is deterministic for a given snapshot — goldens-testable.
+
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promNamespace prefixes every exported metric family.
+const promNamespace = "alive_mutate_"
+
+// promName maps an internal metric name ("stage.opt", "tv.cache_hit") to
+// a legal Prometheus metric name body: every character outside
+// [a-zA-Z0-9_] becomes '_', and a leading digit gets an underscore
+// prefix. The namespace already guarantees a legal first character, but
+// the rule is kept local so the function stands alone.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func promFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// promFamily is one rendered metric family, sortable by exposed name.
+type promFamily struct {
+	name string
+	text string
+}
+
+// PrometheusText renders the snapshot in Prometheus exposition format.
+// Nil-safe: a nil snapshot renders to an empty document.
+func PrometheusText(s *Snapshot) []byte {
+	if s == nil {
+		return nil
+	}
+	fams := make([]promFamily, 0, len(s.Counters)+len(s.Histograms)+1)
+
+	for name, v := range s.Counters {
+		fam := promNamespace + promName(name) + "_total"
+		var b strings.Builder
+		fmt.Fprintf(&b, "# HELP %s Counter %q from the run collector.\n", fam, name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(&b, "%s %d\n", fam, v)
+		fams = append(fams, promFamily{fam, b.String()})
+	}
+
+	for name, h := range s.Histograms {
+		fam := promNamespace + promName(name) + "_seconds"
+		var b strings.Builder
+		fmt.Fprintf(&b, "# HELP %s Histogram %q from the run collector, in seconds.\n", fam, name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for i, bound := range h.BoundsNS {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", fam, promFloat(float64(bound)/1e9), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", fam, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", fam, promFloat(float64(h.TotalNS)/1e9))
+		fmt.Fprintf(&b, "%s_count %d\n", fam, h.Count)
+		fams = append(fams, promFamily{fam, b.String()})
+	}
+
+	if len(s.Labels) > 0 {
+		fam := promNamespace + "run_info"
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# HELP %s Run metadata labels (always 1).\n", fam)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		b.WriteString(fam)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=\"%s\"", promName(k), promEscape(s.Labels[k]))
+		}
+		b.WriteString("} 1\n")
+		fams = append(fams, promFamily{fam, b.String()})
+	}
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var out bytes.Buffer
+	for _, f := range fams {
+		out.WriteString(f.text)
+	}
+	return out.Bytes()
+}
+
+// promSample is one parsed non-comment exposition line.
+type promSample struct {
+	name  string // full metric name including _bucket/_sum/_count
+	le    string // value of the le label, "" when absent
+	value float64
+	line  int
+}
+
+// parsePrometheus tokenizes an exposition document into TYPE declarations
+// (in document order) and samples. It accepts only the subset this
+// package emits — one optional {le="…"} or info label set — which is all
+// the linter needs.
+func parsePrometheus(data []byte) (types []string, samples []promSample, err error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if fields := strings.Fields(line); len(fields) >= 3 && fields[1] == "TYPE" {
+				types = append(types, fields[2])
+			}
+			continue
+		}
+		// NAME{labels} VALUE  |  NAME VALUE
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, nil, fmt.Errorf("prom: line %d: no value: %q", lineNo, line)
+		}
+		head, valStr := line[:sp], line[sp+1:]
+		var name, le string
+		if br := strings.IndexByte(head, '{'); br >= 0 {
+			name = head[:br]
+			labels := strings.TrimSuffix(head[br+1:], "}")
+			for _, kv := range strings.Split(labels, ",") {
+				if k, v, ok := strings.Cut(kv, "="); ok && k == "le" {
+					le = strings.Trim(v, `"`)
+				}
+			}
+		} else {
+			name = head
+		}
+		var val float64
+		switch valStr {
+		case "+Inf":
+			val = math.Inf(1)
+		case "-Inf":
+			val = math.Inf(-1)
+		default:
+			val, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("prom: line %d: bad value %q", lineNo, valStr)
+			}
+		}
+		samples = append(samples, promSample{name: name, le: le, value: val, line: lineNo})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("prom: scan: %w", err)
+	}
+	return types, samples, nil
+}
+
+// parseLE parses an `le` label value ("+Inf" aware).
+func parseLE(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(le, 64)
+}
+
+// LintPrometheus checks an exposition capture for the invariants the
+// renderer guarantees: family names sorted and unique, histogram `le`
+// bounds strictly increasing with cumulative non-decreasing counts ending
+// in an +Inf bucket that equals _count, and _sum consistent with the
+// bucket contents. When against is non-nil the capture is additionally
+// cross-checked against that JSON snapshot: every counter and histogram
+// must appear with matching counts, and sums must agree within rtol
+// (relative tolerance; <= 0 selects 1e-9, covering float formatting).
+func LintPrometheus(data []byte, against *Snapshot, rtol float64) error {
+	if rtol <= 0 {
+		rtol = 1e-9
+	}
+	types, samples, err := parsePrometheus(data)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(types); i++ {
+		if types[i] <= types[i-1] {
+			return fmt.Errorf("prom: families not sorted: %q after %q", types[i], types[i-1])
+		}
+	}
+
+	// Group histogram series by family.
+	type histAcc struct {
+		les      []float64
+		cums     []int64
+		sum      float64
+		count    int64
+		hasSum   bool
+		hasCount bool
+	}
+	hists := map[string]*histAcc{}
+	counters := map[string]float64{}
+	acc := func(fam string) *histAcc {
+		h, ok := hists[fam]
+		if !ok {
+			h = &histAcc{}
+			hists[fam] = h
+		}
+		return h
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			fam := strings.TrimSuffix(s.name, "_bucket")
+			le, err := parseLE(s.le)
+			if err != nil {
+				return fmt.Errorf("prom: line %d: bad le %q", s.line, s.le)
+			}
+			h := acc(fam)
+			h.les = append(h.les, le)
+			h.cums = append(h.cums, int64(s.value))
+		case strings.HasSuffix(s.name, "_sum") && !strings.HasSuffix(s.name, "_total"):
+			h := acc(strings.TrimSuffix(s.name, "_sum"))
+			h.sum, h.hasSum = s.value, true
+		case strings.HasSuffix(s.name, "_count"):
+			h := acc(strings.TrimSuffix(s.name, "_count"))
+			h.count, h.hasCount = int64(s.value), true
+		case strings.HasSuffix(s.name, "_total"):
+			counters[s.name] = s.value
+		}
+	}
+	for fam, h := range hists {
+		if !h.hasSum || !h.hasCount {
+			return fmt.Errorf("prom: histogram %s missing _sum or _count", fam)
+		}
+		if len(h.les) == 0 || !math.IsInf(h.les[len(h.les)-1], 1) {
+			return fmt.Errorf("prom: histogram %s has no +Inf bucket", fam)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				return fmt.Errorf("prom: histogram %s le bounds not increasing at index %d", fam, i)
+			}
+			if h.cums[i] < h.cums[i-1] {
+				return fmt.Errorf("prom: histogram %s bucket counts not cumulative at index %d", fam, i)
+			}
+		}
+		if inf := h.cums[len(h.cums)-1]; inf != h.count {
+			return fmt.Errorf("prom: histogram %s +Inf bucket %d != count %d", fam, inf, h.count)
+		}
+		if h.count == 0 && h.sum != 0 {
+			return fmt.Errorf("prom: histogram %s has zero count but sum %v", fam, h.sum)
+		}
+	}
+
+	if against == nil {
+		return nil
+	}
+	within := func(got, want float64) bool {
+		diff := math.Abs(got - want)
+		return diff <= rtol*math.Max(math.Abs(got), math.Abs(want))+1e-12
+	}
+	for name, v := range against.Counters {
+		fam := promNamespace + promName(name) + "_total"
+		got, ok := counters[fam]
+		if !ok {
+			return fmt.Errorf("prom: counter %q (%s) missing from exposition", name, fam)
+		}
+		if int64(got) != v {
+			return fmt.Errorf("prom: counter %s = %v, snapshot says %d", fam, got, v)
+		}
+	}
+	for name, hs := range against.Histograms {
+		fam := promNamespace + promName(name) + "_seconds"
+		h, ok := hists[fam]
+		if !ok {
+			return fmt.Errorf("prom: histogram %q (%s) missing from exposition", name, fam)
+		}
+		if h.count != hs.Count {
+			return fmt.Errorf("prom: histogram %s count %d, snapshot says %d", fam, h.count, hs.Count)
+		}
+		if !within(h.sum, float64(hs.TotalNS)/1e9) {
+			return fmt.Errorf("prom: histogram %s sum %v disagrees with snapshot %v beyond tolerance",
+				fam, h.sum, float64(hs.TotalNS)/1e9)
+		}
+	}
+	return nil
+}

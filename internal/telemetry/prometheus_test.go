@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func promFixture() *Snapshot {
+	c := NewCollector()
+	c.Add("mutants", 1000)
+	c.Add("tv.cache_hit", 37)
+	c.ObserveStage("opt", 3*time.Millisecond)
+	c.ObserveStage("opt", 40*time.Microsecond)
+	c.ObserveStage("tv", 90*time.Millisecond)
+	c.SetLabel("command", "test")
+	c.SetLabel("passes", `O2 "quoted" back\slash`)
+	return c.Snapshot()
+}
+
+func TestPrometheusTextDeterministic(t *testing.T) {
+	snap := promFixture()
+	a, b := PrometheusText(snap), PrometheusText(snap)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+	text := string(a)
+
+	for _, want := range []string{
+		"# TYPE alive_mutate_mutants_total counter",
+		"alive_mutate_mutants_total 1000",
+		"# TYPE alive_mutate_tv_cache_hit_total counter", // '.' sanitized
+		"# TYPE alive_mutate_stage_opt_seconds histogram",
+		"alive_mutate_stage_opt_seconds_count 2",
+		"alive_mutate_stage_tv_seconds_sum 0.09",
+		`alive_mutate_stage_tv_seconds_bucket{le="+Inf"} 1`,
+		"# TYPE alive_mutate_run_info gauge",
+		`command="test"`,
+		`passes="O2 \"quoted\" back\\slash"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	if PrometheusText(nil) != nil {
+		t.Error("nil snapshot should render empty")
+	}
+}
+
+func TestLintPrometheusOwnOutput(t *testing.T) {
+	snap := promFixture()
+	text := PrometheusText(snap)
+	if err := LintPrometheus(text, nil, 0); err != nil {
+		t.Fatalf("own output fails lint: %v", err)
+	}
+	if err := LintPrometheus(text, snap, 0); err != nil {
+		t.Fatalf("own output fails cross-check: %v", err)
+	}
+}
+
+func TestLintPrometheusRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"unsorted families",
+			"# TYPE b_total counter\nb_total 1\n# TYPE a_total counter\na_total 1\n",
+			"not sorted"},
+		{"missing +Inf",
+			"# TYPE h_seconds histogram\nh_seconds_bucket{le=\"1\"} 1\nh_seconds_sum 0.5\nh_seconds_count 1\n",
+			"+Inf"},
+		{"non-cumulative buckets",
+			"# TYPE h_seconds histogram\nh_seconds_bucket{le=\"1\"} 5\nh_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_sum 0.5\nh_seconds_count 3\n",
+			"cumulative"},
+		{"inf bucket disagrees with count",
+			"# TYPE h_seconds histogram\nh_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_sum 0.5\nh_seconds_count 4\n",
+			"!= count"},
+		{"missing sum",
+			"# TYPE h_seconds histogram\nh_seconds_bucket{le=\"+Inf\"} 1\nh_seconds_count 1\n",
+			"missing _sum"},
+		{"garbage value", "x_total notanumber\n", "bad value"},
+	}
+	for _, tc := range cases {
+		if err := LintPrometheus([]byte(tc.doc), nil, 0); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLintPrometheusCrossCheck(t *testing.T) {
+	snap := promFixture()
+	text := PrometheusText(snap)
+
+	// A tampered counter fails against the snapshot.
+	bad := bytes.Replace(text, []byte("alive_mutate_mutants_total 1000"), []byte("alive_mutate_mutants_total 999"), 1)
+	if err := LintPrometheus(bad, snap, 0); err == nil || !strings.Contains(err.Error(), "snapshot says") {
+		t.Errorf("tampered counter passed cross-check: %v", err)
+	}
+
+	// A snapshot metric missing from the exposition fails.
+	other := NewCollector()
+	other.Add("mutants", 1000)
+	other.Add("extra", 1)
+	if err := LintPrometheus(PrometheusText(snap), other.Snapshot(), 0); err == nil ||
+		!strings.Contains(err.Error(), "missing from exposition") {
+		t.Errorf("missing counter passed cross-check: %v", err)
+	}
+}
+
+func TestPromNameAndFloat(t *testing.T) {
+	for in, want := range map[string]string{
+		"stage.opt":    "stage_opt",
+		"tv.cache-hit": "tv_cache_hit",
+		"0weird":       "_0weird",
+		"ok_name":      "ok_name",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promFloat(0.001); got != "0.001" {
+		t.Errorf("promFloat(0.001) = %q", got)
+	}
+}

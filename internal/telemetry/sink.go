@@ -14,6 +14,10 @@ type Sink struct {
 	// Journal receives structured events. The journal serializes
 	// internally, so one journal is shared by every shard.
 	Journal *Journal
+	// Status receives the coordinator's live read model when the HTTP
+	// status API is enabled. Only the coordinator publishes; shard sinks
+	// leave it nil.
+	Status *StatusPublisher
 	// Shard is the worker index stamped on journal events (-1 when the
 	// emitter is not a pool worker).
 	Shard int
@@ -26,6 +30,14 @@ func (s *Sink) ShardSink(shard int) *Sink {
 		return nil
 	}
 	return &Sink{Metrics: NewCollector(), Journal: s.Journal, Shard: shard}
+}
+
+// StatusPublisher returns the sink's status publisher (nil-safe).
+func (s *Sink) StatusPublisher() *StatusPublisher {
+	if s == nil {
+		return nil
+	}
+	return s.Status
 }
 
 // Collector returns the sink's metrics collector (nil-safe).

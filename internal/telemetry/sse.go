@@ -1,0 +1,212 @@
+// The live event stream: a bounded ring buffer teed off the JSONL
+// journal, served as Server-Sent Events at /api/events. Three properties
+// drive the design:
+//
+//  1. The journal writer is NEVER blocked by a consumer: Add takes one
+//     short mutex and posts non-blocking wakeups; each SSE connection
+//     drains the ring on its own goroutine at its own pace.
+//  2. Slow consumers lose the oldest events, not the campaign: when a
+//     reader's cursor falls off the ring it receives an explicit
+//     `dropped` marker event carrying the gap size, then continues from
+//     the oldest retained event.
+//  3. Streams resume: every SSE event carries its journal seq as the SSE
+//     id, so a reconnecting client's Last-Event-ID header (standard
+//     EventSource behavior) — or an explicit ?after=SEQ query — replays
+//     exactly the missed suffix still in the buffer.
+
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultEventBufferSize is the ring capacity ServeOptions uses when the
+// caller does not size the buffer: at typical campaign event rates
+// (unit lifecycle + findings) this holds many minutes of history.
+const DefaultEventBufferSize = 1024
+
+type bufferedEvent struct {
+	seq  int64
+	line []byte // one JSON journal line, no trailing newline
+}
+
+// EventBuffer is the bounded journal tail. One writer (the journal, via
+// Journal.Tee), many readers (SSE connections).
+type EventBuffer struct {
+	mu      sync.Mutex
+	entries []bufferedEvent // ring; len(entries) == capacity
+	next    int             // ring index of the next write
+	count   int             // live entries, <= capacity
+	lastSeq int64
+	subs    map[chan struct{}]struct{}
+}
+
+// NewEventBuffer returns a ring holding the most recent size events
+// (size <= 0 selects DefaultEventBufferSize).
+func NewEventBuffer(size int) *EventBuffer {
+	if size <= 0 {
+		size = DefaultEventBufferSize
+	}
+	return &EventBuffer{
+		entries: make([]bufferedEvent, size),
+		subs:    map[chan struct{}]struct{}{},
+	}
+}
+
+// Add appends one journal line (nil-safe). The line is copied, so the
+// caller may reuse its buffer. Never blocks: subscriber wakeups are
+// dropped when a subscriber is already signalled.
+func (b *EventBuffer) Add(seq int64, line []byte) {
+	if b == nil {
+		return
+	}
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	b.mu.Lock()
+	b.entries[b.next] = bufferedEvent{seq: seq, line: cp}
+	b.next = (b.next + 1) % len(b.entries)
+	if b.count < len(b.entries) {
+		b.count++
+	}
+	b.lastSeq = seq
+	for ch := range b.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signalled; it will drain everything anyway
+		}
+	}
+	b.mu.Unlock()
+}
+
+// LastSeq reports the newest buffered sequence number (0 when empty).
+func (b *EventBuffer) LastSeq() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastSeq
+}
+
+// subscribe registers a wakeup channel signalled on every Add.
+func (b *EventBuffer) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch
+}
+
+func (b *EventBuffer) unsubscribe(ch chan struct{}) {
+	b.mu.Lock()
+	delete(b.subs, ch)
+	b.mu.Unlock()
+}
+
+// since returns every buffered event with seq >= from (in seq order) and
+// the number of events that have already been overwritten (seqs in
+// [from, firstRetained)). The returned line slices are immutable.
+func (b *EventBuffer) since(from int64) (dropped int64, events []bufferedEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.count == 0 {
+		return 0, nil
+	}
+	oldest := b.entries[(b.next-b.count+len(b.entries))%len(b.entries)].seq
+	if from < oldest {
+		// Journal seqs are dense (assigned under the journal lock), so
+		// the gap size is exact.
+		dropped = oldest - from
+		from = oldest
+	}
+	start := b.count - int(b.lastSeq-from) - 1
+	if b.lastSeq < from {
+		return dropped, nil
+	}
+	if start < 0 {
+		start = 0 // defensive: non-dense seqs degrade to a full replay
+	}
+	for i := start; i < b.count; i++ {
+		e := b.entries[(b.next-b.count+i+len(b.entries))%len(b.entries)]
+		if e.seq >= from {
+			events = append(events, e)
+		}
+	}
+	return dropped, events
+}
+
+// sseKeepAlive is the idle-comment interval keeping proxies and clients
+// from timing out a quiet stream.
+const sseKeepAlive = 15 * time.Second
+
+// serveSSE streams the buffer as text/event-stream until the client
+// disconnects or done closes (server shutdown).
+func (b *EventBuffer) serveSSE(w http.ResponseWriter, r *http.Request, done <-chan struct{}) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat reverse-proxy buffering
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// Resume point: Last-Event-ID (standard EventSource reconnect) wins
+	// over ?after= (manual curl/fetch resume); default is the whole
+	// retained buffer.
+	next := int64(1)
+	if v := r.URL.Query().Get("after"); v != "" {
+		if seq, err := strconv.ParseInt(v, 10, 64); err == nil {
+			next = seq + 1
+		}
+	}
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if seq, err := strconv.ParseInt(v, 10, 64); err == nil {
+			next = seq + 1
+		}
+	}
+
+	wake := b.subscribe()
+	defer b.unsubscribe(wake)
+	keep := time.NewTicker(sseKeepAlive)
+	defer keep.Stop()
+
+	for {
+		dropped, events := b.since(next)
+		if dropped > 0 {
+			// The marker is a named SSE event (not a journal line), so
+			// EventSource consumers opt into it with addEventListener
+			// and naive `data:` scrapers skip it.
+			if _, err := fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", dropped); err != nil {
+				return
+			}
+		}
+		for _, e := range events {
+			if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.seq, e.line); err != nil {
+				return
+			}
+			next = e.seq + 1
+		}
+		if dropped > 0 || len(events) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-done:
+			return
+		case <-wake:
+		case <-keep.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventBufferSince(t *testing.T) {
+	b := NewEventBuffer(4)
+	if d, evs := b.since(1); d != 0 || evs != nil {
+		t.Fatalf("empty buffer since(1) = (%d, %v)", d, evs)
+	}
+	for seq := int64(1); seq <= 10; seq++ {
+		b.Add(seq, []byte(fmt.Sprintf(`{"seq":%d}`, seq)))
+	}
+	if got := b.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq = %d, want 10", got)
+	}
+
+	// Ring holds 7..10; asking from 1 reports the exact gap.
+	d, evs := b.since(1)
+	if d != 6 {
+		t.Errorf("dropped = %d, want 6", d)
+	}
+	if len(evs) != 4 || evs[0].seq != 7 || evs[3].seq != 10 {
+		t.Errorf("events = %+v, want seqs 7..10", evs)
+	}
+
+	// A cursor inside the ring replays only the suffix, no drop.
+	d, evs = b.since(9)
+	if d != 0 || len(evs) != 2 || evs[0].seq != 9 || evs[1].seq != 10 {
+		t.Errorf("since(9) = (%d, %+v), want seqs 9..10", d, evs)
+	}
+
+	// A caught-up cursor gets nothing.
+	if d, evs := b.since(11); d != 0 || len(evs) != 0 {
+		t.Errorf("since(11) = (%d, %+v), want empty", d, evs)
+	}
+
+	// Nil buffer is inert.
+	var nilB *EventBuffer
+	nilB.Add(1, []byte("x"))
+	if nilB.LastSeq() != 0 {
+		t.Error("nil buffer LastSeq != 0")
+	}
+}
+
+// TestEventBufferAddCopies: Add must copy the line, because Journal.Emit
+// reuses its marshal buffer via append(line, '\n').
+func TestEventBufferAddCopies(t *testing.T) {
+	b := NewEventBuffer(4)
+	line := []byte(`{"seq":1}`)
+	b.Add(1, line)
+	line[0] = 'X'
+	_, evs := b.since(1)
+	if len(evs) != 1 || !bytes.Equal(evs[0].line, []byte(`{"seq":1}`)) {
+		t.Fatalf("buffered line aliased the caller's slice: %q", evs[0].line)
+	}
+}
+
+func TestJournalTee(t *testing.T) {
+	var sink bytes.Buffer
+	j := NewJournal(&sink)
+	buf := NewEventBuffer(16)
+	j.Tee(buf)
+	j.Emit(Event{Type: "unit_start", Shard: 0, Group: "g", Unit: "u"})
+	j.Emit(Event{Type: "bug_found", Shard: 1, Group: "g", Unit: "u", Iters: 42})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, evs := buf.since(1)
+	if len(evs) != 2 {
+		t.Fatalf("teed %d events, want 2", len(evs))
+	}
+	// The ring mirrors the journal byte-for-byte, minus the newline.
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	for i, e := range evs {
+		if e.seq != int64(i+1) {
+			t.Errorf("event %d seq = %d", i, e.seq)
+		}
+		if string(e.line) != lines[i] {
+			t.Errorf("event %d: ring %q != journal %q", i, e.line, lines[i])
+		}
+	}
+
+	// Tee on a nil journal is a no-op, not a panic.
+	var nilJ *Journal
+	nilJ.Tee(buf)
+}
+
+// sseFrame is one parsed text/event-stream frame.
+type sseFrame struct {
+	event string
+	id    string
+	data  string
+}
+
+// readFrame reads lines up to the next blank separator, skipping
+// keepalive comments.
+func readFrame(br *bufio.Reader) (sseFrame, error) {
+	var f sseFrame
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if seen {
+				return f, nil
+			}
+		case strings.HasPrefix(line, ":"): // comment / keepalive
+		case strings.HasPrefix(line, "event: "):
+			f.event, seen = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "id: "):
+			f.id, seen = strings.TrimPrefix(line, "id: "), true
+		case strings.HasPrefix(line, "data: "):
+			f.data, seen = strings.TrimPrefix(line, "data: "), true
+		}
+	}
+}
+
+// sseGet opens a streaming GET against url with the given extra header.
+func sseGet(t *testing.T, ctx context.Context, url, headerKey, headerVal string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if headerKey != "" {
+		req.Header.Set(headerKey, headerVal)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+func TestServeSSE(t *testing.T) {
+	buf := NewEventBuffer(4)
+	done := make(chan struct{})
+	defer close(done)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf.serveSSE(w, r, done)
+	}))
+	defer ts.Close()
+
+	for seq := int64(1); seq <= 6; seq++ {
+		buf.Add(seq, []byte(fmt.Sprintf(`{"seq":%d,"event":"tick"}`, seq)))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Fresh connection after overflow: dropped marker first (seqs 1-2
+	// fell off the 4-slot ring), then the retained suffix.
+	br, closeBody := sseGet(t, ctx, ts.URL, "", "")
+	f, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.event != "dropped" || f.data != `{"dropped":2}` {
+		t.Fatalf("first frame = %+v, want dropped marker for 2 events", f)
+	}
+	for want := 3; want <= 6; want++ {
+		f, err = readFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.id != fmt.Sprint(want) || !strings.Contains(f.data, fmt.Sprintf(`"seq":%d`, want)) {
+			t.Fatalf("frame = %+v, want id %d", f, want)
+		}
+	}
+
+	// A live event wakes the stream without reconnecting.
+	buf.Add(7, []byte(`{"seq":7,"event":"tick"}`))
+	if f, err = readFrame(br); err != nil || f.id != "7" {
+		t.Fatalf("live frame = %+v (err %v), want id 7", f, err)
+	}
+	closeBody()
+
+	// Last-Event-ID resume replays exactly the missed suffix.
+	br, closeBody = sseGet(t, ctx, ts.URL, "Last-Event-ID", "5")
+	for want := 6; want <= 7; want++ {
+		if f, err = readFrame(br); err != nil || f.id != fmt.Sprint(want) || f.event == "dropped" {
+			t.Fatalf("resume frame = %+v (err %v), want id %d", f, err, want)
+		}
+	}
+	closeBody()
+
+	// ?after= works for plain curl/fetch consumers; the header wins when
+	// both are present.
+	br, closeBody = sseGet(t, ctx, ts.URL+"?after=3", "Last-Event-ID", "6")
+	if f, err = readFrame(br); err != nil || f.id != "7" {
+		t.Fatalf("header-over-query frame = %+v (err %v), want id 7", f, err)
+	}
+	closeBody()
+
+	// Server shutdown terminates the stream.
+	srvDone := make(chan struct{})
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf.serveSSE(w, r, srvDone)
+	}))
+	defer ts2.Close()
+	br, closeBody = sseGet(t, ctx, ts2.URL+"?after=7", "", "")
+	defer closeBody()
+	close(srvDone)
+	if _, err := io.Copy(io.Discard, br); err != nil && err != io.EOF {
+		t.Fatalf("stream did not terminate cleanly: %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// statusFixture builds an internally consistent snapshot the validator
+// accepts; tests mutate one field at a time to probe each invariant.
+func statusFixture() *StatusSnapshot {
+	return &StatusSnapshot{
+		Schema:        StatusSchemaV1,
+		UnitsTotal:    4,
+		UnitsQueued:   1,
+		UnitsRunning:  1,
+		UnitsDone:     2,
+		UnitsRestored: 1,
+		GroupsTotal:   2,
+		GroupsDone:    1,
+		GroupsFound:   1,
+		Mutants:       150,
+		MutantsBudget: 240,
+		Units: []UnitStatus{
+			{Group: "a", Name: "u0", State: UnitDone, Restored: true},
+			{Group: "a", Name: "u1", State: UnitDone, DurNS: 5},
+			{Group: "b", Name: "u0", State: UnitRunning},
+			{Group: "b", Name: "u1", State: UnitQueued},
+		},
+		Groups: []GroupStatus{
+			{Name: "a", UnitsTotal: 2, UnitsDone: 2, Done: true, Found: true,
+				MutantsSpent: 90, MutantsBudget: 120, Detail: "refinement after 90 mutants"},
+			{Name: "b", UnitsTotal: 2, UnitsDone: 0, Running: true,
+				MutantsSpent: 60, MutantsBudget: 120},
+		},
+		MutantsRemaining: 60,
+		ETANS:            -1,
+	}
+}
+
+func marshalStatus(t *testing.T, s *StatusSnapshot) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestValidateStatusAccepts(t *testing.T) {
+	if _, err := ValidateStatus(marshalStatus(t, statusFixture())); err != nil {
+		t.Fatalf("consistent snapshot rejected: %v", err)
+	}
+}
+
+func TestValidateStatusRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*StatusSnapshot)
+		want string
+	}{
+		{"wrong schema", func(s *StatusSnapshot) { s.Schema = "nope" }, "schema"},
+		{"state sum", func(s *StatusSnapshot) { s.UnitsQueued = 2 }, "sum"},
+		{"restored over done", func(s *StatusSnapshot) { s.UnitsRestored = 3 }, "restored"},
+		{"groups done over total", func(s *StatusSnapshot) { s.GroupsDone = 3; s.GroupsTotal = 2 }, "groups_done"},
+		{"unit row count", func(s *StatusSnapshot) { s.Units = s.Units[:3] }, "unit rows"},
+		{"unknown unit state", func(s *StatusSnapshot) { s.Units[0].State = "paused" }, "unknown state"},
+		{"row/summary state mismatch", func(s *StatusSnapshot) {
+			s.Units[3].State = UnitSkipped
+		}, "unit rows count"},
+		{"group spent over budget", func(s *StatusSnapshot) { s.Groups[1].MutantsSpent = 500 }, "over its budget"},
+		{"group budget sum", func(s *StatusSnapshot) { s.MutantsBudget = 999 }, "mutants_budget"},
+		{"group found tally", func(s *StatusSnapshot) { s.GroupsFound = 0 }, "marked found"},
+		{"remaining over budget", func(s *StatusSnapshot) { s.MutantsRemaining = 10_000 }, "mutants_remaining"},
+		{"negative rate", func(s *StatusSnapshot) { s.RatePerSec = -1 }, "rate_per_sec"},
+		{"bad eta", func(s *StatusSnapshot) { s.ETANS = -2 }, "eta_ns"},
+		{"bad stage row", func(s *StatusSnapshot) { s.Stages = []StageStatus{{Name: "", Count: 1}} }, "stage"},
+	}
+	for _, tc := range cases {
+		s := statusFixture()
+		tc.mut(s)
+		_, err := ValidateStatus(marshalStatus(t, s))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Unknown fields are a schema violation, not silently ignored.
+	if _, err := ValidateStatus([]byte(`{"schema":"alive-mutate-status/v1","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestStatusPublisherReadModel: structural fields come from the last
+// Publish; elapsed/rate/ETA are stamped at read time from live clocks.
+func TestStatusPublisherReadModel(t *testing.T) {
+	p := NewStatusPublisher()
+
+	// Before the first publish: empty but schema-valid (early polls work).
+	early := p.Status()
+	if early == nil || early.Schema != StatusSchemaV1 {
+		t.Fatalf("pre-publish Status() = %+v", early)
+	}
+	if _, err := ValidateStatus(marshalStatus(t, early)); err != nil {
+		t.Fatalf("pre-publish snapshot invalid: %v", err)
+	}
+
+	s := statusFixture()
+	s.Schema = "" // Publish stamps it
+	p.Publish(s)
+	time.Sleep(2 * time.Millisecond)
+
+	got := p.Status()
+	if got.UnitsDone != 2 || got.GroupsFound != 1 || got.Mutants != 150 {
+		t.Errorf("structural fields lost: %+v", got)
+	}
+	if got.ElapsedNS <= 0 {
+		t.Errorf("ElapsedNS = %d, want > 0", got.ElapsedNS)
+	}
+	if got.RatePerSec <= 0 {
+		t.Errorf("RatePerSec = %g, want > 0 (mutants=150)", got.RatePerSec)
+	}
+	if got.ETANS <= 0 {
+		t.Errorf("ETANS = %d, want > 0 (remaining=60 at positive rate)", got.ETANS)
+	}
+	if _, err := ValidateStatus(marshalStatus(t, got)); err != nil {
+		t.Fatalf("published snapshot invalid: %v", err)
+	}
+
+	// Nil publisher: nil snapshot, no panic (the disabled path).
+	var nilP *StatusPublisher
+	if nilP.Status() != nil {
+		t.Error("nil publisher returned a snapshot")
+	}
+	nilP.Publish(s)
+}
+
+func TestRateAndETA(t *testing.T) {
+	sec := int64(time.Second)
+	cases := []struct {
+		mutants, remaining, elapsed int64
+		wantRate                    float64
+		wantETA                     int64
+	}{
+		{0, 100, 0, 0, -1},    // no time elapsed: unknown
+		{0, 100, sec, 0, -1},  // no mutants yet: rate 0, ETA unknown
+		{100, 0, sec, 100, 0}, // nothing left: done now
+		{100, 50, sec, 100, sec / 2},
+		{100, 200, 2 * sec, 50, 4 * sec},
+	}
+	for _, tc := range cases {
+		rate, eta := rateAndETA(tc.mutants, tc.remaining, tc.elapsed)
+		if rate != tc.wantRate || eta != tc.wantETA {
+			t.Errorf("rateAndETA(%d, %d, %d) = (%g, %d), want (%g, %d)",
+				tc.mutants, tc.remaining, tc.elapsed, rate, eta, tc.wantRate, tc.wantETA)
+		}
+	}
+}
+
+func TestStageRows(t *testing.T) {
+	var nilC *Collector
+	if rows := nilC.StageRows(); rows != nil {
+		t.Errorf("nil collector StageRows = %v", rows)
+	}
+	c := NewCollector()
+	c.ObserveStage("opt", 30*time.Millisecond)
+	c.ObserveStage("opt", 30*time.Millisecond)
+	c.ObserveStage("tv", 100*time.Millisecond)
+	c.Observe("not-a-stage", time.Second) // non-stage histograms excluded
+	rows := c.StageRows()
+	if len(rows) != 2 {
+		t.Fatalf("StageRows = %+v, want 2 rows", rows)
+	}
+	if rows[0].Name != "tv" || rows[1].Name != "opt" {
+		t.Errorf("rows not sorted by total desc: %+v", rows)
+	}
+	if rows[1].Count != 2 || rows[1].TotalNS != int64(60*time.Millisecond) {
+		t.Errorf("opt row = %+v", rows[1])
+	}
+}

@@ -5,7 +5,7 @@ GO ?= go
 
 include tools/tools.mk
 
-.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke microbench bench bench-baseline ci
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke microbench bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,15 @@ resume-smoke:
 dashboard-smoke:
 	bash tools/dashboard-smoke.sh
 
+# Cost-attribution profiling end-to-end: the seeded campaign with and
+# without -spans-out must render byte-identical result tables (span
+# recording is write-only), the deterministic spans file must be
+# byte-identical at -workers 1 and 4, and campaign-profile must produce a
+# hotspot report that validates with telemetry-check
+# (docs/OBSERVABILITY.md).
+profile-smoke:
+	bash tools/profile-smoke.sh
+
 # Hot-path microbenchmarks: sat.Solve on canned CNFs, smt blasting and
 # sessions, and tv.Verify over the examples corpus — a tracked baseline
 # for solver changes independent of the end-to-end harness.
@@ -115,4 +124,4 @@ bench-baseline:
 	$(GO) run ./cmd/bench-throughput -count 200 -gen 10 -out res.txt -json BENCH_throughput.json
 	$(GO) run ./cmd/telemetry-check -require-positive BENCH_throughput.json
 
-ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke

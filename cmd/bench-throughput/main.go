@@ -17,7 +17,8 @@
 //
 //	bench-throughput [-count 1000] [-seed 1] [-passes O2] \
 //	    [-gen 20] [-workers 1] [-out res.txt] [-json BENCH_throughput.json] \
-//	    [-metrics-addr 127.0.0.1:8787] [-metrics-out metrics.json] [tests/...ll]
+//	    [-metrics-addr 127.0.0.1:8787] [-metrics-out metrics.json] \
+//	    [-spans-out spans.jsonl] [-spans-deterministic] [tests/...ll]
 //
 // With -gen N and no input files, N corpus files are synthesized first.
 //
@@ -48,6 +49,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/spans"
 	"repro/internal/tv"
 )
 
@@ -74,6 +76,8 @@ func main() {
 	metricsPublic := flag.Bool("metrics-public", false, "allow -metrics-addr to bind a non-loopback interface (endpoint exposes pprof and internals)")
 	metricsOut := flag.String("metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	repoRoot := flag.String("repo", ".", "repository root (for building the discrete tools)")
+	spansOut := flag.String("spans-out", "", "record per-file span deltas (mutant/stage/solver-query tree) and write the alive-mutate-spans/v1 file here")
+	spansDet := flag.Bool("spans-deterministic", false, "zero wall-clock in recorded spans so the spans file is byte-identical at any -workers")
 	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B overhead runs)")
 	noTVCache := flag.Bool("no-tv-cache", false, "disable the per-file refinement-verdict cache (A/B comparison runs)")
 	noIncremental := flag.Bool("no-incremental", false, "disable assumption-based incremental SAT solving (A/B comparison runs)")
@@ -153,6 +157,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	var spanStore *spans.Store
+	if *spansOut != "" {
+		spanStore = spans.NewStore(*spansDet)
+	}
+
 	// One unit per file; every unit is its own group, so the engine is
 	// free to shard them across the pool in input order.
 	units := make([]campaign.Unit, len(files))
@@ -168,7 +177,14 @@ func main() {
 					return row{}, true, err
 				}
 				shard := sink.ShardSink(campaign.WorkerID(ctx))
+				rec := spanStore.NewRecorder(filepath.Base(path), filepath.Base(path), i, *seed)
+				shard.Spans = rec
 				r, err := measureFile(ctx, path, tmp, tools, *passSpec, *seed, *count, *noAnalysis, accel, shard)
+				if rec != nil {
+					// Only the integrated loop records spans; its budget is
+					// the fixed mutant count, spent in full on success.
+					spanStore.Add(rec.Finish(int64(*count), false))
+				}
 				sink.Metrics.Merge(shard.Collector())
 				return r, true, err
 			},
@@ -312,6 +328,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("machine-readable results written to %s\n", *jsonPath)
+	}
+	if spanStore != nil {
+		if err := spanStore.WriteFile(*spansOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("span deltas for %d file(s) written to %s (analyze with campaign-profile)\n", spanStore.Len(), *spansOut)
 	}
 	if *metricsOut != "" {
 		data, err := sink.Metrics.Snapshot().MarshalIndentedJSON()

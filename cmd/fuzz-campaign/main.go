@@ -20,6 +20,7 @@
 //	    [-deadline 10m] [-only 53252,50693] [-stats] [-out table1.txt]
 //	    [-metrics-addr 127.0.0.1:8787] [-metrics-public] [-metrics-out metrics.json]
 //	    [-journal events.jsonl] [-progress 10s] [-stall-threshold 2m]
+//	    [-spans-out spans.jsonl] [-spans-deterministic]
 //	    [-triage-dir triage/] [-checkpoint-dir ckpt/]
 //	    [-checkpoint-interval 10s] [-resume]
 //
@@ -69,6 +70,7 @@ import (
 	"repro/internal/moduleio"
 	"repro/internal/opt"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/spans"
 	"repro/internal/triage"
 )
 
@@ -98,6 +100,8 @@ func run() int {
 	ckptDir := flag.String("checkpoint-dir", "", "durably checkpoint campaign progress under this directory")
 	ckptInterval := flag.Duration("checkpoint-interval", 10*time.Second, "minimum gap between periodic checkpoint writes (0 = every unit)")
 	resume := flag.Bool("resume", false, "resume the campaign from -checkpoint-dir's checkpoint")
+	spansOut := flag.String("spans-out", "", "record cost-attribution spans and write the alive-mutate-spans/v1 file here (see campaign-profile)")
+	spansDet := flag.Bool("spans-deterministic", false, "zero wall-clock in recorded spans so the spans file is byte-identical at any -workers (structure and solver counters only)")
 	noAnalysis := flag.Bool("no-analysis", false, "disable the dataflow-analysis-backed folds (A/B comparison runs)")
 	noTVCache := flag.Bool("no-tv-cache", false, "disable the per-unit refinement-verdict cache (A/B comparison runs)")
 	sharedTVCache := flag.Bool("shared-tv-cache", false, "share one verdict cache across all workers (hit counts become scheduling-dependent)")
@@ -130,7 +134,7 @@ func run() int {
 	// Assemble the telemetry sink. A nil sink (no telemetry flags, no
 	// -stats) turns every hook in the pipeline into a pointer test.
 	var sink *telemetry.Sink
-	wantMetrics := *metricsAddr != "" || *metricsOut != "" || *journalPath != "" || *progress > 0 || *stats
+	wantMetrics := *metricsAddr != "" || *metricsOut != "" || *journalPath != "" || *progress > 0 || *stats || *spansOut != ""
 	if wantMetrics {
 		sink = &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
 		sink.Metrics.SetLabel("command", "fuzz-campaign")
@@ -161,6 +165,13 @@ func run() int {
 	if *metricsAddr != "" || *progress > 0 {
 		sink.Status = telemetry.NewStatusPublisher()
 	}
+	// Cost-attribution spans (docs/OBSERVABILITY.md "Cost attribution").
+	// Deltas collect in memory during the run; the canonical file is
+	// written after the table, so the campaign loop never blocks on it.
+	var spanStore *spans.Store
+	if *spansOut != "" {
+		spanStore = spans.NewStore(*spansDet)
+	}
 	if *metricsAddr != "" {
 		// The SSE stream tails the journal through a bounded ring. With no
 		// -journal file the events still need a journal to be born in, so
@@ -175,6 +186,7 @@ func run() int {
 			Collector: sink.Metrics,
 			Status:    sink.Status,
 			Events:    events,
+			Spans:     spanStore,
 			Public:    *metricsPublic,
 		})
 		if err != nil {
@@ -206,6 +218,7 @@ func run() int {
 		Only:               only,
 		Progress:           func(r campaign.BugRow) { fmt.Println(r.ProgressLine()) },
 		Telemetry:          sink,
+		Spans:              spanStore,
 		StallThreshold:     *stall,
 		Triage:             triageSink,
 		NoAnalysis:         *noAnalysis,
@@ -273,6 +286,14 @@ func run() int {
 				sink.Collector().Counter("lint." + string(rule)).Add(int64(n))
 			}
 		}
+	}
+	if spanStore != nil {
+		if err := spanStore.WriteFile(*spansOut); err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz-campaign:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "fuzz-campaign: wrote %d unit span delta(s) to %s (analyze with campaign-profile)\n",
+			spanStore.Len(), *spansOut)
 	}
 	if *metricsOut != "" {
 		snap := sink.Collector().Snapshot()

@@ -11,22 +11,29 @@
 //	telemetry-check -require-campaign snapshot.json
 //	telemetry-check -compare w1.json w2.json w4.json
 //	telemetry-check -trace-out trace.json journal.jsonl
+//	telemetry-check -trace-out trace.json -spans spans.jsonl journal.jsonl
 //	telemetry-check -status status.json
 //	telemetry-check -prom [-against metrics.json] prometheus.txt
+//	telemetry-check -hotspots [-top 10] spans.jsonl
+//	telemetry-check hotspots.json
 //
 // Each JSON file's schema is dispatched on its "schema" field:
 // alive-mutate-telemetry/v1 snapshots, alive-mutate-bench/v1 benchmark
-// documents, and alive-mutate-status/v1 captures of /api/status all
-// validate. The process exits non-zero on the first violation.
-// -require-campaign additionally asserts a snapshot came from a real
-// campaign run: a positive mutants counter and the three core pipeline
-// stages present. -trace-out converts a JSONL event journal into Chrome
-// trace_event JSON loadable in Perfetto / chrome://tracing. -status
-// forces status validation (schema plus internal consistency: unit
-// states sum to the total, group tallies match the summary). -prom lints
-// a /metrics/prometheus capture — sorted families, monotone cumulative
-// le buckets, _sum/_count self-consistency — and, with -against, cross
-// checks it against a /metrics.json snapshot of the same run.
+// documents, alive-mutate-status/v1 captures of /api/status, and
+// alive-mutate-hotspots/v1 reports all validate. The process exits
+// non-zero on the first violation. -require-campaign additionally
+// asserts a snapshot came from a real campaign run: a positive mutants
+// counter and the three core pipeline stages present. -trace-out
+// converts a JSONL event journal into Chrome trace_event JSON loadable
+// in Perfetto / chrome://tracing; with -spans the trace gains true
+// nested mutant/stage/solver-query slices joined from a -spans-out file.
+// -status forces status validation (schema plus internal consistency:
+// unit states sum to the total, group tallies match the summary). -prom
+// lints a /metrics/prometheus capture — sorted families, monotone
+// cumulative le buckets, _sum/_count self-consistency — and, with
+// -against, cross checks it against a /metrics.json snapshot of the same
+// run. -hotspots validates alive-mutate-spans/v1 files and prints their
+// hotspot table (see also cmd/campaign-profile).
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/spans"
 )
 
 func main() {
@@ -48,13 +56,16 @@ func main() {
 	requirePositive := flag.Bool("require-positive", false, "additionally require bench documents to carry solver counters with positive activity for every enabled acceleration knob")
 	requireCounter := flag.String("require-counter", "", "comma-separated counter names that must be present and positive in snapshot documents")
 	traceOut := flag.String("trace-out", "", "convert a JSONL event journal to Chrome trace_event JSON at this path")
+	spansPath := flag.String("spans", "", "with -trace-out: nest mutant/stage/query spans from this alive-mutate-spans/v1 file inside the unit slices")
+	hotspotsMode := flag.Bool("hotspots", false, "validate alive-mutate-spans/v1 files and print their hotspot tables")
+	topN := flag.Int("top", 10, "with -hotspots: entries per ranking section")
 	statusMode := flag.Bool("status", false, "validate /api/status JSON captures (schema + internal consistency)")
 	promMode := flag.Bool("prom", false, "lint /metrics/prometheus exposition captures")
 	against := flag.String("against", "", "with -prom: cross-check the exposition against this /metrics.json snapshot")
 	tolerance := flag.Float64("tolerance", 0, "with -prom -against: relative tolerance for _sum agreement (0 = 1e-9)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: telemetry-check [-compare] [-require-campaign] file.json ...\n       telemetry-check -trace-out trace.json journal.jsonl\n       telemetry-check -status status.json\n       telemetry-check -prom [-against metrics.json] prometheus.txt")
+		fmt.Fprintln(os.Stderr, "usage: telemetry-check [-compare] [-require-campaign] file.json ...\n       telemetry-check -trace-out trace.json [-spans spans.jsonl] journal.jsonl\n       telemetry-check -status status.json\n       telemetry-check -prom [-against metrics.json] prometheus.txt\n       telemetry-check -hotspots [-top 10] spans.jsonl")
 		os.Exit(2)
 	}
 
@@ -62,7 +73,26 @@ func main() {
 		if flag.NArg() != 1 {
 			fail("-trace-out takes exactly one journal file (got %d)", flag.NArg())
 		}
-		exportTrace(flag.Arg(0), *traceOut)
+		exportTrace(flag.Arg(0), *spansPath, *traceOut)
+		return
+	}
+	if *hotspotsMode {
+		for _, path := range flag.Args() {
+			f, err := spans.ReadFile(path)
+			if err != nil {
+				fail("%s: %v", path, err)
+			}
+			nspans := 0
+			for _, u := range f.Units {
+				nspans += len(u.Spans)
+			}
+			det := ""
+			if f.Deterministic {
+				det = ", deterministic"
+			}
+			fmt.Printf("%s: OK (%s, %d units, %d spans%s)\n", path, spans.SchemaV1, len(f.Units), nspans, det)
+			fmt.Print(spans.Compute(f.Units, f.Deterministic, *topN).Table())
+		}
 		return
 	}
 	if *statusMode {
@@ -168,8 +198,18 @@ func main() {
 			}
 			fmt.Printf("%s: OK (%s, %d/%d units done, %d/%d groups found, %d mutants)\n",
 				path, schema, s.UnitsDone, s.UnitsTotal, s.GroupsFound, s.GroupsTotal, s.Mutants)
+		case spans.HotspotsSchemaV1:
+			h, err := spans.ValidateHotspots(data)
+			if err != nil {
+				fail("%s: %v", path, err)
+			}
+			if *compare {
+				fail("%s: -compare wants snapshots, not %s documents", path, schema)
+			}
+			fmt.Printf("%s: OK (%s, %d units, %d queries, %d cache hits / %d misses)\n",
+				path, schema, h.Units, h.Queries, h.CacheHits, h.CacheMisses)
 		default:
-			fail("%s: unknown schema %q (want %q, %q, or %q)", path, schema, telemetry.SchemaV1, telemetry.BenchSchemaV1, telemetry.StatusSchemaV1)
+			fail("%s: unknown schema %q (want %q, %q, %q, or %q)", path, schema, telemetry.SchemaV1, telemetry.BenchSchemaV1, telemetry.StatusSchemaV1, spans.HotspotsSchemaV1)
 		}
 	}
 	if *compare {
@@ -189,8 +229,17 @@ func sniffSchema(path string, data []byte) string {
 	return head.Schema
 }
 
-// exportTrace converts a journal to Chrome trace_event JSON.
-func exportTrace(journalPath, outPath string) {
+// exportTrace converts a journal to Chrome trace_event JSON; with a
+// spans file, unit slices gain nested mutant/stage/query children.
+func exportTrace(journalPath, spansPath, outPath string) {
+	var units []*spans.UnitSpans
+	if spansPath != "" {
+		f, err := spans.ReadFile(spansPath)
+		if err != nil {
+			fail("%s: %v", spansPath, err)
+		}
+		units = f.Units
+	}
 	in, err := os.Open(journalPath)
 	if err != nil {
 		fail("%v", err)
@@ -200,14 +249,18 @@ func exportTrace(journalPath, outPath string) {
 	if err != nil {
 		fail("%v", err)
 	}
-	n, err := telemetry.ExportTrace(in, out)
+	n, err := telemetry.ExportTraceSpans(in, units, out)
 	if cerr := out.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		fail("%s: %v", journalPath, err)
 	}
-	fmt.Printf("%s: %d events -> %s (load in Perfetto or chrome://tracing)\n", journalPath, n, outPath)
+	nested := ""
+	if spansPath != "" {
+		nested = " (nested spans from " + filepath.Base(spansPath) + ")"
+	}
+	fmt.Printf("%s: %d events -> %s%s (load in Perfetto or chrome://tracing)\n", journalPath, n, outPath, nested)
 }
 
 // checkCampaignShape asserts the snapshot records an actual campaign.

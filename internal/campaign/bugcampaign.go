@@ -28,6 +28,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/parser"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/spans"
 	"repro/internal/triage"
 	"repro/internal/tv"
 )
@@ -55,6 +56,14 @@ type BugConfig struct {
 	// contends on the run-wide registry and campaign results stay
 	// byte-identical with telemetry on or off.
 	Telemetry *telemetry.Sink
+	// Spans, when non-nil, receives each unit's cost-attribution span
+	// delta (see internal/telemetry/spans). Like Telemetry it is strictly
+	// write-only and excluded from the checkpoint fingerprint; deltas are
+	// checkpointed with their unit and replayed on resume, so a resumed
+	// campaign's spans file matches an uninterrupted run's. Resuming with
+	// spans on from a checkpoint written with spans off loses the
+	// restored units' attribution (their deltas were never recorded).
+	Spans *spans.Store
 	// StallThreshold arms the engine's per-unit stall watchdog (0 = off).
 	StallThreshold time.Duration
 	// NoAnalysis disables the optimizer's dataflow-analysis-backed folds
@@ -180,6 +189,9 @@ type bugUnitRes struct {
 	Stats    core.Stats         `json:"stats"`
 	Findings int                `json:"findings,omitempty"`
 	Triage   []triage.Candidate `json:"triage,omitempty"`
+	// Spans is the unit's cost-attribution delta, recorded only when the
+	// campaign ran with a span store; replayed into the store on resume.
+	Spans *spans.UnitSpans `json:"spans,omitempty"`
 }
 
 // chainOf extracts the chained group state from an engine prev value.
@@ -275,6 +287,7 @@ func RunBugs(ctx context.Context, cfg BugConfig) (*BugReport, error) {
 			for _, c := range res.Triage {
 				cfg.Triage.Add(c)
 			}
+			cfg.Spans.Add(res.Spans)
 			restored = append(restored, RestoredUnit{Record: rec, Res: res})
 		}
 		if cp.Metrics != nil {
@@ -401,8 +414,17 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, 
 					n = cfg.Budget - st.Spent
 				}
 				// Shard-local telemetry: a fresh collector per unit, merged
-				// into the run-wide one when the unit's loop finishes.
+				// into the run-wide one when the unit's loop finishes. The
+				// cost-attribution recorder (nil when spans are off) rides
+				// on the shard sink for this one unit.
+				rec := cfg.Spans.NewRecorder(group, t.Name, unitIdx, cfg.Seed^uint64(info.Issue))
 				shard := cfg.Telemetry.ShardSink(WorkerID(ctx))
+				if rec != nil {
+					if shard == nil {
+						shard = &telemetry.Sink{Shard: WorkerID(ctx)}
+					}
+					shard.Spans = rec
+				}
 				parseStop := shard.Collector().StartStage("parse")
 				mod, err := parser.Parse(t.Text)
 				parseStop()
@@ -436,6 +458,10 @@ func bugUnits(info opt.Info, suite []corpus.NamedTest, cfg BugConfig, agg *Agg, 
 				st.Spent += r.Stats.Iterations
 				agg.Record(group, r.Stats, len(r.Findings))
 				res := bugUnitRes{Ran: true, Stats: r.Stats, Findings: len(r.Findings)}
+				if rec != nil {
+					res.Spans = rec.Finish(int64(r.Stats.Iterations), st.Spent >= cfg.Budget)
+					cfg.Spans.Add(res.Spans)
+				}
 				if cfg.Triage != nil {
 					for _, fd := range r.Findings {
 						c := triage.Candidate{

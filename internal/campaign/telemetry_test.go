@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/spans"
 )
 
 // lockedBuf is a concurrency-safe bytes.Buffer for the journal's flusher.
@@ -34,7 +35,7 @@ func (l *lockedBuf) String() string {
 	return l.b.String()
 }
 
-func runTelemetered(t *testing.T, workers int, sink *telemetry.Sink) *BugReport {
+func runTelemetered(t *testing.T, workers int, sink *telemetry.Sink, store *spans.Store) *BugReport {
 	t.Helper()
 	return mustRunBugs(t, context.Background(), BugConfig{
 		Budget:         120,
@@ -45,6 +46,7 @@ func runTelemetered(t *testing.T, workers int, sink *telemetry.Sink) *BugReport 
 		Only:           testIssues,
 		Stderr:         io.Discard,
 		Telemetry:      sink,
+		Spans:          store,
 		StallThreshold: time.Hour, // armed but must never fire on this tiny run
 	})
 }
@@ -57,7 +59,9 @@ func runTelemetered(t *testing.T, workers int, sink *telemetry.Sink) *BugReport 
 // strictly write-only with respect to results.
 func TestCampaignTelemetryInvariance(t *testing.T) {
 	baseline := runSmall(t, 1).Table()
+	spansFiles := map[int]string{}
 	for _, workers := range []int{1, 8} {
+		store := spans.NewStore(true)
 		var buf lockedBuf
 		sink := &telemetry.Sink{
 			Metrics: telemetry.NewCollector(),
@@ -71,6 +75,7 @@ func TestCampaignTelemetryInvariance(t *testing.T) {
 			Collector: sink.Metrics,
 			Status:    sink.Status,
 			Events:    events,
+			Spans:     store,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -116,7 +121,7 @@ func TestCampaignTelemetryInvariance(t *testing.T) {
 			sseBytes.Store(n)
 		}()
 
-		rep := runTelemetered(t, workers, sink)
+		rep := runTelemetered(t, workers, sink, store)
 		close(stop)
 		srv.Close()
 		wg.Wait()
@@ -133,21 +138,53 @@ func TestCampaignTelemetryInvariance(t *testing.T) {
 			t.Errorf("workers=%d: observability changed the result table:\n--- baseline ---\n%s--- with observability ---\n%s",
 				workers, baseline, got)
 		}
+		var spansBuf bytes.Buffer
+		if _, err := store.WriteTo(&spansBuf); err != nil {
+			t.Fatalf("workers=%d: spans write: %v", workers, err)
+		}
+		if _, err := spans.Read(bytes.NewReader(spansBuf.Bytes())); err != nil {
+			t.Errorf("workers=%d: recorded spans file invalid: %v", workers, err)
+		}
+		spansFiles[workers] = spansBuf.String()
+	}
+	// Deterministic-mode span recording is itself worker-count-invariant:
+	// the canonical (group, index) merge makes the file byte-identical at
+	// workers 1 and 8.
+	if spansFiles[1] != spansFiles[8] {
+		t.Errorf("deterministic spans file differs between workers 1 and 8:\n--- w1 ---\n%.2000s\n--- w8 ---\n%.2000s",
+			spansFiles[1], spansFiles[8])
+	}
+	if !strings.Contains(spansFiles[1], spans.SchemaV1) || spansFiles[1] == "" {
+		t.Errorf("spans file missing schema header:\n%.200s", spansFiles[1])
 	}
 }
 
 // TestCampaignResumeObservability extends the resume tests to the HTTP
 // surface: after a kill + checkpoint resume, the live /metrics.json,
-// /metrics/prometheus, and /api/status endpoints must all reflect the
-// MERGED campaign — pre-kill counters folded in via MergeSnapshot, not
-// just the resumed leg's.
+// /metrics/prometheus, /api/status, and /api/hotspots endpoints must all
+// reflect the MERGED campaign — pre-kill counters folded in via
+// MergeSnapshot and restored units' span deltas replayed from the
+// checkpoint, not just the resumed leg's.
 func TestCampaignResumeObservability(t *testing.T) {
+	// Reference: an uninterrupted campaign at yet another worker count;
+	// its deterministic-mode hotspot report is the byte-identity target
+	// for the killed-and-resumed campaign below.
+	refStore := spans.NewStore(true)
+	refCfg := resumeCfg(4, nil)
+	refCfg.Spans = refStore
+	mustRunBugs(t, context.Background(), refCfg)
+	refHotspots, err := json.MarshalIndent(spans.Compute(refStore.Units(), true, 10), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	ckptDir := t.TempDir()
 	killSink := &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
 	killCfg := resumeCfg(4, nil)
 	killCfg.CheckpointDir = ckptDir
 	killCfg.StopAfterUnits = 3
 	killCfg.Telemetry = killSink
+	killCfg.Spans = spans.NewStore(true)
 	if _, err := RunBugs(context.Background(), killCfg); err != nil {
 		t.Fatalf("killed run: %v", err)
 	}
@@ -161,9 +198,11 @@ func TestCampaignResumeObservability(t *testing.T) {
 		Status:  telemetry.NewStatusPublisher(),
 		Shard:   -1,
 	}
+	resStore := spans.NewStore(true)
 	srv, err := telemetry.Serve("127.0.0.1:0", telemetry.ServeOptions{
 		Collector: resSink.Metrics,
 		Status:    resSink.Status,
+		Spans:     resStore,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +213,7 @@ func TestCampaignResumeObservability(t *testing.T) {
 	resCfg.CheckpointDir = ckptDir
 	resCfg.Resume = true
 	resCfg.Telemetry = resSink
+	resCfg.Spans = resStore
 	rep := mustRunBugs(t, context.Background(), resCfg)
 	if rep.Restored == 0 {
 		t.Fatal("resumed run restored nothing")
@@ -232,6 +272,32 @@ func TestCampaignResumeObservability(t *testing.T) {
 	if s.Mutants != merged {
 		t.Errorf("/api/status mutants = %d, /metrics.json says %d", s.Mutants, merged)
 	}
+
+	// Cost attribution survives the kill: restored units' span deltas are
+	// replayed from the checkpoint, so the resumed campaign's hotspot
+	// report — at a different worker count than the reference — is
+	// byte-identical to the uninterrupted run's.
+	resHotspots, err := json.MarshalIndent(spans.Compute(resStore.Units(), true, 10), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resHotspots, refHotspots) {
+		t.Errorf("resumed hotspot report differs from the uninterrupted reference:\n--- reference ---\n%s\n--- resumed ---\n%s",
+			refHotspots, resHotspots)
+	}
+
+	// The same report is live on /api/hotspots.
+	live, err := spans.ValidateHotspots(get("/api/hotspots"))
+	if err != nil {
+		t.Fatalf("/api/hotspots: %v", err)
+	}
+	liveJSON, err := json.MarshalIndent(live, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveJSON, resHotspots) {
+		t.Errorf("/api/hotspots disagrees with the store:\n%s\nvs\n%s", liveJSON, resHotspots)
+	}
 }
 
 // TestCampaignJournalEvents checks the journal contract end to end on a
@@ -244,7 +310,7 @@ func TestCampaignJournalEvents(t *testing.T) {
 		Journal: telemetry.NewJournal(&buf),
 		Shard:   -1,
 	}
-	rep := runTelemetered(t, 4, sink)
+	rep := runTelemetered(t, 4, sink, nil)
 	if err := sink.Journal.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +373,7 @@ func TestCampaignJournalEvents(t *testing.T) {
 // mutant count and core stage timings.
 func TestCampaignMetricsMerged(t *testing.T) {
 	sink := &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
-	rep := runTelemetered(t, 4, sink)
+	rep := runTelemetered(t, 4, sink, nil)
 
 	mutants := sink.Metrics.Counter("mutants").Value()
 	if want := int64(rep.Agg.Total().Iterations); mutants != want {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/spans"
 	"repro/internal/tv"
 )
 
@@ -159,8 +160,11 @@ type Fuzzer struct {
 	dropped []string
 
 	// Telemetry handles, resolved once per session so the hot loop pays
-	// only atomic adds (all nil-safe when telemetry is off).
+	// only atomic adds (all nil-safe when telemetry is off). timed is
+	// true when any consumer (metrics or spans) wants stage durations.
 	tel             *telemetry.Collector
+	spans           *spans.Recorder
+	timed           bool
 	ctrMutants      *telemetry.Counter
 	ctrChecks       *telemetry.Counter
 	ctrFast         *telemetry.Counter
@@ -210,7 +214,14 @@ func New(mod *ir.Module, opts Options) (*Fuzzer, error) {
 // the loop's only overhead is a handful of nil tests.
 func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 	f.tel = tel
-	if tel == nil {
+	f.spans = f.opts.Telemetry.SpansRecorder()
+	f.timed = tel != nil || f.spans != nil
+	if f.spans != nil {
+		// Span attribution groups solver effort by formula; fingerprints
+		// are verdict-neutral (see tv.Options.NeedFingerprint).
+		f.opts.TV.NeedFingerprint = true
+	}
+	if !f.timed {
 		return
 	}
 	f.ctrMutants = tel.Counter("mutants")
@@ -269,6 +280,16 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 		}
 		ctrConflicts.Add(r.Conflicts)
 		ctrProps.Add(r.Propagations)
+		if f.spans != nil {
+			cache := ""
+			if cacheOn {
+				cache = spans.CacheMiss
+				if r.CacheHit {
+					cache = spans.CacheHit
+				}
+			}
+			f.spans.Query(r.Verdict.String(), r.FP, cache, r.Conflicts, r.Propagations, d)
+		}
 		if cacheOn {
 			if r.CacheHit {
 				ctrCacheHit.Add(1)
@@ -408,13 +429,16 @@ func (f *Fuzzer) Run() *Report {
 // throughput experiment would notice.
 func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 	var t0 time.Time
-	if f.tel != nil {
+	if f.timed {
 		f.ctrMutants.Add(1)
+		f.spans.BeginMutant(iter, seed)
 		t0 = time.Now() // vet:determinism — stage timer, telemetry only
 	}
 	mutant := f.mutator.Mutate(seed)
-	if f.tel != nil {
-		f.histMutate.Observe(time.Since(t0))
+	if f.timed {
+		d := time.Since(t0)
+		f.histMutate.Observe(d)
+		f.spans.Stage(spans.StageMutate, d)
 	}
 	if f.opts.VerifyMutants {
 		if err := mutant.Verify(); err != nil {
@@ -433,7 +457,7 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 	ctx.ObserveAnalysis = f.observeAnalysis
 	ctx.DisableAnalysis = f.opts.DisableAnalysis
 	var crashMsg string
-	if f.tel != nil {
+	if f.timed {
 		t0 = time.Now() // vet:determinism — stage timer, telemetry only
 	}
 	func() {
@@ -444,8 +468,10 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 		}()
 		opt.RunPasses(ctx, f.passes)
 	}()
-	if f.tel != nil {
-		f.histOpt.Observe(time.Since(t0))
+	if f.timed {
+		d := time.Since(t0)
+		f.histOpt.Observe(d)
+		f.spans.Stage(spans.StageOpt, d)
 		f.recordRuleStats(ctx.Stats)
 	}
 	if crashMsg != "" {
@@ -465,6 +491,7 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			Detail: "crash: " + crashMsg, Trace: fd.TraceID,
 		})
 		f.logf("iter %d seed %#x: CRASH: %s", iter, seed, crashMsg)
+		f.spans.EndMutant(true)
 		return true
 	}
 
@@ -485,6 +512,7 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			f.ctrFast.Add(1)
 			continue
 		}
+		f.spans.Func(fn.Name)
 		r := tv.Verify(mutant, src, fn, f.opts.TV)
 		if f.tel != nil {
 			f.verdictCtr[r.Verdict].Add(1)
@@ -514,13 +542,15 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			_, fd.Lineage = f.mutator.MutateTraced(seed)
 			if r.CEX != nil {
 				fd.CEX = r.CEX.String()
-				if f.tel != nil {
+				if f.timed {
 					t0 = time.Now() // vet:determinism — stage timer, telemetry only
 				}
 				fd.Witness = r.CEX.Concretize(mutant, optimized, src, fn)
 				fd.CrossChecked = fd.Witness.Confirmed
-				if f.tel != nil {
-					f.histInterp.Observe(time.Since(t0))
+				if f.timed {
+					d := time.Since(t0)
+					f.histInterp.Observe(d)
+					f.spans.Stage(spans.StageInterp, d)
 				}
 			}
 			if f.opts.SaveFindings {
@@ -536,6 +566,7 @@ func (f *Fuzzer) iteration(rep *Report, iter int, seed uint64) bool {
 			found = true
 		}
 	}
+	f.spans.EndMutant(found)
 	return found
 }
 

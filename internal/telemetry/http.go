@@ -24,6 +24,8 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry/spans"
 )
 
 // published is the collector behind the process-global expvar variable.
@@ -64,6 +66,10 @@ type ServeOptions struct {
 	Status *StatusPublisher
 	// Events feeds /api/events (SSE). Tee the campaign journal into it.
 	Events *EventBuffer
+	// Spans feeds /api/hotspots (live cost attribution, computed on
+	// demand from the deltas collected so far) and flips /healthz's span
+	// line to "active".
+	Spans *spans.Store
 	// Public permits binding a non-loopback host. Off by default: the
 	// endpoint exposes pprof and internals.
 	Public bool
@@ -128,13 +134,27 @@ func Serve(addr string, opts ServeOptions) (*Server, error) {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		spanState := "off"
+		if opts.Spans != nil {
+			spanState = "active"
+		}
+		fmt.Fprintf(w, "ok\nspans: %s\n", spanState)
 	})
 	mux.HandleFunc("/api/status", func(w http.ResponseWriter, _ *http.Request) {
 		if s := status(w); s != nil {
 			s.Stages = c.StageRows()
+			s.TVCacheHits = c.Counter("tv.cache.hit").Value()
+			s.TVCacheMisses = c.Counter("tv.cache.miss").Value()
+			s.SATConflicts = c.Counter("sat.conflicts").Value()
 			writeJSON(w, s)
 		}
+	})
+	mux.HandleFunc("/api/hotspots", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Spans == nil {
+			http.Error(w, "hotspot API not enabled (run with -spans-out)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, spans.Compute(opts.Spans.Units(), opts.Spans.Deterministic(), 10))
 	})
 	mux.HandleFunc("/api/units", func(w http.ResponseWriter, _ *http.Request) {
 		if s := status(w); s != nil {

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry/spans"
 )
 
 // TestServeMetrics boots the endpoint on an ephemeral localhost port and
@@ -109,8 +111,13 @@ func TestServeFullSurface(t *testing.T) {
 		return string(body), resp
 	}
 
-	if body, _ := get("/healthz", http.StatusOK); body != "ok\n" {
+	// Without a span store /healthz reports spans off and /api/hotspots
+	// 404s with the enabling flag in the hint.
+	if body, _ := get("/healthz", http.StatusOK); body != "ok\nspans: off\n" {
 		t.Errorf("/healthz = %q", body)
+	}
+	if body, _ := get("/api/hotspots", http.StatusNotFound); !strings.Contains(body, "-spans-out") {
+		t.Errorf("/api/hotspots without a store = %q, want hint naming -spans-out", body)
 	}
 
 	// The dashboard serves at exactly /; other paths are 404, not the
@@ -189,10 +196,11 @@ func TestServeDisabledRoutes(t *testing.T) {
 	}
 	defer srv.Close()
 	for path, hint := range map[string]string{
-		"/api/status": "status API not enabled",
-		"/api/units":  "status API not enabled",
-		"/api/groups": "status API not enabled",
-		"/api/events": "event stream not enabled",
+		"/api/status":   "status API not enabled",
+		"/api/units":    "status API not enabled",
+		"/api/groups":   "status API not enabled",
+		"/api/events":   "event stream not enabled",
+		"/api/hotspots": "hotspot API not enabled",
 	} {
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
 		if err != nil {
@@ -207,17 +215,70 @@ func TestServeDisabledRoutes(t *testing.T) {
 }
 
 // TestServeRefusesPublicBind: non-loopback hosts need the explicit
-// Public opt-in, because the endpoint exposes pprof and internals.
+// Public opt-in, because the endpoint exposes pprof and internals — and
+// the refusal covers span-carrying configurations too: a hotspot API
+// full of seed-function names must not leak onto a public interface by
+// accident either.
 func TestServeRefusesPublicBind(t *testing.T) {
 	_, err := Serve("0.0.0.0:0", ServeOptions{Collector: NewCollector()})
 	if err == nil || !strings.Contains(err.Error(), "-metrics-public") {
 		t.Fatalf("non-loopback bind without Public: err = %v, want refusal", err)
 	}
-	srv, err := Serve("0.0.0.0:0", ServeOptions{Collector: NewCollector(), Public: true})
+	_, err = Serve("0.0.0.0:0", ServeOptions{Collector: NewCollector(), Spans: spans.NewStore(false)})
+	if err == nil || !strings.Contains(err.Error(), "-metrics-public") {
+		t.Fatalf("non-loopback bind with span store, without Public: err = %v, want refusal", err)
+	}
+	srv, err := Serve("0.0.0.0:0", ServeOptions{Collector: NewCollector(), Spans: spans.NewStore(false), Public: true})
 	if err != nil {
 		t.Fatalf("public bind with opt-in failed: %v", err)
 	}
 	srv.Close()
+}
+
+// TestServeHotspots: with a span store attached, /healthz reports active
+// recording and /api/hotspots serves a schema-valid live report computed
+// from the store's units.
+func TestServeHotspots(t *testing.T) {
+	store := spans.NewStore(true)
+	rec := store.NewRecorder("g", "u", 0, 42)
+	rec.BeginMutant(0, 9)
+	rec.Func("f")
+	rec.Query("valid", "aa", spans.CacheMiss, 11, 40, time.Millisecond)
+	rec.EndMutant(false)
+	store.Add(rec.Finish(1, false))
+
+	srv, err := Serve("127.0.0.1:0", ServeOptions{Collector: NewCollector(), Spans: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok\nspans: active\n" {
+		t.Errorf("/healthz = %q", body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/api/hotspots", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/hotspots = %d %q", resp.StatusCode, body)
+	}
+	h, err := spans.ValidateHotspots(body)
+	if err != nil {
+		t.Fatalf("/api/hotspots invalid: %v", err)
+	}
+	if h.Queries != 1 || h.Conflicts != 11 || len(h.TopFunctions) != 1 || h.TopFunctions[0].Name != "f" {
+		t.Errorf("/api/hotspots = %+v", h)
+	}
 }
 
 // TestServeMetricsBadAddr: a malformed address must fail up front, not at

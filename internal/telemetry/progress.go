@@ -56,8 +56,8 @@ func StartProgress(w io.Writer, c *Collector, st *StatusPublisher, interval time
 				} else {
 					totalRate = float64(mutants) / time.Since(start).Seconds()
 				}
-				fmt.Fprintf(w, "progress: %s elapsed, %d mutants (%.0f/s overall, %.0f/s now)%s%s\n",
-					time.Since(start).Round(time.Second), mutants, totalRate, instRate, campaign, topStage(c))
+				fmt.Fprintf(w, "progress: %s elapsed, %d mutants (%.0f/s overall, %.0f/s now)%s%s%s\n",
+					time.Since(start).Round(time.Second), mutants, totalRate, instRate, campaign, topStage(c), accelStats(c))
 				lastMutants, lastT = c.Counter("mutants").Value(), now
 			}
 		}
@@ -75,6 +75,27 @@ func fmtETA(etaNS int64) string {
 		return "-"
 	}
 	return time.Duration(etaNS).Round(time.Second).String()
+}
+
+// accelStats renders the TV acceleration segment of the progress line:
+// verdict-cache hit rate and cumulative SAT conflicts, each shown only
+// once it is non-zero (a run without the cache, or before the first
+// solver query, keeps the historical line shape).
+func accelStats(c *Collector) string {
+	hits := c.Counter("tv.cache.hit").Value()
+	misses := c.Counter("tv.cache.miss").Value()
+	conflicts := c.Counter("sat.conflicts").Value()
+	var parts []string
+	if hits+misses > 0 {
+		parts = append(parts, fmt.Sprintf("tv-cache %.0f%% hit", 100*float64(hits)/float64(hits+misses)))
+	}
+	if conflicts > 0 {
+		parts = append(parts, fmt.Sprintf("%d sat conflicts", conflicts))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
 }
 
 // topStage names the stage with the largest total time so far.

@@ -45,6 +45,22 @@ func TestStartProgress(t *testing.T) {
 	if strings.Contains(out, "ETA") {
 		t.Errorf("plain progress line has campaign fields without a publisher:\n%s", out)
 	}
+	if strings.Contains(out, "tv-cache") || strings.Contains(out, "sat conflicts") {
+		t.Errorf("progress line shows accel stats with zero counters:\n%s", out)
+	}
+
+	// Cache and solver counters light up the accelerator segment.
+	c.Add("tv.cache.hit", 3)
+	c.Add("tv.cache.miss", 1)
+	c.Add("sat.conflicts", 42)
+	var accel syncBuf
+	stop = StartProgress(&accel, c, nil, 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	out = accel.String()
+	if !strings.Contains(out, "tv-cache 75% hit") || !strings.Contains(out, "42 sat conflicts") {
+		t.Errorf("progress line missing accel stats:\n%s", out)
+	}
 
 	// With a published snapshot the line gains ETA and groups found, and
 	// the mutant count comes from the snapshot (the authoritative one on

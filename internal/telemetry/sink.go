@@ -5,6 +5,8 @@
 
 package telemetry
 
+import "repro/internal/telemetry/spans"
+
 // Sink is the per-run telemetry context threaded through the pipeline.
 type Sink struct {
 	// Metrics receives counters and stage timings. In a sharded campaign
@@ -21,6 +23,11 @@ type Sink struct {
 	// Shard is the worker index stamped on journal events (-1 when the
 	// emitter is not a pool worker).
 	Shard int
+	// Spans is the cost-attribution recorder for the one unit this sink
+	// serves. Per-unit, not per-run: the campaign attaches a fresh
+	// recorder to each unit's shard sink; ShardSink deliberately does not
+	// copy it.
+	Spans *spans.Recorder
 }
 
 // Shard derives a shard-local sink: a fresh collector (merged later by
@@ -38,6 +45,14 @@ func (s *Sink) StatusPublisher() *StatusPublisher {
 		return nil
 	}
 	return s.Status
+}
+
+// SpansRecorder returns the sink's span recorder (nil-safe).
+func (s *Sink) SpansRecorder() *spans.Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.Spans
 }
 
 // Collector returns the sink's metrics collector (nil-safe).

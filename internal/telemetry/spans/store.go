@@ -1,0 +1,274 @@
+package spans
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// SchemaV1 identifies the versioned spans file: a header line, one JSON
+// line per unit delta in canonical (group, index) order, and a trailer
+// with totals so truncated files are detectable.
+const SchemaV1 = "alive-mutate-spans/v1"
+
+type fileHeader struct {
+	Schema        string `json:"schema"`
+	Deterministic bool   `json:"deterministic,omitempty"`
+}
+
+type fileTrailer struct {
+	Units int `json:"units"`
+	Spans int `json:"spans"`
+}
+
+// Store collects unit span deltas from live execution and checkpoint
+// replay alike. Ingestion is a short-lock append (the campaign loop never
+// blocks on I/O); the canonical order is imposed at read/write time, so a
+// resumed campaign and an uninterrupted one — or the same campaign at
+// different -workers — produce byte-identical files.
+type Store struct {
+	mu            sync.Mutex
+	deterministic bool
+	units         []*UnitSpans
+}
+
+// NewStore returns an empty Store. deterministic selects the
+// zeroed-duration recording mode used by byte-identity tests.
+func NewStore(deterministic bool) *Store {
+	return &Store{deterministic: deterministic}
+}
+
+// Deterministic reports the recording mode. Nil-safe.
+func (s *Store) Deterministic() bool {
+	return s != nil && s.deterministic
+}
+
+// NewRecorder returns a Recorder for one unit execution, or nil when the
+// Store itself is nil (spans disabled).
+func (s *Store) NewRecorder(group, unit string, index int, seed uint64) *Recorder {
+	if s == nil {
+		return nil
+	}
+	return newRecorder(s.deterministic, group, unit, index, seed)
+}
+
+// Add folds a completed unit delta in. Used both when a unit finishes
+// live and when a checkpoint restores it; nil-safe on both sides.
+func (s *Store) Add(u *UnitSpans) {
+	if s == nil || u == nil {
+		return
+	}
+	s.mu.Lock()
+	s.units = append(s.units, u)
+	s.mu.Unlock()
+}
+
+// Units returns the deltas in canonical order: group ascending, then
+// index ascending. Nil-safe; the slice is a copy, the deltas are shared.
+func (s *Store) Units() []*UnitSpans {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]*UnitSpans, len(s.units))
+	copy(out, s.units)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Len reports the number of unit deltas collected so far. Nil-safe.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.units)
+}
+
+// WriteTo renders the versioned spans file: header, canonical unit
+// lines, trailer. Output through a buffered writer, one flush at the end.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	units := s.Units()
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 64<<10)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(fileHeader{Schema: SchemaV1, Deterministic: s.Deterministic()}); err != nil {
+		return cw.n, err
+	}
+	total := 0
+	for _, u := range units {
+		if err := enc.Encode(u); err != nil {
+			return cw.n, err
+		}
+		total += len(u.Spans)
+	}
+	if err := enc.Encode(fileTrailer{Units: len(units), Spans: total}); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// WriteFile writes the spans file atomically enough for our purposes:
+// truncate and rewrite (resume rewrites the whole canonical file rather
+// than appending, unlike the journal — order is global, not temporal).
+func (s *Store) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// File is a parsed and validated spans file.
+type File struct {
+	Deterministic bool
+	Units         []*UnitSpans
+}
+
+// Read parses and validates a spans file from r. Every structural
+// invariant the writer guarantees is checked: schema, canonical order,
+// dense span IDs, parent links, attribute well-formedness, trailer
+// totals, and zeroed durations in deterministic mode.
+func Read(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var lines [][]byte
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		lines = append(lines, append([]byte(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("spans: file too short (%d lines, want header+trailer)", len(lines))
+	}
+
+	var hdr fileHeader
+	if err := strictUnmarshal(lines[0], &hdr); err != nil {
+		return nil, fmt.Errorf("spans: header: %w", err)
+	}
+	if hdr.Schema != SchemaV1 {
+		return nil, fmt.Errorf("spans: schema %q, want %q", hdr.Schema, SchemaV1)
+	}
+	var tr fileTrailer
+	if err := strictUnmarshal(lines[len(lines)-1], &tr); err != nil {
+		return nil, fmt.Errorf("spans: trailer: %w", err)
+	}
+
+	f := &File{Deterministic: hdr.Deterministic}
+	totalSpans := 0
+	for i, line := range lines[1 : len(lines)-1] {
+		u := &UnitSpans{}
+		if err := strictUnmarshal(line, u); err != nil {
+			return nil, fmt.Errorf("spans: unit line %d: %w", i+1, err)
+		}
+		if err := validateUnit(u, hdr.Deterministic); err != nil {
+			return nil, fmt.Errorf("spans: unit %s/%s: %w", u.Group, u.Unit, err)
+		}
+		if n := len(f.Units); n > 0 {
+			prev := f.Units[n-1]
+			if prev.Group > u.Group || (prev.Group == u.Group && prev.Index >= u.Index) {
+				return nil, fmt.Errorf("spans: units out of canonical order at %s/%s (after %s/%s)",
+					u.Group, u.Unit, prev.Group, prev.Unit)
+			}
+		}
+		f.Units = append(f.Units, u)
+		totalSpans += len(u.Spans)
+	}
+	if tr.Units != len(f.Units) || tr.Spans != totalSpans {
+		return nil, fmt.Errorf("spans: trailer says %d units/%d spans, file has %d/%d (truncated?)",
+			tr.Units, tr.Spans, len(f.Units), totalSpans)
+	}
+	return f, nil
+}
+
+// ReadFile is Read over a file path.
+func ReadFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func validateUnit(u *UnitSpans, deterministic bool) error {
+	if u.Group == "" || u.Unit == "" {
+		return fmt.Errorf("empty group/unit name")
+	}
+	if u.Index < 0 || u.BudgetSpent < 0 {
+		return fmt.Errorf("negative index or budget_spent")
+	}
+	if len(u.Spans) == 0 {
+		return fmt.Errorf("no spans (root span required)")
+	}
+	if root := u.Spans[0]; root.ID != 0 || root.Parent != -1 || root.Name != NameUnit {
+		return fmt.Errorf("malformed root span: %+v", root)
+	}
+	for i, s := range u.Spans {
+		if s.ID != i {
+			return fmt.Errorf("span %d has id %d (ids must be dense)", i, s.ID)
+		}
+		if i > 0 && (s.Parent < 0 || s.Parent >= s.ID) {
+			return fmt.Errorf("span %d has parent %d out of range", i, s.Parent)
+		}
+		if s.Name == "" {
+			return fmt.Errorf("span %d unnamed", i)
+		}
+		if s.OffNS < 0 || s.DurNS < 0 || s.Conflicts < 0 || s.Propagations < 0 {
+			return fmt.Errorf("span %d has negative offset/duration/counters", i)
+		}
+		if deterministic && (s.OffNS != 0 || s.DurNS != 0) {
+			return fmt.Errorf("span %d carries wall-clock in a deterministic file", i)
+		}
+		switch s.Cache {
+		case "", CacheHit, CacheMiss:
+		default:
+			return fmt.Errorf("span %d has cache attribute %q", i, s.Cache)
+		}
+		if s.Name == NameQuery && s.Verdict == "" {
+			return fmt.Errorf("query span %d missing verdict", i)
+		}
+	}
+	return nil
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}

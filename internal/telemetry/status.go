@@ -120,6 +120,14 @@ type StatusSnapshot struct {
 	RatePerSec float64 `json:"rate_per_sec"`
 	ETANS      int64   `json:"eta_ns"`
 
+	// TVCacheHits/TVCacheMisses/SATConflicts surface the TV acceleration
+	// counters (docs/PERFORMANCE.md) live: stamped by the HTTP layer from
+	// the Collector at read time, like Stages, so the dashboard tiles and
+	// the -progress ticker read the same source.
+	TVCacheHits   int64 `json:"tv_cache_hits,omitempty"`
+	TVCacheMisses int64 `json:"tv_cache_misses,omitempty"`
+	SATConflicts  int64 `json:"sat_conflicts,omitempty"`
+
 	Units  []UnitStatus  `json:"units"`
 	Groups []GroupStatus `json:"groups"`
 	// Stages is filled by the HTTP layer from the live Collector.
@@ -329,6 +337,10 @@ func ValidateStatus(data []byte) (*StatusSnapshot, error) {
 	}
 	if s.MutantsRemaining > s.MutantsBudget {
 		return nil, fmt.Errorf("status: mutants_remaining %d > mutants_budget %d", s.MutantsRemaining, s.MutantsBudget)
+	}
+	if s.TVCacheHits < 0 || s.TVCacheMisses < 0 || s.SATConflicts < 0 {
+		return nil, fmt.Errorf("status: negative TV counters (hits=%d misses=%d conflicts=%d)",
+			s.TVCacheHits, s.TVCacheMisses, s.SATConflicts)
 	}
 	if s.RatePerSec < 0 {
 		return nil, fmt.Errorf("status: negative rate_per_sec %g", s.RatePerSec)

@@ -2,6 +2,9 @@
 // JSON-object trace format Perfetto and chrome://tracing load directly,
 // so a campaign's unit scheduling is viewable as a per-worker timeline
 // (one track per shard, one slice per unit, instants for bugs/verdicts).
+// When a spans file accompanies the journal (ExportTraceSpans), each
+// unit slice additionally carries its nested mutant/stage/solver-query
+// spans, positioned inside the unit's journal-reconstructed window.
 
 package telemetry
 
@@ -13,6 +16,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+
+	"repro/internal/telemetry/spans"
 )
 
 // traceEvent is one Chrome trace_event record. ts/dur are microseconds
@@ -43,6 +48,25 @@ type traceDoc struct {
 // becomes a thread-scoped instant. Returns the number of journal events
 // converted.
 func ExportTrace(r io.Reader, w io.Writer) (int, error) {
+	return exportTrace(r, nil, w)
+}
+
+// ExportTraceSpans is ExportTrace plus true nesting: unit span deltas
+// (from a -spans-out file) are joined with the journal's unit_finish
+// events, and every recorded mutant, stage, and solver-query span is
+// emitted as a nested slice inside its unit's window on the shard track
+// that executed it. Spans without wall-clock (a deterministic-mode file,
+// or zero-duration slices) are skipped — the trace is a wall-time view.
+// Returns the total number of events converted, journal plus nested.
+func ExportTraceSpans(r io.Reader, units []*spans.UnitSpans, w io.Writer) (int, error) {
+	return exportTrace(r, units, w)
+}
+
+func exportTrace(r io.Reader, units []*spans.UnitSpans, w io.Writer) (int, error) {
+	byUnit := make(map[string]*spans.UnitSpans, len(units))
+	for _, u := range units {
+		byUnit[u.Group+"\x00"+u.Unit] = u
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var events []traceEvent
@@ -102,6 +126,10 @@ func ExportTrace(r io.Reader, w io.Writer) (int, error) {
 				Tid:  ev.Shard,
 				Args: args,
 			})
+			if u := byUnit[ev.Group+"\x00"+ev.Unit]; u != nil {
+				n := nestSpans(&events, u, ev.TS-ev.DurNS, ev.Shard)
+				converted += n
+			}
 			continue
 		}
 		if ev.DurNS != 0 {
@@ -150,4 +178,52 @@ func ExportTrace(r io.Reader, w io.Writer) (int, error) {
 		return 0, err
 	}
 	return converted, nil
+}
+
+// nestSpans emits a unit's recorded spans as slices nested inside the
+// unit's journal window starting at startNS on the given shard track.
+// The root span (the unit itself) is skipped — the journal slice already
+// covers it. Returns the number of slices emitted.
+func nestSpans(events *[]traceEvent, u *spans.UnitSpans, startNS int64, shard int) int {
+	n := 0
+	for _, s := range u.Spans {
+		if s.ID == 0 || s.DurNS <= 0 {
+			continue
+		}
+		name := s.Name
+		args := map[string]any{}
+		switch s.Name {
+		case spans.NameMutant:
+			name = fmt.Sprintf("mutant#%d", s.Iter)
+			args["iter"] = s.Iter
+			args["seed"] = strconv.FormatUint(s.Seed, 10)
+		case spans.NameQuery:
+			if s.Func != "" {
+				name = "tv " + s.Func
+				args["func"] = s.Func
+			}
+			args["verdict"] = s.Verdict
+			if s.Cache != "" {
+				args["cache"] = s.Cache
+			}
+			if s.Conflicts != 0 {
+				args["conflicts"] = s.Conflicts
+			}
+			if s.FP != "" {
+				args["fp"] = s.FP
+			}
+		}
+		*events = append(*events, traceEvent{
+			Name: name,
+			Cat:  "span",
+			Ph:   "X",
+			TS:   float64(startNS+s.OffNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			Pid:  1,
+			Tid:  shard,
+			Args: args,
+		})
+		n++
+	}
+	return n
 }

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry/spans"
+)
+
+// journalFixture is a two-event journal: a campaign_start instant and a
+// unit_finish whose slice spans [1ms, 3ms] on shard 0.
+const journalFixture = `{"seq":1,"ts_ns":0,"event":"campaign_start","shard":-1}
+{"seq":2,"ts_ns":3000000,"event":"unit_finish","shard":0,"group":"g","unit":"u","dur_ns":2000000,"iters":5}
+`
+
+func decodeTrace(t *testing.T, data []byte) traceDoc {
+	t.Helper()
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not JSON: %v", err)
+	}
+	return doc
+}
+
+// TestExportTrace covers the journal-only export: unit slices, instants,
+// and per-shard track metadata.
+func TestExportTrace(t *testing.T) {
+	var out bytes.Buffer
+	n, err := ExportTrace(strings.NewReader(journalFixture), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("converted %d events, want 2", n)
+	}
+	doc := decodeTrace(t, out.Bytes())
+	var slices, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Name != "g/u" || ev.TS != 1000 || ev.Dur != 2000 || ev.Tid != 0 {
+				t.Errorf("unit slice = %+v", ev)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if slices != 1 || instants != 1 || meta != 2 {
+		t.Errorf("slices/instants/meta = %d/%d/%d", slices, instants, meta)
+	}
+
+	if _, err := ExportTrace(strings.NewReader(""), &out); err == nil {
+		t.Error("empty journal accepted")
+	}
+	if _, err := ExportTrace(strings.NewReader("{not json}\n"), &out); err == nil {
+		t.Error("malformed journal accepted")
+	}
+}
+
+// TestExportTraceSpans: with a matching unit delta, the unit slice gains
+// nested mutant and query slices positioned inside its window, and
+// zero-duration spans (deterministic files) are skipped.
+func TestExportTraceSpans(t *testing.T) {
+	rec := spans.NewStore(false).NewRecorder("g", "u", 0, 7)
+	rec.BeginMutant(3, 11)
+	rec.Stage(spans.StageMutate, 100*time.Microsecond)
+	rec.Func("fn")
+	rec.Query("valid", "abcd", spans.CacheMiss, 9, 30, 500*time.Microsecond)
+	rec.EndMutant(false)
+	units := []*spans.UnitSpans{rec.Finish(5, false)}
+
+	var out bytes.Buffer
+	n, err := ExportTraceSpans(strings.NewReader(journalFixture), units, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 journal events + mutant + stage + query nested slices.
+	if n != 5 {
+		t.Errorf("converted %d events, want 5", n)
+	}
+	doc := decodeTrace(t, out.Bytes())
+	names := map[string]*traceEvent{}
+	for i := range doc.TraceEvents {
+		ev := &doc.TraceEvents[i]
+		if ev.Cat == "span" {
+			names[ev.Name] = ev
+		}
+	}
+	mu, ok := names["mutant#3"]
+	if !ok {
+		t.Fatalf("no mutant slice in %v", names)
+	}
+	q, ok := names["tv fn"]
+	if !ok {
+		t.Fatalf("no query slice in %v", names)
+	}
+	// Nested slices live on the unit's shard track, inside its window
+	// ([1000, 3000] µs from the journal fixture).
+	for name, ev := range names {
+		if ev.Tid != 0 {
+			t.Errorf("%s on track %d, want 0", name, ev.Tid)
+		}
+		if ev.TS < 1000 {
+			t.Errorf("%s starts at %v, before the unit window", name, ev.TS)
+		}
+	}
+	if q.Args["verdict"] != "valid" || q.Args["cache"] != "miss" || q.Args["fp"] != "abcd" {
+		t.Errorf("query args = %+v", q.Args)
+	}
+	if mu.Args["seed"] != "11" {
+		t.Errorf("mutant args = %+v", mu.Args)
+	}
+
+	// A deterministic-mode delta has no wall-clock: nothing nests, and the
+	// export degrades to the plain journal view.
+	detRec := spans.NewStore(true).NewRecorder("g", "u", 0, 7)
+	detRec.BeginMutant(0, 1)
+	detRec.Query("valid", "", "", 1, 0, 0)
+	detRec.EndMutant(false)
+	out.Reset()
+	n, err = ExportTraceSpans(strings.NewReader(journalFixture), []*spans.UnitSpans{detRec.Finish(1, false)}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("deterministic delta nested %d extra events, want none", n-2)
+	}
+}

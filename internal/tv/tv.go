@@ -11,6 +11,7 @@
 package tv
 
 import (
+	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -86,6 +87,11 @@ type Result struct {
 	// CacheHit marks a verdict replayed from the verdict cache without
 	// solving (solver statistics are zero in that case).
 	CacheHit bool
+	// FP is the hex form of the pair's structural fingerprint (see
+	// Fingerprint), populated when the verdict cache is enabled or
+	// NeedFingerprint is set. Cost-attribution spans use it to group
+	// solver effort by formula; it never influences the verdict.
+	FP string
 	// AssumptionQueries counts the incremental per-class queries issued
 	// on the shared solver session (0 on the monolithic path).
 	AssumptionQueries int64
@@ -135,6 +141,11 @@ type Options struct {
 	// Unknown verdicts are never cached, so counterexamples are always
 	// freshly solved.
 	Cache *Cache
+	// NeedFingerprint forces Result.FP to be populated even when the
+	// verdict cache is off (the fingerprint is computed anyway when the
+	// cache is on). Verdict-neutral: it is excluded from the options
+	// digest and never changes solving.
+	NeedFingerprint bool
 }
 
 // Verify checks that tgt refines src. The module provides callee
@@ -152,14 +163,26 @@ func Verify(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 
 func verify(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 	if opts.Cache == nil {
-		return verifySolve(mod, src, tgt, opts)
+		if !opts.NeedFingerprint {
+			return verifySolve(mod, src, tgt, opts)
+		}
+		key := Fingerprint(mod, src, tgt, opts)
+		r := verifySolve(mod, src, tgt, opts)
+		r.FP = hex.EncodeToString(key[:])
+		return r
 	}
 	key := Fingerprint(mod, src, tgt, opts)
 	if r, ok := opts.Cache.lookup(key); ok {
+		if opts.NeedFingerprint {
+			r.FP = hex.EncodeToString(key[:])
+		}
 		return r
 	}
 	r := verifySolve(mod, src, tgt, opts)
 	opts.Cache.store(key, r)
+	if opts.NeedFingerprint {
+		r.FP = hex.EncodeToString(key[:])
+	}
 	return r
 }
 

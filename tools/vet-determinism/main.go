@@ -47,11 +47,14 @@ var exemptDirs = map[string]bool{
 }
 
 // exemptPkgs are library directories allowed to touch the forbidden API:
-// the telemetry layer is where wall-clock time belongs, and the rng
-// package documents why it replaces math/rand.
+// the telemetry layer (including its spans subpackage, whose recorder
+// stamps wall-clock offsets unless -spans-deterministic) is where
+// wall-clock time belongs, and the rng package documents why it replaces
+// math/rand.
 var exemptPkgs = map[string]bool{
-	filepath.Join("internal", "telemetry"): true,
-	filepath.Join("internal", "rng"):       true,
+	filepath.Join("internal", "telemetry"):          true,
+	filepath.Join("internal", "telemetry", "spans"): true,
+	filepath.Join("internal", "rng"):                true,
 }
 
 // waiverMarker on the offending line (usually a trailing comment)

@@ -5,7 +5,7 @@ GO ?= go
 
 include tools/tools.mk
 
-.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke microbench bench bench-baseline ci
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke stv-smoke microbench bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -108,6 +108,14 @@ dashboard-smoke:
 profile-smoke:
 	bash tools/profile-smoke.sh
 
+# Static pre-verifier end-to-end: the seeded campaign with the static
+# refinement rung on and off must render byte-identical result tables,
+# the on-run must discharge obligations statically (tv.static.proved
+# present and positive), and the off-run must record no tv.static.*
+# activity (docs/ANALYSIS.md, docs/PERFORMANCE.md).
+stv-smoke:
+	bash tools/stv-smoke.sh
+
 # Hot-path microbenchmarks: sat.Solve on canned CNFs, smt blasting and
 # sessions, and tv.Verify over the examples corpus — a tracked baseline
 # for solver changes independent of the end-to-end harness.
@@ -124,4 +132,4 @@ bench-baseline:
 	$(GO) run ./cmd/bench-throughput -count 200 -gen 10 -out res.txt -json BENCH_throughput.json
 	$(GO) run ./cmd/telemetry-check -require-positive BENCH_throughput.json
 
-ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke stv-smoke

@@ -82,11 +82,13 @@ func main() {
 	noTVCache := flag.Bool("no-tv-cache", false, "disable the per-file refinement-verdict cache (A/B comparison runs)")
 	noIncremental := flag.Bool("no-incremental", false, "disable assumption-based incremental SAT solving (A/B comparison runs)")
 	satPreprocess := flag.Bool("sat-preprocess", false, "enable SatELite-lite CNF preprocessing before each solve")
+	noStaticTV := flag.Bool("no-static-tv", false, "disable the static refinement pre-verifier (A/B comparison runs)")
 	flag.Parse()
 	accel := accelConfig{
 		cache:       !*noTVCache,
 		incremental: !*noIncremental,
 		preprocess:  *satPreprocess,
+		static:      !*noStaticTV,
 	}
 
 	// The integrated loop always records stage telemetry here: the
@@ -369,6 +371,7 @@ type accelConfig struct {
 	cache       bool
 	incremental bool
 	preprocess  bool
+	static      bool
 }
 
 // benchTVBudget is the conflict budget both workflows verify under. It is
@@ -380,7 +383,7 @@ const benchTVBudget = 30000
 // tvOptions resolves one file's TV options; the verdict cache is
 // per-file, so measurements are independent and deterministic.
 func (a accelConfig) tvOptions() tv.Options {
-	o := tv.Options{Incremental: a.incremental, Preprocess: a.preprocess, ConflictBudget: benchTVBudget}
+	o := tv.Options{Incremental: a.incremental, Preprocess: a.preprocess, Static: a.static, ConflictBudget: benchTVBudget}
 	if a.cache {
 		o.Cache = tv.NewCache()
 	}

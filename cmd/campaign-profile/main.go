@@ -59,6 +59,7 @@ func run() int {
 	spansOut := flag.String("spans-out", "", "also write the recorded alive-mutate-spans/v1 file here (run mode)")
 	topN := flag.Int("top", 10, "entries per hotspot ranking")
 	jsonOut := flag.String("json", "", "also write the alive-mutate-hotspots/v1 report to this file")
+	noStaticTV := flag.Bool("no-static-tv", false, "disable the static refinement pre-verifier (run mode; the report's \"static\" column drops to zero)")
 	flag.Parse()
 
 	var store *spans.Store
@@ -74,6 +75,7 @@ func run() int {
 			only:          *onlySpec,
 			deadline:      *deadline,
 			deterministic: *deterministic,
+			noStaticTV:    *noStaticTV,
 		})
 		if store == nil {
 			return code
@@ -128,6 +130,7 @@ type profileConfig struct {
 	only          string
 	deadline      time.Duration
 	deterministic bool
+	noStaticTV    bool
 }
 
 // runCampaign executes the profiling campaign with span recording on and
@@ -162,16 +165,17 @@ func runCampaign(pc profileConfig) (*spans.Store, int) {
 	defer stop()
 
 	rep, err := campaign.RunBugs(ctx, campaign.BugConfig{
-		Budget:    pc.budget,
-		TVBudget:  pc.tvBudget,
-		Seed:      pc.seed,
-		Passes:    pc.passes,
-		Workers:   pc.workers,
-		Deadline:  pc.deadline,
-		Only:      only,
-		Stderr:    os.Stderr,
-		Telemetry: sink,
-		Spans:     store,
+		Budget:     pc.budget,
+		TVBudget:   pc.tvBudget,
+		Seed:       pc.seed,
+		Passes:     pc.passes,
+		Workers:    pc.workers,
+		Deadline:   pc.deadline,
+		Only:       only,
+		Stderr:     os.Stderr,
+		Telemetry:  sink,
+		Spans:      store,
+		NoStaticTV: pc.noStaticTV,
 	})
 	if rep == nil {
 		fmt.Fprintln(os.Stderr, "campaign-profile:", err)

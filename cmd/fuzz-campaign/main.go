@@ -107,6 +107,7 @@ func run() int {
 	sharedTVCache := flag.Bool("shared-tv-cache", false, "share one verdict cache across all workers (hit counts become scheduling-dependent)")
 	noIncremental := flag.Bool("no-incremental", false, "disable assumption-based incremental SAT solving (A/B comparison runs)")
 	satPreprocess := flag.Bool("sat-preprocess", false, "enable SatELite-lite CNF preprocessing before each solve")
+	noStaticTV := flag.Bool("no-static-tv", false, "disable the static refinement pre-verifier (A/B comparison runs)")
 	flag.Parse()
 
 	var only []int
@@ -226,6 +227,7 @@ func run() int {
 		SharedTVCache:      *sharedTVCache,
 		NoIncremental:      *noIncremental,
 		SATPreprocess:      *satPreprocess,
+		NoStaticTV:         *noStaticTV,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptInterval,
 		Resume:             *resume,

@@ -40,6 +40,12 @@ type Facts struct {
 	guards    map[*ir.Block][]guard
 	demanded  map[*ir.Instr]uint64
 	hasDem    bool
+
+	// Poison-lattice memos (poison.go).
+	neverP     map[*ir.Instr]bool
+	alwaysP    map[*ir.Instr]bool
+	inflightNP map[*ir.Instr]bool
+	inflightAP map[*ir.Instr]bool
 }
 
 // NewFacts returns an empty fact cache for f. Nothing is computed until
@@ -60,6 +66,10 @@ func (fa *Facts) reset() {
 	fa.guards = make(map[*ir.Block][]guard)
 	fa.demanded = nil
 	fa.hasDem = false
+	fa.neverP = make(map[*ir.Instr]bool)
+	fa.alwaysP = make(map[*ir.Instr]bool)
+	fa.inflightNP = make(map[*ir.Instr]bool)
+	fa.inflightAP = make(map[*ir.Instr]bool)
 }
 
 // Invalidate drops every cached fact. Must be called after any mutation

@@ -33,12 +33,27 @@ const (
 	// immediate UB) on every execution: oversized constant shifts,
 	// division by a constant zero, arithmetic whose flag always fires.
 	RuleAlwaysPoison LintRule = "always-poison"
+	// RuleGuaranteedUB flags instructions the poison lattice proves
+	// trigger UB on every defined input that reaches them: dividing by a
+	// provably-zero or always-poison divisor, branching on an
+	// always-poison condition, accessing an always-poison address, or
+	// assuming a provably-false condition. Unreachable blocks are skipped
+	// (unreachable-block already covers them, and "always UB" is vacuous
+	// on code that never runs).
+	RuleGuaranteedUB LintRule = "guaranteed-ub"
+	// RuleDeadFlag flags nuw/nsw/exact flags that the range/known-bits
+	// lattice proves can never fire through reasoning redundant-flag does
+	// not attempt — variable shift amounts bounded by range facts,
+	// divisors that are range-proven constants, constant dividends. The
+	// flag contributes no poison, so dropping it is a free refinement.
+	RuleDeadFlag LintRule = "dead-flag"
 )
 
 // AllRules lists every rule in stable order.
 var AllRules = []LintRule{
 	RuleUnreachable, RuleDeadParam, RuleUndefUse,
 	RuleRedundantFlag, RuleMisalignedMem, RuleAlwaysPoison,
+	RuleGuaranteedUB, RuleDeadFlag,
 }
 
 // Diag is one lint finding.
@@ -112,7 +127,9 @@ func LintFunc(f *ir.Function, fa *Facts, cfg LintConfig) []Diag {
 		}
 	}
 
+	dom := fa.Dom()
 	for _, b := range f.Blocks {
+		reachable := b == f.Entry() || dom.Reachable(b)
 		for _, in := range b.Instrs {
 			if cfg.on(RuleUndefUse) && in.Op != ir.OpFreeze {
 				for i, a := range in.Args {
@@ -137,9 +154,87 @@ func LintFunc(f *ir.Function, fa *Facts, cfg LintConfig) []Diag {
 					diag(RuleMisalignedMem, b, "%s: %s", in.String(), msg)
 				}
 			}
+			if cfg.on(RuleGuaranteedUB) && reachable {
+				if msg, bad := guaranteedUB(in, fa); bad {
+					diag(RuleGuaranteedUB, b, "%s: %s", in.String(), msg)
+				}
+			}
+			if cfg.on(RuleDeadFlag) {
+				for _, flag := range deadFlags(in, fa) {
+					diag(RuleDeadFlag, b, "%s: %s flag is proven dead by range/known-bits facts (it can never fire)",
+						in.String(), flag)
+				}
+			}
 		}
 	}
 	return out
+}
+
+// guaranteedUB detects instructions that are immediate UB on every
+// defined input, through the poison lattice rather than syntax (the
+// syntactic cases — a literal zero divisor, a literal poison operand —
+// belong to always-poison and undef-use).
+func guaranteedUB(in *ir.Instr, fa *Facts) (string, bool) {
+	switch in.Op {
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		div := in.Args[1]
+		if _, isC := div.(*ir.Const); isC {
+			return "", false // constant zero is always-poison's finding
+		}
+		if fa.AlwaysPoison(div) {
+			return "divisor is always poison: the division is immediate UB", true
+		}
+		if r := fa.RangeOf(div, in.Parent()); r.IsConst() && r.ULo == 0 {
+			return "divisor is provably zero: the division is immediate UB", true
+		}
+	case ir.OpCondBr:
+		if fa.AlwaysPoison(in.Args[0]) {
+			return "condition is always poison: branching on it is UB", true
+		}
+	case ir.OpLoad:
+		if fa.AlwaysPoison(in.Args[0]) {
+			return "address is always poison: the access is UB", true
+		}
+	case ir.OpStore:
+		if fa.AlwaysPoison(in.Args[1]) {
+			return "address is always poison: the access is UB", true
+		}
+	case ir.OpCall:
+		if kind, ok := in.IsIntrinsicCall(); ok && kind == ir.IntrinsicAssume {
+			if c, isC := in.Args[0].(*ir.Const); isC && c.IsZero() {
+				return "assume of constant false is immediate UB", true
+			}
+			if fa.AlwaysPoison(in.Args[0]) {
+				return "assume of an always-poison condition is immediate UB", true
+			}
+		}
+	}
+	return "", false
+}
+
+// deadFlags reports set poison flags that FlagNeverFires proves dead but
+// redundantFlags (constant-operand reasoning only) does not already
+// report, so each finding surfaces under exactly one rule.
+func deadFlags(in *ir.Instr, fa *Facts) []string {
+	if !in.Nuw && !in.Nsw && !in.Exact {
+		return nil
+	}
+	already := map[string]bool{}
+	for _, f := range redundantFlags(in, fa) {
+		already[f] = true
+	}
+	nuw, nsw, exact := fa.FlagNeverFires(in)
+	var flags []string
+	if in.Nuw && nuw && !already["nuw"] {
+		flags = append(flags, "nuw")
+	}
+	if in.Nsw && nsw && !already["nsw"] {
+		flags = append(flags, "nsw")
+	}
+	if in.Exact && exact && !already["exact"] {
+		flags = append(flags, "exact")
+	}
+	return flags
 }
 
 func flagEffect(flag string) string {

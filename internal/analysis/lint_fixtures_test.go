@@ -17,6 +17,8 @@ func TestLintSeededFixtures(t *testing.T) {
 		"undef_use.ll":             {RuleUndefUse},
 		"unreachable_and_flags.ll": {RuleUnreachable, RuleRedundantFlag},
 		"misaligned.ll":            {RuleMisalignedMem},
+		"guaranteed_ub.ll":         {RuleGuaranteedUB},
+		"dead_flag.ll":             {RuleDeadFlag},
 	}
 	flagged := 0
 	for name, rules := range expect {

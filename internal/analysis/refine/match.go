@@ -1,0 +1,387 @@
+package refine
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/apint"
+	"repro/internal/ir"
+)
+
+// maxChase bounds identity-chain forwarding so degenerate chains (and
+// single-incoming phi cycles) cannot loop.
+const maxChase = 64
+
+// matcher proves structural subsumption: every target instruction is
+// matched, in block order, against a source instruction computing a
+// value that refines it, while unmatched source instructions must be
+// deletable (pure, or attribute-droppable calls). The invariant
+// maintained for every matched pair (s, t) is exactly the per-value
+// refinement obligation the SAT encoding checks:
+//
+//	on every execution where src has no UB and s is non-poison,
+//	t is non-poison and bit-equal to s.
+//
+// Control flow: blocks are paired positionally and terminators must
+// match with positionally-equal targets, so on every src-UB-free
+// execution both functions walk corresponding paths (a poison branch
+// condition is UB in src, which the obligation excludes).
+type matcher struct {
+	mod      *ir.Module
+	src, tgt *ir.Function
+	sfa, tfa *analysis.Facts
+	sIdx     map[*ir.Block]int
+	tIdx     map[*ir.Block]int
+	// vmap maps a source value to the target value proven to refine it
+	// (parameters positionally, matched instructions by the match).
+	vmap map[ir.Value]ir.Value
+	// weakened records that the proof used more than alpha-renaming:
+	// a deletion, a dropped/added flag, or a fact-based substitution.
+	weakened bool
+}
+
+func newMatcher(mod *ir.Module, src, tgt *ir.Function) *matcher {
+	m := &matcher{
+		mod: mod, src: src, tgt: tgt,
+		sfa:  analysis.NewFacts(src),
+		tfa:  analysis.NewFacts(tgt),
+		sIdx: make(map[*ir.Block]int, len(src.Blocks)),
+		tIdx: make(map[*ir.Block]int, len(tgt.Blocks)),
+		vmap: make(map[ir.Value]ir.Value),
+	}
+	for i, b := range src.Blocks {
+		m.sIdx[b] = i
+	}
+	for i, b := range tgt.Blocks {
+		m.tIdx[b] = i
+	}
+	for i, p := range src.Params {
+		m.vmap[p] = tgt.Params[i]
+	}
+	return m
+}
+
+// run matches every block pair; it returns "" on success or a bailout
+// detail.
+func (m *matcher) run() string {
+	for i, sb := range m.src.Blocks {
+		if detail := m.matchBlock(sb, m.tgt.Blocks[i]); detail != "" {
+			return fmt.Sprintf("block %d (%s): %s", i, sb.Nm, detail)
+		}
+	}
+	return ""
+}
+
+func (m *matcher) matchBlock(sb, tb *ir.Block) string {
+	S := sb.Instrs
+	si := 0
+	for _, t := range tb.Instrs {
+		matched := false
+		for si < len(S) {
+			s := S[si]
+			if m.matchInstr(s, t) {
+				if s.Nm != "" {
+					m.vmap[s] = t
+				}
+				si++
+				matched = true
+				break
+			}
+			if !m.deletable(s) {
+				return fmt.Sprintf("%s does not match %s and is not deletable", s.Op, t.Op)
+			}
+			m.weakened = true
+			si++
+		}
+		if !matched {
+			return fmt.Sprintf("target %s has no source counterpart", t.Op)
+		}
+	}
+	for ; si < len(S); si++ {
+		if !m.deletable(S[si]) {
+			return fmt.Sprintf("trailing source %s is not deletable", S[si].Op)
+		}
+		m.weakened = true
+	}
+	return ""
+}
+
+// deletable reports whether removing s from src is refinement-sound on
+// its own: the removal can only shrink src's UB and poison, and cannot
+// perturb the call sequence or memory the validator observes. Stores
+// and terminators are never deletable; calls only when their attributes
+// permit dropping (tv.matchCalls skips exactly those) and no pointer
+// argument could have escaped a provenance the remaining calls havoc.
+func (m *matcher) deletable(s *ir.Instr) bool {
+	if s.Op.IsTerminator() || s.Op == ir.OpStore {
+		return false
+	}
+	if s.Op != ir.OpCall {
+		return true
+	}
+	if _, intrinsic := s.IsIntrinsicCall(); intrinsic {
+		// Intrinsics are pure in the encoding; deleting an assume only
+		// removes a UB source.
+		return true
+	}
+	var attrs ir.FuncAttrs
+	if m.mod != nil {
+		if decl := m.mod.FuncByName(s.Callee); decl != nil {
+			attrs = decl.Attrs
+		}
+	}
+	if !(attrs.Readnone || attrs.Readonly) || !attrs.Willreturn || !attrs.Nounwind {
+		return false
+	}
+	for _, a := range s.Args {
+		if ir.IsPtr(a.Type()) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchInstr reports whether t (target) is refined by s (source): same
+// operation and type, flags at most weakened (or provably dead), and
+// every operand pair in the refinement relation.
+func (m *matcher) matchInstr(s, t *ir.Instr) bool {
+	if s.Op != t.Op || !ir.TypesEqual(s.Ty, t.Ty) || len(s.Args) != len(t.Args) {
+		return false
+	}
+	switch s.Op {
+	case ir.OpICmp:
+		if s.Pred != t.Pred {
+			return false
+		}
+	case ir.OpCall:
+		if s.Callee != t.Callee || !ir.TypesEqual(s.Sig, t.Sig) {
+			return false
+		}
+	case ir.OpAlloca:
+		if !ir.TypesEqual(s.AllocTy, t.AllocTy) || s.Align != t.Align {
+			return false
+		}
+	case ir.OpLoad, ir.OpStore:
+		if s.Align != t.Align {
+			return false
+		}
+	case ir.OpBr, ir.OpCondBr:
+		if !m.targetsAligned(s, t) {
+			return false
+		}
+	case ir.OpPhi:
+		if len(s.Preds) != len(t.Preds) {
+			return false
+		}
+		for i := range s.Preds {
+			if m.sIdx[s.Preds[i]] != m.tIdx[t.Preds[i]] {
+				return false
+			}
+		}
+	case ir.OpFreeze:
+		// Two freezes of a possibly-poison value are independent
+		// nondeterministic choices; only a never-poison operand makes
+		// freeze the identity on both sides.
+		if !m.sfa.NeverPoison(s.Args[0]) {
+			return false
+		}
+	}
+	if !m.flagsRefine(s, t) {
+		return false
+	}
+	for i := range s.Args {
+		if !m.valueRefines(s.Args[i], t.Args[i], s.Parent(), t.Parent()) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *matcher) targetsAligned(s, t *ir.Instr) bool {
+	if len(s.Targets) != len(t.Targets) {
+		return false
+	}
+	for i := range s.Targets {
+		si, ok1 := m.sIdx[s.Targets[i]]
+		ti, ok2 := m.tIdx[t.Targets[i]]
+		if !ok1 || !ok2 || si != ti {
+			return false
+		}
+	}
+	return true
+}
+
+// flagsRefine checks the poison flags. A flag present on src but absent
+// on tgt only removes a poison source — always sound. A flag present on
+// tgt but absent on src would add one, so it must be provably unable to
+// fire (range/known-bits facts on the target's own operands).
+func (m *matcher) flagsRefine(s, t *ir.Instr) bool {
+	if s.Nuw == t.Nuw && s.Nsw == t.Nsw && s.Exact == t.Exact {
+		return true
+	}
+	m.weakened = true
+	needNuw := t.Nuw && !s.Nuw
+	needNsw := t.Nsw && !s.Nsw
+	needExact := t.Exact && !s.Exact
+	if !needNuw && !needNsw && !needExact {
+		return true // flags only dropped
+	}
+	nuw, nsw, exact := m.tfa.FlagNeverFires(t)
+	return (!needNuw || nuw) && (!needNsw || nsw) && (!needExact || exact)
+}
+
+// valueRefines establishes the per-operand obligation: whenever src's
+// value sa is non-poison (on a src-UB-free execution), tgt's value ta
+// is non-poison and bit-equal. Values are first forwarded through
+// identity chains on their own side, then compared through the match
+// map, as identical constants, or through fact-proven constancy.
+func (m *matcher) valueRefines(sa, ta ir.Value, sb, tb *ir.Block) bool {
+	if !ir.TypesEqual(sa.Type(), ta.Type()) {
+		return false
+	}
+	// Exact positional match first: it needs no chasing and keeps pure
+	// alpha-equivalent pairs labelled alpha-equal.
+	if mapped, ok := m.vmap[sa]; ok && mapped == ta {
+		return true
+	}
+	if c, ok := sa.(*ir.Const); ok {
+		if ct, ok2 := ta.(*ir.Const); ok2 && c.Val == ct.Val {
+			return true
+		}
+	}
+	ra := m.chase(sa, m.sfa)
+	rt := m.chase(ta, m.tfa)
+	if ra != sa || rt != ta {
+		m.weakened = true
+	}
+	if mapped, ok := m.vmap[ra]; ok && mapped == rt {
+		return true
+	}
+	// A source operand that is poison on every execution makes the
+	// obligation vacuous in every operand position the matcher accepts:
+	// strict consumers yield src poison, UB-strict positions (branch
+	// conditions, divisors, addresses) make src itself UB, and the
+	// non-strict positions (select/phi arms, stored values, call
+	// arguments, return values) are refined by anything when the source
+	// side is poison. The one exception, freeze, never matches a
+	// possibly-poison operand in the first place.
+	if _, isPoison := ra.(*ir.Poison); isPoison || m.sfa.AlwaysPoison(ra) {
+		m.weakened = true
+		return true
+	}
+	switch a := ra.(type) {
+	case *ir.Const:
+		if c, ok := rt.(*ir.Const); ok && c.Val == a.Val {
+			return true
+		}
+	case *ir.NullPtr:
+		if _, ok := rt.(*ir.NullPtr); ok {
+			return true
+		}
+	}
+	// Fact-based equality. Source side: whenever ra is non-poison it
+	// equals ka. Target side: a literal constant is trivially equal and
+	// never poison; a proven-constant instruction additionally needs a
+	// never-poison proof, since the obligation demands a defined value.
+	if ka, ok := constValue(m.sfa, ra, sb); ok {
+		if c, isC := rt.(*ir.Const); isC && c.Val == ka {
+			m.weakened = true
+			return true
+		}
+		if kt, ok2 := constValue(m.tfa, rt, tb); ok2 && kt == ka && m.tfa.NeverPoison(rt) {
+			m.weakened = true
+			return true
+		}
+	}
+	return false
+}
+
+// chase follows value-preserving identities (x+0, x*1, x&-1, x>>0,
+// x/1, select with equal arms or a constant condition, freeze of a
+// never-poison value, single-incoming phi). Every step preserves both
+// the bit value and the poison bit exactly — the identity operand
+// values make every nuw/nsw/exact flag a no-op — so chased values are
+// interchangeable in the refinement relation.
+func (m *matcher) chase(v ir.Value, fa *analysis.Facts) ir.Value {
+	for steps := 0; steps < maxChase; steps++ {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			return v
+		}
+		next := identityOperand(in, fa)
+		if next == nil {
+			return v
+		}
+		v = next
+	}
+	return v
+}
+
+// identityOperand returns the operand in forwards to, or nil.
+func identityOperand(in *ir.Instr, fa *analysis.Facts) ir.Value {
+	constArg := func(i int) (uint64, bool) {
+		c, ok := in.Args[i].(*ir.Const)
+		if !ok {
+			return 0, false
+		}
+		return c.Val, true
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpOr, ir.OpXor:
+		if c, ok := constArg(1); ok && c == 0 {
+			return in.Args[0]
+		}
+		if c, ok := constArg(0); ok && c == 0 {
+			return in.Args[1]
+		}
+	case ir.OpSub:
+		if c, ok := constArg(1); ok && c == 0 {
+			return in.Args[0]
+		}
+	case ir.OpMul:
+		if c, ok := constArg(1); ok && c == 1 {
+			return in.Args[0]
+		}
+		if c, ok := constArg(0); ok && c == 1 {
+			return in.Args[1]
+		}
+	case ir.OpAnd:
+		w, isInt := ir.IsInt(in.Ty)
+		if !isInt {
+			return nil
+		}
+		if c, ok := constArg(1); ok && c == apint.Mask(w) {
+			return in.Args[0]
+		}
+		if c, ok := constArg(0); ok && c == apint.Mask(w) {
+			return in.Args[1]
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if c, ok := constArg(1); ok && c == 0 {
+			return in.Args[0]
+		}
+	case ir.OpUDiv, ir.OpSDiv:
+		if c, ok := constArg(1); ok && c == 1 {
+			return in.Args[0]
+		}
+	case ir.OpSelect:
+		if c, ok := constArg(0); ok {
+			if c != 0 {
+				return in.Args[1]
+			}
+			return in.Args[2]
+		}
+		if in.Args[1] == in.Args[2] && fa.NeverPoison(in.Args[0]) {
+			return in.Args[1]
+		}
+	case ir.OpFreeze:
+		if fa.NeverPoison(in.Args[0]) {
+			return in.Args[0]
+		}
+	case ir.OpPhi:
+		if len(in.Args) == 1 {
+			return in.Args[0]
+		}
+	}
+	return nil
+}

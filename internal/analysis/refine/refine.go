@@ -1,0 +1,189 @@
+// Package refine is the static refinement pre-verifier: it attempts to
+// prove the Alive2 refinement relation src ⊑ tgt (DESIGN.md §4) from IR
+// structure and dataflow facts alone, without bit-blasting a SAT query.
+//
+// The prover is the first rung of the translation validator's oracle
+// cascade (internal/tv). Its contract is strict: a Proved outcome must
+// coincide with the verdict the full SAT oracle would return (Valid), so
+// accelerated campaigns stay byte-identical with -no-static-tv. Anything
+// the prover cannot establish is a Bailout, and SAT decides as before.
+// A Refuted outcome is advisory — static evidence that the pair does not
+// refine — and never replaces the SAT verdict or its counterexample.
+//
+// Three layers of reasoning, in the order they are applied:
+//
+//  1. alpha-equivalence: tgt is src instruction-for-instruction under a
+//     positional renaming of blocks, parameters, and SSA values;
+//  2. structural subsumption: tgt is src with pure instructions deleted,
+//     poison flags dropped, and operands substituted by values that
+//     provably refine them (constant folds, identity-chain forwarding);
+//  3. fact-based discharge: known-bits/range facts from analysis.Facts
+//     prove substituted values equal and prove added flags can never
+//     fire, and the poison lattice (analysis.NeverPoison) proves freeze
+//     and select rewrites introduce no fresh poison.
+//
+// The soundness argument for each rule is spelled out in
+// docs/ANALYSIS.md and enforced differentially against the SAT oracle in
+// soundness_test.go.
+package refine
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Outcome classifies one static refinement attempt.
+type Outcome int
+
+const (
+	// Bailout: the prover cannot decide; the SAT oracle must run.
+	Bailout Outcome = iota
+	// Proved: src ⊑ tgt holds; SAT would return Valid.
+	Proved
+	// Refuted: static evidence that src ⊑ tgt fails. Advisory only —
+	// SAT still runs and produces the canonical verdict and
+	// counterexample.
+	Refuted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Proved:
+		return "proved"
+	case Refuted:
+		return "refuted"
+	default:
+		return "bailout"
+	}
+}
+
+// Report is the result of one static refinement attempt.
+type Report struct {
+	Outcome Outcome
+	// Rule names the prover that decided: "alpha-equal", "subsume", or
+	// "const-ret-mismatch" (Refuted). Empty on Bailout.
+	Rule string
+	// Detail explains a Bailout or Refuted outcome for debugging.
+	Detail string
+}
+
+// Check attempts to statically decide the refinement src ⊑ tgt. mod
+// supplies callee declarations (attribute information for call
+// dropping); it may be nil, which only makes the prover more
+// conservative.
+func Check(mod *ir.Module, src, tgt *ir.Function) Report {
+	if src.IsDecl || tgt.IsDecl {
+		return bail("declaration")
+	}
+	if err := signaturesMatch(src, tgt); err != "" {
+		return bail(err)
+	}
+	if len(src.Blocks) != len(tgt.Blocks) {
+		// The matcher requires an isomorphic CFG; block-structure edits
+		// (simplifycfg-style rewrites) go to SAT.
+		return bailRefute(mod, src, tgt, "CFG shape differs")
+	}
+	m := newMatcher(mod, src, tgt)
+	if detail := m.run(); detail != "" {
+		return bailRefute(mod, src, tgt, detail)
+	}
+	rule := "alpha-equal"
+	if m.weakened {
+		rule = "subsume"
+	}
+	return Report{Outcome: Proved, Rule: rule}
+}
+
+func bail(detail string) Report { return Report{Outcome: Bailout, Detail: detail} }
+
+// bailRefute is the bailout path with a last-ditch sound refutation
+// check: if both functions are straight-line, UB-free, and provably
+// return distinct non-poison constants, the pair cannot refine.
+func bailRefute(mod *ir.Module, src, tgt *ir.Function, detail string) Report {
+	if refutedByConstRet(src, tgt) {
+		return Report{Outcome: Refuted, Rule: "const-ret-mismatch", Detail: detail}
+	}
+	return bail(detail)
+}
+
+// signaturesMatch mirrors tv.checkSignatures but additionally requires
+// identical parameter attributes: the encoder derives per-parameter
+// poison and UB conditions (noundef) from them, so the matcher's
+// positional parameter map is only meaningful when they agree.
+func signaturesMatch(src, tgt *ir.Function) string {
+	if !ir.TypesEqual(src.RetTy, tgt.RetTy) {
+		return "return types differ"
+	}
+	if len(src.Params) != len(tgt.Params) {
+		return "parameter counts differ"
+	}
+	for i := range src.Params {
+		if !ir.TypesEqual(src.Params[i].Ty, tgt.Params[i].Ty) {
+			return fmt.Sprintf("parameter %d types differ", i)
+		}
+		if src.Params[i].Attrs != tgt.Params[i].Attrs {
+			return fmt.Sprintf("parameter %d attributes differ", i)
+		}
+	}
+	return ""
+}
+
+// refutedByConstRet implements the advisory refutation: single-block
+// functions built only from UB-free pure instructions whose return
+// values are proven distinct non-poison constants cannot refine.
+func refutedByConstRet(src, tgt *ir.Function) bool {
+	sv, ok := pureConstRet(src)
+	if !ok {
+		return false
+	}
+	tv, ok := pureConstRet(tgt)
+	if !ok {
+		return false
+	}
+	return sv != tv
+}
+
+func pureConstRet(f *ir.Function) (uint64, bool) {
+	if len(f.Blocks) != 1 {
+		return 0, false
+	}
+	b := f.Blocks[0]
+	for _, in := range b.Instrs {
+		switch {
+		case in.Op == ir.OpRet:
+		case in.Op.IsBinary() && !in.Op.IsDivRem():
+		case in.Op == ir.OpICmp, in.Op == ir.OpSelect, in.Op.IsCast(), in.Op == ir.OpFreeze:
+		default:
+			return 0, false // memory, calls, division: potential UB or effects
+		}
+	}
+	term := b.Term()
+	if term == nil || term.Op != ir.OpRet || len(term.Args) != 1 {
+		return 0, false
+	}
+	fa := analysis.NewFacts(f)
+	if !fa.NeverPoison(term.Args[0]) {
+		return 0, false
+	}
+	return constValue(fa, term.Args[0], b)
+}
+
+// constValue resolves v to a proven constant via known bits or (guard
+// refined) ranges at block at.
+func constValue(fa *analysis.Facts, v ir.Value, at *ir.Block) (uint64, bool) {
+	if c, ok := v.(*ir.Const); ok {
+		return c.Val, true
+	}
+	if _, isInt := ir.IsInt(v.Type()); !isInt {
+		return 0, false
+	}
+	if kn := fa.Known(v); kn.Width > 0 && kn.IsConst() {
+		return kn.Const(), true
+	}
+	if r := fa.RangeOf(v, at); r.Width > 0 && r.IsConst() {
+		return r.Const(), true
+	}
+	return 0, false
+}

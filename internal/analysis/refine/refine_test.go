@@ -1,0 +1,307 @@
+package refine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// checkPair parses two single-function modules and runs the prover with
+// the target function resolved from the source module's context (the
+// callee declarations both sides share).
+func checkPair(t *testing.T, srcText, tgtText string) Report {
+	t.Helper()
+	sm, err := parser.Parse(srcText)
+	if err != nil {
+		t.Fatalf("parse src: %v", err)
+	}
+	tm, err := parser.Parse(tgtText)
+	if err != nil {
+		t.Fatalf("parse tgt: %v", err)
+	}
+	return Check(sm, sm.Defs()[0], tm.Defs()[0])
+}
+
+func wantOutcome(t *testing.T, rep Report, want Outcome, wantRule string) {
+	t.Helper()
+	if rep.Outcome != want {
+		t.Fatalf("outcome = %v (rule %q, %s), want %v", rep.Outcome, rep.Rule, rep.Detail, want)
+	}
+	if wantRule != "" && rep.Rule != wantRule {
+		t.Fatalf("rule = %q (%s), want %q", rep.Rule, rep.Detail, wantRule)
+	}
+}
+
+func TestAlphaEquivalence(t *testing.T) {
+	src := `define i32 @f(i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  %c = icmp ult i32 %a, %x
+  br i1 %c, label %then, label %else
+then:
+  ret i32 %a
+else:
+  ret i32 0
+}`
+	// Same function, every name changed.
+	tgt := `define i32 @f(i32 %p, i32 %q) {
+start:
+  %sum = add i32 %p, %q
+  %ovf = icmp ult i32 %sum, %p
+  br i1 %ovf, label %yes, label %no
+yes:
+  ret i32 %sum
+no:
+  ret i32 0
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "alpha-equal")
+}
+
+func TestDroppedFlagSubsumes(t *testing.T) {
+	src := `define i8 @f(i8 %x) {
+  %a = add nsw nuw i8 %x, 1
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  ret i8 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "subsume")
+}
+
+func TestAddedFlagBailsWithoutProof(t *testing.T) {
+	src := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 100
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add nsw i8 %x, 100
+  ret i8 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}
+
+func TestAddedFlagProvenDead(t *testing.T) {
+	// After masking to 4 bits, x+1 can never wrap unsigned at width 8:
+	// range facts prove the added nuw is dead.
+	src := `define i8 @f(i8 %x) {
+  %m = and i8 %x, 15
+  %a = add i8 %m, 1
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %m = and i8 %x, 15
+  %a = add nuw i8 %m, 1
+  ret i8 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "subsume")
+}
+
+func TestDeletedPureInstr(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  %dead = mul i32 %x, %x
+  %a = add i32 %x, 1
+  ret i32 %a
+}`
+	tgt := `define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  ret i32 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "subsume")
+}
+
+func TestDeletedStoreBails(t *testing.T) {
+	src := `define i32 @f(ptr %p, i32 %x) {
+  store i32 %x, ptr %p
+  ret i32 %x
+}`
+	tgt := `define i32 @f(ptr %p, i32 %x) {
+  ret i32 %x
+}`
+	rep := checkPair(t, src, tgt)
+	if rep.Outcome != Bailout {
+		t.Fatalf("deleting a store must bail, got %v (%s)", rep.Outcome, rep.Rule)
+	}
+	if !strings.Contains(rep.Detail, "store") {
+		t.Fatalf("bailout detail %q does not name the store", rep.Detail)
+	}
+}
+
+func TestDeletedDroppableCall(t *testing.T) {
+	src := `declare i32 @pure(i32) readnone willreturn nounwind
+define i32 @f(i32 %x) {
+  %dead = call i32 @pure(i32 %x)
+  %a = add i32 %x, 1
+  ret i32 %a
+}`
+	tgt := `define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  ret i32 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "subsume")
+}
+
+func TestDeletedEffectfulCallBails(t *testing.T) {
+	src := `declare i32 @ext(i32)
+define i32 @f(i32 %x) {
+  %dead = call i32 @ext(i32 %x)
+  %a = add i32 %x, 1
+  ret i32 %a
+}`
+	tgt := `define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  ret i32 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}
+
+func TestIdentityChainForwarding(t *testing.T) {
+	// tgt returns x directly; src routes it through x+0 and x*1.
+	src := `define i32 @f(i32 %x) {
+  %a = add i32 %x, 0
+  %b = mul i32 %a, 1
+  ret i32 %b
+}`
+	tgt := `define i32 @f(i32 %x) {
+  ret i32 %x
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "subsume")
+}
+
+func TestFactProvenConstant(t *testing.T) {
+	// x & 0 is provably 0 and never poison, so tgt may return the
+	// literal.
+	src := `define i32 @f(i32 %x) {
+  %a = and i32 %x, 0
+  ret i32 %a
+}`
+	tgt := `define i32 @f(i32 %x) {
+  ret i32 0
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "subsume")
+}
+
+func TestFreezeOfPossiblyPoisonBails(t *testing.T) {
+	// Two freezes of a possibly-poison value are independent
+	// nondeterministic choices; the matcher must not align them when the
+	// operands differ structurally (here: chased through x+0).
+	src := `define i8 @f(i8 %x) {
+  %p = add nsw i8 %x, 1
+  %q = add i8 %p, 0
+  %fz = freeze i8 %q
+  ret i8 %fz
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %p = add nsw i8 %x, 1
+  %fz = freeze i8 %p
+  ret i8 %fz
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}
+
+func TestFreezeOfNeverPoisonMatches(t *testing.T) {
+	// noundef pins the parameter non-poison, so flagless add stays
+	// non-poison and freeze is the identity on both sides.
+	src := `define i8 @f(i8 noundef %x) {
+  %p = add i8 %x, 1
+  %fz = freeze i8 %p
+  ret i8 %fz
+}`
+	wantOutcome(t, checkPair(t, src, src), Proved, "alpha-equal")
+}
+
+func TestPoisonSourceOperandVacuous(t *testing.T) {
+	// The source stores poison; any target value refines it.
+	src := `define i8 @f(i8 %x) {
+  %a = add i8 poison, 1
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add i8 42, 1
+  ret i8 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Proved, "subsume")
+}
+
+func TestConstRetMismatchRefuted(t *testing.T) {
+	src := `define i8 @f(i8 %x) {
+  ret i8 3
+}`
+	tgt := `define i8 @f(i8 %x) {
+  ret i8 4
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Refuted, "const-ret-mismatch")
+}
+
+func TestDifferentConstantsBail(t *testing.T) {
+	// Different constants inside a larger body: not provably equal, not
+	// a const-ret refutation — the SAT oracle decides.
+	src := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  ret i8 %a
+}`
+	tgt := `define i8 @f(i8 %x) {
+  %a = add i8 %x, 2
+  ret i8 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}
+
+func TestBlockCountMismatchBails(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+entry:
+  br label %next
+next:
+  ret i32 %x
+}`
+	tgt := `define i32 @f(i32 %x) {
+  ret i32 %x
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}
+
+func TestSignatureMismatchBails(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  ret i32 %x
+}`
+	tgt := `define i32 @f(i32 %x, i32 %y) {
+  ret i32 %x
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}
+
+func TestSwappedCommutativeOperandsBail(t *testing.T) {
+	// x+y vs y+x is Valid, but the positional matcher does not prove
+	// commutativity — it must bail, never misprove.
+	src := `define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  ret i32 %a
+}`
+	tgt := `define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %y, %x
+  ret i32 %a
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}
+
+func TestMemoryOpsAlphaEqual(t *testing.T) {
+	src := `define i32 @f(ptr %p, i32 %x) {
+  store i32 %x, ptr %p
+  %v = load i32, ptr %p
+  ret i32 %v
+}`
+	wantOutcome(t, checkPair(t, src, src), Proved, "alpha-equal")
+}
+
+func TestAlignmentMismatchBails(t *testing.T) {
+	src := `define i32 @f(ptr %p) {
+  %v = load i32, ptr %p, align 4
+  ret i32 %v
+}`
+	tgt := `define i32 @f(ptr %p) {
+  %v = load i32, ptr %p, align 8
+  ret i32 %v
+}`
+	wantOutcome(t, checkPair(t, src, tgt), Bailout, "")
+}

@@ -1,0 +1,14 @@
+define i8 @exact_variable_shift(i8 %x, i8 %a) {
+  %amt = and i8 %a, 3
+  %lo = and i8 %x, 248
+  %s = lshr exact i8 %lo, %amt
+  ret i8 %s
+}
+
+define i8 @exact_range_const_divisor(i8 %y, i8 %d0) {
+  %d = or i8 %d0, 8
+  %dc = and i8 %d, 8
+  %lo2 = and i8 %y, 248
+  %q = udiv exact i8 %lo2, %dc
+  ret i8 %q
+}

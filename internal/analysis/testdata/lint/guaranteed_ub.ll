@@ -1,0 +1,10 @@
+define i8 @div_by_proven_zero(i8 %x, i8 %y) {
+  %z = and i8 %x, 0
+  %q = udiv i8 %y, %z
+  ret i8 %q
+}
+
+define i8 @assume_false(i8 %x) {
+  call void @llvm.assume(i1 false)
+  ret i8 %x
+}

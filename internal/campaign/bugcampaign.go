@@ -114,6 +114,13 @@ type BugConfig struct {
 	// solve. Off by default: on this workload's small queries elimination
 	// costs more than it saves (see `make microbench`).
 	SATPreprocess bool
+	// NoStaticTV disables the static refinement pre-verifier (on by
+	// default), forcing every non-cached query through the SAT solver.
+	// The rung only short-circuits provable Valids, so tables, witness
+	// logs, and triage trees are byte-identical either way; like the
+	// other acceleration modes it is excluded from the checkpoint
+	// fingerprint (docs/ANALYSIS.md).
+	NoStaticTV bool
 }
 
 // tvOptions resolves one unit execution's TV configuration. shared is
@@ -123,6 +130,7 @@ func (cfg BugConfig) tvOptions(shared *tv.Cache) tv.Options {
 		ConflictBudget: cfg.TVBudget,
 		Incremental:    !cfg.NoIncremental,
 		Preprocess:     cfg.SATPreprocess,
+		Static:         !cfg.NoStaticTV,
 	}
 	switch {
 	case cfg.NoTVCache:

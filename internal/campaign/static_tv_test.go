@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/triage"
+)
+
+// TestCampaignStaticTVInvariance is the static pre-verifier's campaign
+// acceptance criterion: toggling -no-static-tv leaves the result table
+// AND the flushed triage bundle tree byte-identical, at workers 1 and 8.
+// The rung only short-circuits verdicts SAT would return anyway, so
+// nothing the campaign persists can move (docs/ANALYSIS.md).
+func TestCampaignStaticTVInvariance(t *testing.T) {
+	baseline := runSmall(t, 1).Table()
+
+	type mode struct {
+		name     string
+		noStatic bool
+	}
+	trees := map[mode]map[string]string{}
+	for _, m := range []mode{{"static-on", false}, {"static-off", true}} {
+		for _, workers := range []int{1, 8} {
+			sink := triage.NewSink()
+			rep := mustRunBugs(t, context.Background(), BugConfig{
+				Budget:     120,
+				TVBudget:   4000,
+				Seed:       7,
+				Passes:     "O2",
+				Workers:    workers,
+				Only:       testIssues,
+				Stderr:     io.Discard,
+				Triage:     sink,
+				NoStaticTV: m.noStatic,
+			})
+			if got := rep.Table(); got != baseline {
+				t.Errorf("workers=%d %s: static TV toggle changed the result table:\n--- baseline ---\n%s--- %s ---\n%s",
+					workers, m.name, baseline, m.name, got)
+			}
+			dir := t.TempDir()
+			if _, err := sink.Flush(dir); err != nil {
+				t.Fatalf("workers=%d %s: flush: %v", workers, m.name, err)
+			}
+			trees[mode{m.name, m.noStatic}] = dirSnapshot(t, dir)
+		}
+	}
+
+	ref := trees[mode{"static-on", false}]
+	if len(ref) == 0 {
+		t.Fatal("triage tree is empty; invariance assertions would be vacuous")
+	}
+	for m, tree := range trees {
+		if len(tree) != len(ref) {
+			t.Errorf("%s: triage tree has %d files, baseline %d", m.name, len(tree), len(ref))
+		}
+		for rel, want := range ref {
+			if got, ok := tree[rel]; !ok {
+				t.Errorf("%s: triage tree is missing %s", m.name, rel)
+			} else if got != want {
+				t.Errorf("%s: triage file %s differs from baseline", m.name, rel)
+			}
+		}
+	}
+}
+
+// TestCampaignStaticTVCounters: the default campaign discharges a
+// nonzero share of its TV obligations statically, outcome counters
+// partition the cache misses, and disabling the rung zeroes them while
+// leaving cache traffic untouched (static runs only on cache misses).
+func TestCampaignStaticTVCounters(t *testing.T) {
+	counters := func(noStatic bool) map[string]int64 {
+		sink := &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
+		runAccel(t, 4, func(c *BugConfig) { c.NoStaticTV = noStatic }, sink)
+		out := map[string]int64{}
+		for _, k := range []string{
+			"tv.static.proved", "tv.static.refuted-to-sat", "tv.static.bailout",
+			"tv.cache.hit", "tv.cache.miss",
+		} {
+			out[k] = sink.Metrics.Counter(k).Value()
+		}
+		return out
+	}
+
+	on := counters(false)
+	if on["tv.static.proved"] == 0 {
+		t.Error("default campaign discharged no TV obligations statically")
+	}
+	if got := on["tv.static.proved"] + on["tv.static.refuted-to-sat"] + on["tv.static.bailout"]; got != on["tv.cache.miss"] {
+		t.Errorf("static outcomes (%d) do not partition cache misses (%d)", got, on["tv.cache.miss"])
+	}
+
+	off := counters(true)
+	for _, k := range []string{"tv.static.proved", "tv.static.refuted-to-sat", "tv.static.bailout"} {
+		if off[k] != 0 {
+			t.Errorf("static TV disabled but %s = %d", k, off[k])
+		}
+	}
+	// The rung sits after the cache lookup, so cache traffic must be
+	// identical with it on or off.
+	if on["tv.cache.hit"] != off["tv.cache.hit"] || on["tv.cache.miss"] != off["tv.cache.miss"] {
+		t.Errorf("static TV toggle moved cache traffic: on hit=%d miss=%d, off hit=%d miss=%d",
+			on["tv.cache.hit"], on["tv.cache.miss"], off["tv.cache.hit"], off["tv.cache.miss"])
+	}
+}

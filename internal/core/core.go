@@ -272,6 +272,18 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 	ctrEliminated := tel.Counter("sat.preprocess.eliminated")
 	ctrConflicts := tel.Counter("sat.conflicts")
 	ctrProps := tel.Counter("sat.propagations")
+	// Static pre-verifier accounting (docs/OBSERVABILITY.md). Outcomes
+	// are counted only on cache misses so tv.cache.hit/miss stay
+	// identical with the rung on or off; stage.stv is the rung's own
+	// latency, attributed per outcome class by construction (a proved
+	// query never reaches the solver).
+	histSTV := tel.Histogram("stage.stv")
+	staticCtrs := map[string]*telemetry.Counter{
+		tv.StaticProved:  tel.Counter("tv.static.proved"),
+		tv.StaticRefuted: tel.Counter("tv.static.refuted-to-sat"),
+		tv.StaticBailout: tel.Counter("tv.static.bailout"),
+	}
+	staticRuleCtrs := map[string]*telemetry.Counter{}
 	prevTV := f.opts.TV.Observe
 	f.opts.TV.Observe = func(r tv.Result, d time.Duration) {
 		histTV.Observe(d)
@@ -280,6 +292,20 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 		}
 		ctrConflicts.Add(r.Conflicts)
 		ctrProps.Add(r.Propagations)
+		if r.StaticOutcome != "" && !r.CacheHit {
+			histSTV.Observe(time.Duration(r.StaticNS))
+			if c, ok := staticCtrs[r.StaticOutcome]; ok {
+				c.Add(1)
+			}
+			if r.StaticRule != "" {
+				c, ok := staticRuleCtrs[r.StaticRule]
+				if !ok {
+					c = tel.Counter("tv.static.rule." + r.StaticRule)
+					staticRuleCtrs[r.StaticRule] = c
+				}
+				c.Add(1)
+			}
+		}
 		if f.spans != nil {
 			cache := ""
 			if cacheOn {
@@ -288,7 +314,11 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 					cache = spans.CacheHit
 				}
 			}
-			f.spans.Query(r.Verdict.String(), r.FP, cache, r.Conflicts, r.Propagations, d)
+			static := ""
+			if !r.CacheHit {
+				static = r.StaticOutcome
+			}
+			f.spans.Query(r.Verdict.String(), r.FP, cache, static, r.Conflicts, r.Propagations, d)
 		}
 		if cacheOn {
 			if r.CacheHit {

@@ -1,0 +1,45 @@
+package smt
+
+// Equal reports whether a and b denote the same term: identical
+// operator, width, attributes, and structurally equal arguments. Within
+// a single Builder hash-consing makes pointer equality sufficient; Equal
+// answers the cross-builder question, which the static pre-verifier's
+// differential harness and summary comparison need when two encodings
+// were constructed independently.
+func Equal(a, b *Term) bool {
+	return equalMemo(a, b, make(map[[2]*Term]bool))
+}
+
+func equalMemo(a, b *Term, seen map[[2]*Term]bool) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Op != b.Op || a.W != b.W || a.Val != b.Val || a.Name != b.Name ||
+		a.Aux != b.Aux || a.Aux2 != b.Aux2 || len(a.Args) != len(b.Args) {
+		return false
+	}
+	key := [2]*Term{a, b}
+	if v, ok := seen[key]; ok {
+		return v
+	}
+	// Terms are DAGs (no cycles); marking the pair as equal while its
+	// arguments are compared is safe and keeps shared subterms linear.
+	seen[key] = true
+	for i := range a.Args {
+		if !equalMemo(a.Args[i], b.Args[i], seen) {
+			seen[key] = false
+			return false
+		}
+	}
+	return true
+}
+
+// ValuesEqual reports whether two (bits, poison) pairs are the same
+// symbolic value — the term-level equality the translation validator's
+// static rung uses to short-circuit structurally identical encodings.
+func ValuesEqual(aBits, aPoison, bBits, bPoison *Term) bool {
+	return Equal(aBits, bBits) && Equal(aPoison, bPoison)
+}

@@ -13,6 +13,8 @@ const HotspotsSchemaV1 = "alive-mutate-hotspots/v1"
 
 // Entry is one ranked hotspot: a seed function, a mutant, a formula
 // fingerprint, or a whole unit, with the TV cost attributed to it.
+// StaticProved counts the queries the static pre-verifier discharged
+// without a SAT solve.
 type Entry struct {
 	Name         string `json:"name"`
 	Queries      int64  `json:"queries"`
@@ -21,6 +23,7 @@ type Entry struct {
 	Propagations int64  `json:"propagations,omitempty"`
 	CacheMisses  int64  `json:"cache_misses"`
 	Unknowns     int64  `json:"unknowns"`
+	StaticProved int64  `json:"static_proved,omitempty"`
 }
 
 // Hotspots is the full report: campaign-wide totals plus the top-N
@@ -40,6 +43,7 @@ type Hotspots struct {
 	CacheHits            int64 `json:"cache_hits"`
 	CacheMisses          int64 `json:"cache_misses"`
 	Unknowns             int64 `json:"unknowns"`
+	StaticProved         int64 `json:"static_proved,omitempty"`
 	BudgetExhaustedUnits int   `json:"budget_exhausted_units"`
 
 	TopUnits     []Entry `json:"top_units"`
@@ -96,6 +100,11 @@ func Compute(units []*UnitSpans, deterministic bool, topN int) *Hotspots {
 			if s.Cache == CacheMiss {
 				miss = 1
 			}
+			static := int64(0)
+			if s.Static == StaticProved {
+				h.StaticProved++
+				static = 1
+			}
 			add := func(m map[string]*Entry, key string) {
 				e := m[key]
 				if e == nil {
@@ -108,6 +117,7 @@ func Compute(units []*UnitSpans, deterministic bool, topN int) *Hotspots {
 				e.Propagations += s.Propagations
 				e.CacheMisses += miss
 				e.Unknowns += unknown
+				e.StaticProved += static
 			}
 			add(byUnit, unitKey)
 			if s.Func != "" {
@@ -162,14 +172,14 @@ func (h *Hotspots) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "hotspots: %d units, %d TV queries, %s wall",
 		h.Units, h.Queries, fmtNS(h.TVWallNS))
-	fmt.Fprintf(&b, ", %d conflicts, cache %d hit / %d miss, %d unknown, %d budget-exhausted units\n",
-		h.Conflicts, h.CacheHits, h.CacheMisses, h.Unknowns, h.BudgetExhaustedUnits)
+	fmt.Fprintf(&b, ", %d conflicts, cache %d hit / %d miss, %d unknown, %d statically discharged, %d budget-exhausted units\n",
+		h.Conflicts, h.CacheHits, h.CacheMisses, h.Unknowns, h.StaticProved, h.BudgetExhaustedUnits)
 	section := func(title string, entries []Entry, abbrev bool) {
 		if len(entries) == 0 {
 			return
 		}
 		fmt.Fprintf(&b, "\n%s\n", title)
-		fmt.Fprintf(&b, "  %-44s %8s %10s %10s %7s %8s\n", "name", "queries", "wall", "conflicts", "miss", "unknown")
+		fmt.Fprintf(&b, "  %-44s %8s %10s %10s %7s %8s %7s\n", "name", "queries", "wall", "conflicts", "miss", "unknown", "static")
 		for _, e := range entries {
 			name := e.Name
 			if abbrev && len(name) > 16 {
@@ -178,8 +188,8 @@ func (h *Hotspots) Table() string {
 			if len(name) > 44 {
 				name = name[:43] + "…"
 			}
-			fmt.Fprintf(&b, "  %-44s %8d %10s %10d %7d %8d\n",
-				name, e.Queries, fmtNS(e.WallNS), e.Conflicts, e.CacheMisses, e.Unknowns)
+			fmt.Fprintf(&b, "  %-44s %8d %10s %10d %7d %8d %7d\n",
+				name, e.Queries, fmtNS(e.WallNS), e.Conflicts, e.CacheMisses, e.Unknowns, e.StaticProved)
 		}
 	}
 	section("top units by TV cost", h.TopUnits, false)
@@ -216,12 +226,16 @@ func ValidateHotspots(data []byte) (*Hotspots, error) {
 	}
 	if h.Units < 0 || h.Queries < 0 || h.TVWallNS < 0 || h.Conflicts < 0 ||
 		h.Propagations < 0 || h.CacheHits < 0 || h.CacheMisses < 0 ||
-		h.Unknowns < 0 || h.BudgetExhaustedUnits < 0 {
+		h.Unknowns < 0 || h.StaticProved < 0 || h.BudgetExhaustedUnits < 0 {
 		return nil, fmt.Errorf("hotspots: negative totals")
 	}
 	if h.CacheHits+h.CacheMisses > h.Queries {
 		return nil, fmt.Errorf("hotspots: cache hits+misses (%d) exceed queries (%d)",
 			h.CacheHits+h.CacheMisses, h.Queries)
+	}
+	if h.StaticProved > h.Queries {
+		return nil, fmt.Errorf("hotspots: statically discharged (%d) exceed queries (%d)",
+			h.StaticProved, h.Queries)
 	}
 	if h.Deterministic && h.TVWallNS != 0 {
 		return nil, fmt.Errorf("hotspots: deterministic report carries wall-clock")
@@ -231,7 +245,8 @@ func ValidateHotspots(data []byte) (*Hotspots, error) {
 			if e.Name == "" {
 				return nil, fmt.Errorf("hotspots: unnamed entry at rank %d", i)
 			}
-			if e.Queries < 0 || e.WallNS < 0 || e.Conflicts < 0 || e.CacheMisses < 0 || e.Unknowns < 0 {
+			if e.Queries < 0 || e.WallNS < 0 || e.Conflicts < 0 || e.CacheMisses < 0 ||
+				e.Unknowns < 0 || e.StaticProved < 0 {
 				return nil, fmt.Errorf("hotspots: negative counters on %q", e.Name)
 			}
 			if i > 0 && entryLess(e, section[i-1]) {

@@ -41,6 +41,11 @@ const (
 	CacheMiss = "miss"
 )
 
+// StaticProved is the Span.Static value for queries the static
+// pre-verifier discharged without a SAT solve (mirrors tv.StaticProved;
+// spans cannot import tv).
+const StaticProved = "proved"
+
 // Span is one node of a unit's span tree. IDs are dense and local to the
 // unit (the root is always ID 0 with Parent -1); offsets are nanoseconds
 // relative to the unit's start so the tree is position-independent —
@@ -56,11 +61,14 @@ type Span struct {
 	Iter int    `json:"iter,omitempty"`
 	Seed uint64 `json:"seed,omitempty"`
 
-	// Solver-query attributes (Name == NameQuery).
+	// Solver-query attributes (Name == NameQuery). Static is the static
+	// pre-verifier outcome ("proved", "refuted-to-sat", "bailout"); empty
+	// when the rung was off or the query was a cache hit.
 	Func         string `json:"func,omitempty"`
 	FP           string `json:"fp,omitempty"`
 	Verdict      string `json:"verdict,omitempty"`
 	Cache        string `json:"cache,omitempty"`
+	Static       string `json:"static,omitempty"`
 	Conflicts    int64  `json:"conflicts,omitempty"`
 	Propagations int64  `json:"propagations,omitempty"`
 }
@@ -164,8 +172,10 @@ func (r *Recorder) Func(name string) {
 	r.curFunc = name
 }
 
-// Query records one translation-validation solver query.
-func (r *Recorder) Query(verdict, fp, cache string, conflicts, propagations int64, dur time.Duration) {
+// Query records one translation-validation solver query. static carries
+// the static pre-verifier's outcome for the query (empty when the rung
+// was off or the result came from the verdict cache).
+func (r *Recorder) Query(verdict, fp, cache, static string, conflicts, propagations int64, dur time.Duration) {
 	if r == nil {
 		return
 	}
@@ -177,6 +187,7 @@ func (r *Recorder) Query(verdict, fp, cache string, conflicts, propagations int6
 		FP:           fp,
 		Verdict:      verdict,
 		Cache:        cache,
+		Static:       static,
 		Conflicts:    conflicts,
 		Propagations: propagations,
 	}

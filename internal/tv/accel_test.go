@@ -157,6 +157,8 @@ func TestAcceleratedModesMatchBaseline(t *testing.T) {
 		"incremental":            {ConflictBudget: budget, Incremental: true},
 		"preprocess":             {ConflictBudget: budget, Preprocess: true},
 		"incremental+preprocess": {ConflictBudget: budget, Incremental: true, Preprocess: true},
+		"static":                 {ConflictBudget: budget, Static: true},
+		"static+incremental":     {ConflictBudget: budget, Static: true, Incremental: true},
 	}
 	for _, p := range pairs {
 		base := Verify(p.mod, p.src, p.tgt, Options{ConflictBudget: budget})

@@ -1,0 +1,96 @@
+package tv
+
+import (
+	"repro/internal/analysis/refine"
+	"repro/internal/ir"
+	"repro/internal/semantics"
+	"repro/internal/smt"
+)
+
+// Static pre-verifier outcomes, as recorded in Result.StaticOutcome and
+// counted by the campaign's tv.static.* counters.
+const (
+	// StaticProved: the static rung proved refinement and short-circuited
+	// the SAT solve. SAT would have returned Valid.
+	StaticProved = "proved"
+	// StaticRefuted: static evidence of non-refinement. Advisory — SAT
+	// still runs and produces the canonical verdict and counterexample.
+	StaticRefuted = "refuted-to-sat"
+	// StaticBailout: the static rung could not decide; SAT decides.
+	StaticBailout = "bailout"
+)
+
+// staticProve runs the static refinement rungs in cost order and
+// returns the deciding rule plus the outcome class. The rungs only ever
+// short-circuit Valid (see Options.Static), and they run after encoding
+// succeeded, so Unsupported classification is untouched by construction.
+//
+// Rungs:
+//
+//	fold        the violation query folded to false structurally
+//	            (hash-consing + rewriting proved every obligation);
+//	term-equal  source and target encodings are path-for-path the same
+//	            symbolic values (smt.Equal across the summaries);
+//	alpha-equal / subsume
+//	            the IR-level prover (internal/analysis/refine) matched
+//	            target against source via alpha-renaming, deletions,
+//	            flag weakening, and fact-proven substitutions.
+func staticProve(mod *ir.Module, src, tgt *ir.Function,
+	srcSum, tgtSum *semantics.Summary, query *smt.Term) (rule, outcome string) {
+	if query.IsFalse() {
+		return "fold", StaticProved
+	}
+	if summariesTermEqual(src, tgt, srcSum, tgtSum) {
+		return "term-equal", StaticProved
+	}
+	switch rep := refine.Check(mod, src, tgt); rep.Outcome {
+	case refine.Proved:
+		return rep.Rule, StaticProved
+	case refine.Refuted:
+		return rep.Rule, StaticRefuted
+	default:
+		return "", StaticBailout
+	}
+}
+
+// summariesTermEqual reports whether the two encodings denote the same
+// behaviour path-for-path: identical path conditions, UB conditions,
+// and return values as terms. Identical behaviour trivially refines.
+// Memory and calls are excluded structurally: the comparison only
+// applies when neither function writes memory or calls out, so the
+// memory obligation compares the shared initial memory against itself.
+func summariesTermEqual(src, tgt *ir.Function, a, b *semantics.Summary) bool {
+	if hasMemWritesOrCalls(src) || hasMemWritesOrCalls(tgt) {
+		return false
+	}
+	if len(a.Paths) != len(b.Paths) {
+		return false
+	}
+	for i := range a.Paths {
+		pa, pb := &a.Paths[i], &b.Paths[i]
+		if pa.Unreachable != pb.Unreachable || pa.HasRet != pb.HasRet {
+			return false
+		}
+		if !smt.Equal(pa.Cond, pb.Cond) || !smt.Equal(pa.UB, pb.UB) {
+			return false
+		}
+		if pa.HasRet {
+			if pa.Ret.Prov != pb.Ret.Prov ||
+				!smt.ValuesEqual(pa.Ret.Bits, pa.Ret.Poison, pb.Ret.Bits, pb.Ret.Poison) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasMemWritesOrCalls(f *ir.Function) bool {
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpStore || in.Op == ir.OpCall {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -97,6 +97,17 @@ type Result struct {
 	AssumptionQueries int64
 	// PreprocessEliminated counts CNF variables removed by preprocessing.
 	PreprocessEliminated int64
+
+	// StaticOutcome records what the static refinement pre-verifier did
+	// with this query: StaticProved, StaticRefuted, StaticBailout, or ""
+	// when the rung was off or never reached (cache hit, Unsupported).
+	StaticOutcome string
+	// StaticRule names the rung that proved refinement ("fold",
+	// "term-equal", "alpha-equal", "subsume"); empty unless proved.
+	StaticRule string
+	// StaticNS is the wall time the static rung spent, measured only
+	// when Observe is set (stage.stv histogram); 0 otherwise.
+	StaticNS int64
 }
 
 // Options configures verification.
@@ -136,6 +147,16 @@ type Options struct {
 	// elimination + subsumption) before solving. Subject to the same
 	// canonical-fallback rule as Incremental.
 	Preprocess bool
+	// Static enables the static refinement pre-verifier as the first
+	// rung after encoding: structural query folding, term-level summary
+	// equality, and the IR-level prover in internal/analysis/refine. The
+	// rung may only short-circuit Valid verdicts it can prove SAT would
+	// return — refuted or undecided queries fall through to the solver
+	// untouched — so result tables, witnesses, and triage trees are
+	// byte-identical with the rung off. Like Incremental, the one
+	// permitted divergence is one-directional: a query the budgeted
+	// solver would abandon as Unknown may be proven Valid statically.
+	Static bool
 	// Cache, when non-nil, memoizes Valid/Unsupported verdicts keyed by
 	// the pair's structural fingerprint (see Fingerprint). Invalid and
 	// Unknown verdicts are never cached, so counterexamples are always
@@ -212,8 +233,27 @@ func verifySolve(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 
 	query := b.And(ctx.Axioms(), vc.monolithic)
 
+	var staticOutcome string
+	var staticNS int64
+	if opts.Static {
+		var t0 time.Time
+		timed := opts.Observe != nil
+		if timed {
+			t0 = time.Now() // vet:determinism — stage.stv latency, telemetry only
+		}
+		rule, outcome := staticProve(mod, src, tgt, srcSum, tgtSum, query)
+		if timed {
+			staticNS = int64(time.Since(t0))
+		}
+		if outcome == StaticProved {
+			return Result{Verdict: Valid, StaticOutcome: outcome, StaticRule: rule, StaticNS: staticNS}
+		}
+		staticOutcome = outcome
+	}
+
 	if opts.Incremental || opts.Preprocess {
 		if r, done := solveAccelerated(ctx, vc, query, opts); done {
+			r.StaticOutcome, r.StaticNS = staticOutcome, staticNS
 			return r
 		}
 		// Canonical fallback: anything the accelerated phase could not
@@ -222,7 +262,9 @@ func verifySolve(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 		// counterexamples and budget-boundary Unknowns are byte-identical
 		// with acceleration off.
 	}
-	return solveMonolithic(src, query, opts)
+	r := solveMonolithic(src, query, opts)
+	r.StaticOutcome, r.StaticNS = staticOutcome, staticNS
+	return r
 }
 
 // solveMonolithic is the baseline decision procedure: one fresh solver,

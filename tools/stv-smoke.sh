@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# stv-smoke: end-to-end static translation-validation pre-verifier check.
+#
+# Runs the seeded campaign twice:
+#   1. default                -> static pre-verifier on (table + metrics)
+#   2. -no-static-tv          -> every obligation goes to the SAT cascade
+# and asserts that the result tables are byte-identical (the static rung
+# may only short-circuit verdicts SAT would reach anyway), that the
+# on-run actually discharged obligations statically (tv.static.proved is
+# present and positive), and that the off-run recorded no static
+# activity. See docs/ANALYSIS.md and docs/PERFORMANCE.md.
+set -euo pipefail
+
+GO=${GO:-go}
+WORK=${STV_SMOKE_DIR:-stv-smoke}
+ARGS=(-budget 120 -tvbudget 4000 -seed 7 -workers 4
+      -only 53252,53218,55201,55287,58423,59757,64687)
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+FUZZ="$WORK/fuzz-campaign"
+CHECK="$WORK/telemetry-check"
+$GO build -o "$FUZZ" ./cmd/fuzz-campaign
+$GO build -o "$CHECK" ./cmd/telemetry-check
+
+echo "stv-smoke: campaign with the static pre-verifier (default)"
+"$FUZZ" "${ARGS[@]}" -out "$WORK/table-static-on.txt" \
+    -metrics-out "$WORK/metrics-static-on.json" >/dev/null
+
+echo "stv-smoke: campaign with -no-static-tv"
+"$FUZZ" "${ARGS[@]}" -no-static-tv -out "$WORK/table-static-off.txt" \
+    -metrics-out "$WORK/metrics-static-off.json" >/dev/null
+
+echo "stv-smoke: static discharge must not change the result table"
+cmp "$WORK/table-static-on.txt" "$WORK/table-static-off.txt"
+
+echo "stv-smoke: the on-run must discharge obligations statically"
+"$CHECK" -require-counter tv.static.proved "$WORK/metrics-static-on.json"
+
+echo "stv-smoke: the off-run must record no static activity"
+if grep -q 'tv\.static\.' "$WORK/metrics-static-off.json"; then
+    echo "stv-smoke: -no-static-tv run emitted tv.static.* counters"; exit 1
+fi
+
+echo "stv-smoke: both metrics snapshots validate by schema dispatch"
+"$CHECK" "$WORK/metrics-static-on.json" "$WORK/metrics-static-off.json"
+
+echo "stv-smoke: OK (static rung verdict-invariant and productive)"

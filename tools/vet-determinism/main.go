@@ -1,22 +1,37 @@
 // vet-determinism enforces the repository's reproducibility policy: the
 // fuzzing loop, mutation engine, optimizer, and verifier must be
 // deterministic functions of their seeds, so library code must not read
-// wall-clock time or use the stdlib's global, seed-hostile PRNG.
+// wall-clock time, use the stdlib's global seed-hostile PRNG, or emit
+// serialized output in map-iteration order.
 //
 // Forbidden in library packages (internal/...):
 //
 //   - importing math/rand or math/rand/v2 — use internal/rng, whose
 //     generator is split-seeded and logged with every finding;
 //   - calling time.Now — timing belongs to internal/telemetry or must be
-//     waived explicitly.
+//     waived explicitly;
+//   - writing to serialized output (fmt.Fprintf, io.Writer.Write,
+//     encoder.Encode, ...) from inside `range` over a map — iteration
+//     order is randomized per run, so the bytes differ between two
+//     identical campaigns. Collect the keys, sort them, and range over
+//     the slice instead. (A sort inside the loop body does not help: the
+//     keys still arrive in random order.)
 //
 // Exemptions: internal/telemetry and internal/rng themselves, _test.go
 // files, testdata, and the non-library trees (cmd/, examples/, tools/).
 // A deliberate use is waived by a "vet:determinism" comment on the same
 // line; every waiver is reported so the inventory stays reviewable.
 //
-// The tool is stdlib-only (go/parser + go/ast): no module downloads, no
-// toolchain beyond what `go build` already needs. Run via `make vet`.
+// The tool is stdlib-only and offline: each package directory is parsed
+// with go/parser and type-checked with go/types against a stub importer
+// that fabricates an empty types.Package per import path. That is enough
+// to resolve file-scope package names (so `time.Now` is matched by
+// import identity even under renaming) and to type locally-declared
+// values (so map ranges are recognized semantically, not by variable
+// naming); type errors from the deliberately-incomplete imports are
+// collected and discarded. Where the checker cannot type an expression
+// it falls back to the syntactic matcher, so coverage never regresses
+// below the old string-matching implementation. Run via `make vet`.
 //
 // Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
 package main
@@ -27,9 +42,11 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -61,6 +78,26 @@ var exemptPkgs = map[string]bool{
 // acknowledges a deliberate, reviewed use.
 const waiverMarker = "vet:determinism"
 
+// serializedWriters are selector names that commit bytes to an output
+// stream or buffer. Calling one of these per map entry serializes the
+// entries in iteration order. The set is deliberately narrow — it names
+// emitters, not accumulators — so deterministic aggregation inside a map
+// range (counter.Add, sums, slice appends for later sorting) never
+// matches.
+var serializedWriters = map[string]bool{
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+}
+
 type finding struct {
 	pos    token.Position
 	what   string
@@ -79,7 +116,10 @@ func run() int {
 		root = flag.Arg(0)
 	}
 
-	var files []string
+	// Collect library files grouped by directory: go/types checks whole
+	// packages, and identifiers in one file routinely resolve to
+	// declarations in a sibling.
+	pkgFiles := map[string][]string{}
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -97,27 +137,45 @@ func run() int {
 		if err != nil {
 			return err
 		}
-		if exemptPkgs[filepath.Dir(rel)] {
+		dir := filepath.Dir(rel)
+		if exemptPkgs[dir] {
 			return nil
 		}
-		files = append(files, path)
+		pkgFiles[dir] = append(pkgFiles[dir], path)
 		return nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vet-determinism:", err)
 		return 2
 	}
-	sort.Strings(files)
+	dirs := make([]string, 0, len(pkgFiles))
+	nfiles := 0
+	for dir, fl := range pkgFiles {
+		dirs = append(dirs, dir)
+		sort.Strings(fl)
+		nfiles += len(fl)
+	}
+	sort.Strings(dirs)
 
 	var all []finding
-	for _, path := range files {
-		fs, err := checkFile(path)
+	for _, dir := range dirs {
+		fs, err := checkPackage(dir, pkgFiles[dir])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vet-determinism:", err)
 			return 2
 		}
 		all = append(all, fs...)
 	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].pos, all[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
 
 	violations, waived := 0, 0
 	for _, f := range all {
@@ -133,73 +191,168 @@ func run() int {
 			f.pos, f.what, waiverMarker)
 	}
 	if violations > 0 {
-		fmt.Printf("vet-determinism: %d violation(s), %d waiver(s) in %d file(s)\n", violations, waived, len(files))
+		fmt.Printf("vet-determinism: %d violation(s), %d waiver(s) in %d file(s)\n", violations, waived, nfiles)
 		return 1
 	}
 	if !*quiet {
-		fmt.Printf("vet-determinism: clean — %d file(s), %d waiver(s)\n", len(files), waived)
+		fmt.Printf("vet-determinism: clean — %d file(s), %d waiver(s)\n", nfiles, waived)
 	}
 	return 0
 }
 
-// checkFile parses one file and reports every forbidden use in it.
-func checkFile(path string) ([]finding, error) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-	if err != nil {
-		return nil, err
-	}
+// stubImporter satisfies types.Importer without touching the build cache
+// or the network: every import path resolves to a fresh, empty package.
+// File-scope names (and therefore *types.PkgName identities) still come
+// out right, which is all the checks need from imports.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
 
-	// Lines carrying the waiver marker.
-	waivedLines := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, waiverMarker) {
-				waivedLines[fset.Position(c.Pos()).Line] = true
+var versionSuffix = regexp.MustCompile(`^v[0-9]+$`)
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	// Default package name: last path segment, skipping major-version
+	// suffixes ("math/rand/v2" is package rand).
+	segs := strings.Split(path, "/")
+	name := segs[len(segs)-1]
+	if versionSuffix.MatchString(name) && len(segs) > 1 {
+		name = segs[len(segs)-2]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	si.pkgs[path] = p
+	return p, nil
+}
+
+// checkPackage parses and type-checks one directory's library files and
+// reports every forbidden use in them.
+func checkPackage(dir string, paths []string) ([]finding, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	waivedLines := map[string]map[int]bool{}
+	for _, path := range paths {
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, file)
+		lines := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, waiverMarker) {
+					lines[fset.Position(c.Pos()).Line] = true
+				}
 			}
 		}
+		waivedLines[path] = lines
 	}
+
+	// Type-check with stub imports. Errors are inevitable (imported
+	// packages are empty shells) and harmless: types.Info is filled in
+	// for everything that does resolve, and the checks below fall back
+	// to syntax for anything that does not.
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:                 &stubImporter{pkgs: map[string]*types.Package{}},
+		Error:                    func(error) {},
+		DisableUnusedImportCheck: true,
+	}
+	conf.Check(dir, fset, files, info) // error already collected and discarded
 
 	var out []finding
+	seen := map[token.Pos]bool{} // dedupe: semantic + syntactic matchers can hit the same node
 	report := func(pos token.Pos, what string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
 		p := fset.Position(pos)
-		out = append(out, finding{pos: p, what: what, waived: waivedLines[p.Line]})
+		out = append(out, finding{pos: p, what: what, waived: waivedLines[p.Filename][p.Line]})
 	}
 
-	// The local names the "time" package is imported under ("time" unless
-	// renamed), so time.Now calls are matched by import identity, not by
-	// a package merely named time.
-	timeNames := map[string]bool{}
-	for _, imp := range file.Imports {
-		ipath, err := strconv.Unquote(imp.Path.Value)
-		if err != nil {
-			continue
-		}
-		switch ipath {
-		case "math/rand", "math/rand/v2":
-			report(imp.Pos(), "import of "+ipath)
-		case "time":
-			name := "time"
-			if imp.Name != nil {
-				name = imp.Name.Name
+	for _, file := range files {
+		// The local names the "time" package is imported under ("time"
+		// unless renamed) — the syntactic fallback for files the type
+		// checker could not fully resolve.
+		timeNames := map[string]bool{}
+		for _, imp := range file.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
 			}
-			if name != "_" && name != "." {
-				timeNames[name] = true
+			switch ipath {
+			case "math/rand", "math/rand/v2":
+				report(imp.Pos(), "import of "+ipath)
+			case "time":
+				name := "time"
+				if imp.Name != nil {
+					name = imp.Name.Name
+				}
+				if name != "_" && name != "." {
+					timeNames[name] = true
+				}
 			}
 		}
-	}
 
-	ast.Inspect(file, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Now" {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if n.Sel.Name != "Now" {
+					return true
+				}
+				id, ok := n.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				// Semantic match: the qualifier resolves to the package
+				// "time" regardless of the local import name. Syntactic
+				// fallback: the qualifier is a name "time" was imported
+				// under in this file.
+				if pn, ok := info.Uses[id].(*types.PkgName); ok {
+					if pn.Imported().Path() == "time" {
+						report(n.Pos(), "call to time.Now")
+					}
+					return true
+				}
+				if timeNames[id.Name] {
+					report(n.Pos(), "call to time.Now")
+				}
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						reportMapRangeWrites(n, report)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out, nil
+}
+
+// reportMapRangeWrites flags every serialized-output call inside the
+// body of a range over a map: the entries land on the wire in the map's
+// randomized iteration order. The fix is to range over sorted keys; a
+// waiver on the call line acknowledges output that is deliberately
+// order-insensitive (or sorted downstream).
+func reportMapRangeWrites(rs *ast.RangeStmt, report func(token.Pos, string)) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
 			return true
 		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || !timeNames[id.Name] {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !serializedWriters[sel.Sel.Name] {
 			return true
 		}
-		report(sel.Pos(), "call to time.Now")
+		report(call.Pos(), fmt.Sprintf("%s inside range over map (iteration order is randomized; range over sorted keys)", sel.Sel.Name))
 		return true
 	})
-	return out, nil
 }

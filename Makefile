@@ -5,7 +5,7 @@ GO ?= go
 
 include tools/tools.mk
 
-.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke stv-smoke microbench bench bench-baseline ci
+.PHONY: build test race vet fmt-check campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke stv-smoke cascade-smoke microbench bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -116,6 +116,15 @@ profile-smoke:
 stv-smoke:
 	bash tools/stv-smoke.sh
 
+# Third-wave cascade end-to-end: the seeded campaign with the concrete
+# rung, shared src encodings, and the solver portfolio toggled off one at
+# a time must render tables byte-identical to the all-on reference at
+# -workers 1 and 4, the default stack must exercise the new rungs
+# (tv.concrete.screened, tv.srcenc.hit), and each off-run must record no
+# activity for its layer (docs/PERFORMANCE.md, docs/OBSERVABILITY.md).
+cascade-smoke:
+	bash tools/cascade-smoke.sh
+
 # Hot-path microbenchmarks: sat.Solve on canned CNFs, smt blasting and
 # sessions, and tv.Verify over the examples corpus — a tracked baseline
 # for solver changes independent of the end-to-end harness.
@@ -132,4 +141,4 @@ bench-baseline:
 	$(GO) run ./cmd/bench-throughput -count 200 -gen 10 -out res.txt -json BENCH_throughput.json
 	$(GO) run ./cmd/telemetry-check -require-positive BENCH_throughput.json
 
-ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke stv-smoke
+ci: build vet fmt-check test race campaign-smoke telemetry-smoke triage-smoke perf-smoke resume-smoke dashboard-smoke profile-smoke stv-smoke cascade-smoke

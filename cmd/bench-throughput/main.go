@@ -83,12 +83,18 @@ func main() {
 	noIncremental := flag.Bool("no-incremental", false, "disable assumption-based incremental SAT solving (A/B comparison runs)")
 	satPreprocess := flag.Bool("sat-preprocess", false, "enable SatELite-lite CNF preprocessing before each solve")
 	noStaticTV := flag.Bool("no-static-tv", false, "disable the static refinement pre-verifier (A/B comparison runs)")
+	noConcreteTV := flag.Bool("no-concrete-tv", false, "disable the concrete-execution differential pre-screen (A/B comparison runs)")
+	noSharedSrc := flag.Bool("no-shared-src", false, "disable the per-file shared src-encoding pool (A/B comparison runs)")
+	portfolio := flag.Int("portfolio", 3, "deterministic solver-portfolio size for budget-Unknown queries (0 or 1 = monolithic solve only)")
 	flag.Parse()
 	accel := accelConfig{
 		cache:       !*noTVCache,
 		incremental: !*noIncremental,
 		preprocess:  *satPreprocess,
 		static:      !*noStaticTV,
+		concrete:    !*noConcreteTV,
+		sharedSrc:   !*noSharedSrc,
+		portfolio:   *portfolio,
 	}
 
 	// The integrated loop always records stage telemetry here: the
@@ -310,10 +316,18 @@ func main() {
 				// false even when the knob is on.
 				IncrementalEnabled: accel.incremental && tv.SessionEligible(benchTVBudget),
 				PreprocessEnabled:  accel.preprocess,
+				ConcreteEnabled:    accel.concrete,
+				SharedSrcEnabled:   accel.sharedSrc,
+				Portfolio:          accel.portfolio,
 				TVCacheHits:        sink.Metrics.Counter("tv.cache.hit").Value(),
 				TVCacheMisses:      sink.Metrics.Counter("tv.cache.miss").Value(),
 				SATAssumptions:     sink.Metrics.Counter("sat.assumptions").Value(),
 				SATPreprocessElim:  sink.Metrics.Counter("sat.preprocess.eliminated").Value(),
+				ConcreteScreened:   sink.Metrics.Counter("tv.concrete.screened").Value(),
+				ConcreteDiverged:   sink.Metrics.Counter("tv.concrete.diverged").Value(),
+				SrcEncHits:         sink.Metrics.Counter("tv.srcenc.hit").Value(),
+				SrcEncMisses:       sink.Metrics.Counter("tv.srcenc.miss").Value(),
+				PortfolioRaces:     sink.Metrics.Counter("sat.portfolio.races").Value(),
 			},
 		}
 		for _, r := range rows {
@@ -372,6 +386,9 @@ type accelConfig struct {
 	incremental bool
 	preprocess  bool
 	static      bool
+	concrete    bool
+	sharedSrc   bool
+	portfolio   int
 }
 
 // benchTVBudget is the conflict budget both workflows verify under. It is
@@ -380,12 +397,23 @@ type accelConfig struct {
 // TV options and the discrete pipeline so the comparison stays symmetric.
 const benchTVBudget = 30000
 
-// tvOptions resolves one file's TV options; the verdict cache is
-// per-file, so measurements are independent and deterministic.
+// tvOptions resolves one file's TV options; the verdict cache and the
+// shared src-encoding pool are per-file, so measurements are independent
+// and deterministic.
 func (a accelConfig) tvOptions() tv.Options {
-	o := tv.Options{Incremental: a.incremental, Preprocess: a.preprocess, Static: a.static, ConflictBudget: benchTVBudget}
+	o := tv.Options{
+		Incremental:    a.incremental,
+		Preprocess:     a.preprocess,
+		Static:         a.static,
+		Concrete:       a.concrete,
+		Portfolio:      a.portfolio,
+		ConflictBudget: benchTVBudget,
+	}
 	if a.cache {
 		o.Cache = tv.NewCache()
+	}
+	if a.sharedSrc {
+		o.SrcEnc = tv.NewSrcEncodings()
 	}
 	return o
 }

@@ -60,6 +60,9 @@ func run() int {
 	topN := flag.Int("top", 10, "entries per hotspot ranking")
 	jsonOut := flag.String("json", "", "also write the alive-mutate-hotspots/v1 report to this file")
 	noStaticTV := flag.Bool("no-static-tv", false, "disable the static refinement pre-verifier (run mode; the report's \"static\" column drops to zero)")
+	noConcreteTV := flag.Bool("no-concrete-tv", false, "disable the concrete-execution differential pre-screen (run mode; the \"conc\" column drops to zero)")
+	noSharedSrc := flag.Bool("no-shared-src", false, "disable the per-unit shared src-encoding pool (run mode)")
+	portfolio := flag.Int("portfolio", 3, "deterministic solver-portfolio size for budget-Unknown queries (run mode; 0 or 1 = monolithic solve only)")
 	flag.Parse()
 
 	var store *spans.Store
@@ -76,6 +79,9 @@ func run() int {
 			deadline:      *deadline,
 			deterministic: *deterministic,
 			noStaticTV:    *noStaticTV,
+			noConcreteTV:  *noConcreteTV,
+			noSharedSrc:   *noSharedSrc,
+			portfolio:     *portfolio,
 		})
 		if store == nil {
 			return code
@@ -131,6 +137,9 @@ type profileConfig struct {
 	deadline      time.Duration
 	deterministic bool
 	noStaticTV    bool
+	noConcreteTV  bool
+	noSharedSrc   bool
+	portfolio     int
 }
 
 // runCampaign executes the profiling campaign with span recording on and
@@ -165,17 +174,20 @@ func runCampaign(pc profileConfig) (*spans.Store, int) {
 	defer stop()
 
 	rep, err := campaign.RunBugs(ctx, campaign.BugConfig{
-		Budget:     pc.budget,
-		TVBudget:   pc.tvBudget,
-		Seed:       pc.seed,
-		Passes:     pc.passes,
-		Workers:    pc.workers,
-		Deadline:   pc.deadline,
-		Only:       only,
-		Stderr:     os.Stderr,
-		Telemetry:  sink,
-		Spans:      store,
-		NoStaticTV: pc.noStaticTV,
+		Budget:         pc.budget,
+		TVBudget:       pc.tvBudget,
+		Seed:           pc.seed,
+		Passes:         pc.passes,
+		Workers:        pc.workers,
+		Deadline:       pc.deadline,
+		Only:           only,
+		Stderr:         os.Stderr,
+		Telemetry:      sink,
+		Spans:          store,
+		NoStaticTV:     pc.noStaticTV,
+		NoConcreteTV:   pc.noConcreteTV,
+		NoSharedSrcEnc: pc.noSharedSrc,
+		Portfolio:      pc.portfolio,
 	})
 	if rep == nil {
 		fmt.Fprintln(os.Stderr, "campaign-profile:", err)

@@ -108,6 +108,9 @@ func run() int {
 	noIncremental := flag.Bool("no-incremental", false, "disable assumption-based incremental SAT solving (A/B comparison runs)")
 	satPreprocess := flag.Bool("sat-preprocess", false, "enable SatELite-lite CNF preprocessing before each solve")
 	noStaticTV := flag.Bool("no-static-tv", false, "disable the static refinement pre-verifier (A/B comparison runs)")
+	noConcreteTV := flag.Bool("no-concrete-tv", false, "disable the concrete-execution differential pre-screen (A/B comparison runs)")
+	noSharedSrc := flag.Bool("no-shared-src", false, "disable campaign-level shared src encodings (A/B comparison runs)")
+	portfolio := flag.Int("portfolio", 3, "number of solver configurations the deterministic portfolio races on budget-bound queries (0 or 1 = off)")
 	flag.Parse()
 
 	var only []int
@@ -228,6 +231,9 @@ func run() int {
 		NoIncremental:      *noIncremental,
 		SATPreprocess:      *satPreprocess,
 		NoStaticTV:         *noStaticTV,
+		NoConcreteTV:       *noConcreteTV,
+		NoSharedSrcEnc:     *noSharedSrc,
+		Portfolio:          *portfolio,
 		CheckpointDir:      *ckptDir,
 		CheckpointInterval: *ckptInterval,
 		Resume:             *resume,

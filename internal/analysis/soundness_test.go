@@ -153,9 +153,7 @@ func checkFunctionSoundness(t *testing.T, mod *ir.Module, f *ir.Function, r *rng
 				continue
 			}
 			*demandedRuns++
-			if got.UB != base.UB || got.HasRet != base.HasRet ||
-				(!got.UB && got.HasRet && (got.Ret.Poison != base.Ret.Poison ||
-					(!got.Ret.Poison && got.Ret.Bits != base.Ret.Bits))) {
+			if !interp.ObservablyEqual(base, got) {
 				t.Errorf("demanded-bits violation: flipping dead bits %#x of %%%s changed the result: base=%+v got=%+v (args %v)",
 					dead, target.Nm, base, got, args)
 				return

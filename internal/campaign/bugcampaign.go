@@ -121,6 +121,23 @@ type BugConfig struct {
 	// other acceleration modes it is excluded from the checkpoint
 	// fingerprint (docs/ANALYSIS.md).
 	NoStaticTV bool
+	// NoConcreteTV disables the concrete-execution rung (on by default):
+	// the differential interpreter pre-screen that routes concretely
+	// diverging mutants straight to the canonical monolithic solve. The
+	// rung is advisory — it never decides a verdict — so tables are
+	// byte-identical either way.
+	NoConcreteTV bool
+	// NoSharedSrcEnc disables the campaign-level shared src encodings
+	// (on by default): mutants of the same seed function share one
+	// src-side term DAG + CNF blast per unit. The shared path may only
+	// short-circuit Valid verdicts; everything else re-solves on the
+	// canonical fresh path.
+	NoSharedSrcEnc bool
+	// Portfolio is the number of solver configurations the deterministic
+	// portfolio races on budget-bound monolithic queries (see
+	// smt.PortfolioConfigs); 0 or 1 disables racing. The campaign
+	// default (cmd/fuzz-campaign) is 3.
+	Portfolio int
 }
 
 // tvOptions resolves one unit execution's TV configuration. shared is
@@ -131,6 +148,14 @@ func (cfg BugConfig) tvOptions(shared *tv.Cache) tv.Options {
 		Incremental:    !cfg.NoIncremental,
 		Preprocess:     cfg.SATPreprocess,
 		Static:         !cfg.NoStaticTV,
+		Concrete:       !cfg.NoConcreteTV,
+		Portfolio:      cfg.Portfolio,
+	}
+	if !cfg.NoSharedSrcEnc {
+		// One pool per unit execution (tvOptions is called from each
+		// unit's Run closure): shard-local sharing keeps hit counts a
+		// pure function of the seed's mutant sequence at any -workers.
+		o.SrcEnc = tv.NewSrcEncodings()
 	}
 	switch {
 	case cfg.NoTVCache:

@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestCampaignCascadeInvariance is the third-wave acceptance criterion:
+// the concrete-execution rung, the shared src-encoding pool, and the
+// solver portfolio may each be toggled — individually and together, at
+// workers 1 and 8 — without moving a byte of the result table. The
+// concrete rung is advisory (routing only), the shared probe and the
+// portfolio alternates short-circuit nothing but Valid verdicts the
+// canonical path would also reach, so the found/missed census cannot
+// change.
+func TestCampaignCascadeInvariance(t *testing.T) {
+	baseline := runSmall(t, 1).Table()
+	variants := []struct {
+		name   string
+		mutate func(*BugConfig)
+	}{
+		{"no-concrete", func(c *BugConfig) { c.NoConcreteTV = true }},
+		{"no-shared-src", func(c *BugConfig) { c.NoSharedSrcEnc = true }},
+		{"portfolio-3", func(c *BugConfig) { c.Portfolio = 3 }},
+		{"all-toggled", func(c *BugConfig) {
+			c.NoConcreteTV = true
+			c.NoSharedSrcEnc = true
+			c.Portfolio = 3
+		}},
+	}
+	for _, workers := range []int{1, 8} {
+		for _, v := range variants {
+			if got := runAccel(t, workers, v.mutate, nil).Table(); got != baseline {
+				t.Errorf("workers=%d %s: cascade knobs changed the result table:\n--- baseline ---\n%s--- %s ---\n%s",
+					workers, v.name, baseline, v.name, got)
+			}
+		}
+	}
+}
+
+// TestCampaignCascadeCounters pins the cascade's accounting invariants:
+// the rung outcomes partition the queries each rung actually saw, the
+// partitions chain (static outcomes partition cache misses; the concrete
+// rung screens exactly the queries static could not prove; the shared-src
+// probe runs on exactly the non-diverged screened queries), and toggling
+// a layer off zeroes its counters without moving upstream traffic.
+func TestCampaignCascadeCounters(t *testing.T) {
+	counters := func(mutate func(*BugConfig)) map[string]int64 {
+		sink := &telemetry.Sink{Metrics: telemetry.NewCollector(), Shard: -1}
+		runAccel(t, 4, mutate, sink)
+		out := map[string]int64{}
+		for _, k := range []string{
+			"tv.cache.hit", "tv.cache.miss",
+			"tv.static.proved", "tv.static.refuted-to-sat", "tv.static.bailout",
+			"tv.concrete.screened", "tv.concrete.agreed", "tv.concrete.diverged", "tv.concrete.bailout",
+			"tv.srcenc.hit", "tv.srcenc.miss", "tv.srcenc.proved",
+			"sat.portfolio.races",
+		} {
+			out[k] = sink.Metrics.Counter(k).Value()
+		}
+		return out
+	}
+
+	on := counters(func(c *BugConfig) { c.Portfolio = 3 })
+
+	// The concrete rung runs on every query the static rung could not
+	// discharge, and its outcomes partition what it screened.
+	if on["tv.concrete.screened"] == 0 {
+		t.Error("default campaign screened no queries concretely")
+	}
+	if got := on["tv.concrete.agreed"] + on["tv.concrete.diverged"] + on["tv.concrete.bailout"]; got != on["tv.concrete.screened"] {
+		t.Errorf("concrete outcomes (%d) do not partition screened queries (%d)", got, on["tv.concrete.screened"])
+	}
+	if want := on["tv.static.refuted-to-sat"] + on["tv.static.bailout"]; on["tv.concrete.screened"] != want {
+		t.Errorf("concrete rung screened %d queries, want the %d the static rung left solver-bound",
+			on["tv.concrete.screened"], want)
+	}
+
+	// The shared-src probe sees exactly the screened queries that did not
+	// concretely diverge (diverged queries route straight to the
+	// monolithic solve).
+	if on["tv.srcenc.hit"] == 0 {
+		t.Error("shared src-encoding pool took no hits on the default campaign")
+	}
+	if got, want := on["tv.srcenc.hit"]+on["tv.srcenc.miss"], on["tv.concrete.screened"]-on["tv.concrete.diverged"]; got != want {
+		t.Errorf("srcenc outcomes (%d) do not cover the non-diverged screened queries (%d)", got, want)
+	}
+	if on["tv.srcenc.proved"] > on["tv.srcenc.hit"]+on["tv.srcenc.miss"] {
+		t.Errorf("srcenc proved (%d) exceeds probes (%d)",
+			on["tv.srcenc.proved"], on["tv.srcenc.hit"]+on["tv.srcenc.miss"])
+	}
+
+	// Counter determinism at a fixed worker count: the cascade is
+	// shard-local, so every count is a pure function of the seed.
+	if again := counters(func(c *BugConfig) { c.Portfolio = 3 }); len(again) != len(on) {
+		t.Fatalf("counter sets differ in size")
+	} else {
+		for k, v := range on {
+			if again[k] != v {
+				t.Errorf("counter %s not deterministic: %d then %d", k, v, again[k])
+			}
+		}
+	}
+
+	// Each off-switch zeroes its own layer and leaves upstream traffic
+	// untouched.
+	offConc := counters(func(c *BugConfig) { c.NoConcreteTV = true; c.Portfolio = 3 })
+	for _, k := range []string{"tv.concrete.screened", "tv.concrete.agreed", "tv.concrete.diverged", "tv.concrete.bailout"} {
+		if offConc[k] != 0 {
+			t.Errorf("concrete rung disabled but %s = %d", k, offConc[k])
+		}
+	}
+	if offConc["tv.cache.miss"] != on["tv.cache.miss"] {
+		t.Errorf("concrete toggle moved cache misses: %d vs %d", offConc["tv.cache.miss"], on["tv.cache.miss"])
+	}
+
+	offSrc := counters(func(c *BugConfig) { c.NoSharedSrcEnc = true; c.Portfolio = 3 })
+	for _, k := range []string{"tv.srcenc.hit", "tv.srcenc.miss", "tv.srcenc.proved"} {
+		if offSrc[k] != 0 {
+			t.Errorf("shared src encodings disabled but %s = %d", k, offSrc[k])
+		}
+	}
+	if offSrc["tv.concrete.screened"] != on["tv.concrete.screened"] {
+		t.Errorf("shared-src toggle moved concrete screening: %d vs %d",
+			offSrc["tv.concrete.screened"], on["tv.concrete.screened"])
+	}
+
+	offPf := counters(nil) // Portfolio zero-valued: racing off
+	if offPf["sat.portfolio.races"] != 0 {
+		t.Errorf("portfolio disabled but sat.portfolio.races = %d", offPf["sat.portfolio.races"])
+	}
+}

@@ -284,6 +284,29 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 		tv.StaticBailout: tel.Counter("tv.static.bailout"),
 	}
 	staticRuleCtrs := map[string]*telemetry.Counter{}
+	// Concrete-execution rung accounting: screened counts every query
+	// the rung actually executed (outcomes partition it), stage.ctv is
+	// the rung's own latency.
+	histCTV := tel.Histogram("stage.ctv")
+	ctrConcreteScreened := tel.Counter("tv.concrete.screened")
+	concreteCtrs := map[string]*telemetry.Counter{
+		tv.ConcreteAgreed:   tel.Counter("tv.concrete.agreed"),
+		tv.ConcreteDiverged: tel.Counter("tv.concrete.diverged"),
+		tv.ConcreteBailout:  tel.Counter("tv.concrete.bailout"),
+	}
+	// Shared-src-encoding accounting: hit/miss partition the queries
+	// that reached the shared pool; proved counts the subset the probe
+	// discharged outright (the dashboard's cascade discharge-rate tile).
+	srcEncCtrs := map[string]*telemetry.Counter{
+		tv.SrcEncHit:  tel.Counter("tv.srcenc.hit"),
+		tv.SrcEncMiss: tel.Counter("tv.srcenc.miss"),
+	}
+	ctrSrcEncProved := tel.Counter("tv.srcenc.proved")
+	// Portfolio accounting: races counts queries whose alternates
+	// engaged; the winner counters partition the races by which
+	// configuration's result became the verdict.
+	ctrPortfolioRaces := tel.Counter("sat.portfolio.races")
+	portfolioWinnerCtrs := map[string]*telemetry.Counter{}
 	prevTV := f.opts.TV.Observe
 	f.opts.TV.Observe = func(r tv.Result, d time.Duration) {
 		histTV.Observe(d)
@@ -306,6 +329,31 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 				c.Add(1)
 			}
 		}
+		if r.ConcreteOutcome != "" && !r.CacheHit {
+			histCTV.Observe(time.Duration(r.ConcreteNS))
+			ctrConcreteScreened.Add(1)
+			if c, ok := concreteCtrs[r.ConcreteOutcome]; ok {
+				c.Add(1)
+			}
+		}
+		if r.SrcEncOutcome != "" && !r.CacheHit {
+			if c, ok := srcEncCtrs[r.SrcEncOutcome]; ok {
+				c.Add(1)
+			}
+			if r.SrcEncProved {
+				ctrSrcEncProved.Add(1)
+			}
+		}
+		if r.PortfolioRaced {
+			ctrPortfolioRaces.Add(1)
+			label := portfolioWinnerLabel(r.PortfolioWinner)
+			c, ok := portfolioWinnerCtrs[label]
+			if !ok {
+				c = tel.Counter("sat.portfolio.winner." + label)
+				portfolioWinnerCtrs[label] = c
+			}
+			c.Add(1)
+		}
 		if f.spans != nil {
 			cache := ""
 			if cacheOn {
@@ -314,11 +362,22 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 					cache = spans.CacheHit
 				}
 			}
-			static := ""
-			if !r.CacheHit {
-				static = r.StaticOutcome
+			q := spans.QueryInfo{
+				Verdict:      r.Verdict.String(),
+				FP:           r.FP,
+				Cache:        cache,
+				Conflicts:    r.Conflicts,
+				Propagations: r.Propagations,
 			}
-			f.spans.Query(r.Verdict.String(), r.FP, cache, static, r.Conflicts, r.Propagations, d)
+			if !r.CacheHit {
+				q.Static = r.StaticOutcome
+				q.Concrete = r.ConcreteOutcome
+				q.SrcEnc = r.SrcEncOutcome
+				if r.PortfolioRaced {
+					q.Portfolio = portfolioWinnerLabel(r.PortfolioWinner)
+				}
+			}
+			f.spans.Query(q, d)
 		}
 		if cacheOn {
 			if r.CacheHit {
@@ -356,6 +415,21 @@ func (f *Fuzzer) initTelemetry(tel *telemetry.Collector) {
 	histAnalysis := tel.Histogram("stage.analysis")
 	f.observeAnalysis = func(d time.Duration) {
 		histAnalysis.Observe(d)
+	}
+}
+
+// portfolioWinnerLabel renders a portfolio winner index as the stable
+// label used by sat.portfolio.winner.* counters and span attributes:
+// "canonical" for the zero configuration, "cfgN" for the N-th alternate,
+// "none" when every leg exhausted its budget.
+func portfolioWinnerLabel(winner int) string {
+	switch {
+	case winner == 0:
+		return "canonical"
+	case winner > 0:
+		return fmt.Sprintf("cfg%d", winner)
+	default:
+		return "none"
 	}
 }
 

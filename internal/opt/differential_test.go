@@ -5,8 +5,6 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/interp"
-	"repro/internal/ir"
-	"repro/internal/rng"
 )
 
 // TestO2ConcreteDifferential is the second, independent correctness gate
@@ -15,8 +13,11 @@ import (
 // full -O2 pipeline and then source and target are executed on many
 // concrete inputs with a shared environment oracle. Wherever the source
 // is defined and non-poison, the target must produce the identical value.
+// Execution and the refinement judgment ride the interp package's shared
+// differential path (DiffRun/ClassifyRefinement) — the same code the TV
+// oracle's concrete rung and witness replay use — so this harness cannot
+// drift from the refinement order they enforce.
 func TestO2ConcreteDifferential(t *testing.T) {
-	r := rng.New(2024)
 	passes, err := ByName("O2")
 	if err != nil {
 		t.Fatal(err)
@@ -32,52 +33,21 @@ func TestO2ConcreteDifferential(t *testing.T) {
 
 		for _, tgt := range optimized.Defs() {
 			src := orig.FuncByName(tgt.Name)
-			if src == nil {
-				continue
+			if src == nil || len(tgt.Params) != len(src.Params) {
+				continue // mutation-free pipeline never changes signatures
 			}
-			for trial := 0; trial < 50; trial++ {
-				args := make([]interp.Value, len(src.Params))
-				ok := true
-				for i, p := range src.Params {
-					switch {
-					case ir.IsPtr(p.Ty):
-						args[i] = interp.Value{Bits: 0x1000 + r.Uint64n(1<<20)}
-					default:
-						w, _ := ir.IsInt(p.Ty)
-						args[i] = interp.Value{Bits: r.Uint64() & ((1 << uint(w)) - 1)}
-					}
-				}
-				if len(tgt.Params) != len(src.Params) {
-					ok = false // mutation-free pipeline never changes signatures
-				}
-				if !ok {
-					continue
-				}
-				oracle := &interp.HashOracle{Seed: seed*1000 + uint64(trial)}
-				si := &interp.Interp{Mod: orig, Oracle: oracle}
-				ti := &interp.Interp{Mod: optimized, Oracle: oracle}
-				sr, errS := si.Run(src, args)
-				if errS != nil {
+			for trial, args := range interp.InputVectors(src, 50, seed^0x2024) {
+				sr, tr, errS, errT := interp.DiffRun(orig, optimized, src, tgt, args, seed*1000+uint64(trial))
+				if errS != nil || errT != nil {
 					continue // environment beyond the interpreter's model
-				}
-				tr, errT := ti.Run(tgt, args)
-				if errT != nil {
-					continue
 				}
 				if sr.UB || (sr.HasRet && sr.Ret.Poison) {
 					continue // anything refines UB/poison
 				}
 				checkedSomething = true
-				if tr.UB {
-					t.Fatalf("seed %d @%s args %v: target UB where source defined\n--- src ---\n%s--- tgt ---\n%s",
-						seed, tgt.Name, args, src.String(), tgt.String())
-				}
-				if sr.HasRet {
-					if tr.Ret.Poison || tr.Ret.Bits != sr.Ret.Bits {
-						t.Fatalf("seed %d @%s args %v: source returns %d, target %d (poison=%v)\n--- src ---\n%s--- tgt ---\n%s",
-							seed, tgt.Name, args, sr.Ret.Bits, tr.Ret.Bits, tr.Ret.Poison,
-							src.String(), tgt.String())
-					}
+				if div, detail := interp.ClassifyRefinement(sr, tr); div != interp.DivergeNone {
+					t.Fatalf("seed %d @%s args %v: %s (%s)\n--- src ---\n%s--- tgt ---\n%s",
+						seed, tgt.Name, args, div, detail, src.String(), tgt.String())
 				}
 			}
 		}

@@ -1,0 +1,95 @@
+package sat
+
+import "testing"
+
+// php builds PHP(n+1, n) — unsatisfiable, resolution-hard, and
+// propagation-heavy enough that tiny budgets bite at the first
+// restart-round boundary.
+func php(n int) *Solver {
+	s := New()
+	vars := make([][]int, n+1)
+	for p := range vars {
+		vars[p] = make([]int, n)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		cl := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			cl[h] = lit(vars[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(nlit(vars[p1][h]), nlit(vars[p2][h]))
+			}
+		}
+	}
+	return s
+}
+
+// TestPropBudget: a propagation cap abandons a hard solve with Unknown
+// at a restart-round boundary, uncapped the same formula is decided, and
+// the capped effort is deterministic. The cap exists for probes on
+// long-lived incremental sessions, where clause-database growth makes
+// per-conflict propagation cost — not conflict count — the honest
+// wall-clock proxy (internal/tv's shared src-encoding probe).
+func TestPropBudget(t *testing.T) {
+	capped := php(7)
+	capped.PropBudget = 50
+	if got := capped.Solve(); got != Unknown {
+		t.Fatalf("Solve under a 50-propagation budget = %v, want Unknown", got)
+	}
+	cappedProps := capped.Propagations
+
+	uncapped := php(7)
+	if got := uncapped.Solve(); got != Unsat {
+		t.Fatalf("uncapped Solve = %v, want Unsat", got)
+	}
+	if uncapped.Propagations <= cappedProps {
+		t.Fatalf("uncapped solve propagated %d, capped %d; cap did not bound work",
+			uncapped.Propagations, cappedProps)
+	}
+
+	again := php(7)
+	again.PropBudget = 50
+	again.Solve()
+	if again.Propagations != cappedProps {
+		t.Fatalf("capped effort not deterministic: %d then %d", cappedProps, again.Propagations)
+	}
+}
+
+// TestPropBudgetPerCall: the cap is a fresh per-Solve-call allowance —
+// cumulative solver lifetime propagations must not count against later
+// calls (the shared-src probe issues many small budgeted solves on one
+// long-lived solver).
+func TestPropBudgetPerCall(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.PropBudget = 1 << 20
+	for i := 0; i < 50; i++ {
+		if got := s.Solve(nlit(a)); got != Sat {
+			t.Fatalf("call %d: Solve = %v, want Sat (budget must reset per call)", i, got)
+		}
+	}
+}
+
+// TestStepperPropagations: the stepper's propagation counter is a delta
+// from its construction, not the solver's lifetime total.
+func TestStepperPropagations(t *testing.T) {
+	s := php(5)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(6,5) = %v, want unsat", got)
+	}
+	if s.Propagations == 0 {
+		t.Fatal("solve recorded no propagations")
+	}
+	st := s.Stepper(nil)
+	if got := st.Propagations(); got != 0 {
+		t.Fatalf("fresh stepper reports %d propagations, want 0 (delta semantics)", got)
+	}
+}

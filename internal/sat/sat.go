@@ -73,6 +73,43 @@ type clause struct {
 	activity float64
 }
 
+// Config parameterizes the solver's search heuristics. The zero value is
+// the canonical configuration — identical to the historically hardcoded
+// policy, so New() and NewWith(Config{}) produce bit-identical searches.
+// The deterministic solver portfolio (internal/smt.Portfolio) races
+// alternates that vary these knobs; because CDCL runtime is notoriously
+// sensitive to restart/activity/phase policy, a query one configuration
+// abandons at the conflict budget is often decided quickly by another.
+type Config struct {
+	// RestartBase is the Luby restart unit in conflicts (0 = 100).
+	RestartBase int
+	// VarDecay is the VSIDS activity decay divisor applied per conflict
+	// (0 = 0.95). Values closer to 1 decay slower (longer memory).
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay divisor (0 = 0.999).
+	ClauseDecay float64
+	// PhaseTrue makes fresh variables default to the positive phase; the
+	// canonical default is negative (MiniSat's polarity convention).
+	PhaseTrue bool
+	// NoPhaseSaving disables phase saving: decisions always use the
+	// default phase instead of the variable's last assigned value.
+	NoPhaseSaving bool
+}
+
+// withDefaults resolves zero fields to the canonical policy constants.
+func (c Config) withDefaults() Config {
+	if c.RestartBase == 0 {
+		c.RestartBase = 100
+	}
+	if c.VarDecay == 0 {
+		c.VarDecay = 0.95
+	}
+	if c.ClauseDecay == 0 {
+		c.ClauseDecay = 0.999
+	}
+	return c
+}
+
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
 	clauses []*clause // problem clauses
@@ -93,6 +130,7 @@ type Solver struct {
 	polarity []bool // saved phases
 
 	claInc float64
+	cfg    Config // resolved heuristic configuration (see NewWith)
 
 	ok bool // false once the formula is trivially unsat
 
@@ -108,6 +146,14 @@ type Solver struct {
 
 	// Budget caps the number of conflicts per Solve call; 0 means no cap.
 	Budget int64
+	// PropBudget caps the number of unit propagations per Solve call;
+	// 0 means no cap. Like Budget it is checked at restart-round
+	// boundaries, and propagation counts are deterministic, so an abort
+	// is a pure function of the clause set and the assumption list. It
+	// exists for probes on long-lived incremental sessions, where the
+	// cost of a conflict grows with the accumulated clause database and
+	// a conflict cap alone no longer bounds wall time.
+	PropBudget int64
 
 	seen  []bool // scratch for analyze
 	model []lbool
@@ -139,9 +185,15 @@ type watcher struct {
 	blocker Lit
 }
 
-// New returns an empty solver.
+// New returns an empty solver with the canonical configuration.
 func New() *Solver {
-	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	return NewWith(Config{})
+}
+
+// NewWith returns an empty solver using the given heuristic
+// configuration. NewWith(Config{}) is exactly New().
+func NewWith(cfg Config) *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true, cfg: cfg.withDefaults()}
 	s.order = newVarHeap(&s.activity)
 	return s
 }
@@ -153,7 +205,7 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, true) // default phase: false (neg)
+	s.polarity = append(s.polarity, !s.cfg.PhaseTrue) // canonical default phase: false (neg)
 	s.seen = append(s.seen, false)
 	s.frozen = append(s.frozen, false)
 	s.eliminated = append(s.eliminated, false)
@@ -446,7 +498,9 @@ func (s *Solver) cancelUntil(lvl int) {
 	bound := s.trailLim[lvl]
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
-		s.polarity[v] = s.assign[v] == lFalse
+		if !s.cfg.NoPhaseSaving {
+			s.polarity[v] = s.assign[v] == lFalse
+		}
 		s.assign[v] = lUndef
 		s.reason[v] = nil
 		s.order.insert(v)
@@ -605,9 +659,60 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 // a fresh per-call conflict allowance, so a reused solver can never carry
 // a stale Unknown verdict.
 func (s *Solver) SolveUnderAssumptions(assumptions []Lit) Result {
+	st := s.Stepper(assumptions)
+	for {
+		res := st.Step()
+		if res != Unknown {
+			return res
+		}
+		if s.Budget > 0 && st.Conflicts() > s.Budget {
+			st.Abandon()
+			return Unknown
+		}
+		if s.PropBudget > 0 && st.Propagations() > s.PropBudget {
+			st.Abandon()
+			return Unknown
+		}
+	}
+}
+
+// Stepper runs one SolveUnderAssumptions search incrementally: each Step
+// executes exactly one Luby restart round and reports whether the search
+// decided. The sequence of rounds is identical to an uninterrupted call
+// — pausing happens only at restart boundaries, where the trail is
+// already cancelled to level 0 — so a stepped solve that decides in
+// round r returns a bit-identical result (and model) to the plain call.
+// That property is what lets the deterministic solver portfolio
+// interleave k configurations in conflict quanta with no wall-clock in
+// any decision: the canonical configuration's stepped verdict is exactly
+// the verdict it would have produced running alone.
+//
+// The Stepper ignores the solver's Budget field; the scheduler applies
+// its own per-configuration budget via Conflicts. Only one Stepper may
+// be active on a solver at a time, and no other Solve/AddClause calls
+// may interleave with its Steps (call Abandon first to release the
+// solver).
+type Stepper struct {
+	s           *Solver
+	assumptions []Lit
+	maxLearnts  float64
+	curRestart  int
+	start       int64 // s.Conflicts at construction
+	startProps  int64 // s.Propagations at construction
+	done        bool
+	res         Result
+}
+
+// Stepper begins an incremental solve under the given assumptions. The
+// construction performs the same level-0 propagation as
+// SolveUnderAssumptions; a formula already decided there is reported by
+// the first Step.
+func (s *Solver) Stepper(assumptions []Lit) *Stepper {
+	st := &Stepper{s: s, assumptions: assumptions, start: s.Conflicts, startProps: s.Propagations}
 	s.conflict = s.conflict[:0]
 	if !s.ok {
-		return Unsat
+		st.done, st.res = true, Unsat
+		return st
 	}
 	for _, a := range assumptions {
 		if s.eliminated[a.Var()] {
@@ -617,30 +722,52 @@ func (s *Solver) SolveUnderAssumptions(assumptions []Lit) Result {
 	s.cancelUntil(0)
 	if s.propagate() != nil {
 		s.ok = false
-		return Unsat
+		st.done, st.res = true, Unsat
+		return st
 	}
+	st.maxLearnts = float64(len(s.clauses))/3 + 1000
+	return st
+}
 
-	maxLearnts := float64(len(s.clauses))/3 + 1000
-	restartBase := 100
-	curRestart := 0
-	conflictsAtStart := s.Conflicts
+// Step runs the next restart round. Unknown means the search has not
+// decided yet; any other result is final and repeated by further Steps.
+func (st *Stepper) Step() Result {
+	if st.done {
+		return st.res
+	}
+	s := st.s
+	budgetC := int64(s.cfg.RestartBase) * int64(luby(2, st.curRestart))
+	res := s.search(budgetC, st.assumptions, &st.maxLearnts)
+	if res != Unknown {
+		if res == Sat {
+			s.model = append(s.model[:0], s.assign...)
+			s.extendModel()
+		}
+		s.cancelUntil(0)
+		st.done, st.res = true, res
+		return res
+	}
+	st.curRestart++
+	return Unknown
+}
 
-	for {
-		budgetC := int64(restartBase) * int64(luby(2, curRestart))
-		res := s.search(budgetC, assumptions, &maxLearnts)
-		if res != Unknown {
-			if res == Sat {
-				s.model = append(s.model[:0], s.assign...)
-				s.extendModel()
-			}
-			s.cancelUntil(0)
-			return res
-		}
-		curRestart++
-		if s.Budget > 0 && s.Conflicts-conflictsAtStart > s.Budget {
-			s.cancelUntil(0)
-			return Unknown
-		}
+// Conflicts reports the conflicts this stepper's search has spent so far.
+func (st *Stepper) Conflicts() int64 { return st.s.Conflicts - st.start }
+
+// Propagations reports the unit propagations this stepper's search has
+// spent so far.
+func (st *Stepper) Propagations() int64 { return st.s.Propagations - st.startProps }
+
+// Done reports whether the search has reached a final result.
+func (st *Stepper) Done() bool { return st.done }
+
+// Abandon ends an undecided search, returning the solver to decision
+// level 0 so it is reusable. A decided stepper is already finished and
+// Abandon is a no-op.
+func (st *Stepper) Abandon() {
+	if !st.done {
+		st.s.cancelUntil(0)
+		st.done, st.res = true, Unknown
 	}
 }
 
@@ -689,8 +816,8 @@ func (s *Solver) search(nConflicts int64, assumptions []Lit, maxLearnts *float64
 				s.bumpClause(c)
 				s.enqueue(learnt[0], c)
 			}
-			s.varInc /= 0.95 // VSIDS decay
-			s.claInc /= 0.999
+			s.varInc /= s.cfg.VarDecay // VSIDS decay
+			s.claInc /= s.cfg.ClauseDecay
 			continue
 		}
 

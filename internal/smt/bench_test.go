@@ -88,3 +88,24 @@ func BenchmarkBlastSharedDAG(bm *testing.B) {
 		bl.Bits(root)
 	}
 }
+
+// BenchmarkPortfolioAdjudication measures the full rescue race: the
+// canonical leg exhausts its budget on a distributivity refutation, the
+// alternates engage in round-robin quanta, and one of them proves Unsat.
+// This is the portfolio's worst-case per-query cost — it only ever runs
+// on canonical-Unknown queries, so the absolute number matters more than
+// a ratio to the canonical path.
+func BenchmarkPortfolioAdjudication(bm *testing.B) {
+	f := distributivityQuery(6)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		p := Portfolio{
+			Configs:         PortfolioConfigs(6),
+			ConflictBudget:  40,
+			AlternateBudget: 1 << 30,
+		}
+		if res, _ := p.Check(f); res != Unsat {
+			bm.Fatalf("verdict %v, want an Unsat rescue", res)
+		}
+	}
+}

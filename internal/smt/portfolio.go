@@ -1,0 +1,241 @@
+package smt
+
+import (
+	"repro/internal/sat"
+)
+
+// Portfolio decides one satisfiability query by racing k solver
+// configurations (restart/activity/phase variants, sat.Config) under a
+// deterministic schedule. CDCL runtime is notoriously sensitive to those
+// heuristics: a query one configuration abandons at its conflict budget
+// is often decided quickly by another, so a small portfolio rescues
+// budget-bound queries the single canonical solver cannot afford.
+//
+// Determinism is the design constraint: verdicts, models, and effort
+// counters must be pure functions of (formula, configs, budget) at any
+// worker count, so the race is run in *virtual time* — the legs are
+// stepped in restart-round quanta on the calling goroutine
+// (sat.Stepper), never against the wall clock. The schedule is
+// second-chance, adjudicated by fixed priority:
+//
+//   - Configs[0] is the canonical configuration. Its leg runs to its own
+//     conclusion first, exactly as sat.SolveUnderAssumptions would run
+//     it (the Stepper preserves the uninterrupted trajectory bit for
+//     bit), so whenever the canonical leg decides — the overwhelming
+//     majority of queries — the result, including the Sat model, is
+//     byte-identical to a non-portfolio solve and the alternates are
+//     never even blasted.
+//   - Only on a canonical budget Unknown do the alternates engage,
+//     round-robin. An alternate may contribute exactly one thing: an
+//     Unsat proof, which is config-independent ground truth. The first
+//     leg to prove Unsat (ties broken by leg index within a round)
+//     ends the race.
+//   - An alternate Sat also ends the race, with the canonical Unknown
+//     standing: satisfiability rules out any Unsat proof, and a
+//     non-canonical model cannot replace the canonical one.
+//
+// The only way a portfolio verdict can differ from the canonical
+// verdict is therefore Unknown→Unsat — the same strictly one-directional
+// budget-rescue divergence the incremental session and static rung are
+// allowed (internal/tv Options.Incremental).
+type Portfolio struct {
+	// Configs are the racing solver configurations; Configs[0] must be
+	// the canonical one (zero sat.Config). Fewer than two entries make
+	// Check equivalent to Checker.Check.
+	Configs []sat.Config
+	// ConflictBudget caps SAT conflicts on the canonical leg (0 =
+	// unlimited); its budget boundary is checked exactly as
+	// sat.SolveUnderAssumptions checks it, preserving Unknown verdicts.
+	ConflictBudget int64
+	// AlternateBudget caps conflicts per alternate leg (0 = same as
+	// ConflictBudget). On the campaign slice the observed rescue
+	// trajectories are comparable in length to the canonical budget, so
+	// callers keep this at the full ConflictBudget; it exists so the
+	// race's worst case — every leg exhausted on a genuinely hard
+	// query — can be bounded separately when the ladder grows.
+	AlternateBudget int64
+
+	// Stats from the most recent Check. LastConflicts/LastPropagations
+	// sum over every raced leg (the honest cost of the race);
+	// LastVars is the canonical leg's CNF size.
+	LastConflicts    int64
+	LastPropagations int64
+	LastVars         int
+	// LastWinner is the index of the configuration whose result became
+	// the verdict (-1 when the query was decided structurally or every
+	// leg exhausted its budget). LastRaced reports whether alternates
+	// engaged at all.
+	LastWinner int
+	LastRaced  bool
+}
+
+// PortfolioConfigs returns the standard k-leg configuration ladder:
+// Configs[0] is always the canonical zero configuration, followed by the
+// alternates in fixed order, so any prefix of the ladder is itself a
+// valid portfolio and the winner index has a stable meaning at every k.
+// The alternates were tuned on the campaign slice's budget-bound
+// queries (docs/PERFORMANCE.md): long-run/slow-decay regimes first —
+// empirically the only ones that cracked Unsat proofs the canonical
+// schedule could not afford — then phase-saving and phase-polarity
+// variants, then a rapid-restart probe.
+func PortfolioConfigs(k int) []sat.Config {
+	ladder := []sat.Config{
+		{}, // canonical
+		{RestartBase: 1000, VarDecay: 0.99},
+		{RestartBase: 4000, VarDecay: 0.995},
+		{RestartBase: 2000, VarDecay: 0.99, NoPhaseSaving: true},
+		{RestartBase: 1000, VarDecay: 0.99, PhaseTrue: true},
+		{RestartBase: 500, VarDecay: 0.97, ClauseDecay: 0.9995},
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ladder) {
+		k = len(ladder)
+	}
+	return ladder[:k]
+}
+
+// leg is one racing solver instance.
+type leg struct {
+	s  *sat.Solver
+	bl *Blast
+	st *sat.Stepper
+	// alive is cleared when the leg exhausts its budget or is retired
+	// (alternates after a Sat sighting).
+	alive bool
+}
+
+func newLeg(cfg sat.Config, formula *Term, vars []*Term) *leg {
+	s := sat.NewWith(cfg)
+	bl := NewBlast(s)
+	// Blast variables first, mirroring Checker.Check's construction order
+	// so the canonical leg's variable numbering — and hence its search —
+	// is identical to a non-portfolio solve.
+	for _, v := range vars {
+		bl.Bits(v)
+	}
+	bl.AssertTrue(formula)
+	return &leg{s: s, bl: bl, st: s.Stepper(nil), alive: true}
+}
+
+// step advances the leg one restart round and applies the per-leg budget
+// (the same post-round boundary sat.SolveUnderAssumptions uses).
+func (l *leg) step(budget int64) sat.Result {
+	r := l.st.Step()
+	if r != sat.Unknown {
+		l.alive = false
+		return r
+	}
+	if budget > 0 && l.st.Conflicts() > budget {
+		l.st.Abandon()
+		l.alive = false
+	}
+	return sat.Unknown
+}
+
+// retire abandons a still-running leg.
+func (l *leg) retire() {
+	l.st.Abandon()
+	l.alive = false
+}
+
+// Check decides satisfiability of the bv1 term formula. On Sat it
+// returns the canonical leg's model, assigning every variable reachable
+// from the formula — byte-identical to Checker.Check's model.
+func (p *Portfolio) Check(formula *Term) (Result, Model) {
+	p.LastConflicts, p.LastPropagations, p.LastVars = 0, 0, 0
+	p.LastWinner, p.LastRaced = -1, false
+	if formula.W != 1 {
+		panic("smt: Check on non-bv1 term")
+	}
+	if formula.IsTrue() {
+		return Sat, Model{}
+	}
+	if formula.IsFalse() {
+		return Unsat, nil
+	}
+
+	vars := Vars(formula)
+	canonCfg := sat.Config{}
+	if len(p.Configs) > 0 {
+		canonCfg = p.Configs[0]
+	}
+	legs := []*leg{newLeg(canonCfg, formula, vars)}
+	canon := legs[0]
+	p.LastVars = canon.s.NumVars()
+
+	finish := func(res Result, winner int) (Result, Model) {
+		for _, l := range legs {
+			if l.alive {
+				l.retire()
+			}
+			p.LastConflicts += l.s.Conflicts
+			p.LastPropagations += l.s.Propagations
+		}
+		p.LastWinner = winner
+		if res != Sat {
+			return res, nil
+		}
+		m := make(Model, len(vars))
+		for _, v := range vars {
+			m[v.Name] = canon.bl.ModelValue(v)
+		}
+		return Sat, m
+	}
+
+	// Phase 1: the canonical leg runs to its own conclusion, exactly as
+	// a lone solver would — every decided query returns here without
+	// paying a cent for the portfolio.
+	for canon.alive {
+		switch canon.step(p.ConflictBudget) {
+		case sat.Sat:
+			return finish(Sat, 0)
+		case sat.Unsat:
+			return finish(Unsat, 0)
+		}
+	}
+	if len(p.Configs) < 2 {
+		return finish(Unknown, -1)
+	}
+
+	// Phase 2 — the race proper, entered only on a canonical budget
+	// Unknown: the alternates hunt the Unsat proof the canonical
+	// schedule could not afford, round-robin in restart-round quanta
+	// (the growth of the Luby rounds keeps them in rough conflict parity
+	// without any clock). An alternate Sat ends the race: satisfiability
+	// rules out any Unsat proof, and a non-canonical model cannot
+	// upgrade the canonical Unknown.
+	altBudget := p.AlternateBudget
+	if altBudget == 0 {
+		altBudget = p.ConflictBudget
+	}
+	p.LastRaced = true
+	for _, cfg := range p.Configs[1:] {
+		legs = append(legs, newLeg(cfg, formula, vars))
+	}
+	for {
+		anyAlive := false
+		for i, l := range legs[1:] {
+			if !l.alive {
+				continue
+			}
+			switch l.step(altBudget) {
+			case sat.Unsat:
+				// Unsat is ground truth whoever proves it; fixed index
+				// order within the round makes the winner deterministic.
+				return finish(Unsat, i+1)
+			case sat.Sat:
+				return finish(Unknown, -1)
+			}
+			if l.alive {
+				anyAlive = true
+			}
+		}
+		if !anyAlive {
+			// Every alternate budget-exhausted too: the canonical
+			// Unknown stands.
+			return finish(Unknown, -1)
+		}
+	}
+}

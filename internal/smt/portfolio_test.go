@@ -1,0 +1,152 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sat"
+)
+
+// TestPortfolioCanonicalBitIdentity: on queries the canonical leg can
+// decide, Portfolio.Check must be byte-identical to Checker.Check —
+// same verdict, same model, alternates never engaged. This is the
+// portfolio's zero-overhead contract for the overwhelming majority of
+// queries.
+func TestPortfolioCanonicalBitIdentity(t *testing.T) {
+	r := rng.New(991)
+	for trial := 0; trial < 60; trial++ {
+		b := NewBuilder()
+		w := 3 + r.Intn(8)
+		vars := []*Term{b.Var(w, "x"), b.Var(w, "y")}
+		formula := b.Eq(buildRandomTerm(b, r, vars, 3), buildRandomTerm(b, r, vars, 3))
+
+		var c Checker
+		wantRes, wantM := c.Check(formula)
+		p := Portfolio{Configs: PortfolioConfigs(3)}
+		gotRes, gotM := p.Check(formula)
+
+		if gotRes != wantRes {
+			t.Fatalf("trial %d: portfolio=%v checker=%v for %s", trial, gotRes, wantRes, formula)
+		}
+		if p.LastRaced {
+			t.Fatalf("trial %d: unbudgeted decided query engaged the alternates", trial)
+		}
+		if wantRes == Sat {
+			if len(gotM) != len(wantM) {
+				t.Fatalf("trial %d: model sizes differ: portfolio %v, checker %v", trial, gotM, wantM)
+			}
+			for name, v := range wantM {
+				if gotM[name] != v {
+					t.Fatalf("trial %d: model[%s] = %d, checker has %d", trial, name, gotM[name], v)
+				}
+			}
+		}
+	}
+}
+
+// distributivityQuery is an Unsat refutation (x*(y+1) != x*y + x) that
+// needs a real CDCL proof — hash-consing cannot collapse it. At width 6
+// the proof costs ~2.5k conflicts, comfortably beyond a tens-of-conflicts
+// budget yet milliseconds for a rescuing alternate (the cost roughly
+// squares per added bit, so keep the width small).
+func distributivityQuery(w int) *Term {
+	b := NewBuilder()
+	x := b.Var(w, "x")
+	y := b.Var(w, "y")
+	return b.Ne(
+		b.Mul(x, b.Add(y, b.Const(w, 1))),
+		b.Add(b.Mul(x, y), x),
+	)
+}
+
+// TestPortfolioRescuesBudgetUnknown is the race's reason to exist: a
+// query the canonical schedule abandons at its budget is proved Unsat by
+// an alternate, the winner index names the proving configuration, and
+// the whole outcome is deterministic.
+func TestPortfolioRescuesBudgetUnknown(t *testing.T) {
+	const budget = 40
+	f := distributivityQuery(6)
+
+	// Precondition: the canonical configuration alone is budget-bound.
+	solo := Portfolio{Configs: PortfolioConfigs(1), ConflictBudget: budget}
+	if res, _ := solo.Check(f); res != Unknown {
+		t.Skipf("canonical leg decided within %d conflicts (%v); rescue path not exercised", budget, res)
+	}
+
+	run := func() (Result, *Portfolio) {
+		p := &Portfolio{
+			Configs:         PortfolioConfigs(6),
+			ConflictBudget:  budget,
+			AlternateBudget: 1 << 30,
+		}
+		res, m := p.Check(f)
+		if m != nil {
+			t.Fatalf("non-Sat verdict carried a model")
+		}
+		return res, p
+	}
+
+	res1, p1 := run()
+	if res1 != Unsat {
+		t.Fatalf("portfolio verdict = %v, want Unsat rescue", res1)
+	}
+	if !p1.LastRaced || p1.LastWinner < 1 {
+		t.Fatalf("rescue bookkeeping: raced=%v winner=%d, want raced by an alternate", p1.LastRaced, p1.LastWinner)
+	}
+
+	res2, p2 := run()
+	if res2 != res1 || p2.LastWinner != p1.LastWinner ||
+		p2.LastConflicts != p1.LastConflicts || p2.LastPropagations != p1.LastPropagations {
+		t.Fatalf("race not deterministic: run1 winner=%d conflicts=%d props=%d, run2 winner=%d conflicts=%d props=%d",
+			p1.LastWinner, p1.LastConflicts, p1.LastPropagations,
+			p2.LastWinner, p2.LastConflicts, p2.LastPropagations)
+	}
+}
+
+// TestPortfolioAllLegsExhausted: when every alternate is budget-bound
+// too, the canonical Unknown stands and no winner is claimed. The query
+// is distributivity at width 10 — Unsat, but orders of magnitude beyond
+// what any leg's single pre-budget-check restart round can prove — so no
+// leg can decide and every one must hit the 10-conflict boundary.
+func TestPortfolioAllLegsExhausted(t *testing.T) {
+	f := distributivityQuery(10)
+	p := Portfolio{Configs: PortfolioConfigs(4), ConflictBudget: 10, AlternateBudget: 10}
+	res, _ := p.Check(f)
+	if res != Unknown {
+		t.Fatalf("verdict = %v, want Unknown from a fully exhausted race", res)
+	}
+	if !p.LastRaced || p.LastWinner != -1 {
+		t.Fatalf("exhausted race bookkeeping: raced=%v winner=%d, want raced with no winner", p.LastRaced, p.LastWinner)
+	}
+	if p.LastConflicts == 0 {
+		t.Fatal("race reported zero total conflicts; effort accounting is broken")
+	}
+}
+
+// TestPortfolioConfigsLadder: any prefix of the ladder is itself a valid
+// portfolio — Configs[0] is always the canonical zero configuration and
+// the alternates keep their order (winner indices must mean the same
+// thing at every k).
+func TestPortfolioConfigsLadder(t *testing.T) {
+	full := PortfolioConfigs(6)
+	if full[0] != (sat.Config{}) {
+		t.Fatalf("ladder rung 0 = %+v, want the canonical zero configuration", full[0])
+	}
+	for k := 1; k <= 6; k++ {
+		prefix := PortfolioConfigs(k)
+		if len(prefix) != k {
+			t.Fatalf("PortfolioConfigs(%d) returned %d rungs", k, len(prefix))
+		}
+		for i := range prefix {
+			if prefix[i] != full[i] {
+				t.Fatalf("ladder rung %d differs at k=%d: %+v vs %+v", i, k, prefix[i], full[i])
+			}
+		}
+	}
+	if got := PortfolioConfigs(100); len(got) != len(full) {
+		t.Fatalf("oversized k returned %d rungs, want the full ladder (%d)", len(got), len(full))
+	}
+	if got := PortfolioConfigs(0); len(got) != 1 {
+		t.Fatalf("k=0 returned %d rungs, want the canonical singleton", len(got))
+	}
+}

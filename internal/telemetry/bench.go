@@ -34,6 +34,16 @@ type BenchSolver struct {
 	TVCacheMisses      int64 `json:"tv_cache_misses"`
 	SATAssumptions     int64 `json:"sat_assumptions"`
 	SATPreprocessElim  int64 `json:"sat_preprocess_eliminated"`
+	// Third-wave cascade knobs and counters (absent in older documents;
+	// omitted when the stack predates them).
+	ConcreteEnabled  bool  `json:"concrete_enabled,omitempty"`
+	SharedSrcEnabled bool  `json:"shared_src_enabled,omitempty"`
+	Portfolio        int   `json:"portfolio,omitempty"`
+	ConcreteScreened int64 `json:"tv_concrete_screened,omitempty"`
+	ConcreteDiverged int64 `json:"tv_concrete_diverged,omitempty"`
+	SrcEncHits       int64 `json:"tv_srcenc_hits,omitempty"`
+	SrcEncMisses     int64 `json:"tv_srcenc_misses,omitempty"`
+	PortfolioRaces   int64 `json:"sat_portfolio_races,omitempty"`
 }
 
 // Bench is the machine-readable throughput-benchmark result (paper §V-B):
@@ -114,14 +124,31 @@ func ValidateBench(data []byte) (*Bench, error) {
 		}
 	}
 	if s := b.Solver; s != nil {
-		if s.TVCacheHits < 0 || s.TVCacheMisses < 0 || s.SATAssumptions < 0 || s.SATPreprocessElim < 0 {
+		if s.TVCacheHits < 0 || s.TVCacheMisses < 0 || s.SATAssumptions < 0 || s.SATPreprocessElim < 0 ||
+			s.ConcreteScreened < 0 || s.ConcreteDiverged < 0 ||
+			s.SrcEncHits < 0 || s.SrcEncMisses < 0 || s.PortfolioRaces < 0 {
 			return nil, fmt.Errorf("bench: solver counters must be non-negative (%+v)", *s)
 		}
 		if !s.TVCacheEnabled && (s.TVCacheHits != 0 || s.TVCacheMisses != 0) {
 			return nil, fmt.Errorf("bench: cache counters nonzero with tv_cache_enabled=false (%+v)", *s)
 		}
-		if !s.IncrementalEnabled && s.SATAssumptions != 0 {
+		// Shared-src probes are assumption queries too, so sat_assumptions
+		// may be nonzero with incremental solving off as long as the pool
+		// is on.
+		if !s.IncrementalEnabled && !s.SharedSrcEnabled && s.SATAssumptions != 0 {
 			return nil, fmt.Errorf("bench: sat_assumptions nonzero with incremental_enabled=false (%+v)", *s)
+		}
+		if !s.ConcreteEnabled && (s.ConcreteScreened != 0 || s.ConcreteDiverged != 0) {
+			return nil, fmt.Errorf("bench: concrete counters nonzero with concrete_enabled=false (%+v)", *s)
+		}
+		if !s.SharedSrcEnabled && (s.SrcEncHits != 0 || s.SrcEncMisses != 0) {
+			return nil, fmt.Errorf("bench: srcenc counters nonzero with shared_src_enabled=false (%+v)", *s)
+		}
+		if s.Portfolio < 2 && s.PortfolioRaces != 0 {
+			return nil, fmt.Errorf("bench: sat_portfolio_races nonzero with portfolio<2 (%+v)", *s)
+		}
+		if s.ConcreteDiverged > s.ConcreteScreened {
+			return nil, fmt.Errorf("bench: tv_concrete_diverged exceeds tv_concrete_screened (%+v)", *s)
 		}
 	}
 	return &b, nil

@@ -243,7 +243,7 @@ func TestServeHotspots(t *testing.T) {
 	rec := store.NewRecorder("g", "u", 0, 42)
 	rec.BeginMutant(0, 9)
 	rec.Func("f")
-	rec.Query("valid", "aa", spans.CacheMiss, "", 11, 40, time.Millisecond)
+	rec.Query(spans.QueryInfo{Verdict: "valid", FP: "aa", Cache: spans.CacheMiss, Conflicts: 11, Propagations: 40}, time.Millisecond)
 	rec.EndMutant(false)
 	store.Add(rec.Finish(1, false))
 

@@ -24,6 +24,12 @@ type Entry struct {
 	CacheMisses  int64  `json:"cache_misses"`
 	Unknowns     int64  `json:"unknowns"`
 	StaticProved int64  `json:"static_proved,omitempty"`
+	// ConcreteScreened counts the entry's queries the concrete-execution
+	// rung actually ran (any concrete outcome, including bailout);
+	// PortfolioRaces counts those whose solver-portfolio alternates
+	// engaged.
+	ConcreteScreened int64 `json:"concrete_screened,omitempty"`
+	PortfolioRaces   int64 `json:"portfolio_races,omitempty"`
 }
 
 // Hotspots is the full report: campaign-wide totals plus the top-N
@@ -44,7 +50,16 @@ type Hotspots struct {
 	CacheMisses          int64 `json:"cache_misses"`
 	Unknowns             int64 `json:"unknowns"`
 	StaticProved         int64 `json:"static_proved,omitempty"`
+	ConcreteScreened     int64 `json:"concrete_screened,omitempty"`
+	ConcreteDiverged     int64 `json:"concrete_diverged,omitempty"`
+	SrcEncHits           int64 `json:"srcenc_hits,omitempty"`
+	SrcEncMisses         int64 `json:"srcenc_misses,omitempty"`
 	BudgetExhaustedUnits int   `json:"budget_exhausted_units"`
+
+	// PortfolioWinners is the per-winner-label breakdown ("canonical",
+	// "cfg1", ..., "none") of the queries whose portfolio race engaged;
+	// absent when no query raced.
+	PortfolioWinners map[string]int64 `json:"portfolio_winners,omitempty"`
 
 	TopUnits     []Entry `json:"top_units"`
 	TopFunctions []Entry `json:"top_functions"`
@@ -105,6 +120,28 @@ func Compute(units []*UnitSpans, deterministic bool, topN int) *Hotspots {
 				h.StaticProved++
 				static = 1
 			}
+			screened := int64(0)
+			if s.Concrete != "" {
+				h.ConcreteScreened++
+				screened = 1
+				if s.Concrete == ConcreteDiverged {
+					h.ConcreteDiverged++
+				}
+			}
+			switch s.SrcEnc {
+			case SrcEncHit:
+				h.SrcEncHits++
+			case SrcEncMiss:
+				h.SrcEncMisses++
+			}
+			raced := int64(0)
+			if s.Portfolio != "" {
+				raced = 1
+				if h.PortfolioWinners == nil {
+					h.PortfolioWinners = map[string]int64{}
+				}
+				h.PortfolioWinners[s.Portfolio]++
+			}
 			add := func(m map[string]*Entry, key string) {
 				e := m[key]
 				if e == nil {
@@ -118,6 +155,8 @@ func Compute(units []*UnitSpans, deterministic bool, topN int) *Hotspots {
 				e.CacheMisses += miss
 				e.Unknowns += unknown
 				e.StaticProved += static
+				e.ConcreteScreened += screened
+				e.PortfolioRaces += raced
 			}
 			add(byUnit, unitKey)
 			if s.Func != "" {
@@ -174,12 +213,27 @@ func (h *Hotspots) Table() string {
 		h.Units, h.Queries, fmtNS(h.TVWallNS))
 	fmt.Fprintf(&b, ", %d conflicts, cache %d hit / %d miss, %d unknown, %d statically discharged, %d budget-exhausted units\n",
 		h.Conflicts, h.CacheHits, h.CacheMisses, h.Unknowns, h.StaticProved, h.BudgetExhaustedUnits)
+	fmt.Fprintf(&b, "cascade: %d concretely screened (%d diverged), srcenc %d hit / %d miss",
+		h.ConcreteScreened, h.ConcreteDiverged, h.SrcEncHits, h.SrcEncMisses)
+	if len(h.PortfolioWinners) > 0 {
+		labels := make([]string, 0, len(h.PortfolioWinners))
+		for l := range h.PortfolioWinners {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		b.WriteString(", portfolio winners")
+		for _, l := range labels {
+			fmt.Fprintf(&b, " %s:%d", l, h.PortfolioWinners[l])
+		}
+	}
+	b.WriteString("\n")
 	section := func(title string, entries []Entry, abbrev bool) {
 		if len(entries) == 0 {
 			return
 		}
 		fmt.Fprintf(&b, "\n%s\n", title)
-		fmt.Fprintf(&b, "  %-44s %8s %10s %10s %7s %8s %7s\n", "name", "queries", "wall", "conflicts", "miss", "unknown", "static")
+		fmt.Fprintf(&b, "  %-44s %8s %10s %10s %7s %8s %7s %7s %7s\n",
+			"name", "queries", "wall", "conflicts", "miss", "unknown", "static", "conc", "raced")
 		for _, e := range entries {
 			name := e.Name
 			if abbrev && len(name) > 16 {
@@ -188,8 +242,9 @@ func (h *Hotspots) Table() string {
 			if len(name) > 44 {
 				name = name[:43] + "…"
 			}
-			fmt.Fprintf(&b, "  %-44s %8d %10s %10d %7d %8d %7d\n",
-				name, e.Queries, fmtNS(e.WallNS), e.Conflicts, e.CacheMisses, e.Unknowns, e.StaticProved)
+			fmt.Fprintf(&b, "  %-44s %8d %10s %10d %7d %8d %7d %7d %7d\n",
+				name, e.Queries, fmtNS(e.WallNS), e.Conflicts, e.CacheMisses, e.Unknowns,
+				e.StaticProved, e.ConcreteScreened, e.PortfolioRaces)
 		}
 	}
 	section("top units by TV cost", h.TopUnits, false)
@@ -226,7 +281,9 @@ func ValidateHotspots(data []byte) (*Hotspots, error) {
 	}
 	if h.Units < 0 || h.Queries < 0 || h.TVWallNS < 0 || h.Conflicts < 0 ||
 		h.Propagations < 0 || h.CacheHits < 0 || h.CacheMisses < 0 ||
-		h.Unknowns < 0 || h.StaticProved < 0 || h.BudgetExhaustedUnits < 0 {
+		h.Unknowns < 0 || h.StaticProved < 0 || h.BudgetExhaustedUnits < 0 ||
+		h.ConcreteScreened < 0 || h.ConcreteDiverged < 0 ||
+		h.SrcEncHits < 0 || h.SrcEncMisses < 0 {
 		return nil, fmt.Errorf("hotspots: negative totals")
 	}
 	if h.CacheHits+h.CacheMisses > h.Queries {
@@ -237,6 +294,28 @@ func ValidateHotspots(data []byte) (*Hotspots, error) {
 		return nil, fmt.Errorf("hotspots: statically discharged (%d) exceed queries (%d)",
 			h.StaticProved, h.Queries)
 	}
+	if h.ConcreteScreened > h.Queries {
+		return nil, fmt.Errorf("hotspots: concretely screened (%d) exceed queries (%d)",
+			h.ConcreteScreened, h.Queries)
+	}
+	if h.ConcreteDiverged > h.ConcreteScreened {
+		return nil, fmt.Errorf("hotspots: concrete divergences (%d) exceed screened (%d)",
+			h.ConcreteDiverged, h.ConcreteScreened)
+	}
+	if h.SrcEncHits+h.SrcEncMisses > h.Queries {
+		return nil, fmt.Errorf("hotspots: srcenc hits+misses (%d) exceed queries (%d)",
+			h.SrcEncHits+h.SrcEncMisses, h.Queries)
+	}
+	var races int64
+	for label, n := range h.PortfolioWinners {
+		if label == "" || n < 0 {
+			return nil, fmt.Errorf("hotspots: bad portfolio winner entry %q:%d", label, n)
+		}
+		races += n
+	}
+	if races > h.Queries {
+		return nil, fmt.Errorf("hotspots: portfolio races (%d) exceed queries (%d)", races, h.Queries)
+	}
 	if h.Deterministic && h.TVWallNS != 0 {
 		return nil, fmt.Errorf("hotspots: deterministic report carries wall-clock")
 	}
@@ -246,7 +325,8 @@ func ValidateHotspots(data []byte) (*Hotspots, error) {
 				return nil, fmt.Errorf("hotspots: unnamed entry at rank %d", i)
 			}
 			if e.Queries < 0 || e.WallNS < 0 || e.Conflicts < 0 || e.CacheMisses < 0 ||
-				e.Unknowns < 0 || e.StaticProved < 0 {
+				e.Unknowns < 0 || e.StaticProved < 0 ||
+				e.ConcreteScreened < 0 || e.PortfolioRaces < 0 {
 				return nil, fmt.Errorf("hotspots: negative counters on %q", e.Name)
 			}
 			if i > 0 && entryLess(e, section[i-1]) {

@@ -46,6 +46,16 @@ const (
 // spans cannot import tv).
 const StaticProved = "proved"
 
+// Concrete-execution and shared-src-encoding attribute values the
+// hotspot report keys on (mirroring tv.ConcreteDiverged, tv.SrcEncHit,
+// tv.SrcEncMiss). Any non-empty Span.Concrete means the rung screened
+// the query.
+const (
+	ConcreteDiverged = "diverged"
+	SrcEncHit        = "hit"
+	SrcEncMiss       = "miss"
+)
+
 // Span is one node of a unit's span tree. IDs are dense and local to the
 // unit (the root is always ID 0 with Parent -1); offsets are nanoseconds
 // relative to the unit's start so the tree is position-independent —
@@ -62,13 +72,20 @@ type Span struct {
 	Seed uint64 `json:"seed,omitempty"`
 
 	// Solver-query attributes (Name == NameQuery). Static is the static
-	// pre-verifier outcome ("proved", "refuted-to-sat", "bailout"); empty
-	// when the rung was off or the query was a cache hit.
+	// pre-verifier outcome ("proved", "refuted-to-sat", "bailout");
+	// Concrete the concrete-execution rung's ("agreed", "diverged",
+	// "bailout"); SrcEnc the shared-src-encoding layer's ("hit", "miss");
+	// Portfolio the racing winner ("canonical", "cfg1", ..., "none").
+	// Each is empty when its layer was off or never reached (e.g. a
+	// cache hit).
 	Func         string `json:"func,omitempty"`
 	FP           string `json:"fp,omitempty"`
 	Verdict      string `json:"verdict,omitempty"`
 	Cache        string `json:"cache,omitempty"`
 	Static       string `json:"static,omitempty"`
+	Concrete     string `json:"concrete,omitempty"`
+	SrcEnc       string `json:"srcenc,omitempty"`
+	Portfolio    string `json:"portfolio,omitempty"`
 	Conflicts    int64  `json:"conflicts,omitempty"`
 	Propagations int64  `json:"propagations,omitempty"`
 }
@@ -172,10 +189,23 @@ func (r *Recorder) Func(name string) {
 	r.curFunc = name
 }
 
-// Query records one translation-validation solver query. static carries
-// the static pre-verifier's outcome for the query (empty when the rung
-// was off or the result came from the verdict cache).
-func (r *Recorder) Query(verdict, fp, cache, static string, conflicts, propagations int64, dur time.Duration) {
+// QueryInfo carries one solver query's span attributes; see the Span
+// field comments for the per-rung attribute vocabulary.
+type QueryInfo struct {
+	Verdict      string
+	FP           string
+	Cache        string
+	Static       string
+	Concrete     string
+	SrcEnc       string
+	Portfolio    string
+	Conflicts    int64
+	Propagations int64
+}
+
+// Query records one translation-validation solver query with its
+// per-rung cascade attributes.
+func (r *Recorder) Query(q QueryInfo, dur time.Duration) {
 	if r == nil {
 		return
 	}
@@ -184,12 +214,15 @@ func (r *Recorder) Query(verdict, fp, cache, static string, conflicts, propagati
 		OffNS:        0,
 		DurNS:        r.dur(dur),
 		Func:         r.curFunc,
-		FP:           fp,
-		Verdict:      verdict,
-		Cache:        cache,
-		Static:       static,
-		Conflicts:    conflicts,
-		Propagations: propagations,
+		FP:           q.FP,
+		Verdict:      q.Verdict,
+		Cache:        q.Cache,
+		Static:       q.Static,
+		Concrete:     q.Concrete,
+		SrcEnc:       q.SrcEnc,
+		Portfolio:    q.Portfolio,
+		Conflicts:    q.Conflicts,
+		Propagations: q.Propagations,
 	}
 	if off := r.now() - int64(dur); off > 0 && !r.deterministic {
 		s.OffNS = off

@@ -19,7 +19,7 @@ func TestRecorderTree(t *testing.T) {
 	r.Stage(StageMutate, time.Millisecond)
 	r.Stage(StageOpt, 2*time.Millisecond)
 	r.Func("f1")
-	r.Query("valid", "ab", CacheMiss, StaticProved, 5, 20, 3*time.Millisecond)
+	r.Query(QueryInfo{Verdict: "valid", FP: "ab", Cache: CacheMiss, Static: StaticProved, Conflicts: 5, Propagations: 20}, 3*time.Millisecond)
 	r.EndMutant(false)
 
 	// Fast-path mutant: no query, not kept — must leave no trace.
@@ -85,7 +85,7 @@ func TestRecorderDeterministic(t *testing.T) {
 		time.Sleep(sleep)
 		r.Stage(StageMutate, sleep)
 		r.Func("f")
-		r.Query("invalid", "cd", CacheHit, "", 2, 8, sleep)
+		r.Query(QueryInfo{Verdict: "invalid", FP: "cd", Cache: CacheHit, Conflicts: 2, Propagations: 8}, sleep)
 		r.EndMutant(false)
 		return r.Finish(1, false)
 	}
@@ -116,7 +116,7 @@ func TestRecorderNilSafe(t *testing.T) {
 	r.BeginMutant(0, 0)
 	r.Stage(StageMutate, time.Millisecond)
 	r.Func("f")
-	r.Query("valid", "", "", "", 0, 0, 0)
+	r.Query(QueryInfo{Verdict: "valid"}, 0)
 	r.EndMutant(true)
 	if u := r.Finish(0, false); u != nil {
 		t.Errorf("nil recorder finished to %+v", u)
@@ -133,7 +133,7 @@ func TestRecorderNilSafe(t *testing.T) {
 // the unit root instead of being lost.
 func TestRecorderQueryOutsideMutant(t *testing.T) {
 	r := NewStore(true).NewRecorder("g", "u", 0, 0)
-	r.Query("valid", "", "", "", 1, 0, 0)
+	r.Query(QueryInfo{Verdict: "valid", Conflicts: 1}, 0)
 	u := r.Finish(0, false)
 	if len(u.Spans) != 2 || u.Spans[1].Name != NameQuery || u.Spans[1].Parent != 0 {
 		t.Errorf("stray query spans = %+v", u.Spans)
@@ -148,7 +148,7 @@ func unitFixture(group, unit string, index int, conflicts int64) *UnitSpans {
 	r := NewStore(true).NewRecorder(group, unit, index, 1)
 	r.BeginMutant(0, 2)
 	r.Func("f_" + unit)
-	r.Query("valid", "fp"+unit, CacheMiss, "", conflicts, conflicts*4, 0)
+	r.Query(QueryInfo{Verdict: "valid", FP: "fp" + unit, Cache: CacheMiss, Conflicts: conflicts, Propagations: conflicts * 4}, 0)
 	r.EndMutant(false)
 	return r.Finish(1, false)
 }

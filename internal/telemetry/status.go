@@ -128,6 +128,13 @@ type StatusSnapshot struct {
 	TVCacheMisses int64 `json:"tv_cache_misses,omitempty"`
 	SATConflicts  int64 `json:"sat_conflicts,omitempty"`
 
+	// TVStaticProved and TVSrcEncProved feed the dashboard's cascade
+	// discharge-rate tile: the share of cache-missing queries the cheap
+	// rungs (static fold, shared-src probe) proved Valid without a fresh
+	// monolithic solve. Stamped at read time like the counters above.
+	TVStaticProved int64 `json:"tv_static_proved,omitempty"`
+	TVSrcEncProved int64 `json:"tv_srcenc_proved,omitempty"`
+
 	Units  []UnitStatus  `json:"units"`
 	Groups []GroupStatus `json:"groups"`
 	// Stages is filled by the HTTP layer from the live Collector.
@@ -338,9 +345,10 @@ func ValidateStatus(data []byte) (*StatusSnapshot, error) {
 	if s.MutantsRemaining > s.MutantsBudget {
 		return nil, fmt.Errorf("status: mutants_remaining %d > mutants_budget %d", s.MutantsRemaining, s.MutantsBudget)
 	}
-	if s.TVCacheHits < 0 || s.TVCacheMisses < 0 || s.SATConflicts < 0 {
-		return nil, fmt.Errorf("status: negative TV counters (hits=%d misses=%d conflicts=%d)",
-			s.TVCacheHits, s.TVCacheMisses, s.SATConflicts)
+	if s.TVCacheHits < 0 || s.TVCacheMisses < 0 || s.SATConflicts < 0 ||
+		s.TVStaticProved < 0 || s.TVSrcEncProved < 0 {
+		return nil, fmt.Errorf("status: negative TV counters (hits=%d misses=%d conflicts=%d static=%d srcenc=%d)",
+			s.TVCacheHits, s.TVCacheMisses, s.SATConflicts, s.TVStaticProved, s.TVSrcEncProved)
 	}
 	if s.RatePerSec < 0 {
 		return nil, fmt.Errorf("status: negative rate_per_sec %g", s.RatePerSec)

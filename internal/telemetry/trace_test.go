@@ -71,7 +71,7 @@ func TestExportTraceSpans(t *testing.T) {
 	rec.BeginMutant(3, 11)
 	rec.Stage(spans.StageMutate, 100*time.Microsecond)
 	rec.Func("fn")
-	rec.Query("valid", "abcd", spans.CacheMiss, "", 9, 30, 500*time.Microsecond)
+	rec.Query(spans.QueryInfo{Verdict: "valid", FP: "abcd", Cache: spans.CacheMiss, Conflicts: 9, Propagations: 30}, 500*time.Microsecond)
 	rec.EndMutant(false)
 	units := []*spans.UnitSpans{rec.Finish(5, false)}
 
@@ -121,7 +121,7 @@ func TestExportTraceSpans(t *testing.T) {
 	// export degrades to the plain journal view.
 	detRec := spans.NewStore(true).NewRecorder("g", "u", 0, 7)
 	detRec.BeginMutant(0, 1)
-	detRec.Query("valid", "", "", "", 1, 0, 0)
+	detRec.Query(spans.QueryInfo{Verdict: "valid", Conflicts: 1}, 0)
 	detRec.EndMutant(false)
 	out.Reset()
 	n, err = ExportTraceSpans(strings.NewReader(journalFixture), []*spans.UnitSpans{detRec.Finish(1, false)}, &out)

@@ -100,6 +100,47 @@ func BenchmarkVerifyExamplesCached(b *testing.B) {
 	}
 }
 
+// BenchmarkConcreteScreen isolates the concrete-execution rung's cost —
+// the per-query tax every solver-bound query pays for the advisory
+// differential pre-screen (interpret both sides on the fixed input
+// vectors). This is the number the rung's routing win must amortize.
+func BenchmarkConcreteScreen(b *testing.B) {
+	defs := exampleDefs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range defs {
+			if out := concreteScreen(d.mod, d.fn, d.fn); out == ConcreteDiverged {
+				b.Fatalf("@%s: self-refinement diverged concretely", d.fn.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkSharedSrcEncoding measures steady-state verification with a
+// campaign-unit src-encoding pool: after the first pass every probe
+// lands on a warm shard, so the delta against BenchmarkVerifyExamples
+// is what shard reuse buys (or costs) per query on this corpus.
+func BenchmarkSharedSrcEncoding(b *testing.B) {
+	defs := exampleDefs(b)
+	opts := Options{SrcEnc: NewSrcEncodings()}
+	for _, d := range defs {
+		Verify(d.mod, d.fn, d.fn, opts) // warm the shards
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range defs {
+			r := Verify(d.mod, d.fn, d.fn, opts)
+			if r.Verdict != Valid {
+				b.Fatalf("@%s: %v (%s)", d.fn.Name, r.Verdict, r.Reason)
+			}
+		}
+	}
+	b.StopTimer()
+	if opts.SrcEnc.Hits == 0 {
+		b.Fatal("no shard reuse; benchmark measured nothing")
+	}
+}
+
 // BenchmarkFingerprint isolates the cache-key cost — the overhead every
 // lookup pays even on a miss.
 func BenchmarkFingerprint(b *testing.B) {

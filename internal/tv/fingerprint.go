@@ -28,23 +28,30 @@ func Fingerprint(mod *ir.Module, src, tgt *ir.Function, opts Options) Key {
 	// across modes.
 	w.u64(uint64(opts.ConflictBudget))
 	w.u64(uint64(opts.MaxPaths))
-	w.bits(opts.DisableRewrites, opts.Incremental, opts.Preprocess, opts.Static)
+	w.u64(uint64(opts.Portfolio))
+	w.bits(opts.DisableRewrites, opts.Incremental, opts.Preprocess, opts.Static,
+		opts.Concrete, opts.SrcEnc != nil)
 
 	w.fn(src)
 	w.fn(tgt)
 
-	// Callee declarations: matchCalls compares callee names and the
-	// encoder reads declared signatures and attributes from the module.
+	w.callees(mod, src, tgt)
+
+	return Key(sha256.Sum256(w.buf))
+}
+
+// callees serializes the declarations of every function called by fns:
+// matchCalls compares callee names and the encoder reads declared
+// signatures and attributes from the module.
+func (w *fpWriter) callees(mod *ir.Module, fns ...*ir.Function) {
 	callees := map[string]bool{}
-	collect := func(f *ir.Function) {
+	for _, f := range fns {
 		for _, in := range f.Instrs() {
 			if in.Op == ir.OpCall {
 				callees[in.Callee] = true
 			}
 		}
 	}
-	collect(src)
-	collect(tgt)
 	names := make([]string, 0, len(callees))
 	for n := range callees {
 		names = append(names, n)
@@ -67,7 +74,39 @@ func Fingerprint(mod *ir.Module, src, tgt *ir.Function, opts Options) Key {
 			w.paramAttrs(p.Attrs)
 		}
 	}
+}
 
+// SrcFingerprint hashes everything the shared src-encoding pool's entry
+// construction reads: the source function alpha-renamed, the Options
+// knobs that shape the src-side encoding (MaxPaths, DisableRewrites),
+// and the declarations of the source's callees. Mutants whose modules
+// agree on all of that encode the identical src term DAG, so they may
+// share one pool entry (srcenc.go).
+func SrcFingerprint(mod *ir.Module, src *ir.Function, opts Options) Key {
+	w := &fpWriter{}
+	w.str("alive-mutate-srcfp/1")
+	w.u64(uint64(opts.MaxPaths))
+	w.bits(opts.DisableRewrites)
+	w.fn(src)
+	w.callees(mod, src)
+	return Key(sha256.Sum256(w.buf))
+}
+
+// sigFingerprint hashes exactly the signature facts the semantics
+// Context reads per parameter index — types and attributes, plus the
+// return type — so two functions with equal sigFingerprints can share
+// one Context without width clashes or attribute-axiom leakage
+// (srcenc.go's sharding invariant). Parameter names are deliberately
+// excluded: they only decorate variable names.
+func sigFingerprint(f *ir.Function) Key {
+	w := &fpWriter{}
+	w.str("alive-mutate-sigfp/1")
+	w.str(f.RetTy.String())
+	w.u64(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		w.str(p.Ty.String())
+		w.paramAttrs(p.Attrs)
+	}
 	return Key(sha256.Sum256(w.buf))
 }
 

@@ -1,0 +1,189 @@
+package tv
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// TestSharedSrcModesMatchBaseline: verdicts, reasons, and exact
+// counterexamples with a shared src-encoding pool — alone and stacked
+// with the other rungs — must match the baseline on the mixed corpus,
+// with only the documented Unknown→Valid upgrade permitted. One pool is
+// reused across the whole corpus per mode, mirroring a campaign unit's
+// lifetime, and two independent runs of the same mode must agree on the
+// pool's hit/miss/reset totals (the pool is part of the deterministic
+// replay surface).
+func TestSharedSrcModesMatchBaseline(t *testing.T) {
+	pairs := equivalencePairs(t)
+	const budget = 500
+	modes := []string{"shared-src", "shared-src+static", "shared-src+static+concrete", "shared-src+portfolio"}
+	build := func(mode string) Options {
+		o := Options{ConflictBudget: budget, SrcEnc: NewSrcEncodings()}
+		switch mode {
+		case "shared-src+static":
+			o.Static = true
+		case "shared-src+static+concrete":
+			o.Static, o.Concrete = true, true
+		case "shared-src+portfolio":
+			o.Portfolio = 3
+		}
+		return o
+	}
+
+	base := make([]Result, len(pairs))
+	for i, p := range pairs {
+		base[i] = Verify(p.mod, p.src, p.tgt, Options{ConflictBudget: budget})
+	}
+	for _, mode := range modes {
+		o1, o2 := build(mode), build(mode)
+		for i, p := range pairs {
+			sameOutcome(t, p.name, mode, base[i], Verify(p.mod, p.src, p.tgt, o1))
+			Verify(p.mod, p.src, p.tgt, o2)
+		}
+		p1, p2 := o1.SrcEnc, o2.SrcEnc
+		if p1.Hits+p1.Misses == 0 {
+			t.Fatalf("[%s] pool never probed across the corpus", mode)
+		}
+		if p1.Hits == 0 {
+			t.Fatalf("[%s] pool recorded no shard reuse (%d misses); sharing is inert", mode, p1.Misses)
+		}
+		if p1.Hits != p2.Hits || p1.Misses != p2.Misses || p1.Resets != p2.Resets {
+			t.Fatalf("[%s] pool totals not deterministic: %d/%d/%d then %d/%d/%d",
+				mode, p1.Hits, p1.Misses, p1.Resets, p2.Hits, p2.Misses, p2.Resets)
+		}
+	}
+}
+
+// TestSrcEncOutcomeMarking: the first solver-bound probe of a signature
+// builds the shard (miss), a repeat probes the existing session (hit),
+// and a probe that discharges the query marks SrcEncProved — the signal
+// behind the tv.srcenc.proved counter and the dashboard's cascade
+// discharge rate.
+func TestSrcEncOutcomeMarking(t *testing.T) {
+	src := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = add i32 %x, %x
+  ret i32 %a
+}`)
+	tgt := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = shl i32 %x, 1
+  ret i32 %a
+}`)
+	o := Options{ConflictBudget: 500, SrcEnc: NewSrcEncodings()}
+
+	r1 := Verify(src, src.Defs()[0], tgt.Defs()[0], o)
+	if r1.Verdict != Valid || r1.SrcEncOutcome != SrcEncMiss {
+		t.Fatalf("first probe: verdict=%v outcome=%q, want Valid/%q", r1.Verdict, r1.SrcEncOutcome, SrcEncMiss)
+	}
+	if !r1.SrcEncProved {
+		t.Fatal("first probe discharged the query but did not mark SrcEncProved")
+	}
+	r2 := Verify(src, src.Defs()[0], tgt.Defs()[0], o)
+	if r2.Verdict != Valid || r2.SrcEncOutcome != SrcEncHit {
+		t.Fatalf("repeat probe: verdict=%v outcome=%q, want Valid/%q", r2.Verdict, r2.SrcEncOutcome, SrcEncHit)
+	}
+	if !r2.SrcEncProved {
+		t.Fatal("repeat probe discharged the query but did not mark SrcEncProved")
+	}
+	if o.SrcEnc.Hits != 1 || o.SrcEnc.Misses != 1 {
+		t.Fatalf("pool totals = %d hits / %d misses, want 1/1", o.SrcEnc.Hits, o.SrcEnc.Misses)
+	}
+}
+
+// TestSrcEncShardingBySignature: queries with different parameter types
+// must land in different shards — sharing a semantics Context across
+// signatures is unsound (input variables are keyed by parameter index),
+// so this partition is a soundness property, not a tuning choice.
+func TestSrcEncShardingBySignature(t *testing.T) {
+	m32 := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 0
+  ret i32 %a
+}`)
+	m64 := parser.MustParse(`define i64 @g(i64 %x) {
+  %a = add i64 %x, 0
+  ret i64 %a
+}`)
+	o := Options{ConflictBudget: 500, SrcEnc: NewSrcEncodings()}
+
+	r32 := Verify(m32, m32.Defs()[0], m32.Defs()[0], o)
+	r64 := Verify(m64, m64.Defs()[0], m64.Defs()[0], o)
+	if r32.SrcEncOutcome != SrcEncMiss || r64.SrcEncOutcome != SrcEncMiss {
+		t.Fatalf("outcomes %q/%q, want two shard-building misses", r32.SrcEncOutcome, r64.SrcEncOutcome)
+	}
+	if n := len(o.SrcEnc.shards); n != 2 {
+		t.Fatalf("pool holds %d shards, want 2 (one per signature)", n)
+	}
+	if o.SrcEnc.Hits != 0 {
+		t.Fatalf("pool reported %d hits across distinct signatures, want 0", o.SrcEnc.Hits)
+	}
+}
+
+// TestSrcEncDivergedSkipsProbe: a concretely diverging query is known
+// satisfiable, so the Valid-only probe must never run — the pool stays
+// untouched and the result carries no srcenc outcome.
+func TestSrcEncDivergedSkipsProbe(t *testing.T) {
+	src := parser.MustParse(`define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  ret i8 %a
+}`)
+	tgt := parser.MustParse(`define i8 @f(i8 %x) {
+  %a = add i8 %x, 2
+  ret i8 %a
+}`)
+	o := Options{ConflictBudget: 500, Concrete: true, SrcEnc: NewSrcEncodings()}
+	r := Verify(src, src.Defs()[0], tgt.Defs()[0], o)
+	if r.Verdict != Invalid || r.ConcreteOutcome != ConcreteDiverged {
+		t.Fatalf("verdict=%v concrete=%q, want Invalid/%q", r.Verdict, r.ConcreteOutcome, ConcreteDiverged)
+	}
+	if r.SrcEncOutcome != "" {
+		t.Fatalf("diverged query carries srcenc outcome %q, want none", r.SrcEncOutcome)
+	}
+	if o.SrcEnc.Hits+o.SrcEnc.Misses != 0 {
+		t.Fatalf("pool probed %d times on a diverged query, want 0",
+			o.SrcEnc.Hits+o.SrcEnc.Misses)
+	}
+}
+
+// TestSrcEncShardRetirement: a long run of probes on one signature must
+// trip a shard cap (query count or session size), tearing the shard down
+// so the next probe rebuilds it — long campaign units must not
+// accumulate an unboundedly polluted session. Which cap fires first is a
+// tuning detail (on this query the session-size cap wins around probe
+// 30); the test asserts the retire/rebuild cycle and its determinism,
+// not the trip point.
+func TestSrcEncShardRetirement(t *testing.T) {
+	src := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = add i32 %x, %x
+  ret i32 %a
+}`)
+	tgt := parser.MustParse(`define i32 @f(i32 %x) {
+  %a = shl i32 %x, 1
+  ret i32 %a
+}`)
+	const probes = srcEncMaxQueries + 1
+	run := func() *SrcEncodings {
+		o := Options{ConflictBudget: 500, SrcEnc: NewSrcEncodings()}
+		for i := 0; i < probes; i++ {
+			if r := Verify(src, src.Defs()[0], tgt.Defs()[0], o); r.Verdict != Valid {
+				t.Fatalf("probe %d: verdict %v, want Valid", i, r.Verdict)
+			}
+		}
+		return o.SrcEnc
+	}
+	p1 := run()
+	if p1.Resets == 0 {
+		t.Fatalf("%d probes on one signature never retired the shard; session growth is unbounded", probes)
+	}
+	if p1.Misses < 2 {
+		t.Fatalf("pool recorded %d misses after %d retirements; retired shard was never rebuilt",
+			p1.Misses, p1.Resets)
+	}
+	if p1.Hits+p1.Misses != probes {
+		t.Fatalf("hits+misses = %d, want every one of %d probes accounted", p1.Hits+p1.Misses, probes)
+	}
+	p2 := run()
+	if p1.Hits != p2.Hits || p1.Misses != p2.Misses || p1.Resets != p2.Resets {
+		t.Fatalf("retirement cycle not deterministic: %d/%d/%d then %d/%d/%d",
+			p1.Hits, p1.Misses, p1.Resets, p2.Hits, p2.Misses, p2.Resets)
+	}
+}

@@ -108,6 +108,32 @@ type Result struct {
 	// StaticNS is the wall time the static rung spent, measured only
 	// when Observe is set (stage.stv histogram); 0 otherwise.
 	StaticNS int64
+
+	// ConcreteOutcome records what the concrete-execution rung did with
+	// this query: ConcreteAgreed, ConcreteDiverged, ConcreteBailout, or
+	// "" when the rung was off or never reached (cache hit, Unsupported,
+	// statically proved).
+	ConcreteOutcome string
+	// ConcreteNS is the wall time the concrete rung spent, measured only
+	// when Observe is set (stage.ctv histogram); 0 otherwise.
+	ConcreteNS int64
+	// SrcEncOutcome records whether the campaign-level shared src
+	// encoding served this query: SrcEncHit, SrcEncMiss, or "" when the
+	// sharing layer was off or never reached. SrcEncProved marks the
+	// subset whose shared-session probe proved Valid outright (the
+	// cascade's discharge signal — a hit/miss outcome alone only says
+	// the probe ran).
+	SrcEncOutcome string
+	SrcEncProved  bool
+
+	// PortfolioRaced marks a query on which the solver portfolio engaged
+	// its alternate configurations (the canonical leg survived its first
+	// restart round with racing on). PortfolioWinner is the configuration
+	// index whose result became the verdict (0 = canonical, i>0 = the
+	// i-th alternate, -1 = every leg exhausted its budget); it is
+	// meaningful only when PortfolioRaced is set.
+	PortfolioRaced  bool
+	PortfolioWinner int
 }
 
 // Options configures verification.
@@ -157,6 +183,32 @@ type Options struct {
 	// permitted divergence is one-directional: a query the budgeted
 	// solver would abandon as Unknown may be proven Valid statically.
 	Static bool
+	// SrcEnc, when non-nil, shares src-side encodings across the queries
+	// of one campaign unit (see srcenc.go): mutants of the same source
+	// probe one incremental session whose src term DAG and CNF were
+	// built once, and only a probe Unsat — sound by the axiom
+	// extension-safety argument — short-circuits (Valid). Everything
+	// else re-solves on the canonical fresh path. Not safe for
+	// concurrent use; the campaign creates one per unit.
+	SrcEnc *SrcEncodings
+	// Concrete enables the concrete-execution rung: after the static
+	// rung bails or advisorily refutes, source and target run on a small
+	// deterministic input vector through the interpreter as a
+	// differential pre-screen (see concrete.go). The rung is strictly
+	// advisory — a concretely diverging query skips the Valid-only
+	// accelerated attempts and goes straight to the canonical monolithic
+	// solve — so tables, witnesses, and triage trees are byte-identical
+	// with the rung off.
+	Concrete bool
+	// Portfolio races k deterministic solver configurations on the
+	// canonical monolithic query (see smt.Portfolio): the canonical
+	// configuration's trajectory — and hence every decided verdict, model,
+	// and witness — is preserved bit for bit, while alternate
+	// restart/activity/phase variants may rescue a budget-bound query by
+	// proving Unsat (Valid) where the canonical solver alone would return
+	// Unknown. 0 or 1 disables racing. Like Incremental, the only
+	// permitted divergence is one-directional Unknown→Valid.
+	Portfolio int
 	// Cache, when non-nil, memoizes Valid/Unsupported verdicts keyed by
 	// the pair's structural fingerprint (see Fingerprint). Invalid and
 	// Unknown verdicts are never cached, so counterexamples are always
@@ -207,6 +259,22 @@ func verify(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 	return r
 }
 
+// timeStart/timeSince gate a rung's wall-clock measurement on Observe,
+// like every other telemetry-only timer.
+func timeStart(opts Options) (time.Time, bool) {
+	if opts.Observe == nil {
+		return time.Time{}, false
+	}
+	return time.Now(), true // vet:determinism — rung latency, telemetry only
+}
+
+func timeSince(t0 time.Time, timed bool) int64 {
+	if !timed {
+		return 0
+	}
+	return int64(time.Since(t0)) // vet:determinism — rung latency, telemetry only
+}
+
 func verifySolve(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 	if err := checkSignatures(src, tgt); err != nil {
 		return Result{Verdict: Unsupported, Reason: err.Error()}
@@ -251,10 +319,56 @@ func verifySolve(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 		staticOutcome = outcome
 	}
 
-	if opts.Incremental || opts.Preprocess {
+	// Concrete-execution rung: screen the pair on deterministic inputs.
+	// A visible divergence means the query is satisfiable, so every
+	// Valid-only attempt below (incremental session, src-encoding probe,
+	// portfolio alternates) is provably wasted and is skipped — routing
+	// only, never a verdict.
+	var concreteOutcome string
+	var concreteNS int64
+	if opts.Concrete {
+		var t0 time.Time
+		timed := opts.Observe != nil
+		if timed {
+			t0 = time.Now() // vet:determinism — stage.ctv latency, telemetry only
+		}
+		concreteOutcome = concreteScreen(mod, src, tgt)
+		if timed {
+			concreteNS = int64(time.Since(t0))
+		}
+	}
+	diverged := concreteOutcome == ConcreteDiverged
+
+	var srcEncOutcome string
+	var probeConflicts, probeProps int64
+
+	finish := func(r Result) Result {
+		r.StaticOutcome, r.StaticNS = staticOutcome, staticNS
+		r.ConcreteOutcome, r.ConcreteNS = concreteOutcome, concreteNS
+		if r.SrcEncOutcome == "" {
+			r.SrcEncOutcome = srcEncOutcome
+		}
+		r.Conflicts += probeConflicts
+		r.Propagations += probeProps
+		return r
+	}
+
+	// Shared-src-encoding probe: solver-bound queries of one campaign
+	// unit share a hash-consed encoding and an incremental session (see
+	// srcenc.go). Unsat there is a sound Valid; any other outcome falls
+	// through with its effort folded into the canonical result.
+	if opts.SrcEnc != nil && !diverged {
+		pr, done := opts.SrcEnc.probe(mod, src, tgt, opts)
+		if done {
+			return finish(pr)
+		}
+		srcEncOutcome = pr.SrcEncOutcome
+		probeConflicts, probeProps = pr.Conflicts, pr.Propagations
+	}
+
+	if (opts.Incremental || opts.Preprocess) && !diverged {
 		if r, done := solveAccelerated(ctx, vc, query, opts); done {
-			r.StaticOutcome, r.StaticNS = staticOutcome, staticNS
-			return r
+			return finish(r)
 		}
 		// Canonical fallback: anything the accelerated phase could not
 		// conclude as Valid is re-solved monolithically, un-preprocessed,
@@ -262,20 +376,49 @@ func verifySolve(mod *ir.Module, src, tgt *ir.Function, opts Options) Result {
 		// counterexamples and budget-boundary Unknowns are byte-identical
 		// with acceleration off.
 	}
-	r := solveMonolithic(src, query, opts)
-	r.StaticOutcome, r.StaticNS = staticOutcome, staticNS
-	return r
+	if diverged {
+		// The portfolio's alternates can only contribute Unsat proofs;
+		// on a satisfiable query they are dead weight, and dropping them
+		// leaves the canonical leg — and hence the model — untouched.
+		opts.Portfolio = 0
+	}
+	return finish(solveMonolithic(src, query, opts))
 }
 
 // solveMonolithic is the baseline decision procedure: one fresh solver,
 // one CNF for the whole violation disjunction.
 func solveMonolithic(src *ir.Function, query *smt.Term, opts Options) Result {
-	checker := smt.Checker{ConflictBudget: opts.ConflictBudget}
-	res, model := checker.Check(query)
-	out := Result{
-		Conflicts:    checker.LastConflicts,
-		Propagations: checker.LastPropagations,
-		SATVars:      checker.LastVars,
+	var (
+		res   smt.Result
+		model smt.Model
+		out   Result
+	)
+	if opts.Portfolio > 1 {
+		p := smt.Portfolio{
+			Configs:        smt.PortfolioConfigs(opts.Portfolio),
+			ConflictBudget: opts.ConflictBudget,
+			// Alternates get the full per-query budget: the rescues the
+			// ladder was tuned on need trajectories comparable in length
+			// to the canonical one, and the race only runs at all on the
+			// rare canonical-Unknown queries.
+			AlternateBudget: opts.ConflictBudget,
+		}
+		res, model = p.Check(query)
+		out = Result{
+			Conflicts:       p.LastConflicts,
+			Propagations:    p.LastPropagations,
+			SATVars:         p.LastVars,
+			PortfolioRaced:  p.LastRaced,
+			PortfolioWinner: p.LastWinner,
+		}
+	} else {
+		checker := smt.Checker{ConflictBudget: opts.ConflictBudget}
+		res, model = checker.Check(query)
+		out = Result{
+			Conflicts:    checker.LastConflicts,
+			Propagations: checker.LastPropagations,
+			SATVars:      checker.LastVars,
+		}
 	}
 	switch res {
 	case smt.Unsat:

@@ -8,14 +8,16 @@ import (
 	"repro/internal/ir"
 )
 
-// Divergence kinds a concretized counterexample can exhibit. These are the
-// normalized classes triage uses in bug signatures, so they must stay
-// stable across runs.
+// Divergence kinds a concretized counterexample can exhibit. The classes
+// (and the classifier itself) live in internal/interp so every
+// differential-execution consumer shares one definition; they are
+// re-exported here because triage bug signatures reference them under
+// the tv package.
 const (
-	DivergeTargetUB  = "tgt_ub"      // target UB where the source was defined
-	DivergeRetPoison = "ret_poison"  // target returned poison, source a value
-	DivergeRetValue  = "ret_value"   // both returned values, bits differ
-	DivergeNone      = "unconfirmed" // interpreter could not confirm concretely
+	DivergeTargetUB  = interp.DivergeTargetUB  // target UB where the source was defined
+	DivergeRetPoison = interp.DivergeRetPoison // target returned poison, source a value
+	DivergeRetValue  = interp.DivergeRetValue  // both returned values, bits differ
+	DivergeNone      = interp.DivergeNone      // interpreter could not confirm concretely
 )
 
 // WitnessInput is one parameter's concrete value in source-parameter order.
@@ -74,11 +76,10 @@ func (c *Counterexample) Concretize(srcMod, tgtMod *ir.Module, src, tgt *ir.Func
 		w.Inputs = append(w.Inputs, WitnessInput{Name: p.Nm, Value: val})
 	}
 
-	oracle := &interp.HashOracle{Seed: 0xa11ce}
-	si := &interp.Interp{Mod: srcMod, Oracle: oracle}
-	ti := &interp.Interp{Mod: tgtMod, Oracle: oracle}
-	sr, errS := si.Run(src, args)
-	tr, errT := ti.Run(tgt, args)
+	// witnessOracleSeed pins the replay oracle so witnesses are stable
+	// across runs and worker counts.
+	const witnessOracleSeed = 0xa11ce
+	sr, tr, errS, errT := interp.DiffRun(srcMod, tgtMod, src, tgt, args, witnessOracleSeed)
 	if errS != nil {
 		w.Src.Err = errS.Error()
 	}
@@ -92,28 +93,8 @@ func (c *Counterexample) Concretize(srcMod, tgtMod *ir.Module, src, tgt *ir.Func
 	w.Src = behaviorOf(sr)
 	w.Tgt = behaviorOf(tr)
 
-	switch {
-	case sr.UB:
-		// Source UB on this input: refinement permits anything, so the
-		// model must have relied on memory/call effects we can't replay.
-		w.Detail = "source UB on witness input; not concretely replayable"
-	case tr.UB:
-		w.Confirmed = true
-		w.Divergence = DivergeTargetUB
-		w.Detail = "target UB where source is defined"
-	case sr.HasRet && tr.HasRet && sr.Ret.Poison:
-		w.Detail = "source returns poison; any target behaviour refines it"
-	case sr.HasRet && tr.HasRet && tr.Ret.Poison:
-		w.Confirmed = true
-		w.Divergence = DivergeRetPoison
-		w.Detail = fmt.Sprintf("ret %d vs poison", sr.Ret.Bits)
-	case sr.HasRet && tr.HasRet && sr.Ret.Bits != tr.Ret.Bits:
-		w.Confirmed = true
-		w.Divergence = DivergeRetValue
-		w.Detail = fmt.Sprintf("ret %d vs %d", sr.Ret.Bits, tr.Ret.Bits)
-	default:
-		w.Detail = "no divergence visible to the interpreter"
-	}
+	w.Divergence, w.Detail = interp.ClassifyRefinement(sr, tr)
+	w.Confirmed = w.Divergence != DivergeNone
 	return w
 }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# cascade-smoke: end-to-end acceptance for the third-wave TV cascade
+# (concrete-execution rung, shared src encodings, solver portfolio).
+#
+# Runs the seeded campaign with the full default stack, then with each
+# knob individually off, at -workers 1 and -workers 4, and asserts:
+#   * every result table is byte-identical to the all-on reference —
+#     each layer may only short-circuit or rescue, never change a verdict
+#     the table records;
+#   * the default run actually exercised the new rungs (tv.concrete.screened
+#     and tv.srcenc.hit present and positive);
+#   * each off-run records no activity for its disabled layer;
+#   * all metrics snapshots validate by schema dispatch.
+# See docs/PERFORMANCE.md and docs/OBSERVABILITY.md.
+set -euo pipefail
+
+GO=${GO:-go}
+WORK=${CASCADE_SMOKE_DIR:-cascade-smoke}
+ARGS=(-budget 120 -tvbudget 4000 -seed 7
+      -only 53252,53218,55201,55287,58423,59757,64687)
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+FUZZ="$WORK/fuzz-campaign"
+CHECK="$WORK/telemetry-check"
+$GO build -o "$FUZZ" ./cmd/fuzz-campaign
+$GO build -o "$CHECK" ./cmd/telemetry-check
+
+run() { # run <tag> <workers> [extra flags...]
+    local tag=$1 workers=$2; shift 2
+    echo "cascade-smoke: campaign [$tag, workers=$workers]"
+    "$FUZZ" "${ARGS[@]}" -workers "$workers" "$@" \
+        -out "$WORK/table-$tag-w$workers.txt" \
+        -metrics-out "$WORK/metrics-$tag-w$workers.json" >/dev/null
+}
+
+for w in 1 4; do
+    run all-on       "$w"
+    run no-concrete  "$w" -no-concrete-tv
+    run no-sharedsrc "$w" -no-shared-src
+    run no-portfolio "$w" -portfolio 0
+done
+
+echo "cascade-smoke: every knob combination must render the reference table"
+for w in 1 4; do
+    for tag in no-concrete no-sharedsrc no-portfolio; do
+        cmp "$WORK/table-all-on-w1.txt" "$WORK/table-$tag-w$w.txt"
+    done
+done
+cmp "$WORK/table-all-on-w1.txt" "$WORK/table-all-on-w4.txt"
+
+echo "cascade-smoke: the default stack must exercise the new rungs"
+"$CHECK" -require-counter tv.concrete.screened "$WORK/metrics-all-on-w1.json"
+"$CHECK" -require-counter tv.srcenc.hit "$WORK/metrics-all-on-w1.json"
+
+echo "cascade-smoke: each off-run must record no activity for its layer"
+if grep -q 'tv\.concrete\.' "$WORK/metrics-no-concrete-w1.json"; then
+    echo "cascade-smoke: -no-concrete-tv run emitted tv.concrete.* counters"; exit 1
+fi
+if grep -q 'tv\.srcenc\.' "$WORK/metrics-no-sharedsrc-w1.json"; then
+    echo "cascade-smoke: -no-shared-src run emitted tv.srcenc.* counters"; exit 1
+fi
+if grep -q 'sat\.portfolio\.' "$WORK/metrics-no-portfolio-w1.json"; then
+    echo "cascade-smoke: -portfolio 0 run emitted sat.portfolio.* counters"; exit 1
+fi
+
+echo "cascade-smoke: all metrics snapshots validate by schema dispatch"
+"$CHECK" "$WORK"/metrics-*.json
+
+echo "cascade-smoke: OK (cascade verdict-invariant and productive at both worker counts)"
